@@ -1,0 +1,93 @@
+//! Ablation E10: reversible RNG throughput — the 4-component CLCG4 (the
+//! ROSS generator) versus the single reversible 64-bit LCG, forward and
+//! reverse. Reverse speed matters: every rolled-back event un-steps its
+//! draws.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdes::rng::{Clcg4, Lcg64, ReversibleRng};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_forward_10k");
+    group.bench_function("clcg4", |b| {
+        let mut rng = Clcg4::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.next_unif();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("lcg64", |b| {
+        let mut rng = Lcg64::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.next_unif();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rng_reverse_10k");
+    group.bench_function("clcg4", |b| {
+        let mut rng = Clcg4::new(1);
+        for _ in 0..10_000 {
+            rng.next_unif();
+        }
+        b.iter(|| {
+            // Walk 10k back and forth so state stays bounded.
+            rng.reverse_n(10_000);
+            for _ in 0..10_000 {
+                rng.next_unif();
+            }
+            black_box(rng.call_count())
+        })
+    });
+    group.bench_function("lcg64", |b| {
+        let mut rng = Lcg64::new(1);
+        for _ in 0..10_000 {
+            rng.next_unif();
+        }
+        b.iter(|| {
+            rng.reverse_n(10_000);
+            for _ in 0..10_000 {
+                rng.next_unif();
+            }
+            black_box(rng.call_count())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rng_distributions");
+    group.bench_function("integer", |b| {
+        let mut rng = Clcg4::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += rng.integer(0, 999);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("exponential", |b| {
+        let mut rng = Clcg4::new(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exponential(5.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rng
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation E9: pending-set implementations (binary heap with lazy
+//! deletion vs top-down splay tree) under a hold-model workload — the
+//! access pattern a discrete-event simulator actually generates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes::event::{Event, EventId, EventKey};
+use pdes::scheduler::{CalendarQueue, EventQueue, HeapQueue, SplayQueue};
+use pdes::time::VirtualTime;
+
+fn ev(seq: u64, t: u64) -> Event<u64> {
+    Event {
+        id: EventId::new(0, seq),
+        key: EventKey {
+            recv_time: VirtualTime(t),
+            dst: (seq % 64) as u32,
+            tie: seq,
+            src: 0,
+            send_time: VirtualTime::ZERO,
+        },
+        payload: seq,
+    }
+}
+
+/// Classic hold model: pop the minimum, push a replacement a random-ish
+/// increment in the future. Steady-state size `n`.
+fn hold<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
+    let mut seq = 0;
+    for i in 0..n {
+        q.push(ev(seq, i * 7919 % 100_000));
+        seq += 1;
+    }
+    let mut acc = 0;
+    for _ in 0..ops {
+        let e = q.pop().expect("steady state");
+        acc ^= e.payload;
+        q.push(ev(seq, e.key.recv_time.0 + 1 + (seq * 2654435761) % 10_000));
+        seq += 1;
+    }
+    while q.pop().is_some() {}
+    acc
+}
+
+/// Hold model with interleaved cancellations (anti-message pattern).
+fn hold_with_cancels<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
+    let mut seq = 0;
+    let mut live: Vec<(EventId, EventKey)> = Vec::new();
+    for i in 0..n {
+        let e = ev(seq, i * 7919 % 100_000);
+        live.push((e.id, e.key));
+        q.push(e);
+        seq += 1;
+    }
+    let mut acc = 0;
+    for i in 0..ops {
+        if i % 8 == 0 && live.len() > 2 {
+            // Cancel a "random" pending event.
+            let victim = live.swap_remove((i as usize * 31) % live.len());
+            if q.remove(victim.0, victim.1) {
+                acc += 1;
+            }
+            continue;
+        }
+        if let Some(e) = q.pop() {
+            live.retain(|(id, _)| *id != e.id);
+            acc ^= e.payload;
+        }
+        let e = ev(seq, (i + 1) * 13 % 100_000 + i);
+        live.push((e.id, e.key));
+        q.push(e);
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_hold");
+    for &size in &[256u64, 4096] {
+        group.bench_with_input(BenchmarkId::new("heap", size), &size, |b, &s| {
+            b.iter(|| hold(&mut HeapQueue::new(), s, 10_000))
+        });
+        group.bench_with_input(BenchmarkId::new("splay", size), &size, |b, &s| {
+            b.iter(|| hold(&mut SplayQueue::new(), s, 10_000))
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", size), &size, |b, &s| {
+            b.iter(|| hold(&mut CalendarQueue::new(), s, 10_000))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scheduler_hold_cancel");
+    for &size in &[1024u64] {
+        group.bench_with_input(BenchmarkId::new("heap", size), &size, |b, &s| {
+            b.iter(|| hold_with_cancels(&mut HeapQueue::new(), s, 4_000))
+        });
+        group.bench_with_input(BenchmarkId::new("splay", size), &size, |b, &s| {
+            b.iter(|| hold_with_cancels(&mut SplayQueue::new(), s, 4_000))
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", size), &size, |b, &s| {
+            b.iter(|| hold_with_cancels(&mut CalendarQueue::new(), s, 4_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Figure 3** — Packet Delivery Time.
+//!
+//! Average packet delivery time (steps) versus network diameter N, for four
+//! injection loads (0%, 50%, 75%, 100% of routers injecting). Expected
+//! shape: approximately linear growth in N, with injection load having only
+//! a limited effect.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig3_delivery [--full] [--csv]
+//! ```
+
+use bench::{f, run_point, torus_model, Args, Report};
+
+fn main() {
+    let args = Args::parse();
+    let loads = [0.0, 0.5, 0.75, 1.0];
+
+    println!("# Figure 3: average packet delivery time (steps) vs N");
+    println!("# loads = fraction of routers hosting an injection application");
+    let report = Report::new(args.csv, &["N", "0%", "50%", "75%", "100%"]);
+
+    for n in args.network_sizes() {
+        let steps = args.steps_for(n);
+        let mut cells = vec![n.to_string()];
+        for load in loads {
+            let model = torus_model(n, steps, load);
+            let net = run_point(&model, args.seed, 1, 64).output;
+            cells.push(f(net.avg_delivery_steps()));
+        }
+        report.row(&cells);
+    }
+
+    println!("# expect: column values grow ~linearly with N; rows nearly flat across loads");
+}

@@ -1,0 +1,35 @@
+//! **Figure 4** — Average Wait to Inject a Packet.
+//!
+//! Average number of steps a packet waits at its injection application
+//! before a free link lets it enter the network, versus N, for four
+//! injection loads. Expected shape: grows with N within each load, and the
+//! load has a *significant* effect (unlike delivery time).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig4_inject_wait [--full] [--csv]
+//! ```
+
+use bench::{f, run_point, torus_model, Args, Report};
+
+fn main() {
+    let args = Args::parse();
+    // 0% injectors has no injection wait by definition; sweep the loaded ones.
+    let loads = [0.25, 0.5, 0.75, 1.0];
+
+    println!("# Figure 4: average wait to inject (steps) vs N");
+    let report = Report::new(args.csv, &["N", "25%", "50%", "75%", "100%"]);
+
+    for n in args.network_sizes() {
+        let steps = args.steps_for(n);
+        let mut cells = vec![n.to_string()];
+        for load in loads {
+            let model = torus_model(n, steps, load);
+            let net = run_point(&model, args.seed, 1, 64).output;
+            cells.push(f(net.avg_inject_wait_steps()));
+        }
+        report.row(&cells);
+    }
+
+    println!("# expect: grows with N; strongly separated across loads");
+    println!("# (injection is gated by deliveries freeing links)");
+}

@@ -1,0 +1,59 @@
+//! **Figures 5 and 6** — Parallel Speed-Up and Efficiency.
+//!
+//! Net event rate (committed events per wall-clock second) of the
+//! optimistic kernel versus N for 1, 2 and 4 PEs (Figure 5), and the
+//! derived efficiency speedup/#PE (Figure 6).
+//!
+//! Hardware note: the paper ran on a quad-processor PC server. On a
+//! single-core container the 2/4-PE runs time-slice one core, so wall-clock
+//! speedup cannot exceed 1 — the absolute rates still characterize engine
+//! overhead, and the rollback/remote-event counts are reported for context.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig5_speedup [--full] [--csv]
+//! ```
+
+use bench::{f, median_wall, run_point_timewarp, torus_model, Args, Report};
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<u32> =
+        if args.full { vec![16, 32, 64, 128] } else { vec![8, 16, 32] };
+    let pes = [1usize, 2, 4];
+
+    println!("# Figure 5: event rate (committed events/s) vs N, by PE count");
+    println!("# Figure 6: efficiency = (rate_P / rate_1) / P");
+    let report = Report::new(
+        args.csv,
+        &["N", "LPs", "ev/s 1PE", "ev/s 2PE", "ev/s 4PE", "eff 2PE", "eff 4PE", "rb 2PE", "rb 4PE"],
+    );
+
+    for n in sizes {
+        let steps = args.steps.unwrap_or(150);
+        let model = torus_model(n, steps, 1.0);
+        let mut rates = Vec::new();
+        let mut rolled = Vec::new();
+        for &p in &pes {
+            let kps = 64.max(p as u32);
+            let (stats, _) = median_wall(|| {
+                run_point_timewarp(&model, args.seed, p, kps, 1024).stats
+            });
+            rates.push(stats.event_rate());
+            rolled.push(stats.events_rolled_back);
+        }
+        report.row(&[
+            n.to_string(),
+            (n * n).to_string(),
+            f(rates[0]),
+            f(rates[1]),
+            f(rates[2]),
+            f(rates[1] / rates[0] / 2.0),
+            f(rates[2] / rates[0] / 4.0),
+            rolled[1].to_string(),
+            rolled[2].to_string(),
+        ]);
+    }
+
+    println!("# paper (4-core host): ~linear speedup for small N, ~0.5 efficiency for large N");
+    println!("# single-core host: efficiency <= 1/P by construction; see EXPERIMENTS.md");
+}

@@ -1,0 +1,46 @@
+//! **Extension E11** — priority mix vs N.
+//!
+//! The paper attributes the trajectory change in Figure 3 around N ≈ 188 to
+//! the probabilistic state-changing rules: *"In a larger network, a greater
+//! percentage of packets have changed to higher states."* This binary
+//! measures that mechanism directly: the fraction of ROUTE decisions made
+//! at each priority level as N grows (promotion probabilities are 1/(24N)
+//! and 1/(16N), but packets also live ~N steps, so the higher states'
+//! share rises with N).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin priority_mix [--full] [--csv]
+//! ```
+
+use bench::{run_point, torus_model, Args, Report};
+
+fn main() {
+    let args = Args::parse();
+
+    println!("# E11: ROUTE decisions by priority state vs N");
+    let report = Report::new(
+        args.csv,
+        &["N", "sleeping%", "active%", "excited", "running", "promotions", "demotions"],
+    );
+
+    for n in args.network_sizes() {
+        let steps = args.steps_for(n);
+        let model = torus_model(n, steps, 1.0);
+        let net = run_point(&model, args.seed, 1, 64).output;
+        let mix = net.priority_mix();
+        let by = net.totals.routes_by_priority;
+        report.row(&[
+            n.to_string(),
+            format!("{:.3}", 100.0 * mix[0]),
+            format!("{:.3}", 100.0 * mix[1]),
+            // Excited/Running are rare at laptop scales (promotion
+            // probability 1/(16N) on Active deflections only): raw counts.
+            by[2].to_string(),
+            by[3].to_string(),
+            net.totals.promotions.to_string(),
+            net.totals.demotions.to_string(),
+        ]);
+    }
+
+    println!("# expect: the non-Sleeping share grows with N (the paper's Figure 3 inflection)");
+}

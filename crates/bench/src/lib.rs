@@ -1,0 +1,155 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each binary regenerates one figure of the paper's evaluation section
+//! (see EXPERIMENTS.md for the index). They print both a human-readable
+//! table and, with `--csv`, machine-readable rows. `--full` switches from
+//! the laptop-scale default sweep to the paper-scale one (N up to 256 —
+//! expect long runtimes).
+
+use std::time::Duration;
+
+use hotpotato::{HotPotatoConfig, HotPotatoModel, NetStats};
+use pdes::{EngineConfig, EngineStats, RunResult};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Paper-scale sweep instead of the quick default.
+    pub full: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Global seed.
+    pub seed: u64,
+    /// Override the per-run step count.
+    pub steps: Option<u64>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (flags: `--full`, `--csv`,
+    /// `--seed=<u64>`, `--steps=<u64>`).
+    pub fn parse() -> Args {
+        let mut args = Args { full: false, csv: false, seed: 0xF16_5EED, steps: None };
+        for a in std::env::args().skip(1) {
+            if a == "--full" {
+                args.full = true;
+            } else if a == "--csv" {
+                args.csv = true;
+            } else if let Some(v) = a.strip_prefix("--seed=") {
+                args.seed = v.parse().expect("--seed=<u64>");
+            } else if let Some(v) = a.strip_prefix("--steps=") {
+                args.steps = Some(v.parse().expect("--steps=<u64>"));
+            } else if a == "--help" || a == "-h" {
+                eprintln!("flags: --full --csv --seed=<u64> --steps=<u64>");
+                std::process::exit(0);
+            } else {
+                eprintln!("unknown flag {a}; try --help");
+                std::process::exit(2);
+            }
+        }
+        args
+    }
+
+    /// Network sizes for the N-sweep figures.
+    pub fn network_sizes(&self) -> Vec<u32> {
+        if self.full {
+            vec![8, 16, 24, 32, 48, 64, 96, 128, 192, 256]
+        } else {
+            vec![8, 16, 24, 32, 48]
+        }
+    }
+
+    /// Steps to simulate for a network of dimension `n` (long enough for
+    /// delivery statistics to stabilize: several traversals).
+    pub fn steps_for(&self, n: u32) -> u64 {
+        self.steps.unwrap_or_else(|| (6 * n as u64).max(100))
+    }
+}
+
+/// A simple table/CSV printer.
+pub struct Report {
+    csv: bool,
+    headers: Vec<String>,
+    widths: Vec<usize>,
+}
+
+impl Report {
+    /// Start a report with column headers (also printed).
+    pub fn new(csv: bool, headers: &[&str]) -> Report {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let widths = headers.iter().map(|h| h.len().max(12)).collect();
+        let r = Report { csv, headers, widths };
+        r.print_row_strings(&r.headers.clone());
+        r
+    }
+
+    /// Print one data row.
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.print_row_strings(cells);
+    }
+
+    fn print_row_strings(&self, cells: &[String]) {
+        if self.csv {
+            println!("{}", cells.join(","));
+        } else {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Build the standard torus model for a sweep point.
+pub fn torus_model(n: u32, steps: u64, injectors: f64) -> HotPotatoModel<topo::Torus> {
+    HotPotatoModel::torus(HotPotatoConfig::new(n, steps).with_injectors(injectors))
+}
+
+/// Run one sweep point: sequential kernel for `pes <= 1`, optimistic
+/// kernel (block mapping) otherwise.
+pub fn run_point(
+    model: &HotPotatoModel<topo::Torus>,
+    seed: u64,
+    pes: usize,
+    kps: u32,
+) -> RunResult<NetStats> {
+    let engine = EngineConfig::new(model.end_time()).with_seed(seed).with_pes(pes).with_kps(kps);
+    if pes <= 1 {
+        hotpotato::simulate_sequential(model, &engine)
+    } else {
+        hotpotato::simulate_parallel(model, &engine)
+    }
+}
+
+/// Run one sweep point on the *optimistic* kernel even for one PE (for
+/// engine-performance figures where Time Warp overhead must be included).
+pub fn run_point_timewarp(
+    model: &HotPotatoModel<topo::Torus>,
+    seed: u64,
+    pes: usize,
+    kps: u32,
+    gvt_interval: u64,
+) -> RunResult<NetStats> {
+    let engine = EngineConfig::new(model.end_time())
+        .with_seed(seed)
+        .with_pes(pes)
+        .with_kps(kps)
+        .with_gvt_interval(gvt_interval);
+    hotpotato::simulate_parallel(model, &engine)
+}
+
+/// Median-of-three engine stats by wall time, re-running the closure.
+pub fn median_wall<F: FnMut() -> EngineStats>(mut run: F) -> (EngineStats, Duration) {
+    let mut results: Vec<EngineStats> = (0..3).map(|_| run()).collect();
+    results.sort_by_key(|s| s.wall_time);
+    let mid = results.swap_remove(1);
+    let wall = mid.wall_time;
+    (mid, wall)
+}

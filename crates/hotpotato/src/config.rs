@@ -1,0 +1,133 @@
+//! Simulation parameters (the paper's five input parameters, Section 3.3.1,
+//! plus the routing-policy selector for baseline comparisons).
+
+use crate::policy::PolicyKind;
+
+/// Parameters of one hot-potato simulation run.
+#[derive(Clone, Debug)]
+pub struct HotPotatoConfig {
+    /// Torus dimension N (N×N routers). The paper requires a multiple of 8
+    /// to comport with the 64-KP mapping; we accept any N ≥ 2 and let the
+    /// mapping spread remainders.
+    pub n: u32,
+    /// Simulated duration in synchronous steps (`SIMULATION_DURATION`).
+    pub steps: u64,
+    /// Fraction of routers hosting an injection application
+    /// (`probability_i`): each router is an injector with this probability.
+    /// 0.0 runs the network one-shot/statically on its initial load.
+    pub injector_fraction: f64,
+    /// Whether a router absorbs a *Sleeping* packet that reaches its
+    /// destination (`absorb_sleeping_packet`). `true` is the practical
+    /// mode; `false` is the proof-verification mode where only
+    /// higher-priority packets are absorbed.
+    pub absorb_sleeping: bool,
+    /// Packets pre-loaded per router at startup ("the network is
+    /// initialized to full": 4).
+    pub initial_packets: u32,
+    /// Routing policy: the BHW algorithm or one of the baselines.
+    pub policy: PolicyKind,
+    /// If set, every router processes an administrative HEARTBEAT event
+    /// every this many steps (paper Section 3.1.4: present in some
+    /// configurations, omitted in others to reduce event count).
+    pub heartbeat_every: Option<u64>,
+}
+
+impl HotPotatoConfig {
+    /// The paper's default setup for an N×N torus: network initialized
+    /// full, absorb-at-destination on, BHW policy, all routers injecting.
+    pub fn new(n: u32, steps: u64) -> Self {
+        assert!(n >= 2, "torus dimension must be >= 2");
+        assert!(steps >= 1, "must simulate at least one step");
+        HotPotatoConfig {
+            n,
+            steps,
+            injector_fraction: 1.0,
+            absorb_sleeping: true,
+            initial_packets: 4,
+            policy: PolicyKind::Bhw,
+            heartbeat_every: None,
+        }
+    }
+
+    /// Enable HEARTBEAT events every `steps` steps (≥ 1).
+    pub fn with_heartbeat(mut self, steps: u64) -> Self {
+        assert!(steps >= 1, "heartbeat period must be >= 1 step");
+        self.heartbeat_every = Some(steps);
+        self
+    }
+
+    /// Set the injector fraction (`probability_i`), clamped to `[0, 1]`.
+    pub fn with_injectors(mut self, fraction: f64) -> Self {
+        self.injector_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the absorb-sleeping-packet mode.
+    pub fn with_absorb_sleeping(mut self, absorb: bool) -> Self {
+        self.absorb_sleeping = absorb;
+        self
+    }
+
+    /// Set the number of pre-loaded packets per router (≤ 4 keeps the
+    /// one-departure-per-link invariant on the torus).
+    pub fn with_initial_packets(mut self, k: u32) -> Self {
+        assert!(k <= 4, "at most 4 initial packets per torus router");
+        self.initial_packets = k;
+        self
+    }
+
+    /// Select the routing policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Promotion probability Sleeping → Active: `1 / (24 N)`.
+    #[inline]
+    pub fn p_wake(&self) -> f64 {
+        1.0 / (24.0 * self.n as f64)
+    }
+
+    /// Promotion probability Active → Excited on deflection: `1 / (16 N)`.
+    #[inline]
+    pub fn p_excite(&self) -> f64 {
+        1.0 / (16.0 * self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = HotPotatoConfig::new(32, 100);
+        assert_eq!(c.initial_packets, 4);
+        assert!(c.absorb_sleeping);
+        assert_eq!(c.injector_fraction, 1.0);
+        assert_eq!(c.policy, PolicyKind::Bhw);
+    }
+
+    #[test]
+    fn promotion_probabilities_scale_with_n() {
+        let c = HotPotatoConfig::new(32, 1);
+        assert!((c.p_wake() - 1.0 / 768.0).abs() < 1e-12);
+        assert!((c.p_excite() - 1.0 / 512.0).abs() < 1e-12);
+        let big = HotPotatoConfig::new(256, 1);
+        assert!(big.p_wake() < c.p_wake());
+    }
+
+    #[test]
+    fn injector_fraction_is_clamped() {
+        let c = HotPotatoConfig::new(8, 1).with_injectors(1.7);
+        assert_eq!(c.injector_fraction, 1.0);
+        let c = HotPotatoConfig::new(8, 1).with_injectors(-0.5);
+        assert_eq!(c.injector_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4")]
+    fn too_many_initial_packets_rejected() {
+        HotPotatoConfig::new(8, 1).with_initial_packets(5);
+    }
+}

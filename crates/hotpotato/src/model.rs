@@ -1,0 +1,692 @@
+//! The hot-potato routing simulation model (the paper's `Router.c`).
+//!
+//! One LP per router. Event flow within a synchronous step (see
+//! [`timing`](crate::timing)):
+//!
+//! * **ARRIVE** — a packet reaches a router. At its destination it is
+//!   absorbed (statistics recorded) unless it is Sleeping in
+//!   proof-verification mode; otherwise an ROUTE micro-event is scheduled
+//!   in the priority band corresponding to the packet's routing precedence.
+//! * **ROUTE** — the router picks an outgoing link per the configured
+//!   [`PolicyKind`], applies the BHW priority transitions, claims the link
+//!   for this step, and schedules the ARRIVE at the neighbor one step later
+//!   (carrying the packet's lifetime jitter).
+//! * **INJECT** — an injection application attempts to place a new packet
+//!   on a free link; on failure the wait counter keeps accruing.
+//! * **HEARTBEAT** — optional administrative no-op.
+//!
+//! Every state mutation is mirrored by the reverse handler using the saved
+//! fields in [`Msg`] and the event bitfield, making the model safe under
+//! Time Warp rollback. RNG draws are un-stepped by the kernel.
+//!
+//! Fidelity note: the BHW theory says a Running packet can be deflected
+//! only *while turning* and only by another Running packet. In the
+//! simulation this is emergent, not enforced: Running packets route first
+//! (earliest band), so only another Running packet can have claimed their
+//! home-run link — the same practical approximation the paper's simulation
+//! makes.
+
+use pdes::prelude::*;
+use pdes::model::{EventCtx, InitCtx, ReverseCtx};
+use pdes::rng::ReversibleRng;
+use topo::{Direction, Topology, Torus};
+
+use crate::config::HotPotatoConfig;
+use crate::msg::{bits, tie, Msg, SavedInject, SavedRoute};
+use crate::packet::{Packet, PacketId, Priority};
+use crate::policy::PolicyKind;
+use crate::router::RouterState;
+use crate::stats::NetStats;
+use crate::timing::{
+    arrive_time, inject_time, route_time, HEARTBEAT_PHASE, JITTER_SPAN,
+};
+
+/// The simulation model: an N×N grid of hot-potato routers.
+pub struct HotPotatoModel<T: Topology> {
+    topo: T,
+    cfg: HotPotatoConfig,
+}
+
+impl HotPotatoModel<Torus> {
+    /// The paper's setup: an N×N torus.
+    pub fn torus(cfg: HotPotatoConfig) -> Self {
+        let topo = Torus::new(cfg.n);
+        Self::with_topology(topo, cfg)
+    }
+}
+
+impl HotPotatoModel<topo::Mesh> {
+    /// The SPAA-analysis topology: an open N×N mesh.
+    pub fn mesh(cfg: HotPotatoConfig) -> Self {
+        let topo = topo::Mesh::new(cfg.n);
+        Self::with_topology(topo, cfg)
+    }
+}
+
+impl<T: Topology> HotPotatoModel<T> {
+    /// Build a model over any [`Topology`] whose node count matches `n²`.
+    pub fn with_topology(topo: T, cfg: HotPotatoConfig) -> Self {
+        assert_eq!(topo.n_nodes(), cfg.n * cfg.n, "topology/config dimension mismatch");
+        assert!(topo.n_nodes() < tie::MAX_LP, "grid too large for the tie namespace");
+        HotPotatoModel { topo, cfg }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &HotPotatoConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// Virtual-time horizon covering exactly `cfg.steps` full steps.
+    pub fn end_time(&self) -> VirtualTime {
+        VirtualTime::from_steps(self.cfg.steps + 1)
+    }
+
+    // ---- forward handlers -------------------------------------------------
+
+    fn handle_arrive(&self, state: &mut RouterState, pkt: Packet, ctx: &mut EventCtx<'_, Msg>) {
+        let lp = ctx.lp();
+        let step = ctx.now().step();
+        if pkt.dst == lp {
+            // Absorb at the destination. Sleeping packets are only absorbed
+            // in practical mode (absorb_sleeping); in proof-verification
+            // mode they keep moving, as in the paper's model.
+            let absorb = pkt.priority != Priority::Sleeping || self.cfg.absorb_sleeping;
+            if absorb {
+                ctx.bf().set(bits::ABSORB, true);
+                state.stats.delivered += 1;
+                state.stats.transit_steps_sum += step - pkt.injected_step;
+                state.stats.distance_sum += self.topo.distance(pkt.src, lp) as u64;
+                state.stats.delivered_deflections_sum += pkt.deflections as u64;
+                return;
+            }
+        }
+        // Schedule the routing decision in this packet's precedence band.
+        let prec = self.cfg.policy.precedence(&pkt, step, self.cfg.n);
+        let rt = route_time(step, prec, pkt.jitter);
+        let delay = rt - ctx.now();
+        ctx.schedule_self(delay, pkt.id.0, Msg::Route { packet: pkt, saved: SavedRoute::default() });
+    }
+
+    fn handle_route(
+        &self,
+        state: &mut RouterState,
+        pkt: Packet,
+        saved: &mut SavedRoute,
+        ctx: &mut EventCtx<'_, Msg>,
+    ) {
+        let lp = ctx.lp();
+        let step = ctx.now().step();
+        self.ensure_step(state, step, ctx, &mut saved.old_links, &mut saved.old_cur_step);
+
+        let free = state.free_links(self.topo.link_dirs(lp));
+        if free.is_empty() {
+            // In causally-consistent states the deflection guarantee makes
+            // this impossible (≤ 4 resident packets, 4 links). Under
+            // optimistic execution a stale duplicate branch can transiently
+            // over-subscribe the router; park the packet one step and let
+            // the inevitable rollback clean up (committed stalls are
+            // asserted to be zero by the test suite).
+            ctx.bf().set(bits::STALLED, true);
+            state.stats.stalls += 1;
+            let at = arrive_time(step + 1, pkt.jitter);
+            ctx.schedule_self(at - ctx.now(), pkt.id.0, Msg::Arrive { packet: pkt });
+            return;
+        }
+        let decision = self.cfg.policy.decide(&self.topo, lp, &pkt, free, ctx.rng());
+
+        // BHW priority transitions (paper Section 1.2.4).
+        let mut out = pkt;
+        if self.cfg.policy == PolicyKind::Bhw {
+            match pkt.priority {
+                Priority::Sleeping => {
+                    // On being routed: wake with probability 1/(24N).
+                    let p = self.cfg.p_wake();
+                    if ctx.rng().bernoulli(p) {
+                        out.priority = Priority::Active;
+                        ctx.bf().set(bits::PROMOTE, true);
+                        state.stats.promotions += 1;
+                    }
+                }
+                Priority::Active => {
+                    // On deflection: get excited with probability 1/(16N).
+                    if decision.deflected {
+                        let p = self.cfg.p_excite();
+                        if ctx.rng().bernoulli(p) {
+                            out.priority = Priority::Excited;
+                            ctx.bf().set(bits::PROMOTE, true);
+                            state.stats.promotions += 1;
+                        }
+                    }
+                }
+                Priority::Excited => {
+                    if decision.deflected {
+                        out.priority = Priority::Active;
+                        ctx.bf().set(bits::DEMOTE, true);
+                        state.stats.demotions += 1;
+                    } else {
+                        // Took its home-run link: now Running.
+                        out.priority = Priority::Running;
+                        ctx.bf().set(bits::PROMOTE, true);
+                        state.stats.promotions += 1;
+                    }
+                }
+                Priority::Running => {
+                    if decision.deflected {
+                        out.priority = Priority::Active;
+                        ctx.bf().set(bits::DEMOTE, true);
+                        state.stats.demotions += 1;
+                    }
+                }
+            }
+        }
+
+        state.stats.routes += 1;
+        state.stats.routes_by_priority[pkt.priority.rank() as usize] += 1;
+        if decision.deflected {
+            ctx.bf().set(bits::DEFLECT, true);
+            state.stats.deflections += 1;
+            out.deflections += 1;
+        }
+        state.take_link(decision.dir);
+        saved.chosen = decision.dir.index() as u8;
+        out.last_dir = Some(decision.dir);
+
+        let neighbor = self.topo.neighbor(lp, decision.dir).expect("chosen link exists");
+        let at = arrive_time(step + 1, out.jitter);
+        ctx.schedule(neighbor, at - ctx.now(), out.id.0, Msg::Arrive { packet: out });
+    }
+
+    fn handle_inject(
+        &self,
+        state: &mut RouterState,
+        saved: &mut SavedInject,
+        ctx: &mut EventCtx<'_, Msg>,
+    ) {
+        let lp = ctx.lp();
+        let step = ctx.now().step();
+        debug_assert!(state.is_injector, "INJECT at a non-injector router");
+        self.ensure_step(state, step, ctx, &mut saved.old_links, &mut saved.old_cur_step);
+
+        state.stats.inject_attempts += 1;
+        let free = state.free_links(self.topo.link_dirs(lp));
+        if free.is_empty() {
+            // No free link: the pending packet keeps waiting.
+            ctx.bf().set(bits::INJECT_FAIL, true);
+            state.stats.inject_failures += 1;
+        } else {
+            ctx.bf().set(bits::INJECTED, true);
+            // Fixed draw order: link, destination, jitter.
+            let k = ctx.rng().integer(0, (free.len() - 1) as u64) as u32;
+            let dir = free.nth(k).expect("nth within len");
+            let r = ctx.rng().integer(0, self.topo.n_nodes() as u64 - 2) as u32;
+            let dst = if r >= lp { r + 1 } else { r };
+            let jitter = ctx.rng().integer(0, JITTER_SPAN - 1);
+
+            let id = PacketId::new(lp, state.next_seq);
+            state.next_seq += 1;
+            let wait = step - state.pending_since_step;
+            saved.wait_steps = wait;
+            saved.old_pending_since = state.pending_since_step;
+            saved.old_max_wait = state.stats.max_wait_steps;
+            state.stats.injected += 1;
+            state.stats.wait_steps_sum += wait;
+            state.stats.max_wait_steps = state.stats.max_wait_steps.max(wait);
+            state.pending_since_step = step + 1;
+            state.take_link(dir);
+            saved.chosen = dir.index() as u8;
+
+            let pkt = Packet {
+                id,
+                dst,
+                src: lp,
+                priority: Priority::Sleeping,
+                injected_step: step,
+                jitter,
+                last_dir: Some(dir),
+                deflections: 0,
+            };
+            let neighbor = self.topo.neighbor(lp, dir).expect("free link exists");
+            let at = arrive_time(step + 1, jitter);
+            ctx.schedule(neighbor, at - ctx.now(), id.0, Msg::Arrive { packet: pkt });
+        }
+
+        // The application attempts an injection every step.
+        let next = inject_time(step + 1, lp);
+        ctx.schedule_self(next - ctx.now(), tie::inject(lp), Msg::Inject { saved: SavedInject::default() });
+    }
+
+    fn handle_heartbeat(&self, state: &mut RouterState, ctx: &mut EventCtx<'_, Msg>) {
+        let lp = ctx.lp();
+        state.stats.heartbeats += 1;
+        let every = self.cfg.heartbeat_every.expect("heartbeat event without config");
+        let next = VirtualTime::from_parts(ctx.now().step() + every, HEARTBEAT_PHASE);
+        ctx.schedule_self(next - ctx.now(), tie::heartbeat(lp), Msg::Heartbeat);
+    }
+
+    /// Lazily reset the per-step link occupancy on the first ROUTE/INJECT
+    /// of a new step, saving the overwritten values for reverse.
+    #[inline]
+    fn ensure_step(
+        &self,
+        state: &mut RouterState,
+        step: u64,
+        ctx: &mut EventCtx<'_, Msg>,
+        old_links: &mut u8,
+        old_cur_step: &mut u64,
+    ) {
+        if state.cur_step != step {
+            ctx.bf().set(bits::RESET, true);
+            *old_links = state.links;
+            *old_cur_step = state.cur_step;
+            state.cur_step = step;
+            state.links = 0;
+        }
+    }
+}
+
+impl<T: Topology> Model for HotPotatoModel<T> {
+    type State = RouterState;
+    type Payload = Msg;
+    type Output = NetStats;
+
+    fn n_lps(&self) -> u32 {
+        self.topo.n_nodes()
+    }
+
+    fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Msg>) -> RouterState {
+        let mut state = RouterState::default();
+
+        // probability_i: each router is an injector with this probability
+        // (always one draw, so streams stay aligned across configurations).
+        let u = ctx.rng().uniform();
+        state.is_injector = u < self.cfg.injector_fraction;
+
+        // "The network is initialized to full": pre-load packets arriving
+        // at this router at step 1.
+        for _ in 0..self.cfg.initial_packets {
+            let r = ctx.rng().integer(0, self.topo.n_nodes() as u64 - 2) as u32;
+            let dst = if r >= lp { r + 1 } else { r };
+            let jitter = ctx.rng().integer(0, JITTER_SPAN - 1);
+            let id = PacketId::new(lp, state.next_seq);
+            state.next_seq += 1;
+            let pkt = Packet {
+                id,
+                dst,
+                src: lp,
+                priority: Priority::Sleeping,
+                injected_step: 0,
+                jitter,
+                last_dir: None,
+                deflections: 0,
+            };
+            ctx.schedule_at(lp, arrive_time(1, jitter), id.0, Msg::Arrive { packet: pkt });
+        }
+
+        if state.is_injector {
+            state.pending_since_step = 1;
+            ctx.schedule_at(lp, inject_time(1, lp), tie::inject(lp), Msg::Inject {
+                saved: SavedInject::default(),
+            });
+        }
+        if self.cfg.heartbeat_every.is_some() {
+            ctx.schedule_at(
+                lp,
+                VirtualTime::from_parts(1, HEARTBEAT_PHASE),
+                tie::heartbeat(lp),
+                Msg::Heartbeat,
+            );
+        }
+        state
+    }
+
+    fn handle(&self, state: &mut RouterState, payload: &mut Msg, ctx: &mut EventCtx<'_, Msg>) {
+        match payload {
+            Msg::Arrive { packet } => self.handle_arrive(state, *packet, ctx),
+            Msg::Route { packet, saved } => {
+                let pkt = *packet;
+                self.handle_route(state, pkt, saved, ctx);
+            }
+            Msg::Inject { saved } => self.handle_inject(state, saved, ctx),
+            Msg::Heartbeat => self.handle_heartbeat(state, ctx),
+        }
+    }
+
+    fn reverse(&self, state: &mut RouterState, payload: &mut Msg, ctx: &ReverseCtx) {
+        let bf = ctx.bf();
+        match payload {
+            Msg::Arrive { packet } => {
+                if bf.get(bits::ABSORB) {
+                    state.stats.delivered -= 1;
+                    state.stats.transit_steps_sum -= ctx.now().step() - packet.injected_step;
+                    state.stats.distance_sum -= self.topo.distance(packet.src, ctx.lp()) as u64;
+                    state.stats.delivered_deflections_sum -= packet.deflections as u64;
+                }
+            }
+            Msg::Route { packet, saved } => {
+                if bf.get(bits::STALLED) {
+                    // The stalled branch only counted the stall (after a
+                    // possible step reset, undone below).
+                    state.stats.stalls -= 1;
+                    if bf.get(bits::RESET) {
+                        state.links = saved.old_links;
+                        state.cur_step = saved.old_cur_step;
+                    }
+                    return;
+                }
+                state.stats.routes -= 1;
+                state.stats.routes_by_priority[packet.priority.rank() as usize] -= 1;
+                if bf.get(bits::DEFLECT) {
+                    state.stats.deflections -= 1;
+                }
+                if bf.get(bits::PROMOTE) {
+                    state.stats.promotions -= 1;
+                }
+                if bf.get(bits::DEMOTE) {
+                    state.stats.demotions -= 1;
+                }
+                if bf.get(bits::RESET) {
+                    state.links = saved.old_links;
+                    state.cur_step = saved.old_cur_step;
+                } else {
+                    state.release_link(Direction::from_index(saved.chosen as usize));
+                }
+            }
+            Msg::Inject { saved } => {
+                state.stats.inject_attempts -= 1;
+                if bf.get(bits::INJECT_FAIL) {
+                    state.stats.inject_failures -= 1;
+                }
+                if bf.get(bits::INJECTED) {
+                    state.stats.injected -= 1;
+                    state.stats.wait_steps_sum -= saved.wait_steps;
+                    state.stats.max_wait_steps = saved.old_max_wait;
+                    state.pending_since_step = saved.old_pending_since;
+                    state.next_seq -= 1;
+                    if !bf.get(bits::RESET) {
+                        state.release_link(Direction::from_index(saved.chosen as usize));
+                    }
+                }
+                if bf.get(bits::RESET) {
+                    state.links = saved.old_links;
+                    state.cur_step = saved.old_cur_step;
+                }
+            }
+            Msg::Heartbeat => {
+                state.stats.heartbeats -= 1;
+            }
+        }
+    }
+
+    fn finish(&self, _lp: LpId, state: &RouterState, out: &mut NetStats) {
+        out.absorb_router(&state.stats, state.is_injector);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdes::event::Bitfield;
+    use pdes::model::Emit;
+    use pdes::rng::Clcg4;
+
+    fn model(n: u32) -> HotPotatoModel<Torus> {
+        HotPotatoModel::torus(HotPotatoConfig::new(n, 100))
+    }
+
+    fn arrive_msg(pkt: Packet) -> Msg {
+        Msg::Arrive { packet: pkt }
+    }
+
+    fn test_packet(dst: LpId, priority: Priority) -> Packet {
+        Packet {
+            id: PacketId::new(3, 1),
+            dst,
+            src: 3,
+            priority,
+            injected_step: 2,
+            jitter: 1234,
+            last_dir: None,
+            deflections: 0,
+        }
+    }
+
+    /// Drive one event by hand, returning emissions and draw count.
+    fn drive(
+        m: &HotPotatoModel<Torus>,
+        state: &mut RouterState,
+        msg: &mut Msg,
+        lp: LpId,
+        now: VirtualTime,
+        rng: &mut Clcg4,
+    ) -> (Bitfield, Vec<Emit<Msg>>, u64) {
+        let mut bf = Bitfield::default();
+        let mut out = Vec::new();
+        let before = rng.call_count();
+        {
+            let mut ctx = EventCtx::synthetic(lp, lp, now, &mut bf, rng, &mut out);
+            m.handle(state, msg, &mut ctx);
+        }
+        (bf, out, rng.call_count() - before)
+    }
+
+    #[test]
+    fn arrival_at_destination_is_absorbed() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        let mut rng = Clcg4::new(1);
+        let mut msg = arrive_msg(test_packet(5, Priority::Active));
+        let now = arrive_time(7, 1234);
+        let (bf, out, draws) = drive(&m, &mut state, &mut msg, 5, now, &mut rng);
+        assert!(bf.get(bits::ABSORB));
+        assert!(out.is_empty(), "absorbed packets schedule nothing");
+        assert_eq!(draws, 0);
+        assert_eq!(state.stats.delivered, 1);
+        assert_eq!(state.stats.transit_steps_sum, 5); // step 7 - injected 2
+        assert_eq!(state.stats.distance_sum, Torus::new(8).distance(3, 5) as u64);
+    }
+
+    #[test]
+    fn sleeping_arrival_at_destination_routes_on_in_proof_mode() {
+        let cfg = HotPotatoConfig::new(8, 100).with_absorb_sleeping(false);
+        let m = HotPotatoModel::torus(cfg);
+        let mut state = RouterState::default();
+        let mut rng = Clcg4::new(1);
+        let mut msg = arrive_msg(test_packet(5, Priority::Sleeping));
+        let (bf, out, _) = drive(&m, &mut state, &mut msg, 5, arrive_time(7, 1234), &mut rng);
+        assert!(!bf.get(bits::ABSORB));
+        assert_eq!(state.stats.delivered, 0);
+        assert_eq!(out.len(), 1, "schedules its ROUTE micro-event");
+        assert!(matches!(out[0].payload, Msg::Route { .. }));
+        assert_eq!(out[0].dst, 5, "ROUTE is a self event");
+    }
+
+    #[test]
+    fn arrival_elsewhere_schedules_route_in_priority_band() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        let mut rng = Clcg4::new(1);
+        for (prio, band) in [(Priority::Running, 0u64), (Priority::Sleeping, 3u64)] {
+            let mut msg = arrive_msg(test_packet(9, prio));
+            let (_, out, _) = drive(&m, &mut state, &mut msg, 5, arrive_time(7, 1234), &mut rng);
+            assert_eq!(out.len(), 1);
+            let sub = out[0].recv_time.sub_step();
+            let base = crate::timing::ROUTE_BASE + band * crate::timing::ROUTE_BAND;
+            assert!(
+                (base..base + crate::timing::ROUTE_BAND).contains(&sub),
+                "{prio:?} routed at sub-step {sub}, expected band {band}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_claims_link_and_forwards_packet() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        state.cur_step = 99; // stale step forces a reset
+        state.links = 0b1111;
+        let mut rng = Clcg4::new(2);
+        let pkt = test_packet(1, Priority::Sleeping); // dst = (0,1): East good
+        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let now = route_time(7, Priority::Sleeping, pkt.jitter);
+        let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
+        assert!(bf.get(bits::RESET), "stale step must reset the link mask");
+        assert_eq!(state.cur_step, 7);
+        assert!(state.is_taken(Direction::East));
+        assert!(!bf.get(bits::DEFLECT));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, 1);
+        assert_eq!(out[0].recv_time.step(), 8, "arrives next step");
+        match &out[0].payload {
+            Msg::Arrive { packet } => {
+                assert_eq!(packet.last_dir, Some(Direction::East));
+                assert_eq!(packet.jitter, pkt.jitter, "jitter is carried for life");
+            }
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_deflects_when_good_links_taken() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        state.cur_step = 7;
+        state.take_link(Direction::East); // the only good link for dst=(0,1)
+        let mut rng = Clcg4::new(3);
+        let pkt = test_packet(1, Priority::Active);
+        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let now = route_time(7, Priority::Active, pkt.jitter);
+        let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
+        assert!(bf.get(bits::DEFLECT));
+        assert_eq!(state.stats.deflections, 1);
+        match &out[0].payload {
+            Msg::Arrive { packet } => assert_ne!(packet.last_dir, Some(Direction::East)),
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excited_promotes_to_running_on_home_run() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        state.cur_step = 7;
+        let mut rng = Clcg4::new(4);
+        let pkt = test_packet(3, Priority::Excited); // same row, East is home-run
+        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let now = route_time(7, Priority::Excited, pkt.jitter);
+        let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
+        assert!(bf.get(bits::PROMOTE));
+        assert_eq!(draws, 0, "home-run hit draws nothing");
+        match &out[0].payload {
+            Msg::Arrive { packet } => assert_eq!(packet.priority, Priority::Running),
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excited_demotes_to_active_on_deflection() {
+        let m = model(8);
+        let mut state = RouterState::default();
+        state.cur_step = 7;
+        state.take_link(Direction::East);
+        let mut rng = Clcg4::new(4);
+        let pkt = test_packet(3, Priority::Excited);
+        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let now = route_time(7, Priority::Excited, pkt.jitter);
+        let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
+        assert!(bf.get(bits::DEMOTE));
+        assert!(bf.get(bits::DEFLECT));
+        match &out[0].payload {
+            Msg::Arrive { packet } => assert_eq!(packet.priority, Priority::Active),
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_succeeds_on_free_link_and_reschedules() {
+        let m = model(8);
+        let mut state = RouterState { is_injector: true, pending_since_step: 1, ..Default::default() };
+        let mut rng = Clcg4::new(5);
+        let mut msg = Msg::Inject { saved: SavedInject::default() };
+        let now = inject_time(4, 0);
+        let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
+        assert!(bf.get(bits::INJECTED));
+        assert_eq!(draws, 3, "link, destination, jitter");
+        assert_eq!(state.stats.injected, 1);
+        assert_eq!(state.stats.wait_steps_sum, 3); // waited steps 1..4
+        assert_eq!(state.stats.max_wait_steps, 3);
+        assert_eq!(state.pending_since_step, 5);
+        assert_eq!(state.next_seq, 1);
+        assert_eq!(out.len(), 2, "packet ARRIVE + next INJECT");
+        assert!(matches!(out[0].payload, Msg::Arrive { .. }));
+        assert!(matches!(out[1].payload, Msg::Inject { .. }));
+        assert_eq!(out[1].recv_time.step(), 5);
+        match &out[0].payload {
+            Msg::Arrive { packet } => {
+                assert_ne!(packet.dst, 0, "never inject to self");
+                assert_eq!(packet.injected_step, 4);
+                assert_eq!(packet.priority, Priority::Sleeping);
+            }
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_fails_when_all_links_taken() {
+        let m = model(8);
+        let mut state = RouterState { is_injector: true, pending_since_step: 1, cur_step: 4, ..Default::default() };
+        for d in topo::ALL_DIRECTIONS {
+            state.take_link(d);
+        }
+        let mut rng = Clcg4::new(5);
+        let mut msg = Msg::Inject { saved: SavedInject::default() };
+        let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, inject_time(4, 0), &mut rng);
+        assert!(bf.get(bits::INJECT_FAIL));
+        assert_eq!(draws, 0);
+        assert_eq!(state.stats.injected, 0);
+        assert_eq!(state.stats.inject_failures, 1);
+        assert_eq!(out.len(), 1, "only the next INJECT attempt");
+        assert_eq!(state.pending_since_step, 1, "still waiting since step 1");
+    }
+
+    #[test]
+    fn init_preloads_four_packets_and_injector() {
+        let m = model(8);
+        let mut rng = Clcg4::new(6);
+        let mut out = Vec::new();
+        let state = {
+            let mut ctx = InitCtx::synthetic(9, &mut rng, &mut out);
+            m.init(9, &mut ctx)
+        };
+        assert!(state.is_injector, "fraction 1.0 makes everyone an injector");
+        let arrives = out.iter().filter(|e| matches!(e.payload, Msg::Arrive { .. })).count();
+        let injects = out.iter().filter(|e| matches!(e.payload, Msg::Inject { .. })).count();
+        assert_eq!(arrives, 4);
+        assert_eq!(injects, 1);
+        for e in &out {
+            assert_eq!(e.recv_time.step(), 1, "everything starts at step 1");
+            if let Msg::Arrive { packet } = &e.payload {
+                assert_ne!(packet.dst, 9);
+                assert_eq!(e.dst, 9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_injector_fraction_means_static_run() {
+        let cfg = HotPotatoConfig::new(8, 10).with_injectors(0.0);
+        let m = HotPotatoModel::torus(cfg);
+        let mut rng = Clcg4::new(6);
+        let mut out = Vec::new();
+        let state = {
+            let mut ctx = InitCtx::synthetic(0, &mut rng, &mut out);
+            m.init(0, &mut ctx)
+        };
+        assert!(!state.is_injector);
+        assert!(out.iter().all(|e| matches!(e.payload, Msg::Arrive { .. })));
+    }
+}

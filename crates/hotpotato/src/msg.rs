@@ -1,0 +1,135 @@
+//! Event payloads (the ROSS `Msg_Data` struct) and reverse-computation
+//! saved fields.
+//!
+//! Following ROSS practice, the forward handler stashes whatever router
+//! state it overwrites into the message itself (`M->Saved_*` in the paper's
+//! Router.c listing); the reverse handler restores from those fields,
+//! guided by the per-event bitfield.
+
+use crate::packet::Packet;
+
+/// Bitfield flag assignments (ROSS `CV->c*`).
+pub mod bits {
+    /// The event was the first of its step at this router and reset the
+    /// link-occupancy state (saved fields hold the old values).
+    pub const RESET: u32 = 0;
+    /// ARRIVE absorbed the packet at its destination.
+    pub const ABSORB: u32 = 1;
+    /// ROUTE deflected the packet.
+    pub const DEFLECT: u32 = 2;
+    /// ROUTE promoted the packet's priority.
+    pub const PROMOTE: u32 = 3;
+    /// ROUTE demoted the packet's priority (deflected Excited/Running).
+    pub const DEMOTE: u32 = 4;
+    /// INJECT succeeded.
+    pub const INJECTED: u32 = 5;
+    /// INJECT found no free link.
+    pub const INJECT_FAIL: u32 = 6;
+    /// ROUTE found no free link — possible only in a causally-inconsistent
+    /// transient state under optimistic execution (a stale duplicate branch
+    /// over-subscribed the router). The packet is parked for one step; the
+    /// execution is guaranteed to be rolled back before commit.
+    pub const STALLED: u32 = 7;
+}
+
+/// Saved router state for reversing a ROUTE (or step-reset) event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SavedRoute {
+    /// Link-occupancy bitmask before a step reset (valid if `bits::RESET`).
+    pub old_links: u8,
+    /// `cur_step` before a step reset (valid if `bits::RESET`).
+    pub old_cur_step: u64,
+    /// Index of the chosen outgoing direction.
+    pub chosen: u8,
+}
+
+/// Saved router state for reversing an INJECT event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SavedInject {
+    /// Link-occupancy bitmask before a step reset (valid if `bits::RESET`).
+    pub old_links: u8,
+    /// `cur_step` before a step reset (valid if `bits::RESET`).
+    pub old_cur_step: u64,
+    /// Index of the link the injected packet departed on.
+    pub chosen: u8,
+    /// `pending_since_step` before the injection.
+    pub old_pending_since: u64,
+    /// `max_wait_steps` before the injection (max is not invertible).
+    pub old_max_wait: u64,
+    /// The wait this injection charged (subtracted on reverse).
+    pub wait_steps: u64,
+}
+
+/// The message payload: one variant per event type in the paper's
+/// `Router_EventHandler` switch.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// A packet arrives at a router at the start of a step.
+    Arrive {
+        /// The arriving packet.
+        packet: Packet,
+    },
+    /// The router decides where to send a resident packet.
+    Route {
+        /// The packet being routed.
+        packet: Packet,
+        /// Saved state for reverse computation.
+        saved: SavedRoute,
+    },
+    /// The injection application attempts to inject a packet.
+    Inject {
+        /// Saved state for reverse computation.
+        saved: SavedInject,
+    },
+    /// Administrative no-op event (kept for parity with the paper's event
+    /// set; counts itself in the statistics).
+    Heartbeat,
+}
+
+/// Tie-break namespace: packet-bearing events use the packet id (injector
+/// LP in the high 32 bits). Routers are limited to LP ids below 2^30 (a
+/// 32768×32768 torus — far beyond anything simulatable), so packet ids
+/// never set bits 62–63, which are reserved for per-router control events.
+pub mod tie {
+    use pdes::LpId;
+
+    /// Highest LP id allowed by the tie-break namespace.
+    pub const MAX_LP: LpId = 1 << 30;
+
+    /// Tie value for a router's INJECT events.
+    #[inline]
+    pub fn inject(lp: LpId) -> u64 {
+        debug_assert!(lp < MAX_LP);
+        (1 << 63) | lp as u64
+    }
+
+    /// Tie value for a router's HEARTBEAT events.
+    #[inline]
+    pub fn heartbeat(lp: LpId) -> u64 {
+        debug_assert!(lp < MAX_LP);
+        (1 << 62) | lp as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+
+    #[test]
+    fn tie_namespaces_are_disjoint() {
+        // The largest legal packet id keeps bits 62-63 clear.
+        let pkt_tie = PacketId::new(tie::MAX_LP - 1, u32::MAX).0;
+        assert_eq!(pkt_tie >> 62, 0);
+        assert_ne!(pkt_tie, tie::inject(tie::MAX_LP - 1));
+        assert_ne!(pkt_tie, tie::heartbeat(tie::MAX_LP - 1));
+        assert_ne!(tie::inject(0), tie::heartbeat(0));
+        assert_ne!(tie::inject(5), tie::inject(6));
+    }
+
+    #[test]
+    fn saved_defaults_are_zero() {
+        assert_eq!(SavedRoute::default().old_links, 0);
+        assert_eq!(SavedInject::default().wait_steps, 0);
+    }
+}

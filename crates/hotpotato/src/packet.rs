@@ -1,0 +1,155 @@
+//! Packets and priority states.
+//!
+//! A hot-potato packet's optical label carries only destination and priority
+//! (paper Section 1.1.2); the simulation additionally carries bookkeeping
+//! the statistics need (injection time, source) and the per-packet random
+//! arrival jitter that makes simultaneous events impossible
+//! (Section 3.2.2).
+
+use pdes::LpId;
+use topo::Direction;
+
+/// The four BHW priority states, lowest to highest.
+///
+/// Numeric order is routing precedence: higher-priority packets make their
+/// routing decision earlier in a time step and therefore grab links first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum Priority {
+    /// Initial state; routed to any good link.
+    #[default]
+    Sleeping = 0,
+    /// Routed to any good link; promoted on deflection w.p. 1/(16N).
+    Active = 1,
+    /// Must take its home-run link; promoted to Running if it does,
+    /// demoted to Active if deflected. Lasts at most one step.
+    Excited = 2,
+    /// Follows its home-run path; deflectable only while turning.
+    Running = 3,
+}
+
+/// All priorities, lowest first.
+pub const ALL_PRIORITIES: [Priority; 4] =
+    [Priority::Sleeping, Priority::Active, Priority::Excited, Priority::Running];
+
+impl Priority {
+    /// Stable rank 0 (Sleeping) .. 3 (Running).
+    #[inline]
+    pub const fn rank(self) -> u8 {
+        self as u8
+    }
+
+    /// Priority from a rank.
+    #[inline]
+    pub fn from_rank(r: u8) -> Priority {
+        ALL_PRIORITIES[r as usize]
+    }
+}
+
+/// Globally unique packet identity: the injecting router in the high 32
+/// bits, that router's injection sequence number in the low 32. Used as the
+/// event tie-break, which is what makes simultaneous-looking events totally
+/// ordered and the simulation deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u64);
+
+impl PacketId {
+    /// Compose from injector LP and per-injector sequence number.
+    #[inline]
+    pub fn new(injector: LpId, seq: u32) -> Self {
+        PacketId(((injector as u64) << 32) | seq as u64)
+    }
+
+    /// The router that injected this packet.
+    #[inline]
+    pub fn injector(self) -> LpId {
+        (self.0 >> 32) as LpId
+    }
+
+    /// The injector-local sequence number.
+    #[inline]
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// A packet in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique identity (also the event tie-break).
+    pub id: PacketId,
+    /// Destination router.
+    pub dst: LpId,
+    /// Router that injected the packet (for distance statistics).
+    pub src: LpId,
+    /// Current priority state.
+    pub priority: Priority,
+    /// Step at which the packet entered the network.
+    pub injected_step: u64,
+    /// Per-packet random sub-step arrival offset in
+    /// `[0, `[`JITTER_SPAN`](crate::timing::JITTER_SPAN)`)`, drawn at
+    /// injection and carried for the packet's whole life.
+    pub jitter: u64,
+    /// The link the packet last traversed (None right after injection).
+    /// Needed to detect the home-run *turn* (row phase → column phase).
+    pub last_dir: Option<Direction>,
+    /// Times this packet has been deflected so far. Carried in the packet
+    /// (not router state), so it needs no reverse-computation bookkeeping:
+    /// the stored message is never mutated, only the forwarded copy.
+    pub deflections: u32,
+}
+
+impl Packet {
+    /// Whether taking `dir` now would be the home-run **turn**: switching
+    /// from row movement to column movement. Running packets may only be
+    /// deflected at this point.
+    #[inline]
+    pub fn is_turning(&self, dir: Direction) -> bool {
+        dir.is_vertical() && self.last_dir.is_some_and(|d| d.is_horizontal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_matches_paper() {
+        assert!(Priority::Sleeping < Priority::Active);
+        assert!(Priority::Active < Priority::Excited);
+        assert!(Priority::Excited < Priority::Running);
+        for p in ALL_PRIORITIES {
+            assert_eq!(Priority::from_rank(p.rank()), p);
+        }
+    }
+
+    #[test]
+    fn packet_id_round_trips() {
+        let id = PacketId::new(1023, 77);
+        assert_eq!(id.injector(), 1023);
+        assert_eq!(id.seq(), 77);
+        // Distinct routers / sequences give distinct ids.
+        assert_ne!(PacketId::new(1, 0), PacketId::new(0, 1));
+    }
+
+    #[test]
+    fn turning_requires_horizontal_then_vertical() {
+        let mut p = Packet {
+            id: PacketId::new(0, 0),
+            dst: 5,
+            src: 0,
+            priority: Priority::Running,
+            injected_step: 0,
+            jitter: 0,
+            last_dir: Some(Direction::East),
+            deflections: 0,
+        };
+        assert!(p.is_turning(Direction::South));
+        assert!(p.is_turning(Direction::North));
+        assert!(!p.is_turning(Direction::East));
+        p.last_dir = Some(Direction::North);
+        assert!(!p.is_turning(Direction::South), "already in column phase");
+        p.last_dir = None;
+        assert!(!p.is_turning(Direction::South), "fresh packets do not turn");
+    }
+}

@@ -1,0 +1,255 @@
+//! Routing policies: the BHW algorithm plus baseline deflection strategies.
+//!
+//! The paper simulates the Busch–Herlihy–Wattenhofer algorithm; the related
+//! work it cites (Bartzis et al. [5]) compares hot-potato variants on the
+//! same 2-D torus. [`PolicyKind`] selects among:
+//!
+//! * [`Bhw`](PolicyKind::Bhw) — the paper's four-priority-state algorithm.
+//! * [`Greedy`](PolicyKind::Greedy) — pure greedy deflection, no priorities:
+//!   any free good link, else a random free link.
+//! * [`OldestFirst`](PolicyKind::OldestFirst) — greedy deflection where a
+//!   packet's routing precedence grows with its age (the classic
+//!   "hottest-potato" rule that guarantees progress for the oldest packet).
+//! * [`DimOrder`](PolicyKind::DimOrder) — always prefer the one-bend
+//!   (row-first) link, deflect randomly when it is taken.
+//!
+//! Decision functions draw only from the reversible RNG passed in, so every
+//! policy is rollback-safe.
+
+use pdes::rng::{Clcg4, ReversibleRng};
+use pdes::LpId;
+use topo::{DirSet, Direction, Topology};
+
+use crate::packet::{Packet, Priority};
+
+/// Which routing algorithm the routers run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PolicyKind {
+    /// Busch–Herlihy–Wattenhofer four-state algorithm (the paper's).
+    #[default]
+    Bhw,
+    /// Greedy deflection with no priority states.
+    Greedy,
+    /// Greedy deflection with age-based routing precedence.
+    OldestFirst,
+    /// Home-run-first (dimension-ordered) deflection.
+    DimOrder,
+}
+
+/// Outcome of a routing decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Chosen outgoing link.
+    pub dir: Direction,
+    /// True if the packet was *deflected*: it did not get a link that
+    /// brings it closer (good link for greedy states, home-run link for
+    /// Excited/Running).
+    pub deflected: bool,
+}
+
+impl PolicyKind {
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Bhw => "bhw",
+            PolicyKind::Greedy => "greedy",
+            PolicyKind::OldestFirst => "oldest-first",
+            PolicyKind::DimOrder => "dim-order",
+        }
+    }
+
+    /// Routing precedence band for scheduling the ROUTE micro-event:
+    /// higher-precedence packets decide earlier within the step and
+    /// therefore grab links first. BHW uses the packet's priority state;
+    /// OldestFirst uses its age; the memoryless baselines use one band.
+    pub fn precedence(self, pkt: &Packet, now_step: u64, n: u32) -> Priority {
+        match self {
+            PolicyKind::Bhw => pkt.priority,
+            PolicyKind::OldestFirst => {
+                // One band per N steps of age, capped at the top band.
+                let age = now_step.saturating_sub(pkt.injected_step);
+                Priority::from_rank((age / n.max(1) as u64).min(3) as u8)
+            }
+            PolicyKind::Greedy | PolicyKind::DimOrder => Priority::Sleeping,
+        }
+    }
+
+    /// Make the routing decision for `pkt` at router `lp` given the set of
+    /// still-free outgoing links. `free` must be non-empty (the deflection
+    /// guarantee of a buffer-less node with in-degree = out-degree).
+    pub fn decide<T: Topology>(
+        self,
+        topo: &T,
+        lp: LpId,
+        pkt: &Packet,
+        free: DirSet,
+        rng: &mut Clcg4,
+    ) -> RouteDecision {
+        debug_assert!(!free.is_empty(), "deflection guarantee violated at router {lp}");
+        match self {
+            PolicyKind::Bhw => match pkt.priority {
+                Priority::Sleeping | Priority::Active => greedy_choice(topo, lp, pkt, free, rng),
+                Priority::Excited | Priority::Running => homerun_choice(topo, lp, pkt, free, rng),
+            },
+            PolicyKind::Greedy | PolicyKind::OldestFirst => greedy_choice(topo, lp, pkt, free, rng),
+            PolicyKind::DimOrder => homerun_choice(topo, lp, pkt, free, rng),
+        }
+    }
+}
+
+/// Uniform pick from a non-empty direction set (exactly one RNG draw, so
+/// the rollback accounting is branch-independent within a choice).
+#[inline]
+fn pick(set: DirSet, rng: &mut Clcg4) -> Direction {
+    debug_assert!(!set.is_empty());
+    let k = rng.integer(0, (set.len() - 1) as u64) as u32;
+    set.nth(k).expect("nth within len")
+}
+
+/// Greedy rule: any free good link; otherwise deflect to a random free link.
+fn greedy_choice<T: Topology>(
+    topo: &T,
+    lp: LpId,
+    pkt: &Packet,
+    free: DirSet,
+    rng: &mut Clcg4,
+) -> RouteDecision {
+    let candidates = topo.good_dirs(lp, pkt.dst).intersect(free);
+    if !candidates.is_empty() {
+        RouteDecision { dir: pick(candidates, rng), deflected: false }
+    } else {
+        RouteDecision { dir: pick(free, rng), deflected: true }
+    }
+}
+
+/// Home-run rule: take the one-bend link if free; otherwise deflect.
+/// Falls back to the greedy rule if the packet is already at its
+/// destination (possible only for unabsorbed Sleeping packets).
+fn homerun_choice<T: Topology>(
+    topo: &T,
+    lp: LpId,
+    pkt: &Packet,
+    free: DirSet,
+    rng: &mut Clcg4,
+) -> RouteDecision {
+    match topo.home_run_dir(lp, pkt.dst) {
+        Some(hr) if free.contains(hr) => RouteDecision { dir: hr, deflected: false },
+        Some(_) => RouteDecision { dir: pick(free, rng), deflected: true },
+        None => greedy_choice(topo, lp, pkt, free, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use topo::{Coord, Torus};
+
+    fn pkt(dst: LpId, priority: Priority) -> Packet {
+        Packet {
+            id: PacketId::new(0, 0),
+            dst,
+            src: 0,
+            priority,
+            injected_step: 0,
+            jitter: 0,
+            last_dir: None,
+            deflections: 0,
+        }
+    }
+
+    fn rng() -> Clcg4 {
+        Clcg4::new(7)
+    }
+
+    #[test]
+    fn greedy_takes_a_good_link_when_free() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(0, 0));
+        let to = t.lp_of(Coord::new(0, 3)); // East is the only good dir
+        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Sleeping), DirSet::ALL, &mut rng());
+        assert_eq!(d.dir, Direction::East);
+        assert!(!d.deflected);
+    }
+
+    #[test]
+    fn greedy_deflects_when_good_links_taken() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(0, 0));
+        let to = t.lp_of(Coord::new(0, 3));
+        let mut free = DirSet::ALL;
+        free.remove(Direction::East); // the good link is taken
+        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Active), free, &mut rng());
+        assert!(d.deflected);
+        assert_ne!(d.dir, Direction::East);
+        assert!(free.contains(d.dir));
+    }
+
+    #[test]
+    fn running_takes_home_run_link() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(1, 1));
+        let to = t.lp_of(Coord::new(5, 3)); // row phase: East first
+        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Running), DirSet::ALL, &mut rng());
+        assert_eq!(d.dir, Direction::East);
+        assert!(!d.deflected);
+    }
+
+    #[test]
+    fn running_deflects_only_when_home_run_taken() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(1, 1));
+        let to = t.lp_of(Coord::new(5, 3));
+        let mut free = DirSet::ALL;
+        free.remove(Direction::East);
+        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Running), free, &mut rng());
+        assert!(d.deflected);
+        assert!(free.contains(d.dir));
+    }
+
+    #[test]
+    fn decision_draw_count_is_branch_deterministic() {
+        // Home-run hit: zero draws. Everything else: exactly one draw.
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(1, 1));
+        let to = t.lp_of(Coord::new(5, 3));
+        let mut r = rng();
+        let c0 = r.call_count();
+        PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Running), DirSet::ALL, &mut r);
+        assert_eq!(r.call_count() - c0, 0, "home-run hit must not draw");
+        let c1 = r.call_count();
+        PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Sleeping), DirSet::ALL, &mut r);
+        assert_eq!(r.call_count() - c1, 1, "greedy choice draws exactly once");
+    }
+
+    #[test]
+    fn precedence_bands() {
+        let p = pkt(3, Priority::Excited);
+        assert_eq!(PolicyKind::Bhw.precedence(&p, 10, 8), Priority::Excited);
+        assert_eq!(PolicyKind::Greedy.precedence(&p, 10, 8), Priority::Sleeping);
+        // OldestFirst: age 0 → lowest band; age 3N → top band.
+        assert_eq!(PolicyKind::OldestFirst.precedence(&p, 0, 8), Priority::Sleeping);
+        let old = Packet { injected_step: 0, ..p };
+        assert_eq!(PolicyKind::OldestFirst.precedence(&old, 24, 8), Priority::Running);
+    }
+
+    #[test]
+    fn chosen_dir_is_always_free() {
+        let t = Torus::new(6);
+        let mut r = rng();
+        for kind in [PolicyKind::Bhw, PolicyKind::Greedy, PolicyKind::OldestFirst, PolicyKind::DimOrder] {
+            for free_bits in 1u8..16 {
+                let mut free = DirSet::EMPTY;
+                for d in topo::ALL_DIRECTIONS {
+                    if free_bits & (1 << d.index()) != 0 {
+                        free.insert(d);
+                    }
+                }
+                for prio in crate::packet::ALL_PRIORITIES {
+                    let d = kind.decide(&t, 0, &pkt(17, prio), free, &mut r);
+                    assert!(free.contains(d.dir), "{kind:?} chose a taken link");
+                }
+            }
+        }
+    }
+}

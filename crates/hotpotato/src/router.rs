@@ -1,0 +1,103 @@
+//! Per-router (LP) state.
+//!
+//! A buffer-less router's only mutable state is which outgoing links have
+//! been claimed in the current step, the injection application's
+//! bookkeeping, and its statistics counters. Everything here is restored
+//! exactly by the model's reverse handlers.
+
+use topo::{DirSet, Direction, ALL_DIRECTIONS};
+
+use crate::stats::RouterStats;
+
+/// State of one router LP.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterState {
+    /// The step the link-occupancy mask refers to. Reset lazily by the
+    /// first ROUTE/INJECT event of each step.
+    pub cur_step: u64,
+    /// Bitmask of outgoing links already claimed in `cur_step`
+    /// (bit i = `Direction::from_index(i)`).
+    pub links: u8,
+    /// Whether this router hosts an injection application.
+    pub is_injector: bool,
+    /// Step since which the injection application's current packet has
+    /// been waiting.
+    pub pending_since_step: u64,
+    /// Next injection sequence number (packet-id allocation).
+    pub next_seq: u32,
+    /// Statistics counters.
+    pub stats: RouterStats,
+}
+
+impl RouterState {
+    /// Claim an outgoing link for this step.
+    #[inline]
+    pub fn take_link(&mut self, d: Direction) {
+        debug_assert!(!self.is_taken(d), "link {d} double-booked");
+        self.links |= 1 << d.index();
+    }
+
+    /// Release a link (reverse computation).
+    #[inline]
+    pub fn release_link(&mut self, d: Direction) {
+        debug_assert!(self.is_taken(d), "releasing a free link {d}");
+        self.links &= !(1 << d.index());
+    }
+
+    /// Whether `d` is already claimed this step.
+    #[inline]
+    pub fn is_taken(&self, d: Direction) -> bool {
+        self.links & (1 << d.index()) != 0
+    }
+
+    /// The subset of `available` links still free this step.
+    #[inline]
+    pub fn free_links(&self, available: DirSet) -> DirSet {
+        let mut taken = DirSet::EMPTY;
+        for d in ALL_DIRECTIONS {
+            if self.is_taken(d) {
+                taken.insert(d);
+            }
+        }
+        available.minus(taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Direction;
+
+    #[test]
+    fn take_and_release_round_trip() {
+        let mut r = RouterState::default();
+        assert!(!r.is_taken(Direction::East));
+        r.take_link(Direction::East);
+        r.take_link(Direction::North);
+        assert!(r.is_taken(Direction::East));
+        assert_eq!(r.free_links(DirSet::ALL).len(), 2);
+        r.release_link(Direction::East);
+        assert!(!r.is_taken(Direction::East));
+        assert!(r.is_taken(Direction::North));
+    }
+
+    #[test]
+    fn free_links_respects_topology_degree() {
+        let mut r = RouterState::default();
+        r.take_link(Direction::South);
+        // A mesh corner offering only S and E has one free link left.
+        let mut corner = DirSet::EMPTY;
+        corner.insert(Direction::South);
+        corner.insert(Direction::East);
+        assert_eq!(r.free_links(corner), DirSet::single(Direction::East));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double-booked")]
+    fn double_booking_is_caught() {
+        let mut r = RouterState::default();
+        r.take_link(Direction::West);
+        r.take_link(Direction::West);
+    }
+}

@@ -1,0 +1,56 @@
+//! Convenience runners wiring the model to the pdes kernels.
+
+use pdes::prelude::*;
+use topo::{BlockMapping, Topology};
+
+use crate::model::HotPotatoModel;
+use crate::stats::NetStats;
+
+/// Run the model on the sequential reference kernel. The engine horizon is
+/// derived from the model's configured step count.
+pub fn simulate_sequential<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+) -> RunResult<NetStats> {
+    let mut cfg = engine.clone();
+    cfg.end_time = model.end_time();
+    run_sequential(model, &cfg)
+}
+
+/// Run the model on the optimistic parallel kernel with the paper's
+/// rectangular block LP→KP→PE mapping (Section 3.2.3).
+pub fn simulate_parallel<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+) -> RunResult<NetStats> {
+    let mut cfg = engine.clone();
+    cfg.end_time = model.end_time();
+    let mapping = BlockMapping::new(model.config().n, cfg.n_kps, cfg.n_pes);
+    run_parallel_mapped(model, &cfg, &mapping)
+}
+
+/// Run the model on the optimistic kernel using **state saving** instead of
+/// reverse computation (the GTW-style baseline; ablation E12). Same results,
+/// different rollback machinery.
+pub fn simulate_parallel_state_saving<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+) -> RunResult<NetStats> {
+    let mut cfg = engine.clone();
+    cfg.end_time = model.end_time();
+    let mapping = BlockMapping::new(model.config().n, cfg.n_kps, cfg.n_pes);
+    pdes::run_parallel_mapped_state_saving(model, &cfg, &mapping)
+}
+
+/// Run on either kernel, selected at runtime (bench harness convenience).
+pub fn simulate<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+    parallel: bool,
+) -> RunResult<NetStats> {
+    if parallel {
+        simulate_parallel(model, engine)
+    } else {
+        simulate_sequential(model, engine)
+    }
+}

@@ -1,0 +1,257 @@
+//! Routing statistics.
+//!
+//! Each router tracks the quantities of paper Section 3.1.5 — delivered
+//! packets, transit times, distances, injection counts and waits — plus
+//! deflection/promotion counters useful for analysis. All sums are integer
+//! (ticks/steps/counts) so that merging across PEs in any order produces
+//! bit-identical totals; that integer discipline is what lets the
+//! determinism tests compare parallel and sequential outputs with `==`.
+
+use pdes::Merge;
+
+/// Per-router counters, embedded in the LP state and updated reversibly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets absorbed at this router (their destination).
+    pub delivered: u64,
+    /// Total steps-in-transit over delivered packets.
+    pub transit_steps_sum: u64,
+    /// Total source→destination distance over delivered packets.
+    pub distance_sum: u64,
+    /// Total deflections experienced by delivered packets (per-packet
+    /// counters summed at absorption).
+    pub delivered_deflections_sum: u64,
+    /// Packets this router successfully injected.
+    pub injected: u64,
+    /// Total steps injected packets waited before entering the network.
+    pub wait_steps_sum: u64,
+    /// Longest wait of any single injected packet.
+    pub max_wait_steps: u64,
+    /// Injection attempts (one per step per injection application).
+    pub inject_attempts: u64,
+    /// Attempts that found no free link.
+    pub inject_failures: u64,
+    /// ROUTE decisions made.
+    pub routes: u64,
+    /// ROUTE decisions by the packet's priority at decision time
+    /// (Sleeping, Active, Excited, Running). The priority *mix* explains
+    /// the paper's Figure 3 trajectory change at large N: bigger networks
+    /// route a larger share of packets in the higher states.
+    pub routes_by_priority: [u64; 4],
+    /// Decisions that deflected the packet (no good/home-run link free).
+    pub deflections: u64,
+    /// Priority promotions (Sleeping→Active, Active→Excited,
+    /// Excited→Running).
+    pub promotions: u64,
+    /// Priority demotions (deflected Excited/Running → Active).
+    pub demotions: u64,
+    /// Heartbeat events processed (administrative; present for parity with
+    /// the paper's event set).
+    pub heartbeats: u64,
+    /// ROUTE decisions that found no free link and parked the packet.
+    /// Possible only in causally-inconsistent *transient* optimistic states;
+    /// every such execution is rolled back, so committed totals are always
+    /// zero — a consistency invariant the test suite asserts.
+    pub stalls: u64,
+}
+
+/// Network-wide totals: the model's [`Merge`]-able output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Sum of every router's counters.
+    pub totals: RouterStats,
+    /// Number of routers that hosted an injection application.
+    pub injectors: u64,
+    /// Number of routers contributing (the LP count).
+    pub routers: u64,
+}
+
+impl NetStats {
+    /// Fold one router's counters in.
+    pub fn absorb_router(&mut self, s: &RouterStats, is_injector: bool) {
+        let t = &mut self.totals;
+        t.delivered += s.delivered;
+        t.transit_steps_sum += s.transit_steps_sum;
+        t.distance_sum += s.distance_sum;
+        t.delivered_deflections_sum += s.delivered_deflections_sum;
+        t.injected += s.injected;
+        t.wait_steps_sum += s.wait_steps_sum;
+        t.max_wait_steps = t.max_wait_steps.max(s.max_wait_steps);
+        t.inject_attempts += s.inject_attempts;
+        t.inject_failures += s.inject_failures;
+        t.routes += s.routes;
+        for (tot, r) in t.routes_by_priority.iter_mut().zip(&s.routes_by_priority) {
+            *tot += r;
+        }
+        t.deflections += s.deflections;
+        t.promotions += s.promotions;
+        t.demotions += s.demotions;
+        t.heartbeats += s.heartbeats;
+        t.stalls += s.stalls;
+        self.injectors += is_injector as u64;
+        self.routers += 1;
+    }
+
+    /// Fraction of ROUTE decisions made at each priority level.
+    pub fn priority_mix(&self) -> [f64; 4] {
+        let mut mix = [0.0; 4];
+        if self.totals.routes > 0 {
+            for (m, &r) in mix.iter_mut().zip(&self.totals.routes_by_priority) {
+                *m = r as f64 / self.totals.routes as f64;
+            }
+        }
+        mix
+    }
+
+    /// Mean packet delivery time in steps (paper Figure 3's y-axis).
+    pub fn avg_delivery_steps(&self) -> f64 {
+        ratio(self.totals.transit_steps_sum, self.totals.delivered)
+    }
+
+    /// Mean source→destination distance of delivered packets.
+    pub fn avg_distance(&self) -> f64 {
+        ratio(self.totals.distance_sum, self.totals.delivered)
+    }
+
+    /// Mean delivery time normalized by distance (routing stretch).
+    pub fn stretch(&self) -> f64 {
+        ratio(self.totals.transit_steps_sum, self.totals.distance_sum)
+    }
+
+    /// Mean deflections suffered per delivered packet.
+    pub fn avg_packet_deflections(&self) -> f64 {
+        ratio(self.totals.delivered_deflections_sum, self.totals.delivered)
+    }
+
+    /// Mean steps a packet waited to be injected (Figure 4's y-axis).
+    pub fn avg_inject_wait_steps(&self) -> f64 {
+        ratio(self.totals.wait_steps_sum, self.totals.injected)
+    }
+
+    /// Fraction of ROUTE decisions that deflected.
+    pub fn deflection_rate(&self) -> f64 {
+        ratio(self.totals.deflections, self.totals.routes)
+    }
+
+    /// Fraction of injection attempts that failed (no free link).
+    pub fn inject_failure_rate(&self) -> f64 {
+        ratio(self.totals.inject_failures, self.totals.inject_attempts)
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Merge for NetStats {
+    fn merge(&mut self, other: Self) {
+        let o = &other.totals;
+        let t = &mut self.totals;
+        t.delivered += o.delivered;
+        t.transit_steps_sum += o.transit_steps_sum;
+        t.distance_sum += o.distance_sum;
+        t.delivered_deflections_sum += o.delivered_deflections_sum;
+        t.injected += o.injected;
+        t.wait_steps_sum += o.wait_steps_sum;
+        t.max_wait_steps = t.max_wait_steps.max(o.max_wait_steps);
+        t.inject_attempts += o.inject_attempts;
+        t.inject_failures += o.inject_failures;
+        t.routes += o.routes;
+        for (tot, r) in t.routes_by_priority.iter_mut().zip(&o.routes_by_priority) {
+            *tot += r;
+        }
+        t.deflections += o.deflections;
+        t.promotions += o.promotions;
+        t.demotions += o.demotions;
+        t.heartbeats += o.heartbeats;
+        t.stalls += o.stalls;
+        self.injectors += other.injectors;
+        self.routers += other.routers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_merge_agree() {
+        let a = RouterStats { delivered: 2, transit_steps_sum: 10, max_wait_steps: 3, ..Default::default() };
+        let b = RouterStats { delivered: 1, transit_steps_sum: 7, max_wait_steps: 9, ..Default::default() };
+
+        // One NetStats absorbing both routers...
+        let mut direct = NetStats::default();
+        direct.absorb_router(&a, true);
+        direct.absorb_router(&b, false);
+
+        // ...equals two NetStats merged (the parallel path).
+        let mut left = NetStats::default();
+        left.absorb_router(&a, true);
+        let mut right = NetStats::default();
+        right.absorb_router(&b, false);
+        left.merge(right);
+
+        assert_eq!(direct, left);
+        assert_eq!(direct.totals.delivered, 3);
+        assert_eq!(direct.totals.max_wait_steps, 9);
+        assert_eq!(direct.injectors, 1);
+        assert_eq!(direct.routers, 2);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = RouterStats { injected: 5, wait_steps_sum: 12, max_wait_steps: 4, ..Default::default() };
+        let b = RouterStats { injected: 2, wait_steps_sum: 30, max_wait_steps: 20, ..Default::default() };
+        let mut ab = NetStats::default();
+        ab.absorb_router(&a, true);
+        let mut b_stats = NetStats::default();
+        b_stats.absorb_router(&b, true);
+        ab.merge(b_stats);
+
+        let mut ba = NetStats::default();
+        ba.absorb_router(&b, true);
+        let mut a_stats = NetStats::default();
+        a_stats.absorb_router(&a, true);
+        ba.merge(a_stats);
+
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = NetStats::default();
+        s.absorb_router(
+            &RouterStats {
+                delivered: 4,
+                transit_steps_sum: 40,
+                distance_sum: 20,
+                injected: 2,
+                wait_steps_sum: 6,
+                inject_attempts: 10,
+                inject_failures: 5,
+                routes: 100,
+                deflections: 25,
+                ..Default::default()
+            },
+            true,
+        );
+        assert_eq!(s.avg_delivery_steps(), 10.0);
+        assert_eq!(s.avg_distance(), 5.0);
+        assert_eq!(s.stretch(), 2.0);
+        assert_eq!(s.avg_inject_wait_steps(), 3.0);
+        assert_eq!(s.deflection_rate(), 0.25);
+        assert_eq!(s.inject_failure_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = NetStats::default();
+        assert_eq!(s.avg_delivery_steps(), 0.0);
+        assert_eq!(s.deflection_rate(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sub-step timing layout.
+//!
+//! The network is synchronous: one hop per time step. Within a step the
+//! simulation orders micro-events by sub-step tick offsets, reproducing the
+//! paper's two tricks:
+//!
+//! 1. **Randomized arrival jitter** (Section 3.2.2): each packet carries a
+//!    random offset so no two arrivals are simultaneous, making the parallel
+//!    simulation deterministic.
+//! 2. **Priority-staggered ROUTE events** (Section 3.1.4): higher-priority
+//!    packets make their routing decision earlier in the step, giving them
+//!    first pick of the links.
+//!
+//! Layout of one step (1 step = 1 000 000 ticks):
+//!
+//! ```text
+//!   [100k .. 500k)  ARRIVE   (packet jitter, fixed per packet)
+//!   [600k .. 680k)  ROUTE    Running
+//!   [680k .. 760k)  ROUTE    Excited
+//!   [760k .. 840k)  ROUTE    Active
+//!   [840k .. 920k)  ROUTE    Sleeping
+//!   [960k .. 1M)    INJECT   (injection applications)
+//! ```
+
+use pdes::VirtualTime;
+
+use crate::packet::Priority;
+
+/// First tick of the arrival window within a step.
+pub const ARRIVE_BASE: u64 = 100_000;
+/// Width of the per-packet jitter window.
+pub const JITTER_SPAN: u64 = 400_000;
+/// First tick of the ROUTE bands.
+pub const ROUTE_BASE: u64 = 600_000;
+/// Width of each priority's ROUTE band.
+pub const ROUTE_BAND: u64 = 80_000;
+/// First tick of the injection window.
+pub const INJECT_BASE: u64 = 960_000;
+/// Width of the injection window.
+pub const INJECT_SPAN: u64 = VirtualTime::STEP - INJECT_BASE;
+/// Sub-step phase of administrative HEARTBEAT events (before arrivals).
+pub const HEARTBEAT_PHASE: u64 = 50_000;
+
+/// Absolute arrival time of a packet at the beginning of `step`.
+#[inline]
+pub fn arrive_time(step: u64, jitter: u64) -> VirtualTime {
+    debug_assert!(jitter < JITTER_SPAN);
+    VirtualTime::from_parts(step, ARRIVE_BASE + jitter)
+}
+
+/// Absolute ROUTE time within `step` for a packet of the given priority:
+/// higher priorities route earlier; the packet's jitter (scaled into the
+/// band) keeps same-priority decisions ordered and deterministic.
+#[inline]
+pub fn route_time(step: u64, priority: Priority, jitter: u64) -> VirtualTime {
+    debug_assert!(jitter < JITTER_SPAN);
+    let band = (3 - priority.rank()) as u64;
+    let within = jitter * ROUTE_BAND / JITTER_SPAN;
+    VirtualTime::from_parts(step, ROUTE_BASE + band * ROUTE_BAND + within)
+}
+
+/// Absolute injection-attempt time within `step` for router `lp` (a fixed
+/// per-router phase inside the injection window).
+#[inline]
+pub fn inject_time(step: u64, lp: pdes::LpId) -> VirtualTime {
+    // Spread routers across the window with a multiplicative hash.
+    let spread = (lp as u64).wrapping_mul(0x9E37_79B9) % INJECT_SPAN;
+    VirtualTime::from_parts(step, INJECT_BASE + spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ALL_PRIORITIES;
+
+    #[test]
+    fn windows_do_not_overlap_and_fit_in_a_step() {
+        assert!(ARRIVE_BASE + JITTER_SPAN <= ROUTE_BASE);
+        assert!(ROUTE_BASE + 4 * ROUTE_BAND <= INJECT_BASE);
+        assert!(INJECT_BASE + INJECT_SPAN <= VirtualTime::STEP);
+    }
+
+    #[test]
+    fn arrivals_precede_routes_precede_injections() {
+        let step = 7;
+        let arrive = arrive_time(step, JITTER_SPAN - 1);
+        let route = route_time(step, Priority::Running, 0);
+        let inject = inject_time(step, 0);
+        assert!(arrive < route);
+        assert!(route < inject);
+        assert_eq!(arrive.step(), step);
+        assert_eq!(inject.step(), step);
+    }
+
+    #[test]
+    fn higher_priority_routes_strictly_earlier() {
+        let step = 3;
+        for pair in ALL_PRIORITIES.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            // Even the latest jitter of the higher band beats the earliest
+            // of the lower one.
+            assert!(
+                route_time(step, hi, JITTER_SPAN - 1) < route_time(step, lo, 0),
+                "{hi:?} must route before {lo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_orders_within_a_band() {
+        let a = route_time(1, Priority::Active, 10_000);
+        let b = route_time(1, Priority::Active, 390_000);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn inject_phase_is_deterministic_and_in_window() {
+        for lp in 0..10_000u32 {
+            let t = inject_time(2, lp);
+            assert_eq!(t.step(), 2);
+            assert!(t.sub_step() >= INJECT_BASE);
+            assert_eq!(t, inject_time(2, lp));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Engine configuration.
+
+use crate::scheduler::SchedulerKind;
+use crate::time::VirtualTime;
+
+/// Tunables shared by both kernels. Construct with [`EngineConfig::new`] and
+/// chain the `with_*` builders.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Virtual time horizon; events at `t >= end_time` are never executed
+    /// (ROSS's `g_tw_ts_end`).
+    pub end_time: VirtualTime,
+    /// Global seed from which every LP's RNG stream is derived.
+    pub seed: u64,
+    /// Number of worker threads for the optimistic kernel.
+    pub n_pes: usize,
+    /// Number of kernel processes (rollback granules). Must be ≥ `n_pes`.
+    pub n_kps: u32,
+    /// Pending-set implementation.
+    pub scheduler: SchedulerKind,
+    /// Events each PE processes between GVT reductions (ROSS's
+    /// `gvt-interval` × batch). Smaller = tighter memory, more sync.
+    pub gvt_interval: u64,
+    /// Maximum events a PE forward-executes per loop iteration before
+    /// polling its inbox again (ROSS's `batch`).
+    pub batch: usize,
+    /// Optimism throttle: if set, a PE will not execute events more than
+    /// this many ticks past the last computed GVT. Bounds rollback depth
+    /// (and memory) at the cost of more frequent GVT rounds. `None` =
+    /// unbounded optimism (classic Time Warp).
+    pub max_lookahead: Option<u64>,
+}
+
+impl EngineConfig {
+    /// A configuration with the given horizon and the defaults used
+    /// throughout the paper's experiments: 1 PE, 64 KPs, heap scheduler,
+    /// GVT every 1024 events, batch of 16.
+    pub fn new(end_time: VirtualTime) -> Self {
+        EngineConfig {
+            end_time,
+            seed: 0x5EED_0F_0DD5,
+            n_pes: 1,
+            n_kps: 64,
+            scheduler: SchedulerKind::default(),
+            gvt_interval: 1024,
+            batch: 16,
+            max_lookahead: None,
+        }
+    }
+
+    /// Throttle optimism to `ticks` past GVT (see
+    /// [`max_lookahead`](Self::max_lookahead)).
+    pub fn with_lookahead(mut self, ticks: u64) -> Self {
+        self.max_lookahead = Some(ticks);
+        self
+    }
+
+    /// Set the global RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of PEs (worker threads).
+    pub fn with_pes(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one PE");
+        self.n_pes = n;
+        self
+    }
+
+    /// Set the number of KPs (rollback granules).
+    pub fn with_kps(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one KP");
+        self.n_kps = n;
+        self
+    }
+
+    /// Choose the pending-set implementation.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Set the GVT interval (events between reductions).
+    pub fn with_gvt_interval(mut self, interval: u64) -> Self {
+        assert!(interval >= 1);
+        self.gvt_interval = interval;
+        self
+    }
+
+    /// Set the per-iteration batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = EngineConfig::new(VirtualTime::from_steps(100))
+            .with_seed(7)
+            .with_pes(4)
+            .with_kps(32)
+            .with_scheduler(SchedulerKind::Splay)
+            .with_gvt_interval(256)
+            .with_batch(8);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.n_pes, 4);
+        assert_eq!(c.n_kps, 32);
+        assert_eq!(c.scheduler, SchedulerKind::Splay);
+        assert_eq!(c.gvt_interval, 256);
+        assert_eq!(c.batch, 8);
+        assert_eq!(c.end_time, VirtualTime::from_steps(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        EngineConfig::new(VirtualTime::from_steps(1)).with_pes(0);
+    }
+}

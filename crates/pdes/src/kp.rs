@@ -1,0 +1,169 @@
+//! Kernel processes: the rollback granule.
+//!
+//! A KP groups LPs and keeps their *processed-event list* in execution order.
+//! Rolling back to a straggler's timestamp rewinds the whole KP, not just the
+//! straggler's LP — coarser than per-LP lists (some "false rollbacks" of
+//! innocent LPs), but with far less bookkeeping per event. The KP count is
+//! therefore a first-order performance knob, which is exactly what the
+//! paper's Figures 7a–c and 8 sweep.
+
+use std::collections::VecDeque;
+
+use crate::event::{Bitfield, ChildRef, Event, EventKey};
+
+/// A processed event retained for possible rollback: the event itself (whose
+/// payload may hold the handler's saved state), the bitfield the forward
+/// handler recorded, the number of RNG draws it made, the children it
+/// scheduled, and — in state-saving mode — a pre-execution snapshot of the
+/// LP state and RNG (the Georgia Tech Time Warp approach the paper's
+/// Section 3.2.1 contrasts with reverse computation).
+#[derive(Debug)]
+pub struct Processed<P, S> {
+    /// The executed event (payload may carry saved fields for reverse).
+    pub ev: Event<P>,
+    /// Bitfield as the forward handler left it.
+    pub bf: Bitfield,
+    /// RNG draws made by the forward handler (auto-reversed on rollback).
+    pub rng_calls: u64,
+    /// Events this execution scheduled (anti-message targets).
+    pub children: Vec<ChildRef>,
+    /// State-saving snapshot (None under reverse computation).
+    pub snapshot: Option<(S, crate::rng::Clcg4)>,
+}
+
+/// Per-KP bookkeeping. Events are appended in processing order, which within
+/// a KP is also [`EventKey`] order (the PE always executes its globally
+/// minimal pending event, and stragglers roll the KP back first).
+#[derive(Debug)]
+pub struct Kp<P, S> {
+    /// Processed-but-uncommitted events, oldest first.
+    pub processed: VecDeque<Processed<P, S>>,
+    /// Total events this KP has rolled back (for Figure 7 reporting).
+    pub rolled_back: u64,
+}
+
+impl<P, S> Kp<P, S> {
+    /// Fresh, empty KP.
+    pub fn new() -> Self {
+        Kp { processed: VecDeque::new(), rolled_back: 0 }
+    }
+
+    /// Key of the most recently processed (uncommitted) event, if any.
+    /// Incoming events at or before this key are stragglers.
+    #[inline]
+    pub fn last_key(&self) -> Option<EventKey> {
+        self.processed.back().map(|p| p.ev.key)
+    }
+
+    /// Append a freshly executed event. Non-strict ordering: a transient
+    /// stale twin (same key, different id) may execute adjacent to its
+    /// replacement; see the parallel-kernel docs on transient duplicates.
+    #[inline]
+    pub fn record(&mut self, p: Processed<P, S>) {
+        debug_assert!(
+            self.last_key().is_none_or(|k| k <= p.ev.key),
+            "KP processed list out of order"
+        );
+        self.processed.push_back(p);
+    }
+
+    /// Pop the newest processed event if its key is `>= bound`.
+    /// Rollback drivers call this repeatedly, undoing each returned event.
+    #[inline]
+    pub fn pop_if_at_or_after(&mut self, bound: EventKey) -> Option<Processed<P, S>> {
+        if self.processed.back()?.ev.key >= bound {
+            self.rolled_back += 1;
+            self.processed.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Drop (commit) all processed events strictly older than `gvt_key`,
+    /// returning them oldest-first for commit hooks. This is fossil
+    /// collection at the KP level.
+    pub fn fossil_collect(&mut self, horizon: crate::time::VirtualTime) -> Vec<Processed<P, S>> {
+        let mut committed = Vec::new();
+        while let Some(front) = self.processed.front() {
+            if front.ev.key.recv_time < horizon {
+                committed.push(self.processed.pop_front().unwrap());
+            } else {
+                break;
+            }
+        }
+        committed
+    }
+}
+
+impl<P, S> Default for Kp<P, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::time::VirtualTime;
+
+    fn processed(t: u64) -> Processed<(), ()> {
+        Processed {
+            ev: Event {
+                id: EventId::new(0, t),
+                key: EventKey {
+                    recv_time: VirtualTime(t),
+                    dst: 0,
+                    tie: 0,
+                    src: 0,
+                    send_time: VirtualTime::ZERO,
+                },
+                payload: (),
+            },
+            bf: Bitfield::default(),
+            rng_calls: 0,
+            children: Vec::new(),
+            snapshot: None,
+        }
+    }
+
+    #[test]
+    fn last_key_tracks_tail() {
+        let mut kp = Kp::<(), ()>::new();
+        assert_eq!(kp.last_key(), None);
+        kp.record(processed(1));
+        kp.record(processed(5));
+        assert_eq!(kp.last_key().unwrap().recv_time, VirtualTime(5));
+    }
+
+    #[test]
+    fn rollback_pops_newest_first_down_to_bound() {
+        let mut kp = Kp::<(), ()>::new();
+        for t in [1, 3, 5, 7, 9] {
+            kp.record(processed(t));
+        }
+        let bound = processed(5).ev.key;
+        let mut popped = Vec::new();
+        while let Some(p) = kp.pop_if_at_or_after(bound) {
+            popped.push(p.ev.key.recv_time.0);
+        }
+        assert_eq!(popped, vec![9, 7, 5]);
+        assert_eq!(kp.last_key().unwrap().recv_time, VirtualTime(3));
+        assert_eq!(kp.rolled_back, 3);
+    }
+
+    #[test]
+    fn fossil_collect_commits_prefix_only() {
+        let mut kp = Kp::<(), ()>::new();
+        for t in [1, 3, 5, 7] {
+            kp.record(processed(t));
+        }
+        let committed = kp.fossil_collect(VirtualTime(5));
+        let times: Vec<u64> = committed.iter().map(|p| p.ev.key.recv_time.0).collect();
+        assert_eq!(times, vec![1, 3]);
+        assert_eq!(kp.processed.len(), 2);
+        // Collect the rest with an infinite horizon.
+        assert_eq!(kp.fossil_collect(VirtualTime::INFINITY).len(), 2);
+        assert!(kp.processed.is_empty());
+    }
+}

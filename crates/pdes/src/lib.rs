@@ -1,0 +1,109 @@
+//! # pdes — an optimistic parallel discrete-event simulation engine
+//!
+//! A from-scratch Rust reimplementation of the ROSS architecture
+//! (Rensselaer's Optimistic Simulation System) that the paper *"Routing
+//! without Flow Control — Hot-Potato Routing Simulation Analysis"* runs its
+//! experiments on:
+//!
+//! * **Logical processes (LPs)** implement a [`Model`]: a forward event
+//!   handler plus a *reverse* handler (reverse computation) instead of state
+//!   saving.
+//! * **Kernel processes (KPs)** group LPs into rollback granules
+//!   ([`kp`]).
+//! * **Processing elements (PEs)** are worker threads executing events
+//!   optimistically; stragglers and anti-messages trigger rollbacks
+//!   ([`parallel`]).
+//! * **GVT** (global virtual time) is computed with a Fujimoto-style
+//!   shared-memory reduction, after which events are committed and
+//!   fossil-collected.
+//! * **Reversible RNG** streams ([`rng`]) let rollbacks un-step every random
+//!   draw exactly (ROSS's `tw_rand_reverse_unif`).
+//! * A **sequential kernel** ([`sequential`]) with identical semantics is
+//!   the determinism oracle: both kernels commit the same total event order
+//!   and produce bit-identical model outputs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pdes::prelude::*;
+//!
+//! /// Each LP forwards a token around a ring once per step.
+//! struct Ring {
+//!     n: u32,
+//! }
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//!
+//! #[derive(Default)]
+//! struct Hops(u64);
+//! impl Merge for Hops {
+//!     fn merge(&mut self, other: Self) {
+//!         self.0 += other.0;
+//!     }
+//! }
+//!
+//! impl Model for Ring {
+//!     type State = u64;
+//!     type Payload = Token;
+//!     type Output = Hops;
+//!
+//!     fn n_lps(&self) -> u32 {
+//!         self.n
+//!     }
+//!     fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Token>) -> u64 {
+//!         if lp == 0 {
+//!             ctx.schedule_at(0, VirtualTime::from_steps(1), 0, Token);
+//!         }
+//!         0
+//!     }
+//!     fn handle(&self, hops: &mut u64, _t: &mut Token, ctx: &mut EventCtx<'_, Token>) {
+//!         *hops += 1;
+//!         ctx.schedule((ctx.lp() + 1) % self.n, VirtualTime::STEP, 0, Token);
+//!     }
+//!     fn reverse(&self, hops: &mut u64, _t: &mut Token, _ctx: &ReverseCtx) {
+//!         *hops -= 1;
+//!     }
+//!     fn finish(&self, _lp: LpId, hops: &u64, out: &mut Hops) {
+//!         out.0 += *hops;
+//!     }
+//! }
+//!
+//! let model = Ring { n: 4 };
+//! let config = EngineConfig::new(VirtualTime::from_steps(10)).with_pes(2);
+//! let seq = run_sequential(&model, &config);
+//! let par = run_parallel(&model, &config);
+//! assert_eq!(seq.output.0, 9);
+//! assert_eq!(par.output.0, 9);
+//! ```
+
+pub mod config;
+pub mod event;
+pub mod kp;
+pub mod mapping;
+pub mod model;
+pub mod parallel;
+pub mod rng;
+pub mod scheduler;
+pub mod sequential;
+pub mod stats;
+pub mod time;
+
+/// One-stop imports for writing and running models.
+pub mod prelude {
+    pub use crate::config::EngineConfig;
+    pub use crate::event::{Bitfield, KpId, LpId, PeId};
+    pub use crate::mapping::{LinearMapping, Mapping};
+    pub use crate::model::{EventCtx, InitCtx, Merge, Model, ReverseCtx};
+    pub use crate::parallel::{
+        run_parallel, run_parallel_mapped, run_parallel_mapped_state_saving,
+        run_parallel_state_saving,
+    };
+    pub use crate::rng::ReversibleRng;
+    pub use crate::scheduler::SchedulerKind;
+    pub use crate::sequential::run_sequential;
+    pub use crate::stats::{EngineStats, RunResult};
+    pub use crate::time::VirtualTime;
+}
+
+pub use prelude::*;

@@ -1,0 +1,244 @@
+//! The model interface: what a simulation application implements.
+//!
+//! This is the Rust equivalent of a ROSS application's LP type: an init
+//! function, a forward event handler, a **reverse** event handler (reverse
+//! computation), an optional commit hook, and a statistics-collection
+//! function executed per LP when the simulation finishes (the "visitor
+//! functor" of the paper, Section 3.1.5).
+//!
+//! Contract the kernels rely on:
+//!
+//! * `handle` followed by `reverse` on the same `(state, payload)` pair must
+//!   restore `state` exactly (payload may keep saved fields — they are
+//!   overwritten on re-execution).
+//! * All randomness inside `handle` must come from the context's reversible
+//!   RNG; the kernel counts draws and un-steps them automatically on
+//!   rollback, so `reverse` only restores model state.
+//! * Every scheduled event must have a strictly positive delay.
+//! * No two simultaneously pending events may share an identical
+//!   [`EventKey`](crate::event::EventKey) — supply a discriminating `tie`
+//!   (e.g. a unique packet id) when scheduling.
+
+use crate::event::{Bitfield, LpId};
+use crate::rng::Clcg4;
+use crate::time::VirtualTime;
+
+/// An event emission requested by a handler; the kernel assigns ids and
+/// routes it after the handler returns.
+#[derive(Clone, Debug)]
+pub struct Emit<P> {
+    /// Destination LP.
+    pub dst: LpId,
+    /// Absolute receive time.
+    pub recv_time: VirtualTime,
+    /// Tie-break value (see module docs).
+    pub tie: u64,
+    /// Model payload.
+    pub payload: P,
+}
+
+/// Context passed to [`Model::handle`].
+pub struct EventCtx<'a, P> {
+    pub(crate) lp: LpId,
+    pub(crate) src: LpId,
+    pub(crate) now: VirtualTime,
+    pub(crate) send_time: VirtualTime,
+    pub(crate) bf: &'a mut Bitfield,
+    pub(crate) rng: &'a mut Clcg4,
+    pub(crate) out: &'a mut Vec<Emit<P>>,
+}
+
+impl<'a, P> EventCtx<'a, P> {
+    /// The LP executing this event.
+    #[inline]
+    pub fn lp(&self) -> LpId {
+        self.lp
+    }
+
+    /// The LP that scheduled this event.
+    #[inline]
+    pub fn src(&self) -> LpId {
+        self.src
+    }
+
+    /// Current virtual time (the event's receive time).
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// When this event was scheduled.
+    #[inline]
+    pub fn send_time(&self) -> VirtualTime {
+        self.send_time
+    }
+
+    /// The per-event bitfield (ROSS `tw_bf`): record branch decisions here
+    /// for the reverse handler.
+    #[inline]
+    pub fn bf(&mut self) -> &mut Bitfield {
+        self.bf
+    }
+
+    /// The executing LP's reversible RNG stream. Draws are counted and
+    /// automatically reversed if this event rolls back.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Clcg4 {
+        self.rng
+    }
+
+    /// Schedule an event `delay` ticks in the future at LP `dst`.
+    ///
+    /// `delay` must be ≥ 1 tick so a child can never tie with its parent.
+    #[inline]
+    pub fn schedule(&mut self, dst: LpId, delay: u64, tie: u64, payload: P) {
+        assert!(delay >= 1, "schedule: zero-delay events are not allowed");
+        self.out.push(Emit { dst, recv_time: self.now + delay, tie, payload });
+    }
+
+    /// Schedule an event to this LP itself.
+    #[inline]
+    pub fn schedule_self(&mut self, delay: u64, tie: u64, payload: P) {
+        let lp = self.lp;
+        self.schedule(lp, delay, tie, payload);
+    }
+
+    /// Build a context directly — for unit-testing model handlers outside a
+    /// kernel. Emissions are appended to `out`; the caller plays kernel and
+    /// is responsible for reversing `rng` by the number of draws made if it
+    /// wants to test reverse computation.
+    pub fn synthetic(
+        lp: LpId,
+        src: LpId,
+        now: VirtualTime,
+        bf: &'a mut Bitfield,
+        rng: &'a mut Clcg4,
+        out: &'a mut Vec<Emit<P>>,
+    ) -> Self {
+        EventCtx { lp, src, now, send_time: VirtualTime::ZERO, bf, rng, out }
+    }
+}
+
+/// Context passed to [`Model::reverse`]: read-only view of what the forward
+/// execution recorded.
+pub struct ReverseCtx {
+    pub(crate) lp: LpId,
+    pub(crate) now: VirtualTime,
+    pub(crate) bf: Bitfield,
+}
+
+impl ReverseCtx {
+    /// The LP whose state is being rolled back.
+    #[inline]
+    pub fn lp(&self) -> LpId {
+        self.lp
+    }
+
+    /// The receive time of the event being undone.
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// The bitfield as the forward handler left it.
+    #[inline]
+    pub fn bf(&self) -> Bitfield {
+        self.bf
+    }
+
+    /// Build a reverse context directly — for unit-testing reverse handlers
+    /// outside a kernel.
+    pub fn synthetic(lp: LpId, now: VirtualTime, bf: Bitfield) -> Self {
+        ReverseCtx { lp, now, bf }
+    }
+}
+
+/// Context passed to [`Model::init`]: schedule the LP's bootstrap events and
+/// draw pre-simulation randomness (never rolled back).
+pub struct InitCtx<'a, P> {
+    pub(crate) lp: LpId,
+    pub(crate) rng: &'a mut Clcg4,
+    pub(crate) out: &'a mut Vec<Emit<P>>,
+}
+
+impl<'a, P> InitCtx<'a, P> {
+    /// The LP being initialized.
+    #[inline]
+    pub fn lp(&self) -> LpId {
+        self.lp
+    }
+
+    /// The LP's RNG stream (setup draws are permanent).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Clcg4 {
+        self.rng
+    }
+
+    /// Schedule a bootstrap event at an absolute time (> 0).
+    #[inline]
+    pub fn schedule_at(&mut self, dst: LpId, recv_time: VirtualTime, tie: u64, payload: P) {
+        assert!(
+            recv_time > VirtualTime::ZERO,
+            "init events must have recv_time > 0"
+        );
+        self.out.push(Emit { dst, recv_time, tie, payload });
+    }
+
+    /// Build an init context directly — for unit-testing model setup
+    /// outside a kernel.
+    pub fn synthetic(lp: LpId, rng: &'a mut Clcg4, out: &'a mut Vec<Emit<P>>) -> Self {
+        InitCtx { lp, rng, out }
+    }
+}
+
+/// Mergeable per-run output (aggregated LP statistics).
+pub trait Merge {
+    /// Fold `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl Merge for () {
+    fn merge(&mut self, _other: Self) {}
+}
+
+/// A discrete-event simulation model (the application).
+pub trait Model: Send + Sync + 'static {
+    /// Per-LP state. Everything the reverse handler restores lives here.
+    type State: Send;
+    /// Message content exchanged between LPs.
+    type Payload: Clone + Send + 'static;
+    /// Aggregated end-of-run output, folded across LPs and PEs.
+    type Output: Default + Merge + Send;
+
+    /// Total number of LPs in the model.
+    fn n_lps(&self) -> u32;
+
+    /// Build LP `lp`'s initial state and schedule its bootstrap events.
+    fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Self::Payload>) -> Self::State;
+
+    /// Forward-execute one event.
+    fn handle(
+        &self,
+        state: &mut Self::State,
+        payload: &mut Self::Payload,
+        ctx: &mut EventCtx<'_, Self::Payload>,
+    );
+
+    /// Reverse-execute one event, restoring `state` to its value before the
+    /// corresponding [`handle`](Self::handle). RNG draws are un-stepped by
+    /// the kernel; child events are cancelled by the kernel.
+    fn reverse(
+        &self,
+        state: &mut Self::State,
+        payload: &mut Self::Payload,
+        ctx: &ReverseCtx,
+    );
+
+    /// Called when an event is irrevocably committed (passed by GVT).
+    /// Default: nothing. Use for irreversible side effects (I/O).
+    fn commit(&self, _payload: &Self::Payload, _lp: LpId, _at: VirtualTime) {}
+
+    /// End-of-run statistics collection for one LP (the paper's statistics
+    /// collection function).
+    fn finish(&self, lp: LpId, state: &Self::State, out: &mut Self::Output);
+}

@@ -1,0 +1,666 @@
+//! Optimistic (Time Warp) parallel kernel.
+//!
+//! Architecture (mirroring ROSS, paper Section 3.2):
+//!
+//! * **PEs** — one worker thread each, owning a pending-event queue, the
+//!   states and RNG streams of its LPs, and the processed-event lists of its
+//!   KPs. PEs exchange events through mutex-protected inboxes (the
+//!   shared-memory analogue of ROSS handing ownership of an event's memory
+//!   to the destination PE).
+//! * **Optimistic execution** — each PE greedily executes its locally
+//!   minimal pending event. A *straggler* (an arriving event in a KP's past)
+//!   triggers a **primary rollback**: the KP's processed list is rewound by
+//!   reverse computation — the model's reverse handler restores LP state,
+//!   the kernel un-steps the LP's RNG, and **anti-messages** cancel every
+//!   child the undone events had scheduled. An anti-message arriving for an
+//!   already-executed event triggers a **secondary rollback**.
+//! * **GVT** — a Fujimoto-style shared-memory reduction: all PEs rendezvous
+//!   at a barrier, drain in-flight messages until the global sent/received
+//!   counters agree (so no transient message is missed), publish local
+//!   minima, and take the global min. Events older than GVT are *committed*
+//!   and fossil-collected.
+//!
+//! Determinism: because the commit order is the total [`EventKey`] order —
+//! logical fields only — a parallel run commits exactly the sequential
+//! order, and model outputs are bit-identical to
+//! [`run_sequential`](crate::sequential::run_sequential). That is the
+//! paper's repeatability result (Section 4.2.1), verified by this module's
+//! tests and the workspace integration tests.
+//!
+//! ## Transient duplicates
+//!
+//! Cancellation is asynchronous: when a rolled-back event re-executes, its
+//! *new* children can race ahead of the anti-messages chasing the *stale*
+//! subtree of its previous incarnation. Two live events with the same
+//! logical [`EventKey`] (different [`EventId`]s) therefore coexist
+//! transiently — the stale one is always annihilated before the next GVT
+//! commits (quiescence guarantees the cascade has drained). The kernel
+//! consequently orders twins by id, annihilates by id, and models must
+//! tolerate *causally inconsistent transient states* (execute without
+//! crashing; the execution will be rolled back). Committed history contains
+//! exactly one event per key.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::config::EngineConfig;
+use crate::event::{Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, Remote};
+use crate::kp::{Kp, Processed};
+use crate::mapping::{FlatMapping, LinearMapping, Mapping};
+use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
+use crate::rng::{stream_seed, Clcg4, ReversibleRng};
+use crate::scheduler::EventQueue;
+use crate::stats::{EngineStats, RunResult};
+use crate::time::VirtualTime;
+
+/// Consecutive idle polls before an idle PE forces a GVT round (drives
+/// termination detection without barrier-storming busy PEs).
+const IDLE_GVT_TRIGGER: u64 = 64;
+
+/// Kernel-action trace for debugging (enabled by `PDES_TRACE=1`): compact
+/// binary records pushed into a per-PE buffer, decoded only when a PE
+/// panics. Cheap enough not to mask timing-sensitive races.
+fn trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("PDES_TRACE").is_ok())
+}
+
+/// One traced kernel action.
+#[derive(Clone, Copy, Debug)]
+enum Act {
+    Enqueue,
+    Execute,
+    CancelPending,
+    CancelMiss,
+    RollbackPop,
+    Requeue,
+    Annihilate,
+    Emit,
+    Fossil,
+}
+
+macro_rules! ttrace {
+    ($self:ident, $act:expr, $id:expr, $key:expr) => {
+        if trace_enabled() {
+            $self.trace_buf.push(($act, $id, $key));
+        }
+    };
+}
+
+/// State shared by all PEs.
+struct Shared<P> {
+    /// Per-PE incoming message queues.
+    inboxes: Vec<Mutex<Vec<Remote<P>>>>,
+    /// Global count of inter-PE messages pushed.
+    sent: AtomicU64,
+    /// Global count of inter-PE messages drained.
+    received: AtomicU64,
+    /// Set by any PE to request a GVT round; cleared by PE 0 inside it.
+    gvt_flag: AtomicBool,
+    /// Last computed GVT (ticks), for observability.
+    gvt: AtomicU64,
+    /// Per-PE published local minimum for the current round (ticks).
+    local_mins: Vec<AtomicU64>,
+    /// Rendezvous for the GVT protocol.
+    barrier: Barrier,
+}
+
+/// One LP's kernel-side state.
+struct LpSlot<M: Model> {
+    state: M::State,
+    rng: Clcg4,
+}
+
+/// Snapshot function for state-saving mode: clones `(state, rng)` before
+/// each event. `None` selects reverse computation.
+type SnapshotFn<M> =
+    Option<fn(&<M as Model>::State, &Clcg4) -> (<M as Model>::State, Clcg4)>;
+
+/// Everything one worker thread owns.
+struct PeRuntime<'a, M: Model> {
+    id: PeId,
+    model: &'a M,
+    config: &'a EngineConfig,
+    flat: &'a FlatMapping,
+    /// Global LP id → index into this PE's `slots` (valid only for owned LPs).
+    lp_local: &'a [u32],
+    /// Global KP id → index into this PE's `kps` (valid only for owned KPs).
+    kp_local: &'a [u32],
+    shared: &'a Shared<M::Payload>,
+    /// Owned LPs, positionally matching `my_lps`.
+    slots: Vec<LpSlot<M>>,
+    /// Global ids of owned LPs.
+    my_lps: Vec<LpId>,
+    /// Owned KPs.
+    kps: Vec<Kp<M::Payload, M::State>>,
+    queue: Box<dyn EventQueue<M::Payload>>,
+    next_seq: u64,
+    emit_buf: Vec<Emit<M::Payload>>,
+    bf: Bitfield,
+    stats: EngineStats,
+    since_gvt: u64,
+    idle_polls: u64,
+    /// Kernel-action trace (only filled when `PDES_TRACE` is set).
+    trace_buf: Vec<(Act, EventId, EventKey)>,
+    /// State-saving snapshotter (`None` = reverse computation).
+    snapshot_fn: SnapshotFn<M>,
+}
+
+impl<'a, M: Model> PeRuntime<'a, M> {
+    #[inline]
+    fn local_kp_idx(&self, lp: LpId) -> usize {
+        self.kp_local[self.flat.kp_of_lp[lp as usize] as usize] as usize
+    }
+
+    #[inline]
+    fn local_lp_idx(&self, lp: LpId) -> usize {
+        self.lp_local[lp as usize] as usize
+    }
+
+    /// True if the pending queue's head is executable: before the horizon
+    /// and, when optimism is throttled, within the lookahead window past
+    /// the last computed GVT.
+    #[inline]
+    fn has_executable(&mut self) -> bool {
+        match self.queue.peek_key() {
+            Some(k) if k.recv_time < self.config.end_time => {
+                match self.config.max_lookahead {
+                    Some(window) => {
+                        let gvt = self.shared.gvt.load(SeqCst);
+                        k.recv_time.0 <= gvt.saturating_add(window)
+                    }
+                    None => true,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Main optimistic loop. Returns when GVT passes the horizon.
+    fn run(&mut self) {
+        loop {
+            self.drain_inbox();
+            let want_gvt = self.shared.gvt_flag.load(SeqCst)
+                || self.since_gvt >= self.config.gvt_interval
+                || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER);
+            if want_gvt {
+                self.shared.gvt_flag.store(true, SeqCst);
+                let done = self.gvt_round();
+                self.since_gvt = 0;
+                self.idle_polls = 0;
+                if done {
+                    break;
+                }
+                continue;
+            }
+            if !self.has_executable() {
+                self.idle_polls += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            self.idle_polls = 0;
+            for _ in 0..self.config.batch {
+                if !self.has_executable() {
+                    break;
+                }
+                let ev = self.queue.pop().expect("peeked executable event must pop");
+                ttrace!(self, Act::Execute, ev.id, ev.key);
+                self.execute(ev);
+            }
+        }
+    }
+
+    /// Pull every message out of this PE's inbox and apply it.
+    fn drain_inbox(&mut self) {
+        loop {
+            let msgs = {
+                let mut guard = self.shared.inboxes[self.id].lock();
+                if guard.is_empty() {
+                    return;
+                }
+                std::mem::take(&mut *guard)
+            };
+            self.shared.received.fetch_add(msgs.len() as u64, SeqCst);
+            for msg in msgs {
+                match msg {
+                    Remote::Positive(ev) => self.enqueue_positive(ev),
+                    Remote::Anti(child) => self.cancel_local(child),
+                }
+            }
+        }
+    }
+
+    /// Insert a positive event, rolling its KP back first if it is a
+    /// straggler (primary rollback).
+    fn enqueue_positive(&mut self, ev: Event<M::Payload>) {
+        let kp_idx = self.local_kp_idx(ev.dst());
+        ttrace!(self, Act::Enqueue, ev.id, ev.key);
+        if let Some(last) = self.kps[kp_idx].last_key() {
+            // Equality is possible: a not-yet-cancelled stale twin of this
+            // event may already be processed (see module docs on transient
+            // duplicates); only a strictly earlier key is a straggler.
+            if ev.key < last {
+                self.stats.primary_rollbacks += 1;
+                self.rollback(kp_idx, ev.key, None);
+            }
+        }
+        self.queue.push(ev);
+    }
+
+    /// Annihilate a local event: remove it from the pending queue, or roll
+    /// its KP back past it (secondary rollback) and drop it.
+    fn cancel_local(&mut self, child: ChildRef) {
+        if self.queue.remove(child.id, child.key) {
+            ttrace!(self, Act::CancelPending, child.id, child.key);
+            return;
+        }
+        ttrace!(self, Act::CancelMiss, child.id, child.key);
+        let kp_idx = self.local_kp_idx(child.key.dst);
+        self.stats.secondary_rollbacks += 1;
+        self.rollback(kp_idx, child.key, Some(child.id));
+    }
+
+    /// Rewind `kp_idx` by reverse computation until its newest processed
+    /// event is strictly older than `bound`. Undone events are re-enqueued
+    /// for re-execution — except the event matching `annihilate`, which is
+    /// dropped (it was cancelled by an anti-message).
+    fn rollback(&mut self, kp_idx: usize, bound: EventKey, annihilate: Option<EventId>) {
+        let mut target_found = annihilate.is_none();
+        let mut undone = 0u64;
+        while let Some(mut p) = self.kps[kp_idx].pop_if_at_or_after(bound) {
+            // Cancel everything this execution scheduled.
+            ttrace!(self, Act::RollbackPop, p.ev.id, p.ev.key);
+            let children = std::mem::take(&mut p.children);
+            for child in children {
+                self.cancel(child);
+            }
+            // Undo the execution: restore the pre-event snapshot (state
+            // saving) or reverse-execute and un-step the RNG (reverse
+            // computation).
+            let lp = p.ev.dst();
+            let li = self.local_lp_idx(lp);
+            if let Some((state, rng)) = p.snapshot.take() {
+                self.slots[li].state = state;
+                self.slots[li].rng = rng;
+            } else {
+                let rctx = ReverseCtx { lp, now: p.ev.recv_time(), bf: p.bf };
+                self.model.reverse(&mut self.slots[li].state, &mut p.ev.payload, &rctx);
+                self.slots[li].rng.reverse_n(p.rng_calls);
+            }
+            self.stats.events_rolled_back += 1;
+            undone += 1;
+
+            // The annihilation target is identified by id, not key — a
+            // transient stale twin may share the key and must be requeued,
+            // not dropped.
+            if annihilate == Some(p.ev.id) {
+                ttrace!(self, Act::Annihilate, p.ev.id, p.ev.key);
+                target_found = true;
+                break;
+            }
+            ttrace!(self, Act::Requeue, p.ev.id, p.ev.key);
+            self.queue.push(p.ev);
+        }
+        assert!(
+            target_found,
+            "anti-message target {annihilate:?} not found in KP {kp_idx} (lost event?)"
+        );
+        if undone > 0 {
+            self.stats.record_rollback_length(undone);
+        }
+    }
+
+    /// Route a cancellation to wherever the child lives.
+    fn cancel(&mut self, child: ChildRef) {
+        self.stats.anti_messages += 1;
+        let pe = self.flat.pe_of_lp[child.key.dst as usize];
+        if pe == self.id {
+            self.cancel_local(child);
+        } else {
+            self.shared.sent.fetch_add(1, SeqCst);
+            self.shared.inboxes[pe].lock().push(Remote::Anti(child));
+        }
+    }
+
+    /// Forward-execute one event and record it for possible rollback.
+    fn execute(&mut self, mut ev: Event<M::Payload>) {
+        let lp = ev.dst();
+        let kp_idx = self.local_kp_idx(lp);
+        debug_assert!(
+            self.kps[kp_idx].last_key().is_none_or(|k| k <= ev.key),
+            "executing into a KP's past without rollback: kp_idx={kp_idx} last={:?} ev={:?} id={:?}",
+            self.kps[kp_idx].last_key(),
+            ev.key,
+            ev.id,
+        );
+        let li = self.local_lp_idx(lp);
+        self.bf.clear();
+        let mut emits = std::mem::take(&mut self.emit_buf);
+        debug_assert!(emits.is_empty());
+
+        let snapshot = self.snapshot_fn.map(|f| f(&self.slots[li].state, &self.slots[li].rng));
+        let rng_before = self.slots[li].rng.call_count();
+        {
+            let slot = &mut self.slots[li];
+            let mut ctx = EventCtx {
+                lp,
+                src: ev.key.src,
+                now: ev.key.recv_time,
+                send_time: ev.key.send_time,
+                bf: &mut self.bf,
+                rng: &mut slot.rng,
+                out: &mut emits,
+            };
+            self.model.handle(&mut slot.state, &mut ev.payload, &mut ctx);
+        }
+        let rng_calls = self.slots[li].rng.call_count() - rng_before;
+
+        let mut children = Vec::with_capacity(emits.len());
+        for emit in emits.drain(..) {
+            let id = EventId::new(self.id, self.next_seq);
+            self.next_seq += 1;
+            let key = EventKey {
+                recv_time: emit.recv_time,
+                dst: emit.dst,
+                tie: emit.tie,
+                src: lp,
+                send_time: ev.key.recv_time,
+            };
+            children.push(ChildRef { id, key });
+            ttrace!(self, Act::Emit, id, key);
+            let child_ev = Event { id, key, payload: emit.payload };
+            let pe = self.flat.pe_of_lp[emit.dst as usize];
+            if pe == self.id {
+                self.enqueue_positive(child_ev);
+            } else {
+                self.stats.remote_events += 1;
+                self.shared.sent.fetch_add(1, SeqCst);
+                self.shared.inboxes[pe].lock().push(Remote::Positive(child_ev));
+            }
+        }
+        self.emit_buf = emits;
+
+        self.kps[kp_idx].record(Processed { ev, bf: self.bf, rng_calls, children, snapshot });
+        self.stats.events_processed += 1;
+        self.since_gvt += 1;
+    }
+
+    /// One GVT reduction round. All PEs execute this in lockstep; returns
+    /// whether the simulation is finished.
+    fn gvt_round(&mut self) -> bool {
+        self.shared.barrier.wait(); // B1: everyone has stopped executing.
+        loop {
+            // Draining can trigger rollbacks, which push new messages —
+            // iterate until the whole machine is quiescent.
+            self.drain_inbox();
+            self.shared.barrier.wait(); // B2: all inboxes drained once.
+            let quiet =
+                self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
+            self.shared.barrier.wait(); // B3: everyone sampled the counters.
+            if quiet {
+                break;
+            }
+        }
+        // Quiescent: no messages in flight, nobody executing. The global
+        // minimum pending receive-time is exactly GVT.
+        let local_min = match self.queue.peek_key() {
+            Some(k) => k.recv_time.0,
+            None => u64::MAX,
+        };
+        self.shared.local_mins[self.id].store(local_min, SeqCst);
+        self.shared.barrier.wait(); // B4: all minima published.
+        let gvt = self
+            .shared
+            .local_mins
+            .iter()
+            .map(|m| m.load(SeqCst))
+            .min()
+            .expect("at least one PE");
+        if self.id == 0 {
+            self.shared.gvt.store(gvt, SeqCst);
+            self.shared.gvt_flag.store(false, SeqCst);
+        }
+        self.stats.gvt_rounds += 1;
+        self.fossil_collect(VirtualTime(gvt));
+        self.shared.barrier.wait(); // B5: flag cleared, fossils reclaimed.
+        gvt >= self.config.end_time.0
+    }
+
+    /// Commit and reclaim all processed events older than `horizon`.
+    fn fossil_collect(&mut self, horizon: VirtualTime) {
+        for kp in &mut self.kps {
+            for p in kp.fossil_collect(horizon) {
+                ttrace!(self, Act::Fossil, p.ev.id, p.ev.key);
+                self.model.commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
+                self.stats.events_committed += 1;
+                self.stats.fossils_collected += 1;
+            }
+        }
+    }
+
+    /// End-of-run statistics collection over this PE's LPs.
+    fn finish(&self) -> M::Output {
+        let mut out = M::Output::default();
+        for (i, &lp) in self.my_lps.iter().enumerate() {
+            self.model.finish(lp, &self.slots[i].state, &mut out);
+        }
+        out
+    }
+}
+
+/// Run `model` on the optimistic kernel with the default contiguous
+/// [`LinearMapping`] derived from the config's PE/KP counts.
+pub fn run_parallel<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M::Output> {
+    let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
+    run_parallel_mapped(model, config, &mapping)
+}
+
+/// Run `model` on the optimistic kernel using **state saving** instead of
+/// reverse computation: the kernel snapshots `(state, RNG)` before every
+/// event and restores snapshots on rollback, never calling
+/// [`Model::reverse`]. This is the Georgia Tech Time Warp approach that
+/// ROSS's reverse computation replaced (paper Section 3.2.1) — provided as
+/// the natural ablation baseline (experiment E12).
+pub fn run_parallel_state_saving<M>(model: &M, config: &EngineConfig) -> RunResult<M::Output>
+where
+    M: Model,
+    M::State: Clone,
+{
+    let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
+    run_parallel_inner(model, config, &mapping, Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)))
+}
+
+/// State-saving variant of [`run_parallel_mapped`].
+pub fn run_parallel_mapped_state_saving<M>(
+    model: &M,
+    config: &EngineConfig,
+    mapping: &dyn Mapping,
+) -> RunResult<M::Output>
+where
+    M: Model,
+    M::State: Clone,
+{
+    run_parallel_inner(model, config, mapping, Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)))
+}
+
+/// Run `model` on the optimistic kernel with an explicit LP→KP→PE mapping
+/// (e.g. the torus block mapping from the `topo` crate).
+pub fn run_parallel_mapped<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    mapping: &dyn Mapping,
+) -> RunResult<M::Output> {
+    run_parallel_inner(model, config, mapping, None)
+}
+
+fn run_parallel_inner<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    mapping: &dyn Mapping,
+    snapshot_fn: SnapshotFn<M>,
+) -> RunResult<M::Output> {
+    let n_lps = model.n_lps();
+    assert!(n_lps > 0, "model has no LPs");
+    assert_eq!(mapping.n_lps(), n_lps, "mapping/model LP count mismatch");
+    let flat = FlatMapping::from_mapping(mapping);
+    let n_pes = flat.n_pes;
+    assert!(n_pes < (1 << 16), "PE count exceeds EventId space");
+
+    // ---- Sequential setup phase (like ROSS's startup function). ----
+    let mut rngs: Vec<Clcg4> =
+        (0..n_lps).map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64))).collect();
+    let mut states: Vec<Option<M::State>> = Vec::with_capacity(n_lps as usize);
+    let mut init_events: Vec<Event<M::Payload>> = Vec::new();
+    let mut emits: Vec<Emit<M::Payload>> = Vec::new();
+    let mut init_seq: u64 = 0;
+    for lp in 0..n_lps {
+        let mut ctx = InitCtx { lp, rng: &mut rngs[lp as usize], out: &mut emits };
+        states.push(Some(model.init(lp, &mut ctx)));
+        for emit in emits.drain(..) {
+            assert!(emit.dst < n_lps, "init event to nonexistent LP {}", emit.dst);
+            // Init events come from a dedicated id space (origin pe = n_pes).
+            let id = EventId::new(n_pes, init_seq);
+            init_seq += 1;
+            init_events.push(Event {
+                id,
+                key: EventKey {
+                    recv_time: emit.recv_time,
+                    dst: emit.dst,
+                    tie: emit.tie,
+                    src: lp,
+                    send_time: VirtualTime::ZERO,
+                },
+                payload: emit.payload,
+            });
+        }
+    }
+
+    // Partition LPs, KPs, states and init events among PEs.
+    let mut lp_local = vec![u32::MAX; n_lps as usize];
+    let mut kp_local = vec![u32::MAX; flat.n_kps as usize];
+    let mut per_pe_lps: Vec<Vec<LpId>> = (0..n_pes).map(|pe| flat.lps_of_pe(pe)).collect();
+    let per_pe_kps: Vec<Vec<KpId>> = (0..n_pes).map(|pe| flat.kps_of_pe(pe)).collect();
+    for lps in &per_pe_lps {
+        for (i, &lp) in lps.iter().enumerate() {
+            lp_local[lp as usize] = i as u32;
+        }
+    }
+    for kps in &per_pe_kps {
+        for (i, &kp) in kps.iter().enumerate() {
+            kp_local[kp as usize] = i as u32;
+        }
+    }
+
+    let shared = Shared::<M::Payload> {
+        inboxes: (0..n_pes).map(|_| Mutex::new(Vec::new())).collect(),
+        sent: AtomicU64::new(0),
+        received: AtomicU64::new(0),
+        gvt_flag: AtomicBool::new(false),
+        gvt: AtomicU64::new(0),
+        local_mins: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
+        barrier: Barrier::new(n_pes),
+    };
+
+    // Build each PE's runtime ingredients.
+    struct PeSeed<M: Model> {
+        slots: Vec<LpSlot<M>>,
+        my_lps: Vec<LpId>,
+        n_kps: usize,
+        queue: Box<dyn EventQueue<M::Payload>>,
+    }
+    let mut seeds: Vec<PeSeed<M>> = Vec::with_capacity(n_pes);
+    for pe in 0..n_pes {
+        let my_lps = std::mem::take(&mut per_pe_lps[pe]);
+        let slots: Vec<LpSlot<M>> = my_lps
+            .iter()
+            .map(|&lp| LpSlot {
+                state: states[lp as usize].take().expect("LP owned twice"),
+                rng: rngs[lp as usize],
+            })
+            .collect();
+        seeds.push(PeSeed {
+            slots,
+            my_lps,
+            n_kps: per_pe_kps[pe].len(),
+            queue: config.scheduler.build::<M::Payload>(),
+        });
+    }
+    for ev in init_events {
+        let pe = flat.pe_of_lp[ev.dst() as usize];
+        seeds[pe].queue.push(ev);
+    }
+
+    // ---- Parallel phase. ----
+    let start = Instant::now();
+    let results: Mutex<Vec<Option<(EngineStats, M::Output)>>> =
+        Mutex::new((0..n_pes).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for (pe, seed) in seeds.into_iter().enumerate() {
+            let shared = &shared;
+            let flat = &flat;
+            let lp_local = &lp_local;
+            let kp_local = &kp_local;
+            let results = &results;
+            scope.spawn(move || {
+                let mut rt = PeRuntime {
+                    id: pe,
+                    model,
+                    config,
+                    flat,
+                    lp_local,
+                    kp_local,
+                    shared,
+                    slots: seed.slots,
+                    my_lps: seed.my_lps,
+                    kps: (0..seed.n_kps).map(|_| Kp::new()).collect(),
+                    queue: seed.queue,
+                    next_seq: 0,
+                    emit_buf: Vec::new(),
+                    bf: Bitfield::default(),
+                    stats: EngineStats::default(),
+                    since_gvt: 0,
+                    idle_polls: 0,
+                    trace_buf: Vec::new(),
+                    snapshot_fn,
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    rt.run();
+                    rt.finish()
+                }));
+                match outcome {
+                    Ok(out) => results.lock()[pe] = Some((rt.stats, out)),
+                    Err(payload) => {
+                        // Dump this PE's trace before aborting so the
+                        // failure is diagnosable (a panicked PE would
+                        // otherwise deadlock its siblings at the barrier).
+                        if trace_enabled() {
+                            for (act, id, key) in &rt.trace_buf {
+                                eprintln!("TRACE pe{pe} {act:?} id={id:?} key={key:?}");
+                            }
+                        }
+                        eprintln!("PE {pe} panicked; aborting run");
+                        drop(payload);
+                        std::process::abort();
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    // Merge per-PE results in PE order (model outputs must merge
+    // commutatively for kernel-equality; see `Merge` docs).
+    let mut stats = EngineStats::default();
+    let mut output = M::Output::default();
+    for slot in results.into_inner() {
+        let (pe_stats, pe_out) = slot.expect("PE thread did not report");
+        stats.merge(&pe_stats);
+        output.merge(pe_out);
+    }
+    stats.wall_time = wall;
+    RunResult { output, stats }
+}

@@ -1,0 +1,112 @@
+//! A reversible single 64-bit linear congruential generator.
+//!
+//! `state' = a·state + c (mod 2^64)` with an odd multiplier is a bijection on
+//! `u64`, so it reverses exactly via the multiplier's inverse modulo 2^64:
+//! `state = a⁻¹·(state' − c)`. Statistically weaker than [`Clcg4`], but about
+//! 4× cheaper per draw — kept as an ablation baseline for the RNG benchmark
+//! (experiment E10 in DESIGN.md).
+//!
+//! [`Clcg4`]: super::Clcg4
+
+use super::ReversibleRng;
+
+/// Knuth's MMIX multiplier and increment.
+const A: u64 = 6_364_136_223_846_793_005;
+const C: u64 = 1_442_695_040_888_963_407;
+/// `A_INV * A ≡ 1 (mod 2^64)`, found by Newton iteration in `inverse_pow2`.
+const A_INV: u64 = inverse_pow2(A);
+
+/// Inverse of an odd number modulo 2^64 via Newton–Hensel lifting:
+/// each iteration doubles the number of correct low bits.
+const fn inverse_pow2(a: u64) -> u64 {
+    let mut x: u64 = a; // 3 correct bits to start (a odd ⇒ a·a ≡ 1 mod 8).
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+        i += 1;
+    }
+    x
+}
+
+/// Reversible 64-bit LCG stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lcg64 {
+    state: u64,
+    count: u64,
+}
+
+impl Lcg64 {
+    /// Create a stream seeded with `seed` (every seed is valid).
+    pub fn new(seed: u64) -> Self {
+        Lcg64 { state: seed, count: 0 }
+    }
+
+    /// Raw state (for tests).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl ReversibleRng for Lcg64 {
+    #[inline]
+    fn next_unif(&mut self) -> f64 {
+        self.state = self.state.wrapping_mul(A).wrapping_add(C);
+        self.count += 1;
+        // Use the top 53 bits (LCG low bits are weak); map to (0,1).
+        let bits = self.state >> 11;
+        let u = (bits as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+        u.clamp(f64::EPSILON, 1.0 - f64::EPSILON)
+    }
+
+    #[inline]
+    fn reverse_unif(&mut self) {
+        self.state = self.state.wrapping_sub(C).wrapping_mul(A_INV);
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    #[inline]
+    fn call_count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_inverse_is_correct() {
+        assert_eq!(A.wrapping_mul(A_INV), 1);
+    }
+
+    #[test]
+    fn reverse_restores_state_bitwise() {
+        let mut rng = Lcg64::new(0x1234_5678_9ABC_DEF0);
+        let s0 = rng.state();
+        for _ in 0..257 {
+            rng.next_unif();
+        }
+        rng.reverse_n(257);
+        assert_eq!(rng.state(), s0);
+    }
+
+    #[test]
+    fn draws_are_open_unit_interval_and_vary() {
+        let mut rng = Lcg64::new(3);
+        let mut prev = -1.0;
+        for _ in 0..10_000 {
+            let u = rng.next_unif();
+            assert!(u > 0.0 && u < 1.0);
+            assert_ne!(u, prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn mean_looks_uniform() {
+        let mut rng = Lcg64::new(77);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_unif()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

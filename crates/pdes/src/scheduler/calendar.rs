@@ -1,0 +1,287 @@
+//! Calendar-queue pending set (Brown 1988).
+//!
+//! A calendar queue hashes events into *day* buckets by timestamp modulo a
+//! *year*, scanning the current day for the minimum. With a well-tuned
+//! bucket width it gives amortized O(1) enqueue/dequeue — the classic
+//! alternative to trees and heaps in discrete-event simulators, included
+//! here as the third point of ablation E9.
+//!
+//! This implementation resizes by doubling/halving the bucket count when
+//! occupancy drifts outside `[n/2, 2n]` and derives the bucket width from
+//! the average inter-event gap sampled during resize, following Brown's
+//! original recipe. Buckets hold sorted `Vec`s (events within one bucket
+//! are few when the width is right).
+
+use super::EventQueue;
+use crate::event::{Event, EventId, EventKey};
+
+/// Composite sort key (logical key + id; ids order transient duplicates).
+#[inline]
+fn ckey<P>(ev: &Event<P>) -> (EventKey, EventId) {
+    (ev.key, ev.id)
+}
+
+/// Calendar-queue implementation of [`EventQueue`].
+pub struct CalendarQueue<P> {
+    /// `buckets[i]` holds events with `recv_time / width ≡ i (mod days)`,
+    /// each kept sorted by composite key (ascending).
+    buckets: Vec<Vec<Event<P>>>,
+    /// Bucket width in ticks.
+    width: u64,
+    /// Total live events.
+    len: usize,
+    /// Cursor: the bucket the next minimum is searched from.
+    cursor: usize,
+    /// Start tick of the cursor's current day window.
+    cursor_start: u64,
+}
+
+const INITIAL_DAYS: usize = 16;
+const INITIAL_WIDTH: u64 = crate::time::VirtualTime::STEP / 4;
+
+impl<P> CalendarQueue<P> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..INITIAL_DAYS).map(|_| Vec::new()).collect(),
+            width: INITIAL_WIDTH,
+            len: 0,
+            cursor: 0,
+            cursor_start: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t / self.width) % self.buckets.len() as u64) as usize
+    }
+
+    /// Insert keeping the bucket sorted.
+    fn place(&mut self, ev: Event<P>) {
+        let b = self.bucket_of(ev.key.recv_time.0);
+        let bucket = &mut self.buckets[b];
+        let pos = bucket.partition_point(|e| ckey(e) < ckey(&ev));
+        bucket.insert(pos, ev);
+    }
+
+    /// Reset the cursor to the day containing the earliest event.
+    fn resync_cursor(&mut self) {
+        let min_t = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.first())
+            .map(|e| e.key.recv_time.0)
+            .min();
+        if let Some(t) = min_t {
+            self.cursor = self.bucket_of(t);
+            self.cursor_start = t - t % self.width;
+        } else {
+            self.cursor = 0;
+            self.cursor_start = 0;
+        }
+    }
+
+    /// Rebuild with a new day count and width sampled from current content.
+    fn resize(&mut self, days: usize) {
+        let mut all: Vec<Event<P>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.sort_unstable_by_key(ckey);
+        // Brown's width heuristic: ~3× the mean gap among the first events.
+        let sample: Vec<u64> = all.iter().take(32).map(|e| e.key.recv_time.0).collect();
+        if sample.len() >= 2 {
+            let span = sample[sample.len() - 1].saturating_sub(sample[0]);
+            let mean_gap = (span / (sample.len() as u64 - 1)).max(1);
+            self.width = (mean_gap * 3).max(1);
+        }
+        self.buckets = (0..days).map(|_| Vec::new()).collect();
+        for ev in all {
+            self.place(ev);
+        }
+        self.resync_cursor();
+    }
+
+    /// Locate the minimum event as `(bucket, index)`.
+    ///
+    /// Scans day by day from the cursor; after a full year without a hit,
+    /// falls back to a direct scan (events can be arbitrarily far ahead).
+    fn find_min(&mut self) -> Option<(usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let days = self.buckets.len();
+        let mut cursor = self.cursor;
+        let mut start = self.cursor_start;
+        for _ in 0..days {
+            let end = start + self.width;
+            let bucket = &self.buckets[cursor];
+            // Bucket is sorted; the first event in this day window (if any)
+            // is the minimum of the whole queue.
+            if let Some((i, _)) = bucket
+                .iter()
+                .enumerate()
+                .find(|(_, e)| e.key.recv_time.0 >= start && e.key.recv_time.0 < end)
+            {
+                self.cursor = cursor;
+                self.cursor_start = start;
+                return Some((cursor, i));
+            }
+            cursor = (cursor + 1) % days;
+            start = end;
+        }
+        // Sparse region: jump straight to the global minimum.
+        self.resync_cursor();
+        let (b, i, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bucket)| bucket.iter().enumerate().map(move |(i, e)| (b, i, ckey(e))))
+            .min_by_key(|&(_, _, k)| k)?;
+        Some((b, i))
+    }
+
+    fn maybe_resize(&mut self) {
+        let days = self.buckets.len();
+        if self.len > 2 * days && days < (1 << 20) {
+            self.resize(days * 2);
+        } else if self.len < days / 2 && days > INITIAL_DAYS {
+            self.resize(days / 2);
+        }
+    }
+}
+
+impl<P> Default for CalendarQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Send> EventQueue<P> for CalendarQueue<P> {
+    fn push(&mut self, ev: Event<P>) {
+        let t = ev.key.recv_time.0;
+        self.place(ev);
+        self.len += 1;
+        // A new global minimum must pull the cursor back.
+        if t < self.cursor_start {
+            self.resync_cursor();
+        }
+        self.maybe_resize();
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        let (b, i) = self.find_min()?;
+        let ev = self.buckets[b].remove(i);
+        self.len -= 1;
+        self.maybe_resize();
+        Some(ev)
+    }
+
+    fn peek_key(&mut self) -> Option<EventKey> {
+        let (b, i) = self.find_min()?;
+        Some(self.buckets[b][i].key)
+    }
+
+    fn remove(&mut self, id: EventId, key: EventKey) -> bool {
+        let b = self.bucket_of(key.recv_time.0);
+        let bucket = &mut self.buckets[b];
+        // Several events can share the logical key (transient duplicates);
+        // start at the first key match and scan the equal-key run for the id.
+        let start = bucket.partition_point(|e| e.key < key);
+        let mut i = start;
+        while i < bucket.len() && bucket[i].key == key {
+            if bucket[i].id == id {
+                bucket.remove(i);
+                self.len -= 1;
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ev;
+    use super::super::EventQueue;
+    use super::*;
+
+    #[test]
+    fn drains_in_order_across_resizes() {
+        let mut q = CalendarQueue::new();
+        // Push enough to force several doublings, shuffled.
+        let n = 500u64;
+        for i in 0..n {
+            q.push(ev(i * 7919 % n * 1000, 0, i));
+        }
+        assert_eq!(q.len(), n as usize);
+        let mut prev = None;
+        let mut count = 0;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!((e.key, e.id) > p, "out of order");
+            }
+            prev = Some((e.key, e.id));
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        let mut q = CalendarQueue::new();
+        q.push(ev(10, 0, 0));
+        // Far beyond one "year" of the initial calendar.
+        q.push(ev(1_000_000_000, 0, 1));
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 10);
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 1_000_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn new_minimum_behind_cursor_is_respected() {
+        let mut q = CalendarQueue::new();
+        for t in [500_000u64, 600_000, 700_000] {
+            q.push(ev(t, 0, t));
+        }
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 500_000);
+        // Now insert an earlier event (straggler requeue pattern).
+        q.push(ev(100_000, 0, 1));
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 100_000);
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 600_000);
+    }
+
+    #[test]
+    fn remove_by_id_with_duplicate_keys() {
+        let mut q = CalendarQueue::new();
+        let a = ev(42, 1, 7);
+        // Same logical key, different id (transient-duplicate pattern).
+        let mut b = ev(42, 1, 7);
+        b.id = crate::event::EventId::new(1, 99);
+        q.push(a.clone());
+        q.push(b.clone());
+        assert_eq!(q.len(), 2);
+        assert!(q.remove(b.id, b.key));
+        assert!(!q.remove(b.id, b.key));
+        let survivor = q.pop().unwrap();
+        assert_eq!(survivor.id, a.id);
+    }
+
+    #[test]
+    fn shrinks_after_drain() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u64 {
+            q.push(ev(i * 500, 0, i));
+        }
+        let grown = q.buckets.len();
+        assert!(grown > INITIAL_DAYS);
+        while q.pop().is_some() {}
+        assert!(q.buckets.len() <= grown);
+        assert_eq!(q.len(), 0);
+    }
+}

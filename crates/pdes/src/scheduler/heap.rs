@@ -1,0 +1,165 @@
+//! Binary-heap pending set with lazy deletion.
+//!
+//! Anti-message cancellation marks the victim's [`EventId`] in a tombstone
+//! set; tombstoned entries are skipped (and purged) whenever they surface at
+//! the top. `len` counts live events only. This trades O(log n) exact
+//! deletion for O(1) amortized deletion plus a little floating garbage —
+//! the classic engineering trade against the splay tree (ablation E9).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use super::EventQueue;
+use crate::event::{Event, EventId, EventKey};
+
+/// Min-heap entry; ordering reversed so `BinaryHeap` (a max-heap) pops the
+/// smallest [`EventKey`] first, breaking *transient-duplicate* key ties by
+/// id (see the parallel-kernel docs). Payloads are opaque.
+struct Entry<P>(Event<P>);
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key && self.0.id == other.0.id
+    }
+}
+
+impl<P> Eq for Entry<P> {}
+
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; break exact key ties by id so Ord is total.
+        other
+            .0
+            .key
+            .cmp(&self.0.key)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+/// Binary-heap implementation of [`EventQueue`].
+pub struct HeapQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    /// Ids currently pending (live, not tombstoned). Needed because
+    /// `remove` must report whether its target is actually pending — the
+    /// Time Warp kernel uses that answer to distinguish "annihilate a
+    /// pending event" from "roll back a processed one".
+    pending: HashSet<EventId>,
+    /// Ids cancelled while still pending (lazy deletion tombstones).
+    cancelled: HashSet<EventId>,
+}
+
+impl<P> HeapQueue<P> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Drop tombstoned entries sitting at the heap top.
+    fn settle(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.0.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<P> Default for HeapQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Send> EventQueue<P> for HeapQueue<P> {
+    fn push(&mut self, ev: Event<P>) {
+        let fresh = self.pending.insert(ev.id);
+        debug_assert!(fresh, "HeapQueue::push: duplicate EventId {:?}", ev.id);
+        self.heap.push(Entry(ev));
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        self.settle();
+        let ev = self.heap.pop()?.0;
+        self.pending.remove(&ev.id);
+        Some(ev)
+    }
+
+    fn peek_key(&mut self) -> Option<EventKey> {
+        self.settle();
+        self.heap.peek().map(|e| e.0.key)
+    }
+
+    fn remove(&mut self, id: EventId, _key: EventKey) -> bool {
+        if !self.pending.remove(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ev;
+    use super::super::EventQueue;
+    use super::*;
+
+    #[test]
+    fn tombstones_do_not_leak() {
+        let mut q = HeapQueue::new();
+        let events: Vec<_> = (0..100).map(|i| ev(i, 0, 0)).collect();
+        for e in &events {
+            q.push(e.clone());
+        }
+        // Cancel every other event.
+        for e in events.iter().step_by(2) {
+            assert!(q.remove(e.id, e.key));
+        }
+        assert_eq!(q.len(), 50);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
+        assert!(q.cancelled.is_empty(), "all tombstones must be purged");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = HeapQueue::new();
+        let a = ev(4, 1, 2);
+        q.push(a.clone());
+        assert_eq!(q.peek_key(), Some(a.key));
+        assert_eq!(q.peek_key(), Some(a.key));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = HeapQueue::new();
+        q.push(ev(10, 0, 0));
+        q.push(ev(5, 0, 0));
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 5);
+        q.push(ev(1, 0, 0));
+        q.push(ev(7, 0, 0));
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 1);
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 7);
+        assert_eq!(q.pop().unwrap().key.recv_time.0, 10);
+    }
+}

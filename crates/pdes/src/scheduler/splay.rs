@@ -1,0 +1,376 @@
+//! Top-down splay-tree pending set (ROSS's event queue).
+//!
+//! A splay tree self-adjusts so recently touched keys are near the root;
+//! discrete-event workloads pop near-minimum keys continuously, which splay
+//! trees serve in amortized O(log n) with excellent constants. Unlike the
+//! lazy-deleting heap, deletion here is exact — an annihilated event leaves
+//! no garbage behind.
+//!
+//! Nodes live in an index arena (`Vec<Option<Node>>` slab with a free list):
+//! no `unsafe`, no recursive destructors, cache-friendly.
+
+use super::EventQueue;
+use crate::event::{Event, EventId, EventKey};
+use crate::time::VirtualTime;
+
+/// Sentinel "null" index.
+const NIL: u32 = u32::MAX;
+
+/// Composite tree key: logical event key plus the unique event id.
+/// Transient duplicates (same [`EventKey`], different id — see the
+/// parallel-kernel docs) are ordered by id, matching the heap's tie-break.
+type CKey = (EventKey, EventId);
+
+/// Probe key smaller than every real composite key (receive times are > 0).
+const KEY_MIN: CKey = (
+    EventKey {
+        recv_time: VirtualTime::ZERO,
+        dst: 0,
+        tie: 0,
+        src: 0,
+        send_time: VirtualTime::ZERO,
+    },
+    EventId(0),
+);
+
+/// Probe key larger than every real composite key.
+const KEY_MAX: CKey = (
+    EventKey {
+        recv_time: VirtualTime::INFINITY,
+        dst: u32::MAX,
+        tie: u64::MAX,
+        src: u32::MAX,
+        send_time: VirtualTime::INFINITY,
+    },
+    EventId(u64::MAX),
+);
+
+struct Node<P> {
+    ev: Event<P>,
+    left: u32,
+    right: u32,
+}
+
+/// Splay-tree implementation of [`EventQueue`].
+pub struct SplayQueue<P> {
+    slab: Vec<Option<Node<P>>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<P> SplayQueue<P> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        SplayQueue { slab: Vec::new(), free: Vec::new(), root: NIL, len: 0 }
+    }
+
+    #[inline]
+    fn key(&self, idx: u32) -> CKey {
+        let ev = &self.slab[idx as usize].as_ref().unwrap().ev;
+        (ev.key, ev.id)
+    }
+
+    #[inline]
+    fn left(&self, idx: u32) -> u32 {
+        self.slab[idx as usize].as_ref().unwrap().left
+    }
+
+    #[inline]
+    fn right(&self, idx: u32) -> u32 {
+        self.slab[idx as usize].as_ref().unwrap().right
+    }
+
+    #[inline]
+    fn set_left(&mut self, idx: u32, v: u32) {
+        self.slab[idx as usize].as_mut().unwrap().left = v;
+    }
+
+    #[inline]
+    fn set_right(&mut self, idx: u32, v: u32) {
+        self.slab[idx as usize].as_mut().unwrap().right = v;
+    }
+
+    fn alloc(&mut self, ev: Event<P>) -> u32 {
+        let node = Node { ev, left: NIL, right: NIL };
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx as usize] = Some(node);
+            idx
+        } else {
+            self.slab.push(Some(node));
+            (self.slab.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, idx: u32) -> Event<P> {
+        let node = self.slab[idx as usize].take().unwrap();
+        self.free.push(idx);
+        node.ev
+    }
+
+    /// Sleator's top-down splay: restructure the subtree rooted at `t` so
+    /// the node with `probe`'s key (or the last node on the search path) is
+    /// the new root. Returns the new root index.
+    fn splay(&mut self, mut t: u32, probe: &CKey) -> u32 {
+        if t == NIL {
+            return NIL;
+        }
+        // Disassembled left tree (keys < probe) and right tree (keys > probe).
+        let (mut l_root, mut l_tail) = (NIL, NIL);
+        let (mut r_root, mut r_tail) = (NIL, NIL);
+        loop {
+            let tk = self.key(t);
+            if *probe < tk {
+                let mut tl = self.left(t);
+                if tl == NIL {
+                    break;
+                }
+                if *probe < self.key(tl) {
+                    // Zig-zig: rotate right.
+                    self.set_left(t, self.right(tl));
+                    self.set_right(tl, t);
+                    t = tl;
+                    tl = self.left(t);
+                    if tl == NIL {
+                        break;
+                    }
+                }
+                // Link right: `t` becomes the minimum of the right tree.
+                if r_tail == NIL {
+                    r_root = t;
+                } else {
+                    self.set_left(r_tail, t);
+                }
+                r_tail = t;
+                t = tl;
+            } else if *probe > tk {
+                let mut tr = self.right(t);
+                if tr == NIL {
+                    break;
+                }
+                if *probe > self.key(tr) {
+                    // Zag-zag: rotate left.
+                    self.set_right(t, self.left(tr));
+                    self.set_left(tr, t);
+                    t = tr;
+                    tr = self.right(t);
+                    if tr == NIL {
+                        break;
+                    }
+                }
+                // Link left: `t` becomes the maximum of the left tree.
+                if l_tail == NIL {
+                    l_root = t;
+                } else {
+                    self.set_right(l_tail, t);
+                }
+                l_tail = t;
+                t = tr;
+            } else {
+                break;
+            }
+        }
+        // Reassemble: left tree + t + right tree.
+        if l_tail == NIL {
+            l_root = self.left(t);
+        } else {
+            self.set_right(l_tail, self.left(t));
+        }
+        if r_tail == NIL {
+            r_root = self.right(t);
+        } else {
+            self.set_left(r_tail, self.right(t));
+        }
+        self.set_left(t, l_root);
+        self.set_right(t, r_root);
+        t
+    }
+
+    /// Detach and return the whole tree's minimum node index, or `NIL`.
+    fn detach_min(&mut self) -> u32 {
+        if self.root == NIL {
+            return NIL;
+        }
+        self.root = self.splay(self.root, &KEY_MIN);
+        let min = self.root;
+        debug_assert_eq!(self.left(min), NIL);
+        self.root = self.right(min);
+        min
+    }
+
+    #[cfg(test)]
+    fn depth_check(&self, idx: u32, depth: usize) -> usize {
+        if idx == NIL {
+            return depth;
+        }
+        let l = self.depth_check(self.left(idx), depth + 1);
+        let r = self.depth_check(self.right(idx), depth + 1);
+        l.max(r)
+    }
+}
+
+impl<P> Default for SplayQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Send> EventQueue<P> for SplayQueue<P> {
+    fn push(&mut self, ev: Event<P>) {
+        let key = (ev.key, ev.id);
+        let idx = self.alloc(ev);
+        self.len += 1;
+        if self.root == NIL {
+            self.root = idx;
+            return;
+        }
+        self.root = self.splay(self.root, &key);
+        let rk = self.key(self.root);
+        debug_assert_ne!(rk, key, "duplicate EventId pushed");
+        if key < rk {
+            self.set_left(idx, self.left(self.root));
+            self.set_right(idx, self.root);
+            self.set_left(self.root, NIL);
+        } else {
+            self.set_right(idx, self.right(self.root));
+            self.set_left(idx, self.root);
+            self.set_right(self.root, NIL);
+        }
+        self.root = idx;
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        let min = self.detach_min();
+        if min == NIL {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.dealloc(min))
+    }
+
+    fn peek_key(&mut self) -> Option<EventKey> {
+        if self.root == NIL {
+            return None;
+        }
+        self.root = self.splay(self.root, &KEY_MIN);
+        Some(self.key(self.root).0)
+    }
+
+    fn remove(&mut self, id: EventId, key: EventKey) -> bool {
+        if self.root == NIL {
+            return false;
+        }
+        self.root = self.splay(self.root, &(key, id));
+        {
+            let root_node = self.slab[self.root as usize].as_ref().unwrap();
+            if root_node.ev.key != key || root_node.ev.id != id {
+                return false;
+            }
+        }
+        let old = self.root;
+        let (l, r) = (self.left(old), self.right(old));
+        self.root = if l == NIL {
+            r
+        } else {
+            // Splay the left subtree's maximum to its root; it then has no
+            // right child, so the right subtree hangs off it.
+            let new_root = self.splay(l, &KEY_MAX);
+            debug_assert_eq!(self.right(new_root), NIL);
+            self.set_right(new_root, r);
+            new_root
+        };
+        self.dealloc(old);
+        self.len -= 1;
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ev;
+    use super::super::EventQueue;
+    use super::*;
+
+    #[test]
+    fn sorted_insert_then_drain() {
+        let mut q = SplayQueue::new();
+        for t in (0..200).rev() {
+            q.push(ev(t, 0, 0));
+        }
+        for t in 0..200 {
+            assert_eq!(q.pop().unwrap().key.recv_time.0, t);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn slab_is_recycled() {
+        let mut q = SplayQueue::new();
+        for round in 0..10 {
+            for t in 0..50 {
+                q.push(ev(t + round * 50, 0, 0));
+            }
+            for _ in 0..50 {
+                q.pop().unwrap();
+            }
+        }
+        // All nodes freed; slab never grew past one round's worth.
+        assert!(q.slab.len() <= 50, "slab grew to {}", q.slab.len());
+        assert_eq!(q.free.len(), q.slab.len());
+    }
+
+    #[test]
+    fn remove_root_and_inner_nodes() {
+        let mut q = SplayQueue::new();
+        let events: Vec<_> = (0..20).map(|t| ev(t, 0, 0)).collect();
+        for e in &events {
+            q.push(e.clone());
+        }
+        // Remove in a scrambled order.
+        for &i in &[10usize, 0, 19, 5, 6, 7, 1, 18] {
+            assert!(q.remove(events[i].id, events[i].key));
+        }
+        assert_eq!(q.len(), 12);
+        let survivors: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.key.recv_time.0)
+            .collect();
+        assert_eq!(survivors, vec![2, 3, 4, 8, 9, 11, 12, 13, 14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn remove_with_wrong_id_fails() {
+        let mut q = SplayQueue::new();
+        let a = ev(5, 1, 1);
+        q.push(a.clone());
+        let bogus = EventId::new(7, 7);
+        assert!(!q.remove(bogus, a.key));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn sequential_access_stays_shallow() {
+        // After draining in order, repeated splays keep the structure sane;
+        // just verify the tree never corrupts (every pushed node pops).
+        let mut q = SplayQueue::new();
+        let n = 1000u64;
+        for t in 0..n {
+            q.push(ev(t * 7919 % n, 0, t)); // pseudo-shuffled keys
+        }
+        assert_eq!(q.len(), n as usize);
+        let _ = q.depth_check(q.root, 0); // no cycles / no panic
+        let mut prev = None;
+        let mut count = 0;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!(e.key > p);
+            }
+            prev = Some(e.key);
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+}

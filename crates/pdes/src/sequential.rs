@@ -1,0 +1,222 @@
+//! Sequential reference kernel.
+//!
+//! Executes events strictly in [`EventKey`](crate::event::EventKey) order on
+//! one thread — no rollback, no GVT. This is the oracle the paper validates
+//! the optimistic kernel against (Section 4.2.1): *"the only way for the
+//! results of the parallel simulation to match the sequential model is for
+//! the parallel model to be deterministic"*. The integration tests assert
+//! byte-identical model outputs between the two kernels.
+
+use std::time::Instant;
+
+use crate::config::EngineConfig;
+use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
+use crate::model::{Emit, EventCtx, InitCtx, Model};
+use crate::rng::{stream_seed, Clcg4};
+use crate::stats::{EngineStats, RunResult};
+
+/// Run `model` to completion on the sequential kernel.
+///
+/// Only `end_time`, `seed` and `scheduler` are consulted from the config;
+/// PE/KP/GVT settings are meaningless without optimism.
+pub fn run_sequential<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M::Output> {
+    let n_lps = model.n_lps();
+    assert!(n_lps > 0, "model has no LPs");
+
+    let mut rngs: Vec<Clcg4> =
+        (0..n_lps).map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64))).collect();
+    let mut states: Vec<M::State> = Vec::with_capacity(n_lps as usize);
+    let mut queue = config.scheduler.build::<M::Payload>();
+    let mut seq: u64 = 0;
+    let mut emits: Vec<Emit<M::Payload>> = Vec::new();
+
+    // Initialize every LP and enqueue its bootstrap events.
+    for lp in 0..n_lps {
+        let mut ctx = InitCtx { lp, rng: &mut rngs[lp as usize], out: &mut emits };
+        states.push(model.init(lp, &mut ctx));
+        for emit in emits.drain(..) {
+            queue.push(materialize(emit, lp, &mut seq));
+        }
+    }
+
+    let start = Instant::now();
+    let mut stats = EngineStats::default();
+    let mut bf = Bitfield::default();
+    let mut last_key: Option<EventKey> = None;
+
+    loop {
+        // Events at or beyond the horizon are never executed; the queue is
+        // ordered, so the first such key ends the run.
+        let executable = matches!(queue.peek_key(), Some(k) if k.recv_time < config.end_time);
+        if !executable {
+            break;
+        }
+        let mut ev = queue.pop().expect("peeked key must pop");
+        debug_assert!(
+            last_key.is_none_or(|lk| lk < ev.key),
+            "event keys must be strictly increasing (duplicate key?): {last_key:?} then {:?}",
+            ev.key
+        );
+        last_key = Some(ev.key);
+
+        let lp = ev.key.dst;
+        assert!(lp < n_lps, "event addressed to nonexistent LP {lp}");
+        bf.clear();
+        {
+            let mut ctx = EventCtx {
+                lp,
+                src: ev.key.src,
+                now: ev.key.recv_time,
+                send_time: ev.key.send_time,
+                bf: &mut bf,
+                rng: &mut rngs[lp as usize],
+                out: &mut emits,
+            };
+            model.handle(&mut states[lp as usize], &mut ev.payload, &mut ctx);
+        }
+        // Sequential execution commits immediately.
+        model.commit(&ev.payload, lp, ev.key.recv_time);
+        for emit in emits.drain(..) {
+            debug_assert!(emit.dst < n_lps, "scheduled to nonexistent LP {}", emit.dst);
+            let src = lp;
+            let mut e = materialize(emit, src, &mut seq);
+            e.key.send_time = ev.key.recv_time;
+            queue.push(e);
+        }
+        stats.events_processed += 1;
+        stats.events_committed += 1;
+    }
+
+    stats.wall_time = start.elapsed();
+
+    let mut output = M::Output::default();
+    for lp in 0..n_lps {
+        model.finish(lp, &states[lp as usize], &mut output);
+    }
+    RunResult { output, stats }
+}
+
+/// Turn an [`Emit`] into a full event. The sequential kernel allocates all
+/// ids from one counter; ids never influence processing order.
+fn materialize<P>(emit: Emit<P>, src: LpId, seq: &mut u64) -> Event<P> {
+    let id = EventId::new(0, *seq);
+    *seq += 1;
+    Event {
+        id,
+        key: EventKey {
+            recv_time: emit.recv_time,
+            dst: emit.dst,
+            tie: emit.tie,
+            src,
+            send_time: crate::time::VirtualTime::ZERO,
+        },
+        payload: emit.payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Merge, ReverseCtx};
+    use crate::rng::ReversibleRng;
+    use crate::time::VirtualTime;
+
+    /// A ping-pong model: LP i sends to LP (i+1) % n every step; counts
+    /// received messages and sums RNG draws to exercise the stream.
+    struct PingPong {
+        n: u32,
+    }
+
+    #[derive(Default, Clone, PartialEq, Debug)]
+    struct PingState {
+        received: u64,
+        draw_sum: f64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+
+    #[derive(Default, Debug, PartialEq)]
+    struct PingOut {
+        total: u64,
+    }
+
+    impl Merge for PingOut {
+        fn merge(&mut self, other: Self) {
+            self.total += other.total;
+        }
+    }
+
+    impl Model for PingPong {
+        type State = PingState;
+        type Payload = Ping;
+        type Output = PingOut;
+
+        fn n_lps(&self) -> u32 {
+            self.n
+        }
+
+        fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Ping>) -> PingState {
+            ctx.schedule_at(lp, VirtualTime::from_steps(1), lp as u64, Ping);
+            PingState::default()
+        }
+
+        fn handle(&self, state: &mut PingState, _p: &mut Ping, ctx: &mut EventCtx<'_, Ping>) {
+            state.received += 1;
+            state.draw_sum += ctx.rng().uniform();
+            let next = (ctx.lp() + 1) % self.n;
+            ctx.schedule(next, VirtualTime::STEP, ctx.lp() as u64, Ping);
+        }
+
+        fn reverse(&self, _s: &mut PingState, _p: &mut Ping, _ctx: &ReverseCtx) {
+            unreachable!("sequential kernel never reverses");
+        }
+
+        fn finish(&self, _lp: LpId, state: &PingState, out: &mut PingOut) {
+            out.total += state.received;
+        }
+    }
+
+    #[test]
+    fn ping_pong_event_count_is_exact() {
+        let model = PingPong { n: 4 };
+        let config = EngineConfig::new(VirtualTime::from_steps(11));
+        let result = run_sequential(&model, &config);
+        // Each LP fires at steps 1..=10 → 4 LPs × 10 steps, plus nothing at
+        // step 11 (>= end is excluded... step 11 events exist but horizon is
+        // exclusive).
+        assert_eq!(result.output.total, 40);
+        assert_eq!(result.stats.events_committed, 40);
+        assert_eq!(result.stats.events_processed, 40);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let model = PingPong { n: 8 };
+        let config = EngineConfig::new(VirtualTime::from_steps(50)).with_seed(99);
+        let a = run_sequential(&model, &config);
+        let b = run_sequential(&model, &config);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.stats.events_committed, b.stats.events_committed);
+    }
+
+    #[test]
+    fn different_seed_same_topological_counts() {
+        // Event counts don't depend on RNG here, only the draws do.
+        let model = PingPong { n: 4 };
+        let a = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(1));
+        let b = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(2));
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn splay_and_heap_agree() {
+        use crate::scheduler::SchedulerKind;
+        let model = PingPong { n: 8 };
+        let base = EngineConfig::new(VirtualTime::from_steps(30)).with_seed(5);
+        let heap = run_sequential(&model, &base.clone().with_scheduler(SchedulerKind::Heap));
+        let splay = run_sequential(&model, &base.with_scheduler(SchedulerKind::Splay));
+        assert_eq!(heap.output, splay.output);
+        assert_eq!(heap.stats.events_committed, splay.stats.events_committed);
+    }
+}

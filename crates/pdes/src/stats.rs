@@ -1,0 +1,186 @@
+//! Engine performance statistics.
+//!
+//! These are the quantities the paper's *simulation analysis* section plots:
+//! net event rate (Figures 5 and 8), rollback counts (Figures 7a–c), and the
+//! speed-up/efficiency numbers derived from them (Figure 6).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters collected by one PE (or the sequential kernel) and merged into a
+/// run-wide total.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Forward event executions, including ones later rolled back.
+    pub events_processed: u64,
+    /// Events committed (passed by GVT / executed by the sequential kernel).
+    pub events_committed: u64,
+    /// Events reverse-executed during rollbacks.
+    pub events_rolled_back: u64,
+    /// Rollbacks triggered by straggler (positive) messages.
+    pub primary_rollbacks: u64,
+    /// Rollbacks triggered by anti-messages.
+    pub secondary_rollbacks: u64,
+    /// Anti-messages sent.
+    pub anti_messages: u64,
+    /// Positive events sent to a *different* PE.
+    pub remote_events: u64,
+    /// GVT reduction rounds.
+    pub gvt_rounds: u64,
+    /// Events reclaimed by fossil collection.
+    pub fossils_collected: u64,
+    /// Histogram of rollback lengths (events undone per rollback), bucketed
+    /// by powers of two: bucket i counts rollbacks undoing in
+    /// `[2^i, 2^(i+1))` events; the last bucket is open-ended.
+    pub rollback_lengths: [u64; 8],
+    /// Wall-clock run time (only set on the merged total).
+    pub wall_time: Duration,
+}
+
+impl EngineStats {
+    /// Fold another PE's counters into this one. Wall time takes the max
+    /// (PEs run concurrently).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.events_processed += other.events_processed;
+        self.events_committed += other.events_committed;
+        self.events_rolled_back += other.events_rolled_back;
+        self.primary_rollbacks += other.primary_rollbacks;
+        self.secondary_rollbacks += other.secondary_rollbacks;
+        self.anti_messages += other.anti_messages;
+        self.remote_events += other.remote_events;
+        self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
+        self.fossils_collected += other.fossils_collected;
+        for (a, b) in self.rollback_lengths.iter_mut().zip(&other.rollback_lengths) {
+            *a += b;
+        }
+        self.wall_time = self.wall_time.max(other.wall_time);
+    }
+
+    /// Record one rollback that undid `undone` events (≥ 1).
+    pub fn record_rollback_length(&mut self, undone: u64) {
+        debug_assert!(undone >= 1);
+        let bucket = (63 - undone.leading_zeros() as usize).min(7);
+        self.rollback_lengths[bucket] += 1;
+    }
+
+    /// Mean events undone per rollback.
+    pub fn mean_rollback_length(&self) -> f64 {
+        let rb = self.total_rollbacks();
+        if rb == 0 {
+            0.0
+        } else {
+            self.events_rolled_back as f64 / rb as f64
+        }
+    }
+
+    /// Net committed events per wall-clock second — the paper's "event rate"
+    /// (Section 4.2: "A simulator's speed is also known as its Event Rate").
+    pub fn event_rate(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.events_committed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total rollbacks of either kind.
+    pub fn total_rollbacks(&self) -> u64 {
+        self.primary_rollbacks + self.secondary_rollbacks
+    }
+
+    /// Fraction of forward executions that were wasted (rolled back).
+    pub fn rollback_ratio(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.events_rolled_back as f64 / self.events_processed as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events committed     : {}", self.events_committed)?;
+        writeln!(f, "events processed     : {}", self.events_processed)?;
+        writeln!(f, "events rolled back   : {}", self.events_rolled_back)?;
+        writeln!(
+            f,
+            "rollbacks (1st/2nd)  : {}/{}",
+            self.primary_rollbacks, self.secondary_rollbacks
+        )?;
+        writeln!(f, "anti-messages        : {}", self.anti_messages)?;
+        writeln!(f, "remote events        : {}", self.remote_events)?;
+        writeln!(f, "gvt rounds           : {}", self.gvt_rounds)?;
+        writeln!(f, "fossils collected    : {}", self.fossils_collected)?;
+        writeln!(f, "wall time            : {:.3}s", self.wall_time.as_secs_f64())?;
+        write!(f, "event rate           : {:.0} ev/s", self.event_rate())
+    }
+}
+
+/// Everything a kernel run returns: the model's aggregated output plus the
+/// engine counters.
+#[derive(Clone, Debug)]
+pub struct RunResult<O> {
+    /// Model output, merged across all LPs (via [`Merge`](crate::model::Merge)).
+    pub output: O,
+    /// Engine counters, merged across all PEs.
+    pub stats: EngineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_wall_time() {
+        let mut a = EngineStats {
+            events_processed: 10,
+            events_committed: 8,
+            events_rolled_back: 2,
+            primary_rollbacks: 1,
+            secondary_rollbacks: 0,
+            anti_messages: 3,
+            remote_events: 4,
+            gvt_rounds: 5,
+            fossils_collected: 6,
+            rollback_lengths: [1, 0, 0, 0, 0, 0, 0, 0],
+            wall_time: Duration::from_secs(2),
+        };
+        let b = EngineStats {
+            events_processed: 1,
+            events_committed: 1,
+            wall_time: Duration::from_secs(3),
+            gvt_rounds: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_processed, 11);
+        assert_eq!(a.events_committed, 9);
+        assert_eq!(a.gvt_rounds, 5);
+        assert_eq!(a.wall_time, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = EngineStats {
+            events_processed: 100,
+            events_committed: 80,
+            events_rolled_back: 20,
+            primary_rollbacks: 4,
+            secondary_rollbacks: 6,
+            wall_time: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(s.event_rate(), 40.0);
+        assert_eq!(s.total_rollbacks(), 10);
+        assert!((s.rollback_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_wall_time_is_safe() {
+        let s = EngineStats::default();
+        assert_eq!(s.event_rate(), 0.0);
+        assert_eq!(s.rollback_ratio(), 0.0);
+    }
+}

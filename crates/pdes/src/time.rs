@@ -1,0 +1,149 @@
+//! Virtual time.
+//!
+//! ROSS represents virtual time as a `double`; the hot-potato model then has
+//! to manufacture unique timestamps by adding random fractions to step
+//! boundaries. We instead use a 64-bit *fixed-point* tick count, which is
+//! totally ordered, hashable and exact — two properties the determinism
+//! argument of the paper (Section 3.2.2) leans on. One "time step" of the
+//! synchronous network is [`VirtualTime::STEP`] ticks; sub-step jitter lives
+//! in the fractional ticks.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in fixed-point ticks.
+///
+/// `VirtualTime` is a thin wrapper over `u64`. The zero value is the start of
+/// the simulation; [`VirtualTime::INFINITY`] sorts after every reachable
+/// timestamp and is used by GVT reduction for "no pending work".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Start of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// Sorts after every real timestamp (used for idle LPs / GVT).
+    pub const INFINITY: VirtualTime = VirtualTime(u64::MAX);
+    /// Number of ticks in one synchronous network time step.
+    ///
+    /// 1_000_000 sub-ticks leaves ample room for the model's per-packet
+    /// jitter and the per-priority ROUTE staggering.
+    pub const STEP: u64 = 1_000_000;
+
+    /// A whole number of synchronous steps.
+    #[inline]
+    pub const fn from_steps(steps: u64) -> Self {
+        VirtualTime(steps * Self::STEP)
+    }
+
+    /// A duration of whole steps plus fractional ticks.
+    #[inline]
+    pub const fn from_parts(steps: u64, ticks: u64) -> Self {
+        VirtualTime(steps * Self::STEP + ticks)
+    }
+
+    /// The synchronous step this timestamp falls in.
+    #[inline]
+    pub const fn step(self) -> u64 {
+        self.0 / Self::STEP
+    }
+
+    /// Ticks past the containing step boundary.
+    #[inline]
+    pub const fn sub_step(self) -> u64 {
+        self.0 % Self::STEP
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference in ticks.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: VirtualTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+
+    /// Time expressed in (possibly fractional) steps, for reporting.
+    #[inline]
+    pub fn as_steps_f64(self) -> f64 {
+        self.0 as f64 / Self::STEP as f64
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == VirtualTime::INFINITY {
+            write!(f, "VT(inf)")
+        } else {
+            write!(f, "VT({}+{})", self.step(), self.sub_step())
+        }
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_steps_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decomposition_round_trips() {
+        let t = VirtualTime::from_parts(7, 123);
+        assert_eq!(t.step(), 7);
+        assert_eq!(t.sub_step(), 123);
+        assert_eq!(t.ticks(), 7 * VirtualTime::STEP + 123);
+    }
+
+    #[test]
+    fn ordering_is_total_and_infinity_is_max() {
+        let a = VirtualTime::from_steps(1);
+        let b = VirtualTime::from_parts(1, 1);
+        assert!(a < b);
+        assert!(b < VirtualTime::INFINITY);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_steps(2) + 5;
+        assert_eq!(t.sub_step(), 5);
+        assert_eq!(t - VirtualTime::from_steps(2), 5);
+        assert_eq!(VirtualTime::ZERO.saturating_sub(t), 0);
+    }
+
+    #[test]
+    fn display_in_steps() {
+        let t = VirtualTime::from_parts(3, VirtualTime::STEP / 2);
+        assert_eq!(format!("{t}"), "3.500000");
+    }
+}

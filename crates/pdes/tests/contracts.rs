@@ -1,0 +1,128 @@
+//! Contract enforcement: the kernels reject model behaviour that would
+//! silently break Time Warp semantics (zero-delay self-ties, events to
+//! nonexistent LPs, bad configs) rather than corrupting a run.
+
+use pdes::prelude::*;
+
+/// Minimal model scaffold whose behaviour is driven by a closure-selected
+/// variant.
+struct Misbehaving {
+    mode: Mode,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    ZeroDelay,
+    InitAtZero,
+    BadDestination,
+    Fine,
+}
+
+#[derive(Clone, Debug)]
+struct Tick;
+
+impl Model for Misbehaving {
+    type State = ();
+    type Payload = Tick;
+    type Output = ();
+
+    fn n_lps(&self) -> u32 {
+        2
+    }
+
+    fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Tick>) {
+        if lp == 0 {
+            let t = if self.mode == Mode::InitAtZero {
+                VirtualTime::ZERO
+            } else {
+                VirtualTime::from_steps(1)
+            };
+            ctx.schedule_at(0, t, 0, Tick);
+        }
+    }
+
+    fn handle(&self, _s: &mut (), _p: &mut Tick, ctx: &mut EventCtx<'_, Tick>) {
+        match self.mode {
+            Mode::ZeroDelay => ctx.schedule_self(0, 1, Tick),
+            Mode::BadDestination => ctx.schedule(99, 10, 1, Tick),
+            _ => {}
+        }
+    }
+
+    fn reverse(&self, _s: &mut (), _p: &mut Tick, _ctx: &ReverseCtx) {}
+
+    fn finish(&self, _lp: LpId, _s: &(), _out: &mut ()) {}
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig::new(VirtualTime::from_steps(5))
+}
+
+#[test]
+#[should_panic(expected = "zero-delay")]
+fn zero_delay_events_are_rejected() {
+    run_sequential(&Misbehaving { mode: Mode::ZeroDelay }, &cfg());
+}
+
+#[test]
+#[should_panic(expected = "recv_time > 0")]
+fn init_events_at_time_zero_are_rejected() {
+    run_sequential(&Misbehaving { mode: Mode::InitAtZero }, &cfg());
+}
+
+#[test]
+#[should_panic]
+fn events_to_nonexistent_lps_are_rejected() {
+    run_sequential(&Misbehaving { mode: Mode::BadDestination }, &cfg());
+}
+
+#[test]
+fn well_behaved_model_runs() {
+    let r = run_sequential(&Misbehaving { mode: Mode::Fine }, &cfg());
+    assert_eq!(r.stats.events_committed, 1);
+}
+
+#[test]
+#[should_panic(expected = "no LPs")]
+fn empty_models_are_rejected() {
+    struct Empty;
+    impl Model for Empty {
+        type State = ();
+        type Payload = Tick;
+        type Output = ();
+        fn n_lps(&self) -> u32 {
+            0
+        }
+        fn init(&self, _lp: LpId, _ctx: &mut InitCtx<'_, Tick>) {}
+        fn handle(&self, _s: &mut (), _p: &mut Tick, _c: &mut EventCtx<'_, Tick>) {}
+        fn reverse(&self, _s: &mut (), _p: &mut Tick, _c: &ReverseCtx) {}
+        fn finish(&self, _lp: LpId, _s: &(), _o: &mut ()) {}
+    }
+    run_sequential(&Empty, &cfg());
+}
+
+#[test]
+#[should_panic(expected = "mismatch")]
+fn mapping_lp_count_mismatch_is_rejected() {
+    let mapping = LinearMapping::new(5, 2, 1);
+    run_parallel_mapped(&Misbehaving { mode: Mode::Fine }, &cfg(), &mapping);
+}
+
+#[test]
+fn horizon_zero_runs_nothing() {
+    let r = run_sequential(
+        &Misbehaving { mode: Mode::Fine },
+        &EngineConfig::new(VirtualTime::ZERO),
+    );
+    assert_eq!(r.stats.events_committed, 0);
+}
+
+#[test]
+fn parallel_with_more_kps_than_lps_is_clamped_by_mapping() {
+    // LinearMapping clamps KPs to the LP count; the engine accepts it.
+    let r = run_parallel(
+        &Misbehaving { mode: Mode::Fine },
+        &cfg().with_pes(1).with_kps(64),
+    );
+    assert_eq!(r.stats.events_committed, 1);
+}

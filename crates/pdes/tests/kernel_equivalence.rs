@@ -1,0 +1,290 @@
+//! Sequential ≡ parallel equivalence for the pdes engine, using a model with
+//! genuine rollback-sensitive state (saved fields, RNG draws, cross-LP
+//! traffic). This is the engine-level version of the paper's Attachment 3
+//! check; the workspace-level tests repeat it with the hot-potato model.
+
+use pdes::prelude::*;
+
+/// A "token storm": `n` tokens hop between random LPs. Every hop draws from
+/// the LP's reversible RNG, mutates integer state, and records the draw in
+/// the payload so the reverse handler can undo it.
+struct TokenStorm {
+    n_lps: u32,
+    tokens_per_lp: u32,
+}
+
+#[derive(Default, Clone)]
+struct LpState {
+    hops: u64,
+    weight: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    id: u64,
+    /// Saved by the forward handler for reverse computation.
+    saved_draw: u64,
+}
+
+#[derive(Default, Debug, PartialEq, Eq)]
+struct Out {
+    hops: u64,
+    weight: u64,
+}
+
+impl Merge for Out {
+    fn merge(&mut self, other: Self) {
+        self.hops += other.hops;
+        self.weight += other.weight;
+    }
+}
+
+impl Model for TokenStorm {
+    type State = LpState;
+    type Payload = Token;
+    type Output = Out;
+
+    fn n_lps(&self) -> u32 {
+        self.n_lps
+    }
+
+    fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Token>) -> LpState {
+        for t in 0..self.tokens_per_lp {
+            let id = lp as u64 * self.tokens_per_lp as u64 + t as u64;
+            // Unique sub-step offsets avoid key collisions at time 1.
+            let offset = ctx.rng().integer(0, VirtualTime::STEP / 2 - 1);
+            ctx.schedule_at(
+                lp,
+                VirtualTime::from_parts(1, offset + 1),
+                id,
+                Token { id, saved_draw: 0 },
+            );
+        }
+        LpState::default()
+    }
+
+    fn handle(&self, state: &mut LpState, token: &mut Token, ctx: &mut EventCtx<'_, Token>) {
+        let draw = ctx.rng().integer(0, 999);
+        token.saved_draw = draw;
+        state.hops += 1;
+        state.weight += draw;
+        let next = ((ctx.lp() as u64 + 1 + draw) % self.n_lps as u64) as u32;
+        // Heterogeneous delays spread LPs across virtual time, provoking
+        // stragglers under optimism.
+        let delay = VirtualTime::STEP + draw * 1000;
+        ctx.schedule(next, delay, token.id, token.clone());
+    }
+
+    fn reverse(&self, state: &mut LpState, token: &mut Token, _ctx: &ReverseCtx) {
+        state.hops -= 1;
+        state.weight -= token.saved_draw;
+    }
+
+    fn finish(&self, _lp: LpId, state: &LpState, out: &mut Out) {
+        out.hops += state.hops;
+        out.weight += state.weight;
+    }
+}
+
+fn storm() -> TokenStorm {
+    TokenStorm { n_lps: 16, tokens_per_lp: 4 }
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::new(VirtualTime::from_steps(60)).with_seed(0xC0FFEE)
+}
+
+#[test]
+fn sequential_is_reproducible() {
+    let a = run_sequential(&storm(), &config());
+    let b = run_sequential(&storm(), &config());
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.stats.events_committed, b.stats.events_committed);
+    assert!(a.output.hops > 500, "workload too small to be meaningful");
+}
+
+#[test]
+fn parallel_one_pe_matches_sequential() {
+    let seq = run_sequential(&storm(), &config());
+    let par = run_parallel(&storm(), &config().with_pes(1).with_kps(8));
+    assert_eq!(par.output, seq.output);
+    assert_eq!(par.stats.events_committed, seq.stats.events_committed);
+    // One PE can never roll back.
+    assert_eq!(par.stats.events_rolled_back, 0);
+}
+
+#[test]
+fn parallel_two_pes_matches_sequential() {
+    let seq = run_sequential(&storm(), &config());
+    for kps in [2, 4, 16] {
+        let par = run_parallel(&storm(), &config().with_pes(2).with_kps(kps));
+        assert_eq!(par.output, seq.output, "kps={kps}");
+        assert_eq!(par.stats.events_committed, seq.stats.events_committed, "kps={kps}");
+    }
+}
+
+#[test]
+fn parallel_four_pes_matches_sequential() {
+    let seq = run_sequential(&storm(), &config());
+    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16));
+    assert_eq!(par.output, seq.output);
+    assert_eq!(par.stats.events_committed, seq.stats.events_committed);
+}
+
+#[test]
+fn parallel_matches_across_seeds_and_schedulers() {
+    for seed in [1u64, 2, 3, 0xDEAD] {
+        let cfg = config().with_seed(seed);
+        let seq = run_sequential(&storm(), &cfg);
+        for sched in [SchedulerKind::Heap, SchedulerKind::Splay] {
+            let par =
+                run_parallel(&storm(), &cfg.clone().with_pes(2).with_kps(8).with_scheduler(sched));
+            assert_eq!(par.output, seq.output, "seed={seed} sched={sched:?}");
+        }
+    }
+}
+
+/// Force a straggler deterministically: LP 1 (PE 1) stalls in wall-clock
+/// time while LP 0 (PE 0) races ahead in virtual time, then LP 1 sends into
+/// LP 0's past. Verifies the rollback path actually executes and that the
+/// result is still exactly sequential.
+struct ForcedStraggler;
+
+#[derive(Clone, Debug)]
+struct Probe {
+    kind: u8, // 0 = LP0 self-tick, 1 = LP1 delayed send, 2 = the straggler
+    saved: u64,
+}
+
+impl Model for ForcedStraggler {
+    type State = LpState;
+    type Payload = Probe;
+    type Output = Out;
+
+    fn n_lps(&self) -> u32 {
+        2
+    }
+
+    fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Probe>) -> LpState {
+        if lp == 0 {
+            ctx.schedule_at(0, VirtualTime(10), 1, Probe { kind: 0, saved: 0 });
+        } else {
+            ctx.schedule_at(1, VirtualTime(5), 2, Probe { kind: 1, saved: 0 });
+        }
+        LpState::default()
+    }
+
+    fn handle(&self, state: &mut LpState, p: &mut Probe, ctx: &mut EventCtx<'_, Probe>) {
+        let draw = ctx.rng().integer(0, 9);
+        p.saved = draw;
+        state.hops += 1;
+        state.weight += draw;
+        match p.kind {
+            0 => {
+                // LP 0: dense self-ticks far into the future.
+                if ctx.now() < VirtualTime(200_000) {
+                    ctx.schedule_self(10, 1, Probe { kind: 0, saved: 0 });
+                }
+            }
+            1 => {
+                // LP 1: stall so PE 0 races ahead, then send into its past.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ctx.schedule(0, 10, 3, Probe { kind: 2, saved: 0 });
+            }
+            _ => {}
+        }
+    }
+
+    fn reverse(&self, state: &mut LpState, p: &mut Probe, _ctx: &ReverseCtx) {
+        state.hops -= 1;
+        state.weight -= p.saved;
+    }
+
+    fn finish(&self, _lp: LpId, state: &LpState, out: &mut Out) {
+        out.hops += state.hops;
+        out.weight += state.weight;
+    }
+}
+
+#[test]
+fn forced_straggler_rolls_back_and_still_matches() {
+    let cfg = EngineConfig::new(VirtualTime(250_000))
+        .with_seed(42)
+        .with_gvt_interval(1_000_000) // no GVT before the straggler lands
+        .with_batch(100_000);
+    let seq = run_sequential(&ForcedStraggler, &cfg);
+    let par = run_parallel(&ForcedStraggler, &cfg.clone().with_pes(2).with_kps(2));
+    assert_eq!(par.output, seq.output);
+    assert_eq!(par.stats.events_committed, seq.stats.events_committed);
+    assert!(
+        par.stats.primary_rollbacks >= 1,
+        "expected the engineered straggler to cause a rollback; stats: {:?}",
+        par.stats
+    );
+    assert!(par.stats.events_rolled_back >= 1);
+}
+
+#[test]
+fn throttled_optimism_matches_sequential() {
+    let seq = run_sequential(&storm(), &config());
+    for window in [0u64, VirtualTime::STEP, 20 * VirtualTime::STEP] {
+        let par = run_parallel(
+            &storm(),
+            &config().with_pes(2).with_kps(8).with_lookahead(window),
+        );
+        assert_eq!(par.output, seq.output, "window={window}");
+        assert_eq!(par.stats.events_committed, seq.stats.events_committed);
+    }
+}
+
+#[test]
+fn state_saving_matches_reverse_computation() {
+    // The GTW-style state-saving rollback and reverse computation must be
+    // observationally identical — only the undo machinery differs.
+    let seq = run_sequential(&storm(), &config());
+    for pes in [1usize, 2, 4] {
+        let ss = pdes::run_parallel_state_saving(
+            &storm(),
+            &config().with_pes(pes).with_kps(8),
+        );
+        assert_eq!(ss.output, seq.output, "pes={pes}");
+        assert_eq!(ss.stats.events_committed, seq.stats.events_committed);
+    }
+}
+
+#[test]
+fn state_saving_survives_forced_straggler() {
+    let cfg = EngineConfig::new(VirtualTime(250_000))
+        .with_seed(42)
+        .with_gvt_interval(1_000_000)
+        .with_batch(100_000);
+    let seq = run_sequential(&ForcedStraggler, &cfg);
+    let ss = pdes::run_parallel_state_saving(
+        &ForcedStraggler,
+        &cfg.clone().with_pes(2).with_kps(2),
+    );
+    assert_eq!(ss.output, seq.output);
+    assert!(ss.stats.primary_rollbacks >= 1, "stats: {:?}", ss.stats);
+}
+
+#[test]
+fn rollback_histogram_accounts_for_all_rolled_back_events() {
+    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16));
+    let s = &par.stats;
+    let hist_rollbacks: u64 = s.rollback_lengths.iter().sum();
+    assert_eq!(hist_rollbacks, s.total_rollbacks(), "every rollback is bucketed");
+    if s.total_rollbacks() > 0 {
+        assert!(s.mean_rollback_length() >= 1.0);
+    }
+}
+
+#[test]
+fn engine_stats_are_consistent() {
+    let par = run_parallel(&storm(), &config().with_pes(2).with_kps(8));
+    let s = &par.stats;
+    // processed = committed + rolled back (+ any still-uncommitted, which is
+    // zero after termination).
+    assert_eq!(s.events_processed, s.events_committed + s.events_rolled_back);
+    assert!(s.gvt_rounds >= 1);
+    assert_eq!(s.fossils_collected, s.events_committed);
+}

@@ -1,0 +1,284 @@
+//! Grid coordinates, link directions, and direction sets.
+
+use std::fmt;
+
+/// Position in an N×N grid. Row 0 is the top; rows grow southward, columns
+/// grow eastward (matching the paper's LP numbering: LP = row·N + col).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Coord {
+    /// Row index, `0..n`.
+    pub row: u32,
+    /// Column index, `0..n`.
+    pub col: u32,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    #[inline]
+    pub const fn new(row: u32, col: u32) -> Self {
+        Coord { row, col }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// One of the four torus/mesh link directions.
+///
+/// Discriminants are stable (0..4) and used as array indices for per-link
+/// state in the router model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Direction {
+    /// Row − 1 (wrapping on a torus).
+    North = 0,
+    /// Row + 1.
+    South = 1,
+    /// Column + 1.
+    East = 2,
+    /// Column − 1.
+    West = 3,
+}
+
+/// All four directions, in index order.
+pub const ALL_DIRECTIONS: [Direction; 4] = [
+    Direction::North,
+    Direction::South,
+    Direction::East,
+    Direction::West,
+];
+
+impl Direction {
+    /// Stable index in `0..4`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Direction from a stable index.
+    #[inline]
+    pub fn from_index(i: usize) -> Direction {
+        ALL_DIRECTIONS[i]
+    }
+
+    /// The opposite direction (the link a packet sent this way arrives on).
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Whether this direction moves along a row (changes the column).
+    #[inline]
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+
+    /// Whether this direction moves along a column (changes the row).
+    #[inline]
+    pub const fn is_vertical(self) -> bool {
+        !self.is_horizontal()
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of directions, packed into four bits.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct DirSet(u8);
+
+impl DirSet {
+    /// The empty set.
+    pub const EMPTY: DirSet = DirSet(0);
+    /// All four directions.
+    pub const ALL: DirSet = DirSet(0b1111);
+
+    /// Set containing exactly `d`.
+    #[inline]
+    pub const fn single(d: Direction) -> Self {
+        DirSet(1 << d as u8)
+    }
+
+    /// Insert a direction.
+    #[inline]
+    pub fn insert(&mut self, d: Direction) {
+        self.0 |= 1 << d as u8;
+    }
+
+    /// Remove a direction.
+    #[inline]
+    pub fn remove(&mut self, d: Direction) {
+        self.0 &= !(1 << d as u8);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, d: Direction) -> bool {
+        self.0 & (1 << d as u8) != 0
+    }
+
+    /// Number of directions in the set.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub const fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    /// Intersection of two sets.
+    #[inline]
+    pub const fn intersect(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// Directions in `self` but not `other`.
+    #[inline]
+    pub const fn minus(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & !other.0)
+    }
+
+    /// The lowest-index direction in the set, if any (deterministic pick).
+    #[inline]
+    pub fn first(self) -> Option<Direction> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Direction::from_index(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// The `k`-th direction in index order (`k < len`), for uniform random
+    /// selection with a single reversible draw.
+    pub fn nth(self, k: u32) -> Option<Direction> {
+        let mut seen = 0;
+        for d in ALL_DIRECTIONS {
+            if self.contains(d) {
+                if seen == k {
+                    return Some(d);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// Iterate over members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        ALL_DIRECTIONS.into_iter().filter(move |&d| self.contains(d))
+    }
+}
+
+impl FromIterator<Direction> for DirSet {
+    fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
+        let mut s = DirSet::EMPTY;
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for DirSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for d in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_indices_round_trip() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposites_pair_up() {
+        for d in ALL_DIRECTIONS {
+            assert_ne!(d, d.opposite());
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.is_horizontal(), d.opposite().is_horizontal());
+        }
+    }
+
+    #[test]
+    fn dirset_basic_ops() {
+        let mut s = DirSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Direction::East);
+        s.insert(Direction::North);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Direction::East));
+        assert!(!s.contains(Direction::West));
+        s.remove(Direction::East);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(Direction::North));
+    }
+
+    #[test]
+    fn dirset_nth_enumerates_in_index_order() {
+        let s: DirSet = [Direction::West, Direction::North, Direction::South]
+            .into_iter()
+            .collect();
+        assert_eq!(s.nth(0), Some(Direction::North));
+        assert_eq!(s.nth(1), Some(Direction::South));
+        assert_eq!(s.nth(2), Some(Direction::West));
+        assert_eq!(s.nth(3), None);
+    }
+
+    #[test]
+    fn dirset_set_algebra() {
+        let a: DirSet = [Direction::North, Direction::East].into_iter().collect();
+        let b: DirSet = [Direction::East, Direction::West].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersect(b), DirSet::single(Direction::East));
+        assert_eq!(a.minus(b), DirSet::single(Direction::North));
+        assert_eq!(DirSet::ALL.len(), 4);
+    }
+
+    #[test]
+    fn dirset_iter_matches_contains() {
+        let s: DirSet = [Direction::South, Direction::West].into_iter().collect();
+        let got: Vec<Direction> = s.iter().collect();
+        assert_eq!(got, vec![Direction::South, Direction::West]);
+    }
+}

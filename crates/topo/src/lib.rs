@@ -1,0 +1,108 @@
+//! # topo — grid topologies for deflection routing
+//!
+//! The geometric substrate of the hot-potato simulation: the N×N
+//! [`Torus`] the paper simulates, the open [`Mesh`] the SPAA 2001 analysis
+//! uses, and the rectangular [`BlockMapping`] that assigns routers to
+//! kernel processes and processing elements with minimal boundary cut.
+//!
+//! Everything routing-geometric lives behind the [`Topology`] trait:
+//! neighbor lookup, shortest-path distance, the *good-link* set (links that
+//! bring a packet closer to its destination), and the *home-run* (one-bend,
+//! row-first) direction.
+
+pub mod blockmap;
+pub mod coords;
+pub mod mesh;
+pub mod torus;
+
+pub use blockmap::BlockMapping;
+pub use coords::{Coord, DirSet, Direction, ALL_DIRECTIONS};
+pub use mesh::Mesh;
+pub use torus::Torus;
+
+use pdes::LpId;
+
+/// A 2-D grid network as seen by a deflection router.
+pub trait Topology: Send + Sync + Copy + 'static {
+    /// Total number of nodes.
+    fn n_nodes(&self) -> u32;
+
+    /// Node id at a coordinate.
+    fn lp_of(&self, c: Coord) -> LpId;
+
+    /// Coordinate of a node id.
+    fn coord_of(&self, lp: LpId) -> Coord;
+
+    /// The node reached by following `dir` from `lp`, or `None` where the
+    /// link does not exist (mesh edges).
+    fn neighbor(&self, lp: LpId, dir: Direction) -> Option<LpId>;
+
+    /// Hop distance from `a` to `b`.
+    fn distance(&self, a: LpId, b: LpId) -> u32;
+
+    /// Directions whose link strictly reduces the distance to `to`
+    /// (the paper's *good-links*). Empty iff `from == to`.
+    fn good_dirs(&self, from: LpId, to: LpId) -> DirSet;
+
+    /// The next direction on the home-run (one-bend, row-first) path from
+    /// `from` to `to`; `None` iff arrived. Ties across an even torus
+    /// resolve deterministically (East, then South).
+    fn home_run_dir(&self, from: LpId, to: LpId) -> Option<Direction>;
+
+    /// Directions with an existing link from `lp` (degree set).
+    fn link_dirs(&self, lp: LpId) -> DirSet {
+        ALL_DIRECTIONS
+            .into_iter()
+            .filter(|&d| self.neighbor(lp, d).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_links_are_all_present() {
+        let t = Torus::new(4);
+        for lp in 0..t.n_nodes() {
+            assert_eq!(t.link_dirs(lp), DirSet::ALL);
+        }
+    }
+
+    #[test]
+    fn mesh_corner_links() {
+        let m = Mesh::new(3);
+        let corner = m.lp_of(Coord::new(0, 0));
+        let dirs = m.link_dirs(corner);
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.contains(Direction::South) && dirs.contains(Direction::East));
+    }
+
+    #[test]
+    fn torus_and_mesh_agree_in_the_interior() {
+        // Far from edges, good-link sets coincide.
+        let t = Torus::new(9);
+        let m = Mesh::new(9);
+        let from = t.lp_of(Coord::new(4, 4));
+        for to in [t.lp_of(Coord::new(3, 5)), t.lp_of(Coord::new(6, 2))] {
+            assert_eq!(t.good_dirs(from, to), m.good_dirs(from, to));
+            assert_eq!(t.home_run_dir(from, to), m.home_run_dir(from, to));
+        }
+    }
+
+    #[test]
+    fn home_run_dir_is_always_good() {
+        let t = Torus::new(8);
+        for from in 0..t.n_nodes() {
+            for to in [0u32, 17, 35, 63] {
+                if let Some(d) = t.home_run_dir(from, to) {
+                    assert!(
+                        t.good_dirs(from, to).contains(d),
+                        "home-run dir {d} not good from {from} to {to}"
+                    );
+                }
+            }
+        }
+    }
+}

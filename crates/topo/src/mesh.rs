@@ -1,0 +1,161 @@
+//! The open N×N mesh (no wraparound).
+//!
+//! The SPAA 2001 analysis is carried out on the mesh "because it makes the
+//! problem more tractable"; the simulation uses the torus. We provide both
+//! behind the same [`Topology`] interface so the routing model and the
+//! examples can compare them (edge and corner nodes have degree 3 and 2,
+//! which stresses the deflection logic differently).
+
+use pdes::LpId;
+
+use crate::coords::{Coord, DirSet, Direction};
+use crate::Topology;
+
+/// An N×N grid without wraparound links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    n: u32,
+}
+
+impl Mesh {
+    /// Create an N×N mesh, `n >= 2`.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "mesh dimension must be >= 2, got {n}");
+        Mesh { n }
+    }
+
+    /// Grid dimension N.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+}
+
+impl Topology for Mesh {
+    fn n_nodes(&self) -> u32 {
+        self.n * self.n
+    }
+
+    fn lp_of(&self, c: Coord) -> LpId {
+        debug_assert!(c.row < self.n && c.col < self.n);
+        c.row * self.n + c.col
+    }
+
+    fn coord_of(&self, lp: LpId) -> Coord {
+        debug_assert!(lp < self.n_nodes());
+        Coord::new(lp / self.n, lp % self.n)
+    }
+
+    fn neighbor(&self, lp: LpId, dir: Direction) -> Option<LpId> {
+        let c = self.coord_of(lp);
+        let nc = match dir {
+            Direction::North => c.row.checked_sub(1).map(|r| Coord::new(r, c.col)),
+            Direction::South => (c.row + 1 < self.n).then(|| Coord::new(c.row + 1, c.col)),
+            Direction::East => (c.col + 1 < self.n).then(|| Coord::new(c.row, c.col + 1)),
+            Direction::West => c.col.checked_sub(1).map(|col| Coord::new(c.row, col)),
+        };
+        nc.map(|c| self.lp_of(c))
+    }
+
+    fn distance(&self, a: LpId, b: LpId) -> u32 {
+        let (ca, cb) = (self.coord_of(a), self.coord_of(b));
+        ca.row.abs_diff(cb.row) + ca.col.abs_diff(cb.col)
+    }
+
+    fn good_dirs(&self, from: LpId, to: LpId) -> DirSet {
+        let (cf, ct) = (self.coord_of(from), self.coord_of(to));
+        let mut set = DirSet::EMPTY;
+        if ct.row > cf.row {
+            set.insert(Direction::South);
+        } else if ct.row < cf.row {
+            set.insert(Direction::North);
+        }
+        if ct.col > cf.col {
+            set.insert(Direction::East);
+        } else if ct.col < cf.col {
+            set.insert(Direction::West);
+        }
+        set
+    }
+
+    fn home_run_dir(&self, from: LpId, to: LpId) -> Option<Direction> {
+        let (cf, ct) = (self.coord_of(from), self.coord_of(to));
+        if cf.col != ct.col {
+            Some(if ct.col > cf.col { Direction::East } else { Direction::West })
+        } else if cf.row != ct.row {
+            Some(if ct.row > cf.row { Direction::South } else { Direction::North })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::ALL_DIRECTIONS;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_have_degree_two() {
+        let m = Mesh::new(4);
+        let corner = m.lp_of(Coord::new(0, 0));
+        let degree = ALL_DIRECTIONS.iter().filter(|&&d| m.neighbor(corner, d).is_some()).count();
+        assert_eq!(degree, 2);
+        assert_eq!(m.neighbor(corner, Direction::North), None);
+        assert_eq!(m.neighbor(corner, Direction::West), None);
+    }
+
+    #[test]
+    fn interior_nodes_have_degree_four() {
+        let m = Mesh::new(4);
+        let mid = m.lp_of(Coord::new(2, 2));
+        let degree = ALL_DIRECTIONS.iter().filter(|&&d| m.neighbor(mid, d).is_some()).count();
+        assert_eq!(degree, 4);
+    }
+
+    #[test]
+    fn mesh_diameter_is_twice_n_minus_one() {
+        let m = Mesh::new(5);
+        assert_eq!(m.distance(m.lp_of(Coord::new(0, 0)), m.lp_of(Coord::new(4, 4))), 8);
+    }
+
+    #[test]
+    fn good_dirs_exist_on_links_that_exist() {
+        // A good direction on the mesh always corresponds to a real link:
+        // it points inward toward the destination.
+        let m = Mesh::new(6);
+        for a in 0..m.n_nodes() {
+            for b in 0..m.n_nodes() {
+                for d in m.good_dirs(a, b).iter() {
+                    assert!(m.neighbor(a, d).is_some(), "good dir {d} off the edge at {a}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn good_dir_reduces_mesh_distance(a in 0u32..36, b in 0u32..36) {
+            let m = Mesh::new(6);
+            for d in m.good_dirs(a, b).iter() {
+                let nb = m.neighbor(a, d).unwrap();
+                prop_assert_eq!(m.distance(nb, b) + 1, m.distance(a, b));
+            }
+        }
+
+        #[test]
+        fn home_run_walk_arrives(a in 0u32..36, b in 0u32..36) {
+            let m = Mesh::new(6);
+            let mut at = a;
+            let mut hops = 0;
+            while let Some(d) = m.home_run_dir(at, b) {
+                at = m.neighbor(at, d).unwrap();
+                hops += 1;
+                prop_assert!(hops <= 12);
+            }
+            prop_assert_eq!(at, b);
+            prop_assert_eq!(hops, m.distance(a, b));
+        }
+    }
+}

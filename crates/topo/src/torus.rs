@@ -1,0 +1,301 @@
+//! The N×N torus: the network the paper simulates.
+//!
+//! Routers are numbered row-major (`lp = row·N + col`), exactly like the
+//! paper's implicit wrap-around grid (Section 3.1.3: *"Row 1 contains LP
+//! 0..31"* etc.). Links wrap on both axes, so every node has degree 4 and
+//! the maximum distance between two nodes is `N − 1` hops per axis (versus
+//! `2(N−1)` on the open mesh — the stated reason the simulation uses the
+//! torus).
+
+use pdes::LpId;
+
+use crate::coords::{Coord, DirSet, Direction};
+#[cfg(test)]
+use crate::coords::ALL_DIRECTIONS;
+use crate::Topology;
+
+/// An N×N wrap-around grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    n: u32,
+}
+
+impl Torus {
+    /// Create an N×N torus. `n` must be at least 2 (smaller grids have
+    /// duplicate links).
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "torus dimension must be >= 2, got {n}");
+        Torus { n }
+    }
+
+    /// Grid dimension N.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Signed shortest displacement from `a` to `b` along one axis of a
+    /// cycle of length `n`: in `(-n/2, n/2]`, positive meaning "increasing
+    /// index" (South/East).
+    #[inline]
+    fn axis_delta(&self, a: u32, b: u32) -> i64 {
+        let n = self.n as i64;
+        let mut d = (b as i64 - a as i64).rem_euclid(n);
+        if d > n / 2 {
+            d -= n;
+        }
+        d
+    }
+}
+
+impl Topology for Torus {
+    fn n_nodes(&self) -> u32 {
+        self.n * self.n
+    }
+
+    fn lp_of(&self, c: Coord) -> LpId {
+        debug_assert!(c.row < self.n && c.col < self.n);
+        c.row * self.n + c.col
+    }
+
+    fn coord_of(&self, lp: LpId) -> Coord {
+        debug_assert!(lp < self.n_nodes());
+        Coord::new(lp / self.n, lp % self.n)
+    }
+
+    fn neighbor(&self, lp: LpId, dir: Direction) -> Option<LpId> {
+        let c = self.coord_of(lp);
+        let n = self.n;
+        let nc = match dir {
+            Direction::North => Coord::new((c.row + n - 1) % n, c.col),
+            Direction::South => Coord::new((c.row + 1) % n, c.col),
+            Direction::East => Coord::new(c.row, (c.col + 1) % n),
+            Direction::West => Coord::new(c.row, (c.col + n - 1) % n),
+        };
+        Some(self.lp_of(nc))
+    }
+
+    fn distance(&self, a: LpId, b: LpId) -> u32 {
+        let (ca, cb) = (self.coord_of(a), self.coord_of(b));
+        (self.axis_delta(ca.row, cb.row).unsigned_abs()
+            + self.axis_delta(ca.col, cb.col).unsigned_abs()) as u32
+    }
+
+    fn good_dirs(&self, from: LpId, to: LpId) -> DirSet {
+        let (cf, ct) = (self.coord_of(from), self.coord_of(to));
+        let n = self.n as i64;
+        let mut set = DirSet::EMPTY;
+        let dr = (ct.row as i64 - cf.row as i64).rem_euclid(n);
+        if dr != 0 {
+            // Both ways tie exactly when dr == n/2 on an even cycle.
+            if dr * 2 <= n {
+                set.insert(Direction::South);
+            }
+            if dr * 2 >= n {
+                set.insert(Direction::North);
+            }
+        }
+        let dc = (ct.col as i64 - cf.col as i64).rem_euclid(n);
+        if dc != 0 {
+            if dc * 2 <= n {
+                set.insert(Direction::East);
+            }
+            if dc * 2 >= n {
+                set.insert(Direction::West);
+            }
+        }
+        set
+    }
+
+    fn home_run_dir(&self, from: LpId, to: LpId) -> Option<Direction> {
+        let (cf, ct) = (self.coord_of(from), self.coord_of(to));
+        if cf.col != ct.col {
+            // Row phase: move toward the destination column. `axis_delta`
+            // is in (-n/2, n/2], so the exactly-opposite tie comes out
+            // positive — ties deterministically resolve East.
+            let dc = self.axis_delta(cf.col, ct.col);
+            Some(if dc > 0 { Direction::East } else { Direction::West })
+        } else if cf.row != ct.row {
+            // Column phase: ties resolve South for the same reason.
+            let dr = self.axis_delta(cf.row, ct.row);
+            Some(if dr > 0 { Direction::South } else { Direction::North })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lp_numbering_is_row_major() {
+        let t = Torus::new(4);
+        assert_eq!(t.lp_of(Coord::new(0, 0)), 0);
+        assert_eq!(t.lp_of(Coord::new(0, 3)), 3);
+        assert_eq!(t.lp_of(Coord::new(1, 0)), 4);
+        assert_eq!(t.coord_of(13), Coord::new(3, 1));
+        for lp in 0..16 {
+            assert_eq!(t.lp_of(t.coord_of(lp)), lp);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let t = Torus::new(4);
+        // Paper's example: East from the east edge wraps to the west edge
+        // of the same row.
+        let east_edge = t.lp_of(Coord::new(2, 3));
+        assert_eq!(t.neighbor(east_edge, Direction::East), Some(t.lp_of(Coord::new(2, 0))));
+        let top = t.lp_of(Coord::new(0, 1));
+        assert_eq!(t.neighbor(top, Direction::North), Some(t.lp_of(Coord::new(3, 1))));
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let t = Torus::new(5);
+        for lp in 0..t.n_nodes() {
+            for d in ALL_DIRECTIONS {
+                let nb = t.neighbor(lp, d).unwrap();
+                assert_eq!(t.neighbor(nb, d.opposite()), Some(lp));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_shortest_wraparound() {
+        let t = Torus::new(8);
+        let a = t.lp_of(Coord::new(0, 0));
+        assert_eq!(t.distance(a, t.lp_of(Coord::new(0, 7))), 1); // wrap W
+        assert_eq!(t.distance(a, t.lp_of(Coord::new(0, 4))), 4); // half way
+        assert_eq!(t.distance(a, t.lp_of(Coord::new(7, 7))), 2); // diag wrap
+        assert_eq!(t.distance(a, a), 0);
+    }
+
+    #[test]
+    fn max_distance_is_n_per_axis_halved() {
+        // Torus diameter = 2 * floor(N/2).
+        let t = Torus::new(6);
+        let mut max = 0;
+        for a in 0..t.n_nodes() {
+            for b in 0..t.n_nodes() {
+                max = max.max(t.distance(a, b));
+            }
+        }
+        assert_eq!(max, 6);
+    }
+
+    #[test]
+    fn good_dirs_point_the_short_way() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(0, 0));
+        // Destination 2 east: only East is good.
+        let to = t.lp_of(Coord::new(0, 2));
+        assert_eq!(t.good_dirs(from, to), DirSet::single(Direction::East));
+        // Destination 6 east = 2 west: only West.
+        let to = t.lp_of(Coord::new(0, 6));
+        assert_eq!(t.good_dirs(from, to), DirSet::single(Direction::West));
+        // Destination exactly opposite (4): both are good.
+        let to = t.lp_of(Coord::new(0, 4));
+        let gd = t.good_dirs(from, to);
+        assert!(gd.contains(Direction::East) && gd.contains(Direction::West));
+        // At the destination: nothing is good.
+        assert!(t.good_dirs(from, from).is_empty());
+    }
+
+    #[test]
+    fn good_dirs_cover_both_axes() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(1, 1));
+        let to = t.lp_of(Coord::new(3, 7)); // 2 south, 2 west (wrap)
+        let gd = t.good_dirs(from, to);
+        assert!(gd.contains(Direction::South));
+        assert!(gd.contains(Direction::West));
+        assert_eq!(gd.len(), 2);
+    }
+
+    #[test]
+    fn home_run_is_row_first_then_column() {
+        let t = Torus::new(8);
+        let from = t.lp_of(Coord::new(1, 1));
+        let to = t.lp_of(Coord::new(5, 3));
+        // Not yet in the destination column: move along the row (East).
+        assert_eq!(t.home_run_dir(from, to), Some(Direction::East));
+        // In the destination column: move along the column (South).
+        let bend = t.lp_of(Coord::new(1, 3));
+        assert_eq!(t.home_run_dir(bend, to), Some(Direction::South));
+        // Arrived: no direction.
+        assert_eq!(t.home_run_dir(to, to), None);
+    }
+
+    #[test]
+    fn home_run_reaches_destination() {
+        // Following home_run_dir step by step always arrives in exactly
+        // distance(from, to) hops (the home-run path is a shortest path).
+        let t = Torus::new(7);
+        for from in 0..t.n_nodes() {
+            for to in [0u32, 13, 30, 48] {
+                let mut at = from;
+                let mut hops = 0;
+                while let Some(d) = t.home_run_dir(at, to) {
+                    at = t.neighbor(at, d).unwrap();
+                    hops += 1;
+                    assert!(hops <= 2 * t.n(), "home-run path looped");
+                }
+                assert_eq!(at, to);
+                assert_eq!(hops, t.distance(from, to), "home-run not shortest");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn moving_along_a_good_dir_reduces_distance(
+            n in 2u32..12,
+            a in 0u32..144,
+            b in 0u32..144,
+        ) {
+            let t = Torus::new(n);
+            let a = a % t.n_nodes();
+            let b = b % t.n_nodes();
+            for d in t.good_dirs(a, b).iter() {
+                let nb = t.neighbor(a, d).unwrap();
+                prop_assert_eq!(t.distance(nb, b) + 1, t.distance(a, b));
+            }
+        }
+
+        #[test]
+        fn bad_dirs_never_reduce_distance(
+            n in 2u32..12,
+            a in 0u32..144,
+            b in 0u32..144,
+        ) {
+            let t = Torus::new(n);
+            let a = a % t.n_nodes();
+            let b = b % t.n_nodes();
+            let good = t.good_dirs(a, b);
+            for d in ALL_DIRECTIONS {
+                if !good.contains(d) {
+                    let nb = t.neighbor(a, d).unwrap();
+                    prop_assert!(t.distance(nb, b) >= t.distance(a, b));
+                }
+            }
+        }
+
+        #[test]
+        fn distance_is_a_metric(
+            n in 2u32..10,
+            a in 0u32..100,
+            b in 0u32..100,
+            c in 0u32..100,
+        ) {
+            let t = Torus::new(n);
+            let (a, b, c) = (a % t.n_nodes(), b % t.n_nodes(), c % t.n_nodes());
+            prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+            prop_assert_eq!(t.distance(a, b) == 0, a == b);
+            prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the *Routing without Flow Control* reproduction.
+//!
+//! Re-exports the three library crates so examples and integration tests can
+//! use a single dependency:
+//!
+//! * [`pdes`] — the optimistic (Time Warp) parallel discrete-event simulation
+//!   engine with reverse computation, the ROSS substitute.
+//! * [`topo`] — N×N torus / mesh topology and block LP→KP→PE mapping.
+//! * [`hotpotato`] — the Busch–Herlihy–Wattenhofer hot-potato routing
+//!   algorithm and its simulation model (the paper's core contribution).
+
+pub use hotpotato;
+pub use pdes;
+pub use topo;

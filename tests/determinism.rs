@@ -1,0 +1,170 @@
+//! The paper's central correctness result (Section 4.2.1, Attachment 3):
+//! *"the parallel and sequential models produce identical results (under the
+//! same model configuration). As such, the parallel model is deterministic
+//! and therefore repeatable."*
+//!
+//! These tests run the full hot-potato model on both kernels and compare
+//! the aggregated network statistics with `==` — every counter, not an
+//! approximation.
+
+use hotpotato::{
+    simulate_parallel, simulate_parallel_state_saving, simulate_sequential, HotPotatoConfig,
+    HotPotatoModel, PolicyKind,
+};
+use pdes::{EngineConfig, SchedulerKind};
+
+fn engine(model: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
+    EngineConfig::new(model.end_time()).with_seed(seed)
+}
+
+#[test]
+fn parallel_equals_sequential_default_config() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 60));
+    let seq = simulate_sequential(&model, &engine(&model, 1));
+    for pes in [1usize, 2, 4] {
+        let par = simulate_parallel(&model, &engine(&model, 1).with_pes(pes).with_kps(16));
+        assert_eq!(par.output, seq.output, "pes={pes}");
+        assert_eq!(par.stats.events_committed, seq.stats.events_committed, "pes={pes}");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_across_kp_counts() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let seq = simulate_sequential(&model, &engine(&model, 2));
+    for kps in [2u32, 4, 8, 16, 64] {
+        let par = simulate_parallel(&model, &engine(&model, 2).with_pes(2).with_kps(kps));
+        assert_eq!(par.output, seq.output, "kps={kps}");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_with_every_scheduler() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let reference = simulate_sequential(&model, &engine(&model, 3));
+    for sched in [SchedulerKind::Heap, SchedulerKind::Splay, SchedulerKind::Calendar] {
+        let base = engine(&model, 3).with_scheduler(sched);
+        let seq = simulate_sequential(&model, &base);
+        let par = simulate_parallel(&model, &base.clone().with_pes(2).with_kps(8));
+        assert_eq!(seq.output, reference.output, "sequential {sched:?}");
+        assert_eq!(par.output, reference.output, "parallel {sched:?}");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_all_policies() {
+    for policy in [
+        PolicyKind::Bhw,
+        PolicyKind::Greedy,
+        PolicyKind::OldestFirst,
+        PolicyKind::DimOrder,
+    ] {
+        let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 30).with_policy(policy));
+        let seq = simulate_sequential(&model, &engine(&model, 4));
+        let par = simulate_parallel(&model, &engine(&model, 4).with_pes(2).with_kps(8));
+        assert_eq!(par.output, seq.output, "policy={policy:?}");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_proof_mode_and_loads() {
+    for (frac, absorb) in [(0.0, true), (0.5, true), (1.0, false)] {
+        let model = HotPotatoModel::torus(
+            HotPotatoConfig::new(8, 30)
+                .with_injectors(frac)
+                .with_absorb_sleeping(absorb),
+        );
+        let seq = simulate_sequential(&model, &engine(&model, 5));
+        let par = simulate_parallel(&model, &engine(&model, 5).with_pes(2).with_kps(8));
+        assert_eq!(par.output, seq.output, "frac={frac} absorb={absorb}");
+    }
+}
+
+#[test]
+fn mesh_topology_is_deterministic_too() {
+    let model = HotPotatoModel::mesh(HotPotatoConfig::new(8, 40));
+    let seq = simulate_sequential(&model, &engine_mesh(&model, 6));
+    let par = simulate_parallel(&model, &engine_mesh(&model, 6).with_pes(2).with_kps(8));
+    assert_eq!(par.output, seq.output);
+}
+
+fn engine_mesh(model: &HotPotatoModel<topo::Mesh>, seed: u64) -> EngineConfig {
+    EngineConfig::new(model.end_time()).with_seed(seed)
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let a = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8));
+    let b = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8));
+    assert_eq!(a.output, b.output);
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity: the equality above is not vacuous.
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let a = simulate_sequential(&model, &engine(&model, 8));
+    let b = simulate_sequential(&model, &engine(&model, 9));
+    assert_ne!(a.output, b.output);
+}
+
+#[test]
+fn gvt_interval_does_not_change_results() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let seq = simulate_sequential(&model, &engine(&model, 10));
+    assert_eq!(seq.output.totals.stalls, 0, "sequential runs can never stall");
+    for interval in [64u64, 1024, 100_000] {
+        let par = simulate_parallel(
+            &model,
+            &engine(&model, 10).with_pes(2).with_kps(8).with_gvt_interval(interval),
+        );
+        assert_eq!(par.output, seq.output, "gvt_interval={interval}");
+        // Transient stalls (causally-inconsistent over-subscription) must
+        // all have been rolled back before commit.
+        assert_eq!(par.output.totals.stalls, 0, "committed stalls at interval {interval}");
+    }
+}
+
+#[test]
+fn unbounded_optimism_still_matches_sequential() {
+    // The regression scenario for the transient-duplicate race: a huge GVT
+    // interval lets stale branches race far ahead of their cancellations.
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 60));
+    let seq = simulate_sequential(&model, &engine(&model, 11));
+    for trial in 0..5 {
+        let par = simulate_parallel(
+            &model,
+            &engine(&model, 11).with_pes(2).with_kps(8).with_gvt_interval(1_000_000),
+        );
+        assert_eq!(par.output, seq.output, "trial {trial}");
+        assert_eq!(par.output.totals.stalls, 0, "trial {trial}");
+    }
+}
+
+#[test]
+fn state_saving_rollback_matches_sequential() {
+    // GTW-style state saving (ablation E12) must commit exactly the same
+    // history as reverse computation and the sequential oracle.
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let seq = simulate_sequential(&model, &engine(&model, 13));
+    for pes in [2usize, 4] {
+        let ss = simulate_parallel_state_saving(&model, &engine(&model, 13).with_pes(pes).with_kps(16));
+        assert_eq!(ss.output, seq.output, "pes={pes}");
+        assert_eq!(ss.output.totals.stalls, 0);
+    }
+}
+
+#[test]
+fn throttled_optimism_matches_sequential_hotpotato() {
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
+    let seq = simulate_sequential(&model, &engine(&model, 12));
+    let par = simulate_parallel(
+        &model,
+        &engine(&model, 12)
+            .with_pes(2)
+            .with_kps(8)
+            .with_lookahead(2 * pdes::VirtualTime::STEP),
+    );
+    assert_eq!(par.output, seq.output);
+}
