@@ -1,54 +1,55 @@
 //! Engine throughput under the real hot-potato workload: sequential kernel
 //! vs 1-PE and 2-PE Time Warp, and the block mapping vs the naive linear
 //! mapping (the paper's Section 3.2.3 design choice).
+//!
+//! ```sh
+//! cargo bench -p bench --bench engine
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench_time;
 use hotpotato::{HotPotatoConfig, HotPotatoModel};
 use pdes::{run_parallel_mapped, EngineConfig, LinearMapping};
-use std::hint::black_box;
 use topo::BlockMapping;
 
 fn model() -> HotPotatoModel<topo::Torus> {
     HotPotatoModel::torus(HotPotatoConfig::new(8, 60))
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let m = model();
     let engine = EngineConfig::new(m.end_time()).with_seed(99);
+    let samples = 10;
 
-    let mut group = c.benchmark_group("kernel_8x8_60steps");
-    group.sample_size(10);
-    group.bench_function("sequential", |b| {
-        b.iter(|| black_box(hotpotato::simulate_sequential(&m, &engine).output))
+    println!("# kernel_8x8_60steps");
+    bench_time("sequential", samples, || {
+        hotpotato::simulate_sequential(&m, &engine).unwrap().output
     });
-    group.bench_function("timewarp_1pe", |b| {
+    {
         let cfg = engine.clone().with_pes(1).with_kps(16);
-        b.iter(|| black_box(hotpotato::simulate_parallel(&m, &cfg).output))
-    });
-    group.bench_function("timewarp_2pe", |b| {
+        bench_time("timewarp_1pe", samples, || {
+            hotpotato::simulate_parallel(&m, &cfg).unwrap().output
+        });
+    }
+    {
         let cfg = engine.clone().with_pes(2).with_kps(16);
-        b.iter(|| black_box(hotpotato::simulate_parallel(&m, &cfg).output))
-    });
-    group.finish();
+        bench_time("timewarp_2pe", samples, || {
+            hotpotato::simulate_parallel(&m, &cfg).unwrap().output
+        });
+    }
 
-    let mut group = c.benchmark_group("mapping_8x8_2pe");
-    group.sample_size(10);
-    group.bench_function("block", |b| {
+    println!("# mapping_8x8_2pe");
+    {
         let cfg = engine.clone().with_pes(2).with_kps(16);
         let mapping = BlockMapping::new(8, 16, 2);
-        b.iter(|| black_box(run_parallel_mapped(&m, &cfg, &mapping).output))
-    });
-    group.bench_function("linear", |b| {
+        bench_time("block", samples, || {
+            run_parallel_mapped(&m, &cfg, &mapping).unwrap().output
+        });
+    }
+    {
         let cfg = engine.clone().with_pes(2).with_kps(16);
         let mapping = LinearMapping::new(64, 16, 2);
-        b.iter(|| black_box(run_parallel_mapped(&m, &cfg, &mapping).output))
-    });
-    group.finish();
+        bench_time("linear", samples, || {
+            run_parallel_mapped(&m, &cfg, &mapping).unwrap().output
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_engine
-}
-criterion_main!(benches);

@@ -2,92 +2,87 @@
 //! ROSS generator) versus the single reversible 64-bit LCG, forward and
 //! reverse. Reverse speed matters: every rolled-back event un-steps its
 //! draws.
+//!
+//! ```sh
+//! cargo bench -p bench --bench rng
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::bench_time;
 use pdes::rng::{Clcg4, Lcg64, ReversibleRng};
-use std::hint::black_box;
 
-fn bench_rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng_forward_10k");
-    group.bench_function("clcg4", |b| {
+fn main() {
+    let samples = 20;
+
+    println!("# rng_forward_10k");
+    {
         let mut rng = Clcg4::new(1);
-        b.iter(|| {
+        bench_time("clcg4", samples, || {
             let mut acc = 0.0;
             for _ in 0..10_000 {
                 acc += rng.next_unif();
             }
-            black_box(acc)
-        })
-    });
-    group.bench_function("lcg64", |b| {
+            acc
+        });
+    }
+    {
         let mut rng = Lcg64::new(1);
-        b.iter(|| {
+        bench_time("lcg64", samples, || {
             let mut acc = 0.0;
             for _ in 0..10_000 {
                 acc += rng.next_unif();
             }
-            black_box(acc)
-        })
-    });
-    group.finish();
+            acc
+        });
+    }
 
-    let mut group = c.benchmark_group("rng_reverse_10k");
-    group.bench_function("clcg4", |b| {
+    println!("# rng_reverse_10k");
+    {
         let mut rng = Clcg4::new(1);
         for _ in 0..10_000 {
             rng.next_unif();
         }
-        b.iter(|| {
+        bench_time("clcg4", samples, || {
             // Walk 10k back and forth so state stays bounded.
             rng.reverse_n(10_000);
             for _ in 0..10_000 {
                 rng.next_unif();
             }
-            black_box(rng.call_count())
-        })
-    });
-    group.bench_function("lcg64", |b| {
+            rng.call_count()
+        });
+    }
+    {
         let mut rng = Lcg64::new(1);
         for _ in 0..10_000 {
             rng.next_unif();
         }
-        b.iter(|| {
+        bench_time("lcg64", samples, || {
             rng.reverse_n(10_000);
             for _ in 0..10_000 {
                 rng.next_unif();
             }
-            black_box(rng.call_count())
-        })
-    });
-    group.finish();
+            rng.call_count()
+        });
+    }
 
-    let mut group = c.benchmark_group("rng_distributions");
-    group.bench_function("integer", |b| {
+    println!("# rng_distributions");
+    {
         let mut rng = Clcg4::new(2);
-        b.iter(|| {
+        bench_time("integer", samples, || {
             let mut acc = 0u64;
             for _ in 0..10_000 {
                 acc += rng.integer(0, 999);
             }
-            black_box(acc)
-        })
-    });
-    group.bench_function("exponential", |b| {
+            acc
+        });
+    }
+    {
         let mut rng = Clcg4::new(2);
-        b.iter(|| {
+        bench_time("exponential", samples, || {
             let mut acc = 0.0;
             for _ in 0..10_000 {
                 acc += rng.exponential(5.0);
             }
-            black_box(acc)
-        })
-    });
-    group.finish();
+            acc
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_rng
-}
-criterion_main!(benches);

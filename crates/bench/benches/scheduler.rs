@@ -1,8 +1,13 @@
 //! Ablation E9: pending-set implementations (binary heap with lazy
-//! deletion vs top-down splay tree) under a hold-model workload — the
-//! access pattern a discrete-event simulator actually generates.
+//! deletion vs top-down splay tree vs calendar queue) under a hold-model
+//! workload — the access pattern a discrete-event simulator actually
+//! generates.
+//!
+//! ```sh
+//! cargo bench -p bench --bench scheduler
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_time;
 use pdes::event::{Event, EventId, EventKey};
 use pdes::scheduler::{CalendarQueue, EventQueue, HeapQueue, SplayQueue};
 use pdes::time::VirtualTime;
@@ -72,39 +77,31 @@ fn hold_with_cancels<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
     acc
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_hold");
+fn main() {
+    let samples = 20;
+
+    println!("# scheduler_hold (10k ops)");
     for &size in &[256u64, 4096] {
-        group.bench_with_input(BenchmarkId::new("heap", size), &size, |b, &s| {
-            b.iter(|| hold(&mut HeapQueue::new(), s, 10_000))
+        bench_time(&format!("heap/{size}"), samples, || {
+            hold(&mut HeapQueue::new(), size, 10_000)
         });
-        group.bench_with_input(BenchmarkId::new("splay", size), &size, |b, &s| {
-            b.iter(|| hold(&mut SplayQueue::new(), s, 10_000))
+        bench_time(&format!("splay/{size}"), samples, || {
+            hold(&mut SplayQueue::new(), size, 10_000)
         });
-        group.bench_with_input(BenchmarkId::new("calendar", size), &size, |b, &s| {
-            b.iter(|| hold(&mut CalendarQueue::new(), s, 10_000))
-        });
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("scheduler_hold_cancel");
-    for &size in &[1024u64] {
-        group.bench_with_input(BenchmarkId::new("heap", size), &size, |b, &s| {
-            b.iter(|| hold_with_cancels(&mut HeapQueue::new(), s, 4_000))
-        });
-        group.bench_with_input(BenchmarkId::new("splay", size), &size, |b, &s| {
-            b.iter(|| hold_with_cancels(&mut SplayQueue::new(), s, 4_000))
-        });
-        group.bench_with_input(BenchmarkId::new("calendar", size), &size, |b, &s| {
-            b.iter(|| hold_with_cancels(&mut CalendarQueue::new(), s, 4_000))
+        bench_time(&format!("calendar/{size}"), samples, || {
+            hold(&mut CalendarQueue::new(), size, 10_000)
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_schedulers
+    println!("# scheduler_hold_cancel (4k ops)");
+    let size = 1024u64;
+    bench_time(&format!("heap/{size}"), samples, || {
+        hold_with_cancels(&mut HeapQueue::new(), size, 4_000)
+    });
+    bench_time(&format!("splay/{size}"), samples, || {
+        hold_with_cancels(&mut SplayQueue::new(), size, 4_000)
+    });
+    bench_time(&format!("calendar/{size}"), samples, || {
+        hold_with_cancels(&mut CalendarQueue::new(), size, 4_000)
+    });
 }
-criterion_main!(benches);

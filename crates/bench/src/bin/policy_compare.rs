@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin policy_compare [--full] [--csv]
 //! ```
 
-use bench::{f, Args, Report};
+use bench::{check, f, Args, Report};
 use hotpotato::{simulate_sequential, HotPotatoConfig, HotPotatoModel, PolicyKind};
 use pdes::EngineConfig;
 
@@ -33,7 +33,7 @@ fn main() {
             let cfg = HotPotatoConfig::new(n, steps).with_policy(policy);
             let model = HotPotatoModel::torus(cfg);
             let engine = EngineConfig::new(model.end_time()).with_seed(args.seed);
-            let net = simulate_sequential(&model, &engine).output;
+            let net = check(simulate_sequential(&model, &engine)).output;
             report.row(&[
                 n.to_string(),
                 policy.name().to_string(),

@@ -14,7 +14,7 @@
 //! cargo run --release -p bench --bin rollback_ablation [--csv]
 //! ```
 
-use bench::{f, torus_model, Args, Report};
+use bench::{check, f, torus_model, Args, Report};
 use hotpotato::{simulate_parallel, simulate_parallel_state_saving};
 use pdes::EngineConfig;
 
@@ -41,8 +41,8 @@ fn main() {
             runs.sort_by_key(|s| s.wall_time);
             runs.swap_remove(1)
         };
-        let rc = median(&|| simulate_parallel(&model, &engine).stats);
-        let ss = median(&|| simulate_parallel_state_saving(&model, &engine).stats);
+        let rc = median(&|| check(simulate_parallel(&model, &engine)).stats);
+        let ss = median(&|| check(simulate_parallel_state_saving(&model, &engine)).stats);
 
         report.row(&[
             n.to_string(),

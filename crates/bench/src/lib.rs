@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use hotpotato::{HotPotatoConfig, HotPotatoModel, NetStats};
-use pdes::{EngineConfig, EngineStats, RunResult};
+use pdes::{EngineConfig, EngineStats, RunError, RunResult};
 
 /// Command-line options shared by all figure binaries.
 #[derive(Clone, Debug)]
@@ -107,6 +107,19 @@ pub fn f(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Unwrap a kernel result. The figure binaries have no recovery path, so a
+/// failed run prints the structured [`RunError`] (including any per-PE
+/// diagnostics) and exits nonzero instead of unwinding.
+pub fn check<O>(res: Result<RunResult<O>, RunError>) -> RunResult<O> {
+    res.unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        if let Some(diag) = e.diagnostics() {
+            eprintln!("{diag}");
+        }
+        std::process::exit(1);
+    })
+}
+
 /// Build the standard torus model for a sweep point.
 pub fn torus_model(n: u32, steps: u64, injectors: f64) -> HotPotatoModel<topo::Torus> {
     HotPotatoModel::torus(HotPotatoConfig::new(n, steps).with_injectors(injectors))
@@ -121,11 +134,11 @@ pub fn run_point(
     kps: u32,
 ) -> RunResult<NetStats> {
     let engine = EngineConfig::new(model.end_time()).with_seed(seed).with_pes(pes).with_kps(kps);
-    if pes <= 1 {
+    check(if pes <= 1 {
         hotpotato::simulate_sequential(model, &engine)
     } else {
         hotpotato::simulate_parallel(model, &engine)
-    }
+    })
 }
 
 /// Run one sweep point on the *optimistic* kernel even for one PE (for
@@ -142,7 +155,31 @@ pub fn run_point_timewarp(
         .with_pes(pes)
         .with_kps(kps)
         .with_gvt_interval(gvt_interval);
-    hotpotato::simulate_parallel(model, &engine)
+    check(hotpotato::simulate_parallel(model, &engine))
+}
+
+/// Minimal self-contained timing harness for the `benches/` binaries (which
+/// are built with `harness = false` and depend on nothing external). Runs a
+/// warm-up pass, then `samples` timed passes, and prints median/min/max.
+pub fn bench_time<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<44} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({} samples)",
+        median,
+        times[0],
+        times[times.len() - 1],
+        times.len()
+    );
+    median
 }
 
 /// Median-of-three engine stats by wall time, re-running the closure.

@@ -36,7 +36,8 @@
 //! let cfg = HotPotatoConfig::new(8, 200);
 //! let model = HotPotatoModel::torus(cfg);
 //! let engine = EngineConfig::new(model.end_time()).with_seed(42);
-//! let result = simulate_sequential(&model, &engine);
+//! // Runs return `Result<RunResult, RunError>`; a healthy config succeeds.
+//! let result = simulate_sequential(&model, &engine).unwrap();
 //! let net = result.output;
 //! assert!(net.totals.delivered > 0);
 //! // O(N) delivery: the average is a small multiple of the ~N/2 distance.

@@ -526,9 +526,11 @@ mod tests {
     #[test]
     fn route_claims_link_and_forwards_packet() {
         let m = model(8);
-        let mut state = RouterState::default();
-        state.cur_step = 99; // stale step forces a reset
-        state.links = 0b1111;
+        let mut state = RouterState {
+            cur_step: 99, // stale step forces a reset
+            links: 0b1111,
+            ..Default::default()
+        };
         let mut rng = Clcg4::new(2);
         let pkt = test_packet(1, Priority::Sleeping); // dst = (0,1): East good
         let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
@@ -553,8 +555,7 @@ mod tests {
     #[test]
     fn route_deflects_when_good_links_taken() {
         let m = model(8);
-        let mut state = RouterState::default();
-        state.cur_step = 7;
+        let mut state = RouterState { cur_step: 7, ..Default::default() };
         state.take_link(Direction::East); // the only good link for dst=(0,1)
         let mut rng = Clcg4::new(3);
         let pkt = test_packet(1, Priority::Active);
@@ -572,8 +573,7 @@ mod tests {
     #[test]
     fn excited_promotes_to_running_on_home_run() {
         let m = model(8);
-        let mut state = RouterState::default();
-        state.cur_step = 7;
+        let mut state = RouterState { cur_step: 7, ..Default::default() };
         let mut rng = Clcg4::new(4);
         let pkt = test_packet(3, Priority::Excited); // same row, East is home-run
         let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
@@ -590,8 +590,7 @@ mod tests {
     #[test]
     fn excited_demotes_to_active_on_deflection() {
         let m = model(8);
-        let mut state = RouterState::default();
-        state.cur_step = 7;
+        let mut state = RouterState { cur_step: 7, ..Default::default() };
         state.take_link(Direction::East);
         let mut rng = Clcg4::new(4);
         let pkt = test_packet(3, Priority::Excited);

@@ -11,7 +11,7 @@ use crate::stats::NetStats;
 pub fn simulate_sequential<T: Topology>(
     model: &HotPotatoModel<T>,
     engine: &EngineConfig,
-) -> RunResult<NetStats> {
+) -> Result<RunResult<NetStats>, RunError> {
     let mut cfg = engine.clone();
     cfg.end_time = model.end_time();
     run_sequential(model, &cfg)
@@ -22,9 +22,12 @@ pub fn simulate_sequential<T: Topology>(
 pub fn simulate_parallel<T: Topology>(
     model: &HotPotatoModel<T>,
     engine: &EngineConfig,
-) -> RunResult<NetStats> {
+) -> Result<RunResult<NetStats>, RunError> {
     let mut cfg = engine.clone();
     cfg.end_time = model.end_time();
+    // Validate before deriving the block mapping, which asserts on
+    // inconsistent PE/KP counts; those must surface as `ConfigInvalid`.
+    cfg.validate()?;
     let mapping = BlockMapping::new(model.config().n, cfg.n_kps, cfg.n_pes);
     run_parallel_mapped(model, &cfg, &mapping)
 }
@@ -35,9 +38,10 @@ pub fn simulate_parallel<T: Topology>(
 pub fn simulate_parallel_state_saving<T: Topology>(
     model: &HotPotatoModel<T>,
     engine: &EngineConfig,
-) -> RunResult<NetStats> {
+) -> Result<RunResult<NetStats>, RunError> {
     let mut cfg = engine.clone();
     cfg.end_time = model.end_time();
+    cfg.validate()?;
     let mapping = BlockMapping::new(model.config().n, cfg.n_kps, cfg.n_pes);
     pdes::run_parallel_mapped_state_saving(model, &cfg, &mapping)
 }
@@ -47,7 +51,7 @@ pub fn simulate<T: Topology>(
     model: &HotPotatoModel<T>,
     engine: &EngineConfig,
     parallel: bool,
-) -> RunResult<NetStats> {
+) -> Result<RunResult<NetStats>, RunError> {
     if parallel {
         simulate_parallel(model, engine)
     } else {

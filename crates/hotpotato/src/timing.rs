@@ -74,6 +74,7 @@ mod tests {
     use crate::packet::ALL_PRIORITIES;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn windows_do_not_overlap_and_fit_in_a_step() {
         assert!(ARRIVE_BASE + JITTER_SPAN <= ROUTE_BASE);
         assert!(ROUTE_BASE + 4 * ROUTE_BAND <= INJECT_BASE);

@@ -2,12 +2,14 @@
 //! event and the router state (and RNG stream) is restored **exactly**.
 //! This is the contract Time Warp rollback depends on; a single missed
 //! saved field would surface here long before it corrupted a parallel run.
+//!
+//! Cases are generated from the engine's own seeded CLCG4 streams, so every
+//! run replays the identical case set (no external property-test crate).
 
 use pdes::event::Bitfield;
 use pdes::model::{EventCtx, Model, ReverseCtx};
-use pdes::rng::{Clcg4, ReversibleRng};
+use pdes::rng::{stream_seed, Clcg4, ReversibleRng};
 use pdes::VirtualTime;
-use proptest::prelude::*;
 use topo::Direction;
 
 use hotpotato::msg::{Msg, SavedInject, SavedRoute};
@@ -26,45 +28,41 @@ fn model(absorb: bool) -> HotPotatoModel<topo::Torus> {
     )
 }
 
-prop_compose! {
-    fn arb_state()(
-        cur_step in 0u64..20,
-        links in 0u8..16,
-        is_injector in any::<bool>(),
-        pending in 0u64..10,
-        next_seq in 0u32..100,
-    ) -> RouterState {
-        RouterState {
-            cur_step,
-            links,
-            is_injector,
-            pending_since_step: pending,
-            next_seq,
-            ..Default::default()
-        }
+/// Case generator: one CLCG4 stream per (test, case) pair.
+fn case_rng(test_salt: u64, case: u64) -> Clcg4 {
+    Clcg4::new(stream_seed(0x707A705EED ^ test_salt, case))
+}
+
+fn arb_state(g: &mut Clcg4) -> RouterState {
+    RouterState {
+        cur_step: g.integer(0, 19),
+        links: g.integer(0, 15) as u8,
+        is_injector: g.bernoulli(0.5),
+        pending_since_step: g.integer(0, 9),
+        next_seq: g.integer(0, 99) as u32,
+        ..Default::default()
     }
 }
 
-prop_compose! {
-    fn arb_packet()(
-        src in 0u32..(N * N),
-        dst in 0u32..(N * N),
-        prio in 0u8..4,
-        injected_step in 0u64..5,
-        jitter in 0u64..JITTER_SPAN,
-        seq in 0u32..1000,
-        last in proptest::option::of(0usize..4),
-    ) -> Packet {
-        Packet {
-            id: PacketId::new(src, seq),
-            dst,
-            src,
-            priority: Priority::from_rank(prio),
-            injected_step,
-            jitter,
-            last_dir: last.map(Direction::from_index),
-            deflections: 0,
-        }
+fn arb_packet(g: &mut Clcg4) -> Packet {
+    let src = g.integer(0, (N * N - 1) as u64) as u32;
+    let dst = g.integer(0, (N * N - 1) as u64) as u32;
+    let prio = g.integer(0, 3) as u8;
+    let injected_step = g.integer(0, 4);
+    let jitter = g.integer(0, JITTER_SPAN - 1);
+    let seq = g.integer(0, 999) as u32;
+    let last = g
+        .bernoulli(0.5)
+        .then(|| Direction::from_index(g.integer(0, 3) as usize));
+    Packet {
+        id: PacketId::new(src, seq),
+        dst,
+        src,
+        priority: Priority::from_rank(prio),
+        injected_step,
+        jitter,
+        last_dir: last,
+        deflections: 0,
     }
 }
 
@@ -108,32 +106,36 @@ fn roundtrip(
     out.len()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn arrive_roundtrips() {
+    for case in 0..512 {
+        let g = &mut case_rng(0xA221, case);
+        let state = arb_state(g);
+        let mut pkt = arb_packet(g);
+        let lp = g.integer(0, (N * N - 1) as u64) as u32;
+        let step = g.integer(1, 19);
+        let absorb = g.bernoulli(0.5);
+        let seed = g.integer(0, u64::MAX - 1);
 
-    #[test]
-    fn arrive_roundtrips(
-        state in arb_state(),
-        pkt in arb_packet(),
-        lp in 0u32..(N * N),
-        step in 1u64..20,
-        absorb in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+        // A packet cannot arrive before it was injected.
+        pkt.injected_step = pkt.injected_step.min(step);
         let m = model(absorb);
         let now = arrive_time(step, pkt.jitter);
         let msg = Msg::Arrive { packet: pkt };
         roundtrip(&m, &state, &msg, lp, now, seed);
     }
+}
 
-    #[test]
-    fn route_roundtrips(
-        mut state in arb_state(),
-        mut pkt in arb_packet(),
-        lp in 0u32..(N * N),
-        step in 1u64..20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn route_roundtrips() {
+    for case in 0..512 {
+        let g = &mut case_rng(0x2071, case);
+        let mut state = arb_state(g);
+        let mut pkt = arb_packet(g);
+        let lp = g.integer(0, (N * N - 1) as u64) as u32;
+        let step = g.integer(1, 19);
+        let seed = g.integer(0, u64::MAX - 1);
+
         // ROUTE requires a free link when the mask is current; if the event
         // falls in the same step as the mask, keep one link free.
         if state.cur_step == step && state.links == 0b1111 {
@@ -149,16 +151,19 @@ proptest! {
         let now = route_time(step, pkt.priority, pkt.jitter);
         let msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
         let emitted = roundtrip(&m, &state, &msg, lp, now, seed);
-        prop_assert_eq!(emitted, 1, "ROUTE always forwards the packet");
+        assert_eq!(emitted, 1, "ROUTE always forwards the packet");
     }
+}
 
-    #[test]
-    fn inject_roundtrips(
-        mut state in arb_state(),
-        lp in 0u32..(N * N),
-        step in 1u64..20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn inject_roundtrips() {
+    for case in 0..512 {
+        let g = &mut case_rng(0x1217, case);
+        let mut state = arb_state(g);
+        let lp = g.integer(0, (N * N - 1) as u64) as u32;
+        let step = g.integer(1, 19);
+        let seed = g.integer(0, u64::MAX - 1);
+
         state.is_injector = true;
         state.pending_since_step = state.pending_since_step.min(step);
         let m = model(true);
@@ -166,14 +171,17 @@ proptest! {
         let msg = Msg::Inject { saved: SavedInject::default() };
         roundtrip(&m, &state, &msg, lp, now, seed);
     }
+}
 
-    #[test]
-    fn heartbeat_roundtrips(
-        state in arb_state(),
-        lp in 0u32..(N * N),
-        step in 1u64..20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn heartbeat_roundtrips() {
+    for case in 0..512 {
+        let g = &mut case_rng(0x4EA2, case);
+        let state = arb_state(g);
+        let lp = g.integer(0, (N * N - 1) as u64) as u32;
+        let step = g.integer(1, 19);
+        let seed = g.integer(0, u64::MAX - 1);
+
         let m = model(true);
         let now = VirtualTime::from_parts(step, hotpotato::timing::HEARTBEAT_PHASE);
         roundtrip(&m, &state, &Msg::Heartbeat, lp, now, seed);
@@ -182,18 +190,17 @@ proptest! {
 
 // Double-event sequence: forward A, forward B, reverse B, reverse A —
 // the LIFO order the KP rollback uses — restores the initial state.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn lifo_pair_roundtrips() {
+    for case in 0..256 {
+        let g = &mut case_rng(0x11F0, case);
+        let state0 = arb_state(g);
+        let pkt_a = arb_packet(g);
+        let pkt_b = arb_packet(g);
+        let lp = g.integer(0, (N * N - 1) as u64) as u32;
+        let step = g.integer(1, 19);
+        let seed = g.integer(0, u64::MAX - 1);
 
-    #[test]
-    fn lifo_pair_roundtrips(
-        state0 in arb_state(),
-        pkt_a in arb_packet(),
-        pkt_b in arb_packet(),
-        lp in 0u32..(N * N),
-        step in 1u64..20,
-        seed in any::<u64>(),
-    ) {
         let m = model(false);
         let mut rng = Clcg4::new(seed);
         let rng0 = rng;
@@ -235,7 +242,7 @@ proptest! {
         rng.reverse_n(draws_a);
         m.reverse(&mut state, &mut msg_a, &ReverseCtx::synthetic(lp, now, bf_a));
 
-        prop_assert_eq!(state, state_pre);
-        prop_assert_eq!(rng, rng0);
+        assert_eq!(state, state_pre);
+        assert_eq!(rng, rng0);
     }
 }

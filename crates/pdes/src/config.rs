@@ -1,5 +1,9 @@
 //! Engine configuration.
 
+use std::time::Duration;
+
+use crate::error::RunError;
+use crate::fault::FaultPlan;
 use crate::scheduler::SchedulerKind;
 use crate::time::VirtualTime;
 
@@ -29,6 +33,22 @@ pub struct EngineConfig {
     /// (and memory) at the cost of more frequent GVT rounds. `None` =
     /// unbounded optimism (classic Time Warp).
     pub max_lookahead: Option<u64>,
+    /// Deterministic fault injection at the inter-PE inbox boundary (see
+    /// [`fault`](crate::fault)). `None` = no chaos. Ignored by the
+    /// sequential kernel, which has no inter-PE boundary.
+    pub fault_plan: Option<FaultPlan>,
+    /// GVT liveness watchdog: abort with
+    /// [`RunError::GvtStalled`](crate::error::RunError::GvtStalled) if GVT
+    /// fails to advance across this many consecutive reduction rounds while
+    /// work remains. `None` disables the watchdog. The default (1 million
+    /// rounds) is far beyond anything a healthy run produces, yet catches a
+    /// genuinely wedged machine (e.g. a zero-delay livelock) in seconds.
+    pub gvt_stall_rounds: Option<u64>,
+    /// Wall-clock deadline for the whole parallel run, checked at every GVT
+    /// round; exceeded → [`RunError::GvtStalled`]. Note a handler that never
+    /// returns can still hang the run — the kernel only regains control
+    /// between events.
+    pub deadline: Option<Duration>,
 }
 
 impl EngineConfig {
@@ -38,13 +58,16 @@ impl EngineConfig {
     pub fn new(end_time: VirtualTime) -> Self {
         EngineConfig {
             end_time,
-            seed: 0x5EED_0F_0DD5,
+            seed: 0x5EED0F0DD5,
             n_pes: 1,
             n_kps: 64,
             scheduler: SchedulerKind::default(),
             gvt_interval: 1024,
             batch: 16,
             max_lookahead: None,
+            fault_plan: None,
+            gvt_stall_rounds: Some(1_000_000),
+            deadline: None,
         }
     }
 
@@ -94,6 +117,57 @@ impl EngineConfig {
         self.batch = batch;
         self
     }
+
+    /// Inject deterministic faults at the inter-PE boundary (see
+    /// [`fault_plan`](Self::fault_plan)).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Tune (or with `None` disable) the GVT stall watchdog (see
+    /// [`gvt_stall_rounds`](Self::gvt_stall_rounds)).
+    pub fn with_gvt_stall_rounds(mut self, rounds: Option<u64>) -> Self {
+        self.gvt_stall_rounds = rounds;
+        self
+    }
+
+    /// Abort the run if it exceeds this wall-clock budget (see
+    /// [`deadline`](Self::deadline)).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Check the configuration is self-consistent; both kernels call this
+    /// before touching the model.
+    pub fn validate(&self) -> Result<(), RunError> {
+        if self.n_pes == 0 {
+            return Err(RunError::config("need at least one PE"));
+        }
+        if self.n_kps == 0 {
+            return Err(RunError::config("need at least one KP"));
+        }
+        if (self.n_kps as usize) < self.n_pes {
+            return Err(RunError::config(format!(
+                "need at least one KP per PE ({} KPs < {} PEs)",
+                self.n_kps, self.n_pes
+            )));
+        }
+        if self.gvt_interval == 0 {
+            return Err(RunError::config("gvt_interval must be >= 1"));
+        }
+        if self.batch == 0 {
+            return Err(RunError::config("batch must be >= 1"));
+        }
+        if self.gvt_stall_rounds == Some(0) {
+            return Err(RunError::config("gvt_stall_rounds must be >= 1 (or None)"));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate().map_err(RunError::config)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +196,24 @@ mod tests {
     #[should_panic(expected = "at least one PE")]
     fn zero_pes_rejected() {
         EngineConfig::new(VirtualTime::from_steps(1)).with_pes(0);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_inconsistency() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1));
+        assert!(c.validate().is_ok());
+
+        let mut fewer_kps_than_pes = c.clone().with_pes(8);
+        fewer_kps_than_pes.n_kps = 4;
+        assert!(fewer_kps_than_pes.validate().is_err());
+
+        let bad_plan = c.clone().with_faults(FaultPlan::new(0).with_delay(2.0));
+        assert!(bad_plan.validate().is_err());
+
+        let good_plan = c.clone().with_faults(FaultPlan::new(0).with_delay(0.5));
+        assert!(good_plan.validate().is_ok());
+
+        assert!(c.clone().with_gvt_stall_rounds(Some(0)).validate().is_err());
+        assert!(c.with_gvt_stall_rounds(None).validate().is_ok());
     }
 }

@@ -1,0 +1,237 @@
+//! Structured run failures.
+//!
+//! Both kernels return `Result<RunResult<_>, RunError>`. A failing run never
+//! hangs and never aborts the process: a panicking model handler (or a
+//! violated kernel invariant) unwinds every PE and surfaces as
+//! [`RunError::PePanic`] carrying per-PE diagnostics; a GVT that stops
+//! advancing (zero-delay livelock, scheduling bug) trips the liveness
+//! watchdog and surfaces as [`RunError::GvtStalled`]; malformed
+//! configurations are rejected up front as [`RunError::ConfigInvalid`].
+//!
+//! Diagnostics are collected *after* all PE threads have unwound, so they are
+//! a consistent post-mortem snapshot: last GVT, global message counters, and
+//! per-PE queue depths, engine counters, and (when `PDES_TRACE=1`) the
+//! decoded kernel-action trace.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::event::PeId;
+use crate::stats::EngineStats;
+
+/// Why a kernel run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// A PE thread panicked — in a model handler or on a kernel invariant.
+    /// All sibling PEs were unwound cleanly before this was returned.
+    PePanic {
+        /// The PE whose thread panicked first.
+        pe: PeId,
+        /// The panic payload, rendered as text.
+        payload: String,
+        /// Post-mortem snapshot of the whole machine.
+        diagnostics: RunDiagnostics,
+    },
+    /// GVT failed to advance for the configured number of consecutive
+    /// reduction rounds (see
+    /// [`EngineConfig::gvt_stall_rounds`](crate::config::EngineConfig::gvt_stall_rounds)),
+    /// or the wall-clock deadline expired
+    /// ([`EngineConfig::deadline`](crate::config::EngineConfig::deadline)).
+    GvtStalled {
+        /// The GVT value (ticks) the run was stuck at.
+        gvt: u64,
+        /// Consecutive non-advancing GVT rounds observed.
+        rounds: u64,
+        /// Wall-clock time elapsed when the watchdog fired (only meaningful
+        /// for deadline trips; zero for round-count trips).
+        elapsed: Duration,
+        /// Post-mortem snapshot of the whole machine.
+        diagnostics: RunDiagnostics,
+    },
+    /// The run was rejected before any event executed: bad engine
+    /// configuration, empty model, or a model/mapping mismatch.
+    ConfigInvalid {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A PE worker thread terminated without reporting a result — a kernel
+    /// bug; included so joining can never panic a second time.
+    WorkerLost {
+        /// The PE whose report slot was empty.
+        pe: PeId,
+    },
+}
+
+impl RunError {
+    /// Shorthand constructor for [`RunError::ConfigInvalid`].
+    pub fn config(reason: impl Into<String>) -> Self {
+        RunError::ConfigInvalid { reason: reason.into() }
+    }
+
+    /// The machine snapshot attached to this failure, if any.
+    pub fn diagnostics(&self) -> Option<&RunDiagnostics> {
+        match self {
+            RunError::PePanic { diagnostics, .. } => Some(diagnostics),
+            RunError::GvtStalled { diagnostics, .. } => Some(diagnostics),
+            RunError::ConfigInvalid { .. } | RunError::WorkerLost { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::PePanic { pe, payload, diagnostics } => {
+                write!(f, "PE {pe} panicked: {payload}\n{diagnostics}")
+            }
+            RunError::GvtStalled { gvt, rounds, elapsed, diagnostics } => {
+                write!(
+                    f,
+                    "GVT stalled at {gvt} for {rounds} rounds ({elapsed:?} elapsed)\n{diagnostics}"
+                )
+            }
+            RunError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
+            RunError::WorkerLost { pe } => {
+                write!(f, "PE {pe} worker thread terminated without reporting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Consistent post-run snapshot of the whole machine, attached to
+/// [`RunError::PePanic`] and [`RunError::GvtStalled`].
+#[derive(Debug, Default)]
+pub struct RunDiagnostics {
+    /// Last GVT the machine computed (ticks).
+    pub gvt: u64,
+    /// Global count of inter-PE messages pushed.
+    pub sent: u64,
+    /// Global count of inter-PE messages drained.
+    pub received: u64,
+    /// One entry per PE, in PE order.
+    pub pes: Vec<PeDiagnostics>,
+}
+
+impl fmt::Display for RunDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "last GVT {} | messages sent {} / received {}",
+            self.gvt, self.sent, self.received
+        )?;
+        for pe in &self.pes {
+            writeln!(
+                f,
+                "  PE {}: pending {} | uncommitted {} | inbox {} | held faults {} | \
+                 deferred antis {} | processed {} | rolled back {}",
+                pe.pe,
+                pe.queue_depth,
+                pe.uncommitted,
+                pe.inbox_depth,
+                pe.held_faults,
+                pe.deferred_antis,
+                pe.stats.events_processed,
+                pe.stats.events_rolled_back,
+            )?;
+            for line in &pe.trace {
+                writeln!(f, "    trace: {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One PE's contribution to a [`RunDiagnostics`] snapshot.
+#[derive(Debug, Default)]
+pub struct PeDiagnostics {
+    /// The PE this snapshot describes.
+    pub pe: PeId,
+    /// Events still in the pending queue.
+    pub queue_depth: usize,
+    /// Processed-but-uncommitted events across this PE's KPs.
+    pub uncommitted: usize,
+    /// Messages left in this PE's inbox at unwind time.
+    pub inbox_depth: usize,
+    /// Messages held back by the fault-injection layer.
+    pub held_faults: usize,
+    /// Anti-messages waiting for their positive to arrive.
+    pub deferred_antis: usize,
+    /// This PE's engine counters at unwind time.
+    pub stats: EngineStats,
+    /// Decoded kernel-action trace (empty unless `PDES_TRACE=1`).
+    pub trace: Vec<String>,
+}
+
+/// Internal: the first failure recorded by any PE; converted into a
+/// [`RunError`] once every thread has unwound and diagnostics are complete.
+#[derive(Debug)]
+pub(crate) enum FailureCause {
+    Panic { pe: PeId, payload: String },
+    Stalled { gvt: u64, rounds: u64 },
+    DeadlineExpired { gvt: u64, rounds: u64, elapsed: Duration },
+}
+
+impl FailureCause {
+    pub(crate) fn into_error(self, diagnostics: RunDiagnostics) -> RunError {
+        match self {
+            FailureCause::Panic { pe, payload } => RunError::PePanic { pe, payload, diagnostics },
+            FailureCause::Stalled { gvt, rounds } => {
+                RunError::GvtStalled { gvt, rounds, elapsed: Duration::ZERO, diagnostics }
+            }
+            FailureCause::DeadlineExpired { gvt, rounds, elapsed } => {
+                RunError::GvtStalled { gvt, rounds, elapsed, diagnostics }
+            }
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload as text (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+pub(crate) fn decode_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = RunError::PePanic {
+            pe: 2,
+            payload: "boom".into(),
+            diagnostics: RunDiagnostics {
+                gvt: 17,
+                sent: 5,
+                received: 4,
+                pes: vec![PeDiagnostics { pe: 0, queue_depth: 3, ..Default::default() }],
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("PE 2 panicked: boom"));
+        assert!(text.contains("last GVT 17"));
+        assert!(text.contains("pending 3"));
+    }
+
+    #[test]
+    fn config_shorthand() {
+        let err = RunError::config("bad");
+        assert!(matches!(err, RunError::ConfigInvalid { ref reason } if reason == "bad"));
+        assert!(err.diagnostics().is_none());
+    }
+
+    #[test]
+    fn decode_payload_handles_both_string_kinds() {
+        assert_eq!(decode_payload(Box::new("static")), "static");
+        assert_eq!(decode_payload(Box::new(String::from("owned"))), "owned");
+        assert_eq!(decode_payload(Box::new(42u32)), "<non-string panic payload>");
+    }
+}

@@ -67,6 +67,19 @@ impl<P, S> Kp<P, S> {
         self.processed.push_back(p);
     }
 
+    /// True if the event with this id was processed at or after `bound`
+    /// (i.e. a rollback to `bound` would undo it). Scans only the suffix a
+    /// rollback would touch, newest first. Used by the anti-message path to
+    /// distinguish "target already executed" (roll back) from "target never
+    /// arrived" (defer the anti under fault injection).
+    pub fn contains_at_or_after(&self, id: crate::event::EventId, bound: EventKey) -> bool {
+        self.processed
+            .iter()
+            .rev()
+            .take_while(|p| p.ev.key >= bound)
+            .any(|p| p.ev.id == id)
+    }
+
     /// Pop the newest processed event if its key is `>= bound`.
     /// Rollback drivers call this repeatedly, undoing each returned event.
     #[inline]
@@ -150,6 +163,21 @@ mod tests {
         assert_eq!(popped, vec![9, 7, 5]);
         assert_eq!(kp.last_key().unwrap().recv_time, VirtualTime(3));
         assert_eq!(kp.rolled_back, 3);
+    }
+
+    #[test]
+    fn contains_checks_only_the_rollback_suffix() {
+        let mut kp = Kp::<(), ()>::new();
+        for t in [1, 3, 5, 7] {
+            kp.record(processed(t));
+        }
+        let bound = processed(5).ev.key;
+        assert!(kp.contains_at_or_after(EventId::new(0, 5), bound));
+        assert!(kp.contains_at_or_after(EventId::new(0, 7), bound));
+        // Event 3 was processed before the bound: a rollback to `bound`
+        // would not reach it.
+        assert!(!kp.contains_at_or_after(EventId::new(0, 3), bound));
+        assert!(!kp.contains_at_or_after(EventId::new(0, 99), bound));
     }
 
     #[test]

@@ -71,14 +71,24 @@
 //!
 //! let model = Ring { n: 4 };
 //! let config = EngineConfig::new(VirtualTime::from_steps(10)).with_pes(2);
-//! let seq = run_sequential(&model, &config);
-//! let par = run_parallel(&model, &config);
+//! let seq = run_sequential(&model, &config).unwrap();
+//! let par = run_parallel(&model, &config).unwrap();
 //! assert_eq!(seq.output.0, 9);
 //! assert_eq!(par.output.0, 9);
 //! ```
+//!
+//! Both kernels return `Result<RunResult, RunError>`: a panicking model, a
+//! stalled GVT, or an invalid configuration surfaces as a structured
+//! [`RunError`](error::RunError) with per-PE diagnostics — never a deadlock
+//! or a process abort. The [`fault`] module can inject deterministic message
+//! delays, duplicates, and reorders at the inter-PE boundary to prove the
+//! rollback machinery absorbs them (committed output stays bit-identical to
+//! the sequential run).
 
 pub mod config;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod kp;
 pub mod mapping;
 pub mod model;
@@ -87,12 +97,15 @@ pub mod rng;
 pub mod scheduler;
 pub mod sequential;
 pub mod stats;
+mod sync;
 pub mod time;
 
 /// One-stop imports for writing and running models.
 pub mod prelude {
     pub use crate::config::EngineConfig;
+    pub use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
     pub use crate::event::{Bitfield, KpId, LpId, PeId};
+    pub use crate::fault::FaultPlan;
     pub use crate::mapping::{LinearMapping, Mapping};
     pub use crate::model::{EventCtx, InitCtx, Merge, Model, ReverseCtx};
     pub use crate::parallel::{

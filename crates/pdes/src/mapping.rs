@@ -149,7 +149,7 @@ mod tests {
             prev = kp;
         }
         // Every KP gets ~10 LPs.
-        let mut counts = vec![0u32; 10];
+        let mut counts = [0u32; 10];
         for lp in 0..100 {
             counts[m.kp_of(lp) as usize] += 1;
         }
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn uneven_split_covers_everything() {
         let m = LinearMapping::new(13, 4, 3);
-        let mut counts = vec![0u32; 4];
+        let mut counts = [0u32; 4];
         for lp in 0..13 {
             counts[m.kp_of(lp) as usize] += 1;
         }

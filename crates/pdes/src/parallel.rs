@@ -39,33 +39,82 @@
 //! tolerate *causally inconsistent transient states* (execute without
 //! crashing; the execution will be rolled back). Committed history contains
 //! exactly one event per key.
+//!
+//! ## Failure model
+//!
+//! Every entry point returns `Result<RunResult, RunError>` and is guaranteed
+//! to *return*: no deadlock, no process abort.
+//!
+//! * A panic on any PE — in a model handler or on a kernel invariant — is
+//!   caught by `catch_unwind`; the panicking PE records the failure and
+//!   aborts the GVT barrier, so every sibling unwinds at its next barrier
+//!   wait or loop iteration. The run returns
+//!   [`RunError::PePanic`](crate::error::RunError::PePanic) with per-PE
+//!   diagnostics (queue depths, uncommitted events, stats, decoded trace).
+//! * GVT failing to advance across
+//!   [`gvt_stall_rounds`](crate::config::EngineConfig::gvt_stall_rounds)
+//!   consecutive rounds, or the wall-clock
+//!   [`deadline`](crate::config::EngineConfig::deadline) expiring, aborts the
+//!   run with [`RunError::GvtStalled`](crate::error::RunError::GvtStalled).
+//! * On any failure the partial model output is discarded; commit hooks may
+//!   already have fired for events committed by earlier GVT rounds.
+//!
+//! When a [`FaultPlan`](crate::fault::FaultPlan) is configured, each PE
+//! passes drained inter-PE messages through a deterministic fault filter
+//! (delay/duplicate/reorder — see [`fault`](crate::fault)). Two kernel
+//! mechanisms absorb the resulting disorder: duplicates are dropped by
+//! [`EventId`] at the inbox boundary, and an anti-message arriving *before*
+//! its positive is parked and annihilates the positive on arrival. Both are
+//! impossible without fault injection (messages from one PE to another stay
+//! ordered), but the machinery is always compiled in and checked.
+//!
+//! ## Environment
+//!
+//! `PDES_TRACE=1` (or `true`) enables the per-PE kernel-action trace:
+//! compact records pushed into a per-PE buffer and decoded into
+//! [`PeDiagnostics::trace`](crate::error::PeDiagnostics) when a run fails.
+//! Any other value (including `0`) leaves tracing off.
 
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
-use std::sync::Barrier;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use crate::config::EngineConfig;
+use crate::error::{decode_payload, FailureCause, PeDiagnostics, RunDiagnostics, RunError};
 use crate::event::{Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, Remote};
+use crate::fault::FaultState;
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::scheduler::EventQueue;
 use crate::stats::{EngineStats, RunResult};
+use crate::sync::AbortableBarrier;
 use crate::time::VirtualTime;
 
 /// Consecutive idle polls before an idle PE forces a GVT round (drives
 /// termination detection without barrier-storming busy PEs).
 const IDLE_GVT_TRIGGER: u64 = 64;
 
-/// Kernel-action trace for debugging (enabled by `PDES_TRACE=1`): compact
-/// binary records pushed into a per-PE buffer, decoded only when a PE
-/// panics. Cheap enough not to mask timing-sensitive races.
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it (the
+/// kernel's shared state stays consistent across a contained panic — we only
+/// read it for diagnostics afterwards).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Kernel-action trace for debugging, enabled by setting the environment
+/// variable `PDES_TRACE` to `1` or `true` (any other value, including `0`,
+/// disables it — see the module docs): compact binary records pushed into a
+/// per-PE buffer, decoded into the failure diagnostics when a PE panics.
+/// Cheap enough not to mask timing-sensitive races.
 fn trace_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var("PDES_TRACE").is_ok())
+    *ON.get_or_init(|| {
+        matches!(std::env::var("PDES_TRACE").as_deref(), Ok("1") | Ok("true"))
+    })
 }
 
 /// One traced kernel action.
@@ -78,6 +127,9 @@ enum Act {
     RollbackPop,
     Requeue,
     Annihilate,
+    AnnihilateEarly,
+    DeferAnti,
+    DropDuplicate,
     Emit,
     Fossil,
 }
@@ -89,6 +141,10 @@ macro_rules! ttrace {
         }
     };
 }
+
+/// Unwind marker: this PE must stop because a peer recorded a failure (or it
+/// recorded one itself). Carries nothing — the cause lives in `Shared`.
+struct Halt;
 
 /// State shared by all PEs.
 struct Shared<P> {
@@ -104,8 +160,24 @@ struct Shared<P> {
     gvt: AtomicU64,
     /// Per-PE published local minimum for the current round (ticks).
     local_mins: Vec<AtomicU64>,
-    /// Rendezvous for the GVT protocol.
-    barrier: Barrier,
+    /// Rendezvous for the GVT protocol; aborted on failure so no PE can
+    /// block forever.
+    barrier: AbortableBarrier,
+    /// First failure recorded by any PE (first writer wins).
+    failure: Mutex<Option<FailureCause>>,
+}
+
+impl<P> Shared<P> {
+    /// Record a failure (first one wins) and release every PE blocked at —
+    /// or heading for — the barrier.
+    fn fail(&self, cause: FailureCause) {
+        let mut slot = lock(&self.failure);
+        if slot.is_none() {
+            *slot = Some(cause);
+        }
+        drop(slot);
+        self.barrier.abort();
+    }
 }
 
 /// One LP's kernel-side state.
@@ -143,10 +215,29 @@ struct PeRuntime<'a, M: Model> {
     stats: EngineStats,
     since_gvt: u64,
     idle_polls: u64,
-    /// Kernel-action trace (only filled when `PDES_TRACE` is set).
+    /// Kernel-action trace (only filled when `PDES_TRACE=1`).
     trace_buf: Vec<(Act, EventId, EventKey)>,
     /// State-saving snapshotter (`None` = reverse computation).
     snapshot_fn: SnapshotFn<M>,
+    /// Chaos layer (`None` = no fault injection).
+    faults: Option<FaultState<M::Payload>>,
+    /// Scratch buffer reused by `drain_inbox`.
+    pending_buf: Vec<Remote<M::Payload>>,
+    /// Ids of remote positives/antis already delivered once — consulted only
+    /// under fault injection, where the chaos layer can deliver twice.
+    /// Cleared at every GVT quiescence (no copy can be outstanding then).
+    seen_pos: HashSet<EventId>,
+    seen_anti: HashSet<EventId>,
+    /// Anti-messages that arrived before their positive (possible only under
+    /// fault-injected reordering/delay), keyed by target id. The positive is
+    /// annihilated on arrival. Must be empty at every GVT quiescence.
+    early_antis: HashMap<EventId, ChildRef>,
+    /// Wall-clock start of the parallel phase (deadline watchdog).
+    start_time: Instant,
+    /// GVT watchdog (consulted by PE 0 only): last GVT seen and how many
+    /// consecutive rounds it has failed to advance.
+    prev_gvt: u64,
+    stall_rounds: u64,
 }
 
 impl<'a, M: Model> PeRuntime<'a, M> {
@@ -158,6 +249,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     #[inline]
     fn local_lp_idx(&self, lp: LpId) -> usize {
         self.lp_local[lp as usize] as usize
+    }
+
+    /// Rendezvous with the other PEs, unwinding if the run was aborted.
+    #[inline]
+    fn bwait(&self) -> Result<(), Halt> {
+        self.shared.barrier.wait().map_err(|_| Halt)
     }
 
     /// True if the pending queue's head is executable: before the horizon
@@ -179,20 +276,24 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
     }
 
-    /// Main optimistic loop. Returns when GVT passes the horizon.
-    fn run(&mut self) {
+    /// Main optimistic loop. Returns `Ok` when GVT passes the horizon, `Err`
+    /// when the run was aborted by a failure on any PE.
+    fn run(&mut self) -> Result<(), Halt> {
         loop {
-            self.drain_inbox();
+            if self.shared.barrier.is_aborted() {
+                return Err(Halt);
+            }
+            self.drain_inbox(true);
             let want_gvt = self.shared.gvt_flag.load(SeqCst)
                 || self.since_gvt >= self.config.gvt_interval
                 || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER);
             if want_gvt {
                 self.shared.gvt_flag.store(true, SeqCst);
-                let done = self.gvt_round();
+                let done = self.gvt_round()?;
                 self.since_gvt = 0;
                 self.idle_polls = 0;
                 if done {
-                    break;
+                    return Ok(());
                 }
                 continue;
             }
@@ -213,22 +314,68 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
     }
 
-    /// Pull every message out of this PE's inbox and apply it.
-    fn drain_inbox(&mut self) {
+    /// Pull every message out of this PE's inbox and apply it. With `chaos`
+    /// set (main loop) drained batches pass through the fault filter, which
+    /// may hold messages back, duplicate them, or shuffle the batch. Without
+    /// it (GVT quiescence) everything — including the fault layer's held-back
+    /// messages — is delivered verbatim, so quiescence always sees a fully
+    /// flushed machine and GVT can never pass a delayed message.
+    fn drain_inbox(&mut self, chaos: bool) {
+        let mut pending = std::mem::take(&mut self.pending_buf);
+        debug_assert!(pending.is_empty());
+        if let Some(faults) = self.faults.as_mut() {
+            faults.take_holdback(&mut pending);
+        }
         loop {
-            let msgs = {
-                let mut guard = self.shared.inboxes[self.id].lock();
-                if guard.is_empty() {
+            {
+                let mut guard = lock(&self.shared.inboxes[self.id]);
+                let n = guard.len();
+                if n > 0 {
+                    pending.append(&mut guard);
+                    drop(guard);
+                    self.shared.received.fetch_add(n as u64, SeqCst);
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let deliver = match (chaos, self.faults.as_mut()) {
+                (true, Some(faults)) => faults.filter(pending, &mut self.stats),
+                _ => pending,
+            };
+            pending = Vec::new();
+            for msg in deliver {
+                self.apply_remote(msg);
+            }
+        }
+        self.pending_buf = pending;
+    }
+
+    /// Apply one message from the inter-PE boundary.
+    fn apply_remote(&mut self, msg: Remote<M::Payload>) {
+        match msg {
+            Remote::Positive(ev) => {
+                if self.faults.is_some() && !self.seen_pos.insert(ev.id) {
+                    // Chaos-injected duplicate delivery: absorb by id.
+                    self.stats.duplicates_dropped += 1;
+                    ttrace!(self, Act::DropDuplicate, ev.id, ev.key);
                     return;
                 }
-                std::mem::take(&mut *guard)
-            };
-            self.shared.received.fetch_add(msgs.len() as u64, SeqCst);
-            for msg in msgs {
-                match msg {
-                    Remote::Positive(ev) => self.enqueue_positive(ev),
-                    Remote::Anti(child) => self.cancel_local(child),
+                if self.early_antis.remove(&ev.id).is_some() {
+                    // Its anti-message got here first: they annihilate.
+                    self.stats.early_annihilations += 1;
+                    ttrace!(self, Act::AnnihilateEarly, ev.id, ev.key);
+                    return;
                 }
+                self.enqueue_positive(ev);
+            }
+            Remote::Anti(child) => {
+                if self.faults.is_some() && !self.seen_anti.insert(child.id) {
+                    self.stats.duplicates_dropped += 1;
+                    ttrace!(self, Act::DropDuplicate, child.id, child.key);
+                    return;
+                }
+                self.cancel_local(child);
             }
         }
     }
@@ -250,17 +397,25 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         self.queue.push(ev);
     }
 
-    /// Annihilate a local event: remove it from the pending queue, or roll
-    /// its KP back past it (secondary rollback) and drop it.
+    /// Annihilate a local event: remove it from the pending queue, roll its
+    /// KP back past it (secondary rollback), or — if the positive has not
+    /// been delivered yet, which only fault-injected reordering/delay can
+    /// arrange — park the anti to annihilate the positive on arrival.
     fn cancel_local(&mut self, child: ChildRef) {
         if self.queue.remove(child.id, child.key) {
             ttrace!(self, Act::CancelPending, child.id, child.key);
             return;
         }
-        ttrace!(self, Act::CancelMiss, child.id, child.key);
         let kp_idx = self.local_kp_idx(child.key.dst);
-        self.stats.secondary_rollbacks += 1;
-        self.rollback(kp_idx, child.key, Some(child.id));
+        if self.kps[kp_idx].contains_at_or_after(child.id, child.key) {
+            ttrace!(self, Act::CancelMiss, child.id, child.key);
+            self.stats.secondary_rollbacks += 1;
+            self.rollback(kp_idx, child.key, Some(child.id));
+        } else {
+            ttrace!(self, Act::DeferAnti, child.id, child.key);
+            self.stats.antis_deferred += 1;
+            self.early_antis.insert(child.id, child);
+        }
     }
 
     /// Rewind `kp_idx` by reverse computation until its newest processed
@@ -304,6 +459,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             ttrace!(self, Act::Requeue, p.ev.id, p.ev.key);
             self.queue.push(p.ev);
         }
+        // `cancel_local` only rolls back after locating the target, so a
+        // miss here is a kernel bug — contained as `RunError::PePanic`.
         assert!(
             target_found,
             "anti-message target {annihilate:?} not found in KP {kp_idx} (lost event?)"
@@ -321,7 +478,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.cancel_local(child);
         } else {
             self.shared.sent.fetch_add(1, SeqCst);
-            self.shared.inboxes[pe].lock().push(Remote::Anti(child));
+            lock(&self.shared.inboxes[pe]).push(Remote::Anti(child));
         }
     }
 
@@ -378,7 +535,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             } else {
                 self.stats.remote_events += 1;
                 self.shared.sent.fetch_add(1, SeqCst);
-                self.shared.inboxes[pe].lock().push(Remote::Positive(child_ev));
+                lock(&self.shared.inboxes[pe]).push(Remote::Positive(child_ev));
             }
         }
         self.emit_buf = emits;
@@ -389,44 +546,92 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     }
 
     /// One GVT reduction round. All PEs execute this in lockstep; returns
-    /// whether the simulation is finished.
-    fn gvt_round(&mut self) -> bool {
-        self.shared.barrier.wait(); // B1: everyone has stopped executing.
+    /// whether the simulation is finished, or `Err` if the run was aborted
+    /// (peer failure, stalled GVT, expired deadline).
+    fn gvt_round(&mut self) -> Result<bool, Halt> {
+        self.bwait()?; // B1: everyone has stopped executing.
         loop {
             // Draining can trigger rollbacks, which push new messages —
-            // iterate until the whole machine is quiescent.
-            self.drain_inbox();
-            self.shared.barrier.wait(); // B2: all inboxes drained once.
+            // iterate until the whole machine is quiescent. Chaos is off:
+            // held-back messages are flushed, so GVT can never pass a
+            // fault-delayed message's timestamp.
+            self.drain_inbox(false);
+            self.bwait()?; // B2: all inboxes drained once.
             let quiet =
                 self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
-            self.shared.barrier.wait(); // B3: everyone sampled the counters.
+            self.bwait()?; // B3: everyone sampled the counters.
             if quiet {
                 break;
             }
         }
-        // Quiescent: no messages in flight, nobody executing. The global
-        // minimum pending receive-time is exactly GVT.
+        // Quiescent: no messages in flight (or held by the fault layer),
+        // nobody executing. Every duplicate delivery has been absorbed and
+        // every early anti-message must have met its positive by now.
+        self.seen_pos.clear();
+        self.seen_anti.clear();
+        assert!(
+            self.early_antis.is_empty(),
+            "PE {}: {} anti-message(s) never met their positives (lost events?): {:?}",
+            self.id,
+            self.early_antis.len(),
+            self.early_antis.keys().take(8).collect::<Vec<_>>(),
+        );
+        // The global minimum pending receive-time is exactly GVT.
         let local_min = match self.queue.peek_key() {
             Some(k) => k.recv_time.0,
             None => u64::MAX,
         };
         self.shared.local_mins[self.id].store(local_min, SeqCst);
-        self.shared.barrier.wait(); // B4: all minima published.
+        self.bwait()?; // B4: all minima published.
         let gvt = self
             .shared
             .local_mins
             .iter()
             .map(|m| m.load(SeqCst))
             .min()
-            .expect("at least one PE");
+            .unwrap_or(u64::MAX);
         if self.id == 0 {
             self.shared.gvt.store(gvt, SeqCst);
             self.shared.gvt_flag.store(false, SeqCst);
+            if gvt < self.config.end_time.0 {
+                self.watchdog(gvt)?;
+            }
         }
         self.stats.gvt_rounds += 1;
         self.fossil_collect(VirtualTime(gvt));
-        self.shared.barrier.wait(); // B5: flag cleared, fossils reclaimed.
-        gvt >= self.config.end_time.0
+        self.bwait()?; // B5: flag cleared, fossils reclaimed.
+        Ok(gvt >= self.config.end_time.0)
+    }
+
+    /// GVT liveness watchdog, run by PE 0 while work remains: trip if GVT
+    /// has not advanced for the configured number of rounds, or if the
+    /// wall-clock deadline expired. Tripping records the failure and aborts
+    /// the barrier, so every other PE unwinds at its next wait.
+    fn watchdog(&mut self, gvt: u64) -> Result<(), Halt> {
+        if gvt == self.prev_gvt {
+            self.stall_rounds += 1;
+        } else {
+            self.prev_gvt = gvt;
+            self.stall_rounds = 0;
+        }
+        if let Some(limit) = self.config.gvt_stall_rounds {
+            if self.stall_rounds >= limit {
+                self.shared.fail(FailureCause::Stalled { gvt, rounds: self.stall_rounds });
+                return Err(Halt);
+            }
+        }
+        if let Some(deadline) = self.config.deadline {
+            let elapsed = self.start_time.elapsed();
+            if elapsed >= deadline {
+                self.shared.fail(FailureCause::DeadlineExpired {
+                    gvt,
+                    rounds: self.stall_rounds,
+                    elapsed,
+                });
+                return Err(Halt);
+            }
+        }
+        Ok(())
     }
 
     /// Commit and reclaim all processed events older than `horizon`.
@@ -449,11 +654,51 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         out
     }
+
+    /// Snapshot this PE's state for failure diagnostics (inbox depth is
+    /// filled in post-join, from the shared side).
+    fn diagnostics(&self) -> PeDiagnostics {
+        PeDiagnostics {
+            pe: self.id,
+            queue_depth: self.queue.len(),
+            uncommitted: self.kps.iter().map(|kp| kp.processed.len()).sum(),
+            inbox_depth: 0,
+            held_faults: self.faults.as_ref().map_or(0, |f| f.held()),
+            deferred_antis: self.early_antis.len(),
+            stats: self.stats.clone(),
+            trace: self
+                .trace_buf
+                .iter()
+                .map(|(act, id, key)| {
+                    format!(
+                        "{act:?} id={:?} t={} dst={} tie={}",
+                        id, key.recv_time.0, key.dst, key.tie
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// What one PE thread leaves behind: its diagnostics snapshot always, its
+/// model output only on success.
+struct PeReport<O> {
+    diag: PeDiagnostics,
+    output: Option<O>,
 }
 
 /// Run `model` on the optimistic kernel with the default contiguous
 /// [`LinearMapping`] derived from the config's PE/KP counts.
-pub fn run_parallel<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M::Output> {
+pub fn run_parallel<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+) -> Result<RunResult<M::Output>, RunError> {
+    // Validate before deriving the mapping: `LinearMapping::new` asserts on
+    // inconsistent counts, and those must surface as `ConfigInvalid` instead.
+    config.validate()?;
+    if model.n_lps() == 0 {
+        return Err(RunError::config("model has no LPs"));
+    }
     let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
     run_parallel_mapped(model, config, &mapping)
 }
@@ -464,11 +709,18 @@ pub fn run_parallel<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M::
 /// [`Model::reverse`]. This is the Georgia Tech Time Warp approach that
 /// ROSS's reverse computation replaced (paper Section 3.2.1) — provided as
 /// the natural ablation baseline (experiment E12).
-pub fn run_parallel_state_saving<M>(model: &M, config: &EngineConfig) -> RunResult<M::Output>
+pub fn run_parallel_state_saving<M>(
+    model: &M,
+    config: &EngineConfig,
+) -> Result<RunResult<M::Output>, RunError>
 where
     M: Model,
     M::State: Clone,
 {
+    config.validate()?;
+    if model.n_lps() == 0 {
+        return Err(RunError::config("model has no LPs"));
+    }
     let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
     run_parallel_inner(model, config, &mapping, Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)))
 }
@@ -478,7 +730,7 @@ pub fn run_parallel_mapped_state_saving<M>(
     model: &M,
     config: &EngineConfig,
     mapping: &dyn Mapping,
-) -> RunResult<M::Output>
+) -> Result<RunResult<M::Output>, RunError>
 where
     M: Model,
     M::State: Clone,
@@ -492,7 +744,7 @@ pub fn run_parallel_mapped<M: Model>(
     model: &M,
     config: &EngineConfig,
     mapping: &dyn Mapping,
-) -> RunResult<M::Output> {
+) -> Result<RunResult<M::Output>, RunError> {
     run_parallel_inner(model, config, mapping, None)
 }
 
@@ -501,13 +753,23 @@ fn run_parallel_inner<M: Model>(
     config: &EngineConfig,
     mapping: &dyn Mapping,
     snapshot_fn: SnapshotFn<M>,
-) -> RunResult<M::Output> {
+) -> Result<RunResult<M::Output>, RunError> {
+    config.validate()?;
     let n_lps = model.n_lps();
-    assert!(n_lps > 0, "model has no LPs");
-    assert_eq!(mapping.n_lps(), n_lps, "mapping/model LP count mismatch");
+    if n_lps == 0 {
+        return Err(RunError::config("model has no LPs"));
+    }
+    if mapping.n_lps() != n_lps {
+        return Err(RunError::config(format!(
+            "mapping/model LP count mismatch: mapping has {}, model has {n_lps}",
+            mapping.n_lps()
+        )));
+    }
     let flat = FlatMapping::from_mapping(mapping);
     let n_pes = flat.n_pes;
-    assert!(n_pes < (1 << 16), "PE count exceeds EventId space");
+    if n_pes >= (1 << 16) {
+        return Err(RunError::config(format!("PE count {n_pes} exceeds EventId space")));
+    }
 
     // ---- Sequential setup phase (like ROSS's startup function). ----
     let mut rngs: Vec<Clcg4> =
@@ -561,7 +823,8 @@ fn run_parallel_inner<M: Model>(
         gvt_flag: AtomicBool::new(false),
         gvt: AtomicU64::new(0),
         local_mins: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
-        barrier: Barrier::new(n_pes),
+        barrier: AbortableBarrier::new(n_pes),
+        failure: Mutex::new(None),
     };
 
     // Build each PE's runtime ingredients.
@@ -595,7 +858,7 @@ fn run_parallel_inner<M: Model>(
 
     // ---- Parallel phase. ----
     let start = Instant::now();
-    let results: Mutex<Vec<Option<(EngineStats, M::Output)>>> =
+    let results: Mutex<Vec<Option<PeReport<M::Output>>>> =
         Mutex::new((0..n_pes).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -626,41 +889,86 @@ fn run_parallel_inner<M: Model>(
                     idle_polls: 0,
                     trace_buf: Vec::new(),
                     snapshot_fn,
+                    faults: config.fault_plan.and_then(|plan| {
+                        (!plan.is_noop()).then(|| FaultState::new(plan, pe))
+                    }),
+                    pending_buf: Vec::new(),
+                    seen_pos: HashSet::new(),
+                    seen_anti: HashSet::new(),
+                    early_antis: HashMap::new(),
+                    start_time: start,
+                    prev_gvt: u64::MAX,
+                    stall_rounds: 0,
                 };
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    rt.run();
-                    rt.finish()
+                // Contain panics from model handlers and kernel invariants:
+                // record the failure, abort the barrier so every sibling
+                // unwinds, and still report diagnostics for this PE.
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<M::Output, Halt> {
+                    rt.run()?;
+                    Ok(rt.finish())
                 }));
-                match outcome {
-                    Ok(out) => results.lock()[pe] = Some((rt.stats, out)),
+                let output = match outcome {
+                    Ok(Ok(out)) => Some(out),
+                    Ok(Err(Halt)) => None,
                     Err(payload) => {
-                        // Dump this PE's trace before aborting so the
-                        // failure is diagnosable (a panicked PE would
-                        // otherwise deadlock its siblings at the barrier).
-                        if trace_enabled() {
-                            for (act, id, key) in &rt.trace_buf {
-                                eprintln!("TRACE pe{pe} {act:?} id={id:?} key={key:?}");
-                            }
-                        }
-                        eprintln!("PE {pe} panicked; aborting run");
-                        drop(payload);
-                        std::process::abort();
+                        shared.fail(FailureCause::Panic {
+                            pe,
+                            payload: decode_payload(payload),
+                        });
+                        None
                     }
-                }
+                };
+                lock(results)[pe] = Some(PeReport { diag: rt.diagnostics(), output });
             });
         }
     });
     let wall = start.elapsed();
 
+    let failure = lock(&shared.failure).take();
+    let reports = shared
+        .inboxes
+        .iter()
+        .zip(results.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .map(|(inbox, slot)| {
+            slot.map(|mut report| {
+                report.diag.inbox_depth = lock(inbox).len();
+                report
+            })
+        })
+        .collect::<Vec<_>>();
+
+    if let Some(cause) = failure {
+        let mut diagnostics = RunDiagnostics {
+            gvt: shared.gvt.load(SeqCst),
+            sent: shared.sent.load(SeqCst),
+            received: shared.received.load(SeqCst),
+            pes: Vec::with_capacity(n_pes),
+        };
+        for (pe, slot) in reports.into_iter().enumerate() {
+            diagnostics.pes.push(match slot {
+                Some(report) => report.diag,
+                None => PeDiagnostics { pe, ..Default::default() },
+            });
+        }
+        return Err(cause.into_error(diagnostics));
+    }
+
     // Merge per-PE results in PE order (model outputs must merge
     // commutatively for kernel-equality; see `Merge` docs).
     let mut stats = EngineStats::default();
     let mut output = M::Output::default();
-    for slot in results.into_inner() {
-        let (pe_stats, pe_out) = slot.expect("PE thread did not report");
-        stats.merge(&pe_stats);
-        output.merge(pe_out);
+    for (pe, slot) in reports.into_iter().enumerate() {
+        let report = match slot {
+            Some(r) => r,
+            None => return Err(RunError::WorkerLost { pe }),
+        };
+        let out = match report.output {
+            Some(o) => o,
+            None => return Err(RunError::WorkerLost { pe }),
+        };
+        stats.merge(&report.diag.stats);
+        output.merge(out);
     }
     stats.wall_time = wall;
-    RunResult { output, stats }
+    Ok(RunResult { output, stats })
 }

@@ -208,8 +208,8 @@ mod tests {
         let mut rng = Clcg4::new(0);
         for _ in 0..10_000 {
             rng.next_unif();
-            for i in 0..4 {
-                assert!(rng.state()[i] >= 1 && rng.state()[i] < M[i]);
+            for (s, m) in rng.state().iter().zip(&M) {
+                assert!(*s >= 1 && s < m);
             }
         }
     }

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use crate::config::EngineConfig;
+use crate::error::RunError;
 use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
 use crate::model::{Emit, EventCtx, InitCtx, Model};
 use crate::rng::{stream_seed, Clcg4};
@@ -18,10 +19,20 @@ use crate::stats::{EngineStats, RunResult};
 /// Run `model` to completion on the sequential kernel.
 ///
 /// Only `end_time`, `seed` and `scheduler` are consulted from the config;
-/// PE/KP/GVT settings are meaningless without optimism.
-pub fn run_sequential<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M::Output> {
+/// PE/KP/GVT settings are meaningless without optimism, and a configured
+/// [`fault_plan`](crate::config::EngineConfig::fault_plan) is ignored (there
+/// is no inter-PE boundary to inject faults at). An empty model or an
+/// invalid configuration is rejected as
+/// [`RunError::ConfigInvalid`](crate::error::RunError::ConfigInvalid).
+pub fn run_sequential<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+) -> Result<RunResult<M::Output>, RunError> {
+    config.validate()?;
     let n_lps = model.n_lps();
-    assert!(n_lps > 0, "model has no LPs");
+    if n_lps == 0 {
+        return Err(RunError::config("model has no LPs"));
+    }
 
     let mut rngs: Vec<Clcg4> =
         (0..n_lps).map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64))).collect();
@@ -93,7 +104,7 @@ pub fn run_sequential<M: Model>(model: &M, config: &EngineConfig) -> RunResult<M
     for lp in 0..n_lps {
         model.finish(lp, &states[lp as usize], &mut output);
     }
-    RunResult { output, stats }
+    Ok(RunResult { output, stats })
 }
 
 /// Turn an [`Emit`] into a full event. The sequential kernel allocates all
@@ -181,7 +192,7 @@ mod tests {
     fn ping_pong_event_count_is_exact() {
         let model = PingPong { n: 4 };
         let config = EngineConfig::new(VirtualTime::from_steps(11));
-        let result = run_sequential(&model, &config);
+        let result = run_sequential(&model, &config).unwrap();
         // Each LP fires at steps 1..=10 → 4 LPs × 10 steps, plus nothing at
         // step 11 (>= end is excluded... step 11 events exist but horizon is
         // exclusive).
@@ -194,8 +205,8 @@ mod tests {
     fn deterministic_across_runs() {
         let model = PingPong { n: 8 };
         let config = EngineConfig::new(VirtualTime::from_steps(50)).with_seed(99);
-        let a = run_sequential(&model, &config);
-        let b = run_sequential(&model, &config);
+        let a = run_sequential(&model, &config).unwrap();
+        let b = run_sequential(&model, &config).unwrap();
         assert_eq!(a.output, b.output);
         assert_eq!(a.stats.events_committed, b.stats.events_committed);
     }
@@ -204,8 +215,8 @@ mod tests {
     fn different_seed_same_topological_counts() {
         // Event counts don't depend on RNG here, only the draws do.
         let model = PingPong { n: 4 };
-        let a = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(1));
-        let b = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(2));
+        let a = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(1)).unwrap();
+        let b = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(2)).unwrap();
         assert_eq!(a.output, b.output);
     }
 
@@ -214,8 +225,8 @@ mod tests {
         use crate::scheduler::SchedulerKind;
         let model = PingPong { n: 8 };
         let base = EngineConfig::new(VirtualTime::from_steps(30)).with_seed(5);
-        let heap = run_sequential(&model, &base.clone().with_scheduler(SchedulerKind::Heap));
-        let splay = run_sequential(&model, &base.with_scheduler(SchedulerKind::Splay));
+        let heap = run_sequential(&model, &base.clone().with_scheduler(SchedulerKind::Heap)).unwrap();
+        let splay = run_sequential(&model, &base.with_scheduler(SchedulerKind::Splay)).unwrap();
         assert_eq!(heap.output, splay.output);
         assert_eq!(heap.stats.events_committed, splay.stats.events_committed);
     }

@@ -33,6 +33,18 @@ pub struct EngineStats {
     /// by powers of two: bucket i counts rollbacks undoing in
     /// `[2^i, 2^(i+1))` events; the last bucket is open-ended.
     pub rollback_lengths: [u64; 8],
+    /// Messages the fault layer held back to a later inbox drain.
+    pub injected_delays: u64,
+    /// Messages the fault layer delivered twice.
+    pub injected_duplicates: u64,
+    /// Inbox batches the fault layer shuffled.
+    pub injected_reorders: u64,
+    /// Duplicate deliveries the kernel absorbed by `EventId`.
+    pub duplicates_dropped: u64,
+    /// Anti-messages that arrived before their positive and were parked.
+    pub antis_deferred: u64,
+    /// Positives annihilated on arrival by a parked anti-message.
+    pub early_annihilations: u64,
     /// Wall-clock run time (only set on the merged total).
     pub wall_time: Duration,
 }
@@ -53,7 +65,18 @@ impl EngineStats {
         for (a, b) in self.rollback_lengths.iter_mut().zip(&other.rollback_lengths) {
             *a += b;
         }
+        self.injected_delays += other.injected_delays;
+        self.injected_duplicates += other.injected_duplicates;
+        self.injected_reorders += other.injected_reorders;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.antis_deferred += other.antis_deferred;
+        self.early_annihilations += other.early_annihilations;
         self.wall_time = self.wall_time.max(other.wall_time);
+    }
+
+    /// Total faults the chaos layer injected.
+    pub fn total_injected_faults(&self) -> u64 {
+        self.injected_delays + self.injected_duplicates + self.injected_reorders
     }
 
     /// Record one rollback that undid `undone` events (≥ 1).
@@ -113,6 +136,18 @@ impl fmt::Display for EngineStats {
         writeln!(f, "remote events        : {}", self.remote_events)?;
         writeln!(f, "gvt rounds           : {}", self.gvt_rounds)?;
         writeln!(f, "fossils collected    : {}", self.fossils_collected)?;
+        if self.total_injected_faults() > 0 {
+            writeln!(
+                f,
+                "faults injected      : {} delays, {} duplicates, {} reorders",
+                self.injected_delays, self.injected_duplicates, self.injected_reorders
+            )?;
+            writeln!(
+                f,
+                "faults absorbed      : {} dup-drops, {} deferred antis, {} early annihilations",
+                self.duplicates_dropped, self.antis_deferred, self.early_annihilations
+            )?;
+        }
         writeln!(f, "wall time            : {:.3}s", self.wall_time.as_secs_f64())?;
         write!(f, "event rate           : {:.0} ev/s", self.event_rate())
     }
@@ -146,6 +181,7 @@ mod tests {
             fossils_collected: 6,
             rollback_lengths: [1, 0, 0, 0, 0, 0, 0, 0],
             wall_time: Duration::from_secs(2),
+            ..Default::default()
         };
         let b = EngineStats {
             events_processed: 1,

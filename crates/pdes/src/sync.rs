@@ -1,0 +1,163 @@
+//! Abort-aware synchronization for the PE rendezvous.
+//!
+//! `std::sync::Barrier` has no escape hatch: if one PE panics between two
+//! waits, every sibling blocks forever. The GVT reduction needs a barrier
+//! that any thread can *abort*, releasing all current and future waiters
+//! with an error so they can unwind, report diagnostics, and join.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Returned by [`AbortableBarrier::wait`] when the barrier was aborted; the
+/// caller must unwind instead of continuing the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Aborted;
+
+struct BarrierState {
+    /// Threads still expected at the current rendezvous.
+    waiting: usize,
+    /// Flipped each generation (sense-reversing: waiters of an old
+    /// generation wake when the sense changes, so reuse is safe).
+    sense: bool,
+}
+
+/// A reusable sense-reversing barrier with an abort switch.
+pub(crate) struct AbortableBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    /// Mirror of the abort flag for lock-free fast-path checks.
+    aborted: AtomicBool,
+}
+
+fn lock_state(barrier: &AbortableBarrier) -> MutexGuard<'_, BarrierState> {
+    // A waiter cannot panic while holding the lock, but a model payload's
+    // Clone/Drop could if we ever held it here; recover the guard so abort
+    // always works.
+    barrier.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl AbortableBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        AbortableBarrier {
+            n,
+            state: Mutex::new(BarrierState { waiting: n, sense: false }),
+            cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Rendezvous with the other `n - 1` participants. Returns `Err(Aborted)`
+    /// (immediately, or as soon as the abort happens) if any thread called
+    /// [`abort`](Self::abort).
+    pub(crate) fn wait(&self) -> Result<(), Aborted> {
+        let mut st = lock_state(self);
+        if self.aborted.load(Ordering::Relaxed) {
+            return Err(Aborted);
+        }
+        st.waiting -= 1;
+        if st.waiting == 0 {
+            // Last arrival: open the next generation and release everyone.
+            st.waiting = self.n;
+            st.sense = !st.sense;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let my_sense = st.sense;
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            if self.aborted.load(Ordering::Relaxed) {
+                return Err(Aborted);
+            }
+            if st.sense != my_sense {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Release every current and future waiter with `Err(Aborted)`.
+    /// Idempotent; callable from any thread.
+    pub(crate) fn abort(&self) {
+        // Set the flag *under the lock* so a waiter can't check it, miss the
+        // store, and then sleep through the notify.
+        let _st = lock_state(self);
+        self.aborted.store(true, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Lock-free check, for per-iteration polling in the PE main loop.
+    #[inline]
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn barrier_synchronizes_repeatedly() {
+        let n = 4;
+        let barrier = Arc::new(AbortableBarrier::new(n));
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 1..=100 {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        b.wait().unwrap();
+                        // Everyone has incremented for this round.
+                        assert!(c.load(Ordering::SeqCst) >= n * round);
+                        b.wait().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), n * 100);
+    }
+
+    #[test]
+    fn abort_releases_blocked_waiters() {
+        let barrier = Arc::new(AbortableBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        // Give them time to block (the third participant never arrives).
+        std::thread::sleep(Duration::from_millis(50));
+        barrier.abort();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Err(Aborted));
+        }
+        // Late arrivals fail immediately, forever.
+        assert_eq!(barrier.wait(), Err(Aborted));
+        assert!(barrier.is_aborted());
+    }
+
+    #[test]
+    fn abort_is_idempotent() {
+        let barrier = AbortableBarrier::new(2);
+        barrier.abort();
+        barrier.abort();
+        assert_eq!(barrier.wait(), Err(Aborted));
+    }
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let barrier = AbortableBarrier::new(1);
+        for _ in 0..10 {
+            assert_eq!(barrier.wait(), Ok(()));
+        }
+    }
+}

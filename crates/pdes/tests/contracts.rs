@@ -61,29 +61,28 @@ fn cfg() -> EngineConfig {
 #[test]
 #[should_panic(expected = "zero-delay")]
 fn zero_delay_events_are_rejected() {
-    run_sequential(&Misbehaving { mode: Mode::ZeroDelay }, &cfg());
+    let _ = run_sequential(&Misbehaving { mode: Mode::ZeroDelay }, &cfg());
 }
 
 #[test]
 #[should_panic(expected = "recv_time > 0")]
 fn init_events_at_time_zero_are_rejected() {
-    run_sequential(&Misbehaving { mode: Mode::InitAtZero }, &cfg());
+    let _ = run_sequential(&Misbehaving { mode: Mode::InitAtZero }, &cfg());
 }
 
 #[test]
 #[should_panic]
 fn events_to_nonexistent_lps_are_rejected() {
-    run_sequential(&Misbehaving { mode: Mode::BadDestination }, &cfg());
+    let _ = run_sequential(&Misbehaving { mode: Mode::BadDestination }, &cfg());
 }
 
 #[test]
 fn well_behaved_model_runs() {
-    let r = run_sequential(&Misbehaving { mode: Mode::Fine }, &cfg());
+    let r = run_sequential(&Misbehaving { mode: Mode::Fine }, &cfg()).unwrap();
     assert_eq!(r.stats.events_committed, 1);
 }
 
 #[test]
-#[should_panic(expected = "no LPs")]
 fn empty_models_are_rejected() {
     struct Empty;
     impl Model for Empty {
@@ -98,14 +97,26 @@ fn empty_models_are_rejected() {
         fn reverse(&self, _s: &mut (), _p: &mut Tick, _c: &ReverseCtx) {}
         fn finish(&self, _lp: LpId, _s: &(), _o: &mut ()) {}
     }
-    run_sequential(&Empty, &cfg());
+    let seq = run_sequential(&Empty, &cfg());
+    assert!(
+        matches!(seq, Err(RunError::ConfigInvalid { ref reason }) if reason.contains("no LPs")),
+        "expected ConfigInvalid, got {seq:?}"
+    );
+    let par = run_parallel(&Empty, &cfg());
+    assert!(
+        matches!(par, Err(RunError::ConfigInvalid { ref reason }) if reason.contains("no LPs")),
+        "expected ConfigInvalid, got {par:?}"
+    );
 }
 
 #[test]
-#[should_panic(expected = "mismatch")]
 fn mapping_lp_count_mismatch_is_rejected() {
     let mapping = LinearMapping::new(5, 2, 1);
-    run_parallel_mapped(&Misbehaving { mode: Mode::Fine }, &cfg(), &mapping);
+    let r = run_parallel_mapped(&Misbehaving { mode: Mode::Fine }, &cfg(), &mapping);
+    assert!(
+        matches!(r, Err(RunError::ConfigInvalid { ref reason }) if reason.contains("mismatch")),
+        "expected ConfigInvalid, got {r:?}"
+    );
 }
 
 #[test]
@@ -113,7 +124,8 @@ fn horizon_zero_runs_nothing() {
     let r = run_sequential(
         &Misbehaving { mode: Mode::Fine },
         &EngineConfig::new(VirtualTime::ZERO),
-    );
+    )
+    .unwrap();
     assert_eq!(r.stats.events_committed, 0);
 }
 
@@ -123,6 +135,21 @@ fn parallel_with_more_kps_than_lps_is_clamped_by_mapping() {
     let r = run_parallel(
         &Misbehaving { mode: Mode::Fine },
         &cfg().with_pes(1).with_kps(64),
-    );
+    )
+    .unwrap();
     assert_eq!(r.stats.events_committed, 1);
+}
+
+#[test]
+fn invalid_engine_configs_are_rejected_not_asserted() {
+    // Constructed by hand (builders assert); both kernels must reject via
+    // validate() instead of executing anything.
+    let mut c = cfg().with_pes(2);
+    c.n_kps = 1; // fewer KPs than PEs
+    let r = run_parallel(&Misbehaving { mode: Mode::Fine }, &c);
+    assert!(matches!(r, Err(RunError::ConfigInvalid { .. })), "got {r:?}");
+
+    let bad_faults = cfg().with_faults(FaultPlan::new(1).with_delay(7.0));
+    let r = run_sequential(&Misbehaving { mode: Mode::Fine }, &bad_faults);
+    assert!(matches!(r, Err(RunError::ConfigInvalid { .. })), "got {r:?}");
 }

@@ -96,8 +96,8 @@ fn config() -> EngineConfig {
 
 #[test]
 fn sequential_is_reproducible() {
-    let a = run_sequential(&storm(), &config());
-    let b = run_sequential(&storm(), &config());
+    let a = run_sequential(&storm(), &config()).unwrap();
+    let b = run_sequential(&storm(), &config()).unwrap();
     assert_eq!(a.output, b.output);
     assert_eq!(a.stats.events_committed, b.stats.events_committed);
     assert!(a.output.hops > 500, "workload too small to be meaningful");
@@ -105,8 +105,8 @@ fn sequential_is_reproducible() {
 
 #[test]
 fn parallel_one_pe_matches_sequential() {
-    let seq = run_sequential(&storm(), &config());
-    let par = run_parallel(&storm(), &config().with_pes(1).with_kps(8));
+    let seq = run_sequential(&storm(), &config()).unwrap();
+    let par = run_parallel(&storm(), &config().with_pes(1).with_kps(8)).unwrap();
     assert_eq!(par.output, seq.output);
     assert_eq!(par.stats.events_committed, seq.stats.events_committed);
     // One PE can never roll back.
@@ -115,9 +115,9 @@ fn parallel_one_pe_matches_sequential() {
 
 #[test]
 fn parallel_two_pes_matches_sequential() {
-    let seq = run_sequential(&storm(), &config());
+    let seq = run_sequential(&storm(), &config()).unwrap();
     for kps in [2, 4, 16] {
-        let par = run_parallel(&storm(), &config().with_pes(2).with_kps(kps));
+        let par = run_parallel(&storm(), &config().with_pes(2).with_kps(kps)).unwrap();
         assert_eq!(par.output, seq.output, "kps={kps}");
         assert_eq!(par.stats.events_committed, seq.stats.events_committed, "kps={kps}");
     }
@@ -125,8 +125,8 @@ fn parallel_two_pes_matches_sequential() {
 
 #[test]
 fn parallel_four_pes_matches_sequential() {
-    let seq = run_sequential(&storm(), &config());
-    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16));
+    let seq = run_sequential(&storm(), &config()).unwrap();
+    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16)).unwrap();
     assert_eq!(par.output, seq.output);
     assert_eq!(par.stats.events_committed, seq.stats.events_committed);
 }
@@ -135,10 +135,10 @@ fn parallel_four_pes_matches_sequential() {
 fn parallel_matches_across_seeds_and_schedulers() {
     for seed in [1u64, 2, 3, 0xDEAD] {
         let cfg = config().with_seed(seed);
-        let seq = run_sequential(&storm(), &cfg);
+        let seq = run_sequential(&storm(), &cfg).unwrap();
         for sched in [SchedulerKind::Heap, SchedulerKind::Splay] {
             let par =
-                run_parallel(&storm(), &cfg.clone().with_pes(2).with_kps(8).with_scheduler(sched));
+                run_parallel(&storm(), &cfg.clone().with_pes(2).with_kps(8).with_scheduler(sched)).unwrap();
             assert_eq!(par.output, seq.output, "seed={seed} sched={sched:?}");
         }
     }
@@ -180,11 +180,9 @@ impl Model for ForcedStraggler {
         state.hops += 1;
         state.weight += draw;
         match p.kind {
-            0 => {
+            0 if ctx.now() < VirtualTime(200_000) => {
                 // LP 0: dense self-ticks far into the future.
-                if ctx.now() < VirtualTime(200_000) {
-                    ctx.schedule_self(10, 1, Probe { kind: 0, saved: 0 });
-                }
+                ctx.schedule_self(10, 1, Probe { kind: 0, saved: 0 });
             }
             1 => {
                 // LP 1: stall so PE 0 races ahead, then send into its past.
@@ -212,8 +210,8 @@ fn forced_straggler_rolls_back_and_still_matches() {
         .with_seed(42)
         .with_gvt_interval(1_000_000) // no GVT before the straggler lands
         .with_batch(100_000);
-    let seq = run_sequential(&ForcedStraggler, &cfg);
-    let par = run_parallel(&ForcedStraggler, &cfg.clone().with_pes(2).with_kps(2));
+    let seq = run_sequential(&ForcedStraggler, &cfg).unwrap();
+    let par = run_parallel(&ForcedStraggler, &cfg.clone().with_pes(2).with_kps(2)).unwrap();
     assert_eq!(par.output, seq.output);
     assert_eq!(par.stats.events_committed, seq.stats.events_committed);
     assert!(
@@ -226,12 +224,12 @@ fn forced_straggler_rolls_back_and_still_matches() {
 
 #[test]
 fn throttled_optimism_matches_sequential() {
-    let seq = run_sequential(&storm(), &config());
+    let seq = run_sequential(&storm(), &config()).unwrap();
     for window in [0u64, VirtualTime::STEP, 20 * VirtualTime::STEP] {
         let par = run_parallel(
             &storm(),
             &config().with_pes(2).with_kps(8).with_lookahead(window),
-        );
+        ).unwrap();
         assert_eq!(par.output, seq.output, "window={window}");
         assert_eq!(par.stats.events_committed, seq.stats.events_committed);
     }
@@ -241,12 +239,12 @@ fn throttled_optimism_matches_sequential() {
 fn state_saving_matches_reverse_computation() {
     // The GTW-style state-saving rollback and reverse computation must be
     // observationally identical — only the undo machinery differs.
-    let seq = run_sequential(&storm(), &config());
+    let seq = run_sequential(&storm(), &config()).unwrap();
     for pes in [1usize, 2, 4] {
         let ss = pdes::run_parallel_state_saving(
             &storm(),
             &config().with_pes(pes).with_kps(8),
-        );
+        ).unwrap();
         assert_eq!(ss.output, seq.output, "pes={pes}");
         assert_eq!(ss.stats.events_committed, seq.stats.events_committed);
     }
@@ -258,18 +256,18 @@ fn state_saving_survives_forced_straggler() {
         .with_seed(42)
         .with_gvt_interval(1_000_000)
         .with_batch(100_000);
-    let seq = run_sequential(&ForcedStraggler, &cfg);
+    let seq = run_sequential(&ForcedStraggler, &cfg).unwrap();
     let ss = pdes::run_parallel_state_saving(
         &ForcedStraggler,
         &cfg.clone().with_pes(2).with_kps(2),
-    );
+    ).unwrap();
     assert_eq!(ss.output, seq.output);
     assert!(ss.stats.primary_rollbacks >= 1, "stats: {:?}", ss.stats);
 }
 
 #[test]
 fn rollback_histogram_accounts_for_all_rolled_back_events() {
-    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16));
+    let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16)).unwrap();
     let s = &par.stats;
     let hist_rollbacks: u64 = s.rollback_lengths.iter().sum();
     assert_eq!(hist_rollbacks, s.total_rollbacks(), "every rollback is bucketed");
@@ -280,7 +278,7 @@ fn rollback_histogram_accounts_for_all_rolled_back_events() {
 
 #[test]
 fn engine_stats_are_consistent() {
-    let par = run_parallel(&storm(), &config().with_pes(2).with_kps(8));
+    let par = run_parallel(&storm(), &config().with_pes(2).with_kps(8)).unwrap();
     let s = &par.stats;
     // processed = committed + rolled back (+ any still-uncommitted, which is
     // zero after termination).

@@ -37,7 +37,7 @@ impl BlockMapping {
         let mut kp_rows = 1;
         let mut d = 1;
         while d * d <= n_kps {
-            if n_kps % d == 0 {
+            if n_kps.is_multiple_of(d) {
                 kp_rows = d;
             }
             d += 1;

@@ -94,7 +94,6 @@ impl Topology for Mesh {
 mod tests {
     use super::*;
     use crate::coords::ALL_DIRECTIONS;
-    use proptest::prelude::*;
 
     #[test]
     fn corners_have_degree_two() {
@@ -134,28 +133,36 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn good_dir_reduces_mesh_distance(a in 0u32..36, b in 0u32..36) {
-            let m = Mesh::new(6);
-            for d in m.good_dirs(a, b).iter() {
-                let nb = m.neighbor(a, d).unwrap();
-                prop_assert_eq!(m.distance(nb, b) + 1, m.distance(a, b));
+    // Exhaustive over every (a, b) pair on a 6×6 mesh — strictly stronger
+    // than the random sampling these properties were first written with.
+    #[test]
+    fn good_dir_reduces_mesh_distance() {
+        let m = Mesh::new(6);
+        for a in 0..36 {
+            for b in 0..36 {
+                for d in m.good_dirs(a, b).iter() {
+                    let nb = m.neighbor(a, d).unwrap();
+                    assert_eq!(m.distance(nb, b) + 1, m.distance(a, b));
+                }
             }
         }
+    }
 
-        #[test]
-        fn home_run_walk_arrives(a in 0u32..36, b in 0u32..36) {
-            let m = Mesh::new(6);
-            let mut at = a;
-            let mut hops = 0;
-            while let Some(d) = m.home_run_dir(at, b) {
-                at = m.neighbor(at, d).unwrap();
-                hops += 1;
-                prop_assert!(hops <= 12);
+    #[test]
+    fn home_run_walk_arrives() {
+        let m = Mesh::new(6);
+        for a in 0..36 {
+            for b in 0..36 {
+                let mut at = a;
+                let mut hops = 0;
+                while let Some(d) = m.home_run_dir(at, b) {
+                    at = m.neighbor(at, d).unwrap();
+                    hops += 1;
+                    assert!(hops <= 12);
+                }
+                assert_eq!(at, b);
+                assert_eq!(hops, m.distance(a, b));
             }
-            prop_assert_eq!(at, b);
-            prop_assert_eq!(hops, m.distance(a, b));
         }
     }
 }

@@ -36,7 +36,7 @@ fn main() {
             .with_policy(policy);
         let model = HotPotatoModel::torus(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(0x0971CA1);
-        let net = simulate_sequential(&model, &engine).output;
+        let net = simulate_sequential(&model, &engine).expect("policy run failed").output;
 
         println!(
             "{:<14} {:>10} {:>9.2} st {:>10.3} {:>9.2} st {:>9} st",

@@ -7,9 +7,9 @@
 //! ```
 
 use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
-use pdes::EngineConfig;
+use pdes::{EngineConfig, RunError};
 
-fn main() {
+fn main() -> Result<(), RunError> {
     let n = 16;
     let steps = 200;
 
@@ -21,10 +21,13 @@ fn main() {
 
     println!("== hot-potato routing on a {n}x{n} torus, {steps} steps ==\n");
 
-    let seq = simulate_sequential(&model, &engine);
+    // Both kernels return `Result<RunResult, RunError>`: a panicking
+    // handler, a stalled GVT or an inconsistent config surfaces as a
+    // structured error instead of a hung or aborted process.
+    let seq = simulate_sequential(&model, &engine)?;
     report("sequential kernel", &seq);
 
-    let par = simulate_parallel(&model, &engine.clone().with_pes(2).with_kps(64));
+    let par = simulate_parallel(&model, &engine.clone().with_pes(2).with_kps(64))?;
     report("optimistic kernel (2 PEs, 64 KPs)", &par);
 
     assert_eq!(
@@ -32,6 +35,7 @@ fn main() {
         "BUG: kernels disagree — determinism broken"
     );
     println!("sequential and parallel outputs are identical ✔");
+    Ok(())
 }
 
 fn report(label: &str, r: &pdes::RunResult<hotpotato::NetStats>) {

@@ -47,10 +47,10 @@ fn run_static(n: u32, steps: u64, torus: bool) -> NetStats {
     if torus {
         let model = HotPotatoModel::torus(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-        simulate_sequential(&model, &engine).output
+        simulate_sequential(&model, &engine).expect("static run failed").output
     } else {
         let model = HotPotatoModel::mesh(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-        simulate_sequential(&model, &engine).output
+        simulate_sequential(&model, &engine).expect("static run failed").output
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, full test suite, clippy with warnings denied.
+# Mirrors what reviewers run before merging; keep it green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -10,7 +10,7 @@ use pdes::EngineConfig;
 fn run(n: u32, steps: u64, frac: f64, seed: u64) -> NetStats {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(n, steps).with_injectors(frac));
     let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-    simulate_sequential(&model, &engine).output
+    simulate_sequential(&model, &engine).unwrap().output
 }
 
 #[test]
@@ -125,7 +125,7 @@ fn proof_mode_delivers_slower() {
         HotPotatoConfig::new(8, 80).with_absorb_sleeping(false),
     );
     let engine = EngineConfig::new(model.end_time()).with_seed(9);
-    let proof = simulate_sequential(&model, &engine).output;
+    let proof = simulate_sequential(&model, &engine).unwrap().output;
     assert!(proof.totals.delivered < practical.totals.delivered);
 }
 
@@ -142,7 +142,7 @@ fn bhw_beats_plain_greedy_on_worst_case_wait() {
                 HotPotatoConfig::new(8, 150).with_policy(policy),
             );
             let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-            let net = simulate_sequential(&model, &engine).output;
+            let net = simulate_sequential(&model, &engine).unwrap().output;
             *acc += net.totals.max_wait_steps;
         }
     }
@@ -161,8 +161,8 @@ fn heartbeats_fire_and_do_not_disturb_routing() {
     let m1 = HotPotatoModel::torus(base);
     let m2 = HotPotatoModel::torus(with_hb);
     let e1 = EngineConfig::new(m1.end_time()).with_seed(15);
-    let a = simulate_sequential(&m1, &e1).output;
-    let b = simulate_sequential(&m2, &EngineConfig::new(m2.end_time()).with_seed(15)).output;
+    let a = simulate_sequential(&m1, &e1).unwrap().output;
+    let b = simulate_sequential(&m2, &EngineConfig::new(m2.end_time()).with_seed(15)).unwrap().output;
     assert_eq!(b.totals.heartbeats, 64 * 5, "64 routers, every 10 steps over 50");
     assert_eq!(a.totals.heartbeats, 0);
     // Heartbeats are administrative: routing statistics are identical.

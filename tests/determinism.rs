@@ -20,9 +20,9 @@ fn engine(model: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
 #[test]
 fn parallel_equals_sequential_default_config() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 60));
-    let seq = simulate_sequential(&model, &engine(&model, 1));
+    let seq = simulate_sequential(&model, &engine(&model, 1)).unwrap();
     for pes in [1usize, 2, 4] {
-        let par = simulate_parallel(&model, &engine(&model, 1).with_pes(pes).with_kps(16));
+        let par = simulate_parallel(&model, &engine(&model, 1).with_pes(pes).with_kps(16)).unwrap();
         assert_eq!(par.output, seq.output, "pes={pes}");
         assert_eq!(par.stats.events_committed, seq.stats.events_committed, "pes={pes}");
     }
@@ -31,9 +31,9 @@ fn parallel_equals_sequential_default_config() {
 #[test]
 fn parallel_equals_sequential_across_kp_counts() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let seq = simulate_sequential(&model, &engine(&model, 2));
+    let seq = simulate_sequential(&model, &engine(&model, 2)).unwrap();
     for kps in [2u32, 4, 8, 16, 64] {
-        let par = simulate_parallel(&model, &engine(&model, 2).with_pes(2).with_kps(kps));
+        let par = simulate_parallel(&model, &engine(&model, 2).with_pes(2).with_kps(kps)).unwrap();
         assert_eq!(par.output, seq.output, "kps={kps}");
     }
 }
@@ -41,11 +41,11 @@ fn parallel_equals_sequential_across_kp_counts() {
 #[test]
 fn parallel_equals_sequential_with_every_scheduler() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let reference = simulate_sequential(&model, &engine(&model, 3));
+    let reference = simulate_sequential(&model, &engine(&model, 3)).unwrap();
     for sched in [SchedulerKind::Heap, SchedulerKind::Splay, SchedulerKind::Calendar] {
         let base = engine(&model, 3).with_scheduler(sched);
-        let seq = simulate_sequential(&model, &base);
-        let par = simulate_parallel(&model, &base.clone().with_pes(2).with_kps(8));
+        let seq = simulate_sequential(&model, &base).unwrap();
+        let par = simulate_parallel(&model, &base.clone().with_pes(2).with_kps(8)).unwrap();
         assert_eq!(seq.output, reference.output, "sequential {sched:?}");
         assert_eq!(par.output, reference.output, "parallel {sched:?}");
     }
@@ -60,8 +60,8 @@ fn parallel_equals_sequential_all_policies() {
         PolicyKind::DimOrder,
     ] {
         let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 30).with_policy(policy));
-        let seq = simulate_sequential(&model, &engine(&model, 4));
-        let par = simulate_parallel(&model, &engine(&model, 4).with_pes(2).with_kps(8));
+        let seq = simulate_sequential(&model, &engine(&model, 4)).unwrap();
+        let par = simulate_parallel(&model, &engine(&model, 4).with_pes(2).with_kps(8)).unwrap();
         assert_eq!(par.output, seq.output, "policy={policy:?}");
     }
 }
@@ -74,8 +74,8 @@ fn parallel_equals_sequential_proof_mode_and_loads() {
                 .with_injectors(frac)
                 .with_absorb_sleeping(absorb),
         );
-        let seq = simulate_sequential(&model, &engine(&model, 5));
-        let par = simulate_parallel(&model, &engine(&model, 5).with_pes(2).with_kps(8));
+        let seq = simulate_sequential(&model, &engine(&model, 5)).unwrap();
+        let par = simulate_parallel(&model, &engine(&model, 5).with_pes(2).with_kps(8)).unwrap();
         assert_eq!(par.output, seq.output, "frac={frac} absorb={absorb}");
     }
 }
@@ -83,8 +83,8 @@ fn parallel_equals_sequential_proof_mode_and_loads() {
 #[test]
 fn mesh_topology_is_deterministic_too() {
     let model = HotPotatoModel::mesh(HotPotatoConfig::new(8, 40));
-    let seq = simulate_sequential(&model, &engine_mesh(&model, 6));
-    let par = simulate_parallel(&model, &engine_mesh(&model, 6).with_pes(2).with_kps(8));
+    let seq = simulate_sequential(&model, &engine_mesh(&model, 6)).unwrap();
+    let par = simulate_parallel(&model, &engine_mesh(&model, 6).with_pes(2).with_kps(8)).unwrap();
     assert_eq!(par.output, seq.output);
 }
 
@@ -95,8 +95,8 @@ fn engine_mesh(model: &HotPotatoModel<topo::Mesh>, seed: u64) -> EngineConfig {
 #[test]
 fn repeated_runs_are_identical() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let a = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8));
-    let b = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8));
+    let a = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8)).unwrap();
+    let b = simulate_parallel(&model, &engine(&model, 7).with_pes(2).with_kps(8)).unwrap();
     assert_eq!(a.output, b.output);
 }
 
@@ -104,21 +104,21 @@ fn repeated_runs_are_identical() {
 fn different_seeds_differ() {
     // Sanity: the equality above is not vacuous.
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let a = simulate_sequential(&model, &engine(&model, 8));
-    let b = simulate_sequential(&model, &engine(&model, 9));
+    let a = simulate_sequential(&model, &engine(&model, 8)).unwrap();
+    let b = simulate_sequential(&model, &engine(&model, 9)).unwrap();
     assert_ne!(a.output, b.output);
 }
 
 #[test]
 fn gvt_interval_does_not_change_results() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let seq = simulate_sequential(&model, &engine(&model, 10));
+    let seq = simulate_sequential(&model, &engine(&model, 10)).unwrap();
     assert_eq!(seq.output.totals.stalls, 0, "sequential runs can never stall");
     for interval in [64u64, 1024, 100_000] {
         let par = simulate_parallel(
             &model,
             &engine(&model, 10).with_pes(2).with_kps(8).with_gvt_interval(interval),
-        );
+        ).unwrap();
         assert_eq!(par.output, seq.output, "gvt_interval={interval}");
         // Transient stalls (causally-inconsistent over-subscription) must
         // all have been rolled back before commit.
@@ -131,12 +131,12 @@ fn unbounded_optimism_still_matches_sequential() {
     // The regression scenario for the transient-duplicate race: a huge GVT
     // interval lets stale branches race far ahead of their cancellations.
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 60));
-    let seq = simulate_sequential(&model, &engine(&model, 11));
+    let seq = simulate_sequential(&model, &engine(&model, 11)).unwrap();
     for trial in 0..5 {
         let par = simulate_parallel(
             &model,
             &engine(&model, 11).with_pes(2).with_kps(8).with_gvt_interval(1_000_000),
-        );
+        ).unwrap();
         assert_eq!(par.output, seq.output, "trial {trial}");
         assert_eq!(par.output.totals.stalls, 0, "trial {trial}");
     }
@@ -147,9 +147,9 @@ fn state_saving_rollback_matches_sequential() {
     // GTW-style state saving (ablation E12) must commit exactly the same
     // history as reverse computation and the sequential oracle.
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let seq = simulate_sequential(&model, &engine(&model, 13));
+    let seq = simulate_sequential(&model, &engine(&model, 13)).unwrap();
     for pes in [2usize, 4] {
-        let ss = simulate_parallel_state_saving(&model, &engine(&model, 13).with_pes(pes).with_kps(16));
+        let ss = simulate_parallel_state_saving(&model, &engine(&model, 13).with_pes(pes).with_kps(16)).unwrap();
         assert_eq!(ss.output, seq.output, "pes={pes}");
         assert_eq!(ss.output.totals.stalls, 0);
     }
@@ -158,13 +158,13 @@ fn state_saving_rollback_matches_sequential() {
 #[test]
 fn throttled_optimism_matches_sequential_hotpotato() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
-    let seq = simulate_sequential(&model, &engine(&model, 12));
+    let seq = simulate_sequential(&model, &engine(&model, 12)).unwrap();
     let par = simulate_parallel(
         &model,
         &engine(&model, 12)
             .with_pes(2)
             .with_kps(8)
             .with_lookahead(2 * pdes::VirtualTime::STEP),
-    );
+    ).unwrap();
     assert_eq!(par.output, seq.output);
 }
