@@ -1,0 +1,190 @@
+//! PR 2 perf-trajectory smoke benchmark: Time Warp engine throughput on a
+//! 16×16 torus at 0.4 injector load, at 1 and 4 PEs, written as
+//! `BENCH_pr2.json` so the repo starts recording committed-events/sec (and
+//! rollback rate) per PR.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr2 -- --out=BENCH_pr2.json
+//! ```
+//!
+//! Flags:
+//! * `--out=<path>` — where to write the JSON (default `BENCH_pr2.json`).
+//! * `--steps=<u64>` — override the simulated step count (default 96).
+//! * `--samples=<usize>` — timed samples per point, median reported (default 3).
+//! * `--baseline=<f64>` — pre-PR 4-PE committed-events/sec on this machine;
+//!   recorded in the JSON along with the speedup ratio against it.
+//! * `--gvt-interval=<u64>` / `--batch=<usize>` / `--comm-batch=<usize|none>`
+//!   — engine cadence overrides (events between GVT reductions / forward
+//!   executions per inbox poll / sender-side flush threshold), for tuning
+//!   sweeps. Committed output is identical at every setting.
+//! * `--stats` — also print each point's median-run engine counters (for
+//!   diagnosing perf shifts; not part of the JSON).
+
+use std::fmt::Write as _;
+
+use bench::bench_time;
+use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
+use pdes::{EngineConfig, EngineStats};
+
+const N: u32 = 16;
+const LOAD: f64 = 0.4;
+const SEED: u64 = 0xBE9C_0702;
+
+/// Process-wide (utime, stime) in clock ticks from /proc/self/stat —
+/// includes joined threads, so per-run deltas isolate one configuration's
+/// CPU cost independent of background machine load.
+fn cpu_ticks() -> (u64, u64) {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    let rest = stat.rsplit(')').next().unwrap_or("");
+    let f: Vec<&str> = rest.split_whitespace().collect();
+    let parse = |i: usize| f.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (parse(11), parse(12))
+}
+
+struct Point {
+    pes: usize,
+    events_per_sec: f64,
+    events_committed: u64,
+    rollback_rate: f64,
+    median_wall_s: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr2.json");
+    let mut steps: u64 = 96;
+    let mut samples: usize = 3;
+    let mut baseline: Option<f64> = None;
+    let mut gvt_interval: Option<u64> = None;
+    let mut batch: Option<usize> = None;
+    let mut comm_batch: Option<Option<usize>> = None;
+    let mut lookahead: Option<u64> = None;
+    let mut dump_stats = false;
+    for a in std::env::args().skip(1) {
+        if a == "--stats" {
+            dump_stats = true;
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--steps=") {
+            steps = v.parse().expect("--steps=<u64>");
+        } else if let Some(v) = a.strip_prefix("--samples=") {
+            samples = v.parse().expect("--samples=<usize>");
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline = Some(v.parse().expect("--baseline=<f64>"));
+        } else if let Some(v) = a.strip_prefix("--gvt-interval=") {
+            gvt_interval = Some(v.parse().expect("--gvt-interval=<u64>"));
+        } else if let Some(v) = a.strip_prefix("--batch=") {
+            batch = Some(v.parse().expect("--batch=<usize>"));
+        } else if let Some(v) = a.strip_prefix("--comm-batch=") {
+            comm_batch = Some(if v == "none" { None } else { Some(v.parse().expect("--comm-batch=<usize|none>")) });
+        } else if let Some(v) = a.strip_prefix("--lookahead=") {
+            lookahead = Some(v.parse().expect("--lookahead=<ticks>"));
+        } else {
+            eprintln!(
+                "flags: --out=<path> --steps=<u64> --samples=<usize> --baseline=<f64> \
+                 --gvt-interval=<u64> --batch=<usize> --stats"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(N, steps).with_injectors(LOAD));
+    let mut engine = EngineConfig::new(model.end_time()).with_seed(SEED);
+    if let Some(g) = gvt_interval {
+        engine = engine.with_gvt_interval(g);
+    }
+    if let Some(b) = batch {
+        engine = engine.with_batch(b);
+    }
+    if let Some(cb) = comm_batch {
+        engine = engine.with_comm_batch(cb);
+    }
+    // Default to the model's natural optimism bound (one step — the minimum
+    // cross-router event distance). Unbounded optimism on an oversubscribed
+    // host wastes most of its cycles on speculation that is rolled back.
+    engine = engine.with_lookahead(lookahead.unwrap_or_else(|| model.natural_lookahead()));
+
+    // Correctness gate: the committed output at every PE count must be
+    // bit-identical to the sequential oracle before any number is recorded.
+    let oracle = simulate_sequential(&model, &engine).expect("sequential oracle failed");
+
+    let mut points = Vec::new();
+    for pes in [1usize, 4] {
+        let cfg = engine.clone().with_pes(pes).with_kps(64);
+        let run = simulate_parallel(&model, &cfg).expect("parallel run failed");
+        assert_eq!(
+            run.output, oracle.output,
+            "{pes}-PE committed output diverged from the sequential oracle"
+        );
+        let mut stats: Vec<EngineStats> = Vec::new();
+        let cpu0 = cpu_ticks();
+        let median = bench_time(&format!("timewarp_{pes}pe_{N}x{N}_load{LOAD}"), samples, || {
+            let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+            stats.push(r.stats);
+            r.output
+        });
+        stats.sort_by_key(|s| s.wall_time);
+        let mid = &stats[stats.len() / 2];
+        if dump_stats {
+            let cpu1 = cpu_ticks();
+            println!(
+                "--- {pes} PE: cpu over {samples} samples: utime {} stime {} ticks ---\n{mid}",
+                cpu1.0 - cpu0.0,
+                cpu1.1 - cpu0.1
+            );
+        }
+        points.push(Point {
+            pes,
+            events_per_sec: mid.events_committed as f64 / median.as_secs_f64(),
+            events_committed: mid.events_committed,
+            rollback_rate: mid.rollback_ratio(),
+            median_wall_s: median.as_secs_f64(),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pr2_comm_layer_smoke\",");
+    let _ = writeln!(json, "  \"torus\": \"{N}x{N}\",");
+    let _ = writeln!(json, "  \"load\": {LOAD},");
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"gvt_interval\": {},", engine.gvt_interval);
+    let _ = writeln!(json, "  \"batch\": {},", engine.batch);
+    let _ = writeln!(
+        json,
+        "  \"comm_batch\": {},",
+        engine.comm_batch.map_or("null".into(), |b| b.to_string())
+    );
+    let _ = writeln!(
+        json,
+        "  \"lookahead\": {},",
+        engine.max_lookahead.map_or("null".into(), |l| l.to_string())
+    );
+    let _ = writeln!(json, "  \"hardware_threads\": {},", std::thread::available_parallelism().map_or(0, |n| n.get()));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"pes\": {}, \"events_per_sec\": {:.1}, \"events_committed\": {}, \
+             \"rollback_rate\": {:.4}, \"median_wall_s\": {:.4} }}{}",
+            p.pes,
+            p.events_per_sec,
+            p.events_committed,
+            p.rollback_rate,
+            p.median_wall_s,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]");
+    if let Some(base) = baseline {
+        let four = points.iter().find(|p| p.pes == 4).expect("4-PE point");
+        json.push_str(",\n");
+        let _ = writeln!(json, "  \"baseline_pre_pr_4pe_events_per_sec\": {base:.1},");
+        let _ = write!(json, "  \"speedup_4pe_vs_baseline\": {:.3}", four.events_per_sec / base);
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

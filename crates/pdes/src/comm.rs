@@ -1,0 +1,418 @@
+//! Lock-free batched inter-PE communication fabric.
+//!
+//! The Time Warp kernel used to funnel every remote event and anti-message
+//! through one global `Mutex<Vec<Remote>>` per PE: one lock acquisition per
+//! *message* on the send side, another per drain on the receive side. On the
+//! multi-PE hot path that serializes exactly where ROSS's shared-memory
+//! substrate is lock-free (per-PE free lists, cheap event hand-off). This
+//! module replaces it with a [`CommFabric`]: one bounded **SPSC ring** per
+//! (sender → receiver) PE pair, carrying *batches* of messages.
+//!
+//! * **Send side** — the kernel accumulates remote messages in a
+//!   per-destination local buffer and flushes whole batches: eagerly when a
+//!   buffer reaches [`EngineConfig::comm_batch`](crate::config::EngineConfig::comm_batch)
+//!   messages, and unconditionally at end-of-batch / GVT-round boundaries.
+//!   A flush is a single release-store into the destination ring — no lock,
+//!   no syscall.
+//! * **Receive side** — a drain performs one acquire-load per sender channel
+//!   and takes every batch published since the last drain.
+//! * **Overflow** — a full ring never blocks the sender (a sender spinning on
+//!   a receiver that is parked at a GVT barrier would deadlock the
+//!   rendezvous). The batch spills to a mutex-protected side queue instead,
+//!   and the sender keeps spilling until the receiver has emptied it, so
+//!   per-channel FIFO order is preserved. Spills are counted as
+//!   `ring_full_stalls` in [`EngineStats`](crate::stats::EngineStats);
+//!   a healthy run has almost none.
+//!
+//! ## Why GVT cannot miss a batched message
+//!
+//! The kernel increments the global `sent` counter when a message enters a
+//! *local* send buffer — the moment it logically exists — not when the batch
+//! is flushed. GVT quiescence requires `sent == received` globally, so a
+//! buffered-but-unflushed message keeps the machine non-quiescent, and every
+//! iteration of the GVT drain loop flushes all local buffers before
+//! draining. A message can therefore never sit invisibly in a buffer (or a
+//! ring) while GVT advances past its timestamp.
+//!
+//! ## Ordering discipline
+//!
+//! Each channel is strictly single-producer/single-consumer:
+//! [`CommFabric::push_batch`] with `from = s` must only be called by the
+//! thread running PE `s`, and [`CommFabric::drain_to`] with `to = r` only by
+//! the thread running PE `r`. The kernel upholds this structurally (a PE
+//! only sends as itself and only drains its own channels). Within a channel,
+//! messages arrive in send order — the same guarantee the mutex inboxes
+//! gave, which the kernel's absorption machinery (deferred anti-messages,
+//! duplicate drops) relies on being violated *only* under fault injection.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::event::{PeId, Remote};
+use crate::pool::VecPool;
+use crate::sync::CachePadded;
+
+/// One flushed group of messages (the unit the rings carry).
+pub(crate) type Batch<P> = Vec<Remote<P>>;
+
+/// Ring capacity in batches per channel. With eager flushes every
+/// `comm_batch` messages this is far deeper than a drain interval ever
+/// needs; overflow (counted, order-preserving) handles the rest.
+const RING_SLOTS: usize = 64;
+
+/// Bounded single-producer single-consumer ring. Indices grow monotonically;
+/// the slot is `index & mask`. The producer owns `head`, the consumer owns
+/// `tail`; each reads the other's counter with `Acquire` and publishes its
+/// own with `Release`.
+struct SpscRing<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next write index (producer-owned).
+    head: CachePadded<AtomicUsize>,
+    /// Next read index (consumer-owned).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring hands `T` values across threads (Send required); shared
+// access is coordinated by the head/tail protocol under the documented
+// one-producer/one-consumer discipline.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        SpscRing {
+            slots: (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            mask: capacity - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Producer side: publish one value, or hand it back if the ring is full.
+    ///
+    /// # Safety
+    /// Must only be called by the single producer thread of this ring.
+    unsafe fn try_push(&self, value: T) -> Result<(), T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) == self.slots.len() {
+            return Err(value);
+        }
+        // SAFETY: slot `head` is vacant — the consumer has advanced `tail`
+        // past any previous occupant, and only this thread writes slots.
+        unsafe { (*self.slots[head & self.mask].get()).write(value) };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: take every value published so far (one acquire-load of
+    /// `head` per call), feeding each to `f` oldest-first. Returns how many
+    /// were taken. `tail` is republished after each value so a panic in `f`
+    /// can never make a value readable twice.
+    ///
+    /// # Safety
+    /// Must only be called by the single consumer thread of this ring.
+    unsafe fn consume(&self, mut f: impl FnMut(T)) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let n = head.wrapping_sub(tail);
+        for i in 0..n {
+            let idx = tail.wrapping_add(i);
+            // SAFETY: slots in `tail..head` were initialized by the producer
+            // (the Acquire on `head` orders their writes before this read)
+            // and are read exactly once before `tail` moves past them.
+            let value = unsafe { (*self.slots[idx & self.mask].get()).assume_init_read() };
+            self.tail.0.store(idx.wrapping_add(1), Ordering::Release);
+            f(value);
+        }
+        n
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent producer/consumer remain.
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        for i in tail..head {
+            // SAFETY: unconsumed slots in `tail..head` are initialized.
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Recover a poisoned guard; comm state stays consistent across a contained
+/// panic (batches are self-contained values).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One sender→receiver channel: the lock-free ring plus the order-preserving
+/// overflow slow path.
+struct Channel<P> {
+    ring: SpscRing<Batch<P>>,
+    /// Slow path used while the ring is (or recently was) full.
+    overflow: Mutex<Vec<Batch<P>>>,
+    /// Batches currently in `overflow` (maintained under its lock). While
+    /// nonzero the producer keeps spilling, so overflow never holds a batch
+    /// *older* than one in the ring.
+    spilled: AtomicUsize,
+    /// Messages currently in flight in this channel (diagnostics only).
+    in_flight: AtomicU64,
+}
+
+impl<P> Channel<P> {
+    fn new() -> Self {
+        Channel {
+            ring: SpscRing::new(RING_SLOTS),
+            overflow: Mutex::new(Vec::new()),
+            spilled: AtomicUsize::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    fn spill(&self, batch: Batch<P>) {
+        let mut of = lock(&self.overflow);
+        of.push(batch);
+        self.spilled.store(of.len(), Ordering::Release);
+    }
+}
+
+/// The full n×n mesh of channels for one parallel run.
+pub(crate) struct CommFabric<P> {
+    n_pes: usize,
+    /// Indexed `[to * n_pes + from]`, so one receiver's channels are
+    /// contiguous.
+    channels: Vec<Channel<P>>,
+}
+
+impl<P: Send> CommFabric<P> {
+    pub(crate) fn new(n_pes: usize) -> Self {
+        CommFabric {
+            n_pes,
+            channels: (0..n_pes * n_pes).map(|_| Channel::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn channel(&self, from: PeId, to: PeId) -> &Channel<P> {
+        &self.channels[to * self.n_pes + from]
+    }
+
+    /// Publish one batch from PE `from` to PE `to`. Never blocks: a full
+    /// ring spills to the overflow queue. Returns `true` if this push
+    /// stalled into the overflow (for the `ring_full_stalls` counter).
+    ///
+    /// Contract: only the thread running PE `from` may call this.
+    pub(crate) fn push_batch(&self, from: PeId, to: PeId, batch: Batch<P>) -> bool {
+        debug_assert!(!batch.is_empty());
+        debug_assert!(from != to, "local events never cross the fabric");
+        let ch = self.channel(from, to);
+        ch.in_flight.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if ch.spilled.load(Ordering::Acquire) == 0 {
+            // SAFETY: per the contract, this thread is the unique producer
+            // for channel (from → to).
+            match unsafe { ch.ring.try_push(batch) } {
+                Ok(()) => false,
+                Err(batch) => {
+                    ch.spill(batch);
+                    true
+                }
+            }
+        } else {
+            // Keep spilling while the overflow is nonempty so batch order
+            // is preserved end-to-end.
+            ch.spill(batch);
+            true
+        }
+    }
+
+    /// Drain every channel targeting PE `to`: append all pending messages to
+    /// `into` (per-sender FIFO order preserved) and recycle the emptied
+    /// batch vectors through `pool`. Returns the number of messages drained.
+    ///
+    /// Contract: only the thread running PE `to` may call this.
+    pub(crate) fn drain_to(
+        &self,
+        to: PeId,
+        into: &mut Vec<Remote<P>>,
+        pool: &mut VecPool<Remote<P>>,
+    ) -> u64 {
+        let mut total = 0u64;
+        let mut take = |msgs: &mut u64, mut batch: Batch<P>| {
+            *msgs += batch.len() as u64;
+            into.append(&mut batch);
+            pool.put(batch);
+        };
+        for from in 0..self.n_pes {
+            if from == to {
+                continue;
+            }
+            let ch = self.channel(from, to);
+            let mut msgs = 0u64;
+            // SAFETY (both consume calls): per the contract, this thread is
+            // the unique consumer for channel (from → to).
+            unsafe {
+                ch.ring.consume(|batch| take(&mut msgs, batch));
+            }
+            // Overflow batches are newer than anything in the ring *at spill
+            // time*, but the producer may have refilled the ring between the
+            // consume above and a concurrent spill. Re-consuming the ring
+            // under the overflow lock closes that window: while `spilled` is
+            // nonzero the producer only appends to the overflow, so whatever
+            // this second pass finds predates the overflow's head batch.
+            if ch.spilled.load(Ordering::Acquire) > 0 {
+                let mut of = lock(&ch.overflow);
+                unsafe {
+                    ch.ring.consume(|batch| take(&mut msgs, batch));
+                }
+                ch.spilled.store(0, Ordering::Release);
+                let spilled = std::mem::take(&mut *of);
+                drop(of);
+                for batch in spilled {
+                    take(&mut msgs, batch);
+                }
+            }
+            if msgs > 0 {
+                ch.in_flight.fetch_sub(msgs, Ordering::Relaxed);
+                total += msgs;
+            }
+        }
+        total
+    }
+
+    /// Messages currently in flight toward PE `to` (diagnostics; callable
+    /// from any thread once the run has quiesced or unwound).
+    pub(crate) fn inbox_depth(&self, to: PeId) -> u64 {
+        (0..self.n_pes)
+            .filter(|&from| from != to)
+            .map(|from| self.channel(from, to).in_flight.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ChildRef, EventId, EventKey};
+    use crate::time::VirtualTime;
+
+    fn anti(seq: u64) -> Remote<()> {
+        Remote::Anti(ChildRef {
+            id: EventId::new(0, seq),
+            key: EventKey {
+                recv_time: VirtualTime(seq + 1),
+                dst: 0,
+                tie: seq,
+                src: 0,
+                send_time: VirtualTime::ZERO,
+            },
+        })
+    }
+
+    fn seqs(msgs: &[Remote<()>]) -> Vec<u64> {
+        msgs.iter()
+            .map(|m| match m {
+                Remote::Anti(c) => c.id.seq(),
+                Remote::Positive(e) => e.id.seq(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_roundtrip_preserves_order_across_wraparound() {
+        let ring: SpscRing<u64> = SpscRing::new(8);
+        let mut got = Vec::new();
+        let mut next = 0u64;
+        for round in 0..10 {
+            for _ in 0..(3 + round % 5) {
+                unsafe { ring.try_push(next).unwrap() };
+                next += 1;
+            }
+            unsafe { ring.consume(|v| got.push(v)) };
+        }
+        assert_eq!(got, (0..next).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_reports_full_and_drops_leftovers() {
+        let ring: SpscRing<String> = SpscRing::new(2);
+        unsafe {
+            ring.try_push("a".into()).unwrap();
+            ring.try_push("b".into()).unwrap();
+            assert_eq!(ring.try_push("c".into()), Err("c".to_string()));
+        }
+        // Two occupied slots are dropped by the ring's Drop (checked by miri
+        // -style leak detectors; here we just exercise the path).
+    }
+
+    #[test]
+    fn fabric_overflow_preserves_fifo_order() {
+        let fabric: CommFabric<()> = CommFabric::new(2);
+        let mut pool = VecPool::new();
+        let mut stalls = 0u32;
+        // Push far more batches than the ring holds; the tail must spill and
+        // still come out in order.
+        for i in 0..(RING_SLOTS as u64 + 50) {
+            if fabric.push_batch(0, 1, vec![anti(i)]) {
+                stalls += 1;
+            }
+        }
+        assert!(stalls >= 50, "overflow path never exercised");
+        assert_eq!(fabric.inbox_depth(1), RING_SLOTS as u64 + 50);
+        let mut into = Vec::new();
+        let n = fabric.drain_to(1, &mut into, &mut pool);
+        assert_eq!(n, RING_SLOTS as u64 + 50);
+        assert_eq!(seqs(&into), (0..RING_SLOTS as u64 + 50).collect::<Vec<_>>());
+        assert_eq!(fabric.inbox_depth(1), 0);
+        // Sender recovers the fast path once the overflow is drained.
+        assert!(!fabric.push_batch(0, 1, vec![anti(999)]));
+    }
+
+    #[test]
+    fn drain_recycles_batch_vectors() {
+        let fabric: CommFabric<()> = CommFabric::new(2);
+        let mut pool = VecPool::new();
+        fabric.push_batch(0, 1, vec![anti(0), anti(1)]);
+        fabric.push_batch(0, 1, vec![anti(2)]);
+        let mut into = Vec::new();
+        assert_eq!(fabric.drain_to(1, &mut into, &mut pool), 3);
+        assert_eq!(pool.free_len(), 2, "both batch vectors must be recycled");
+        assert_eq!(seqs(&into), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_stress() {
+        // One producer hammers PE 1's channel while the consumer drains;
+        // every message must arrive exactly once, in order.
+        let fabric: CommFabric<()> = CommFabric::new(2);
+        let total: u64 = 20_000;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..total {
+                    fabric.push_batch(0, 1, vec![anti(i)]);
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut pool = VecPool::new();
+                let mut got: Vec<u64> = Vec::new();
+                let mut into = Vec::new();
+                while (got.len() as u64) < total {
+                    fabric.drain_to(1, &mut into, &mut pool);
+                    got.extend(seqs(&into));
+                    into.clear();
+                    std::thread::yield_now();
+                }
+                assert_eq!(got, (0..total).collect::<Vec<_>>());
+            });
+        });
+        assert_eq!(fabric.inbox_depth(1), 0);
+    }
+}

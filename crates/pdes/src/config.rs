@@ -28,6 +28,14 @@ pub struct EngineConfig {
     /// Maximum events a PE forward-executes per loop iteration before
     /// polling its inbox again (ROSS's `batch`).
     pub batch: usize,
+    /// Sender-side batching threshold for the inter-PE comm fabric: a
+    /// per-destination send buffer is flushed into the destination's SPSC
+    /// ring as soon as it holds this many messages. `None` disables eager
+    /// flushing — buffers then flush only at the main-loop / GVT-round
+    /// boundaries ("unbounded" batches). Smaller batches deliver stragglers
+    /// sooner (fewer rollbacks); larger batches amortize ring traffic.
+    /// Committed output is identical at every setting.
+    pub comm_batch: Option<usize>,
     /// Optimism throttle: if set, a PE will not execute events more than
     /// this many ticks past the last computed GVT. Bounds rollback depth
     /// (and memory) at the cost of more frequent GVT rounds. `None` =
@@ -64,6 +72,7 @@ impl EngineConfig {
             scheduler: SchedulerKind::default(),
             gvt_interval: 1024,
             batch: 16,
+            comm_batch: Some(8),
             max_lookahead: None,
             fault_plan: None,
             gvt_stall_rounds: Some(1_000_000),
@@ -118,6 +127,13 @@ impl EngineConfig {
         self
     }
 
+    /// Set the comm-fabric flush threshold (`None` = flush only at loop /
+    /// GVT boundaries; see [`comm_batch`](Self::comm_batch)).
+    pub fn with_comm_batch(mut self, batch: Option<usize>) -> Self {
+        self.comm_batch = batch;
+        self
+    }
+
     /// Inject deterministic faults at the inter-PE boundary (see
     /// [`fault_plan`](Self::fault_plan)).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
@@ -145,6 +161,16 @@ impl EngineConfig {
         if self.n_pes == 0 {
             return Err(RunError::config("need at least one PE"));
         }
+        if self.n_pes >= crate::event::EventId::PE_LIMIT {
+            // EventId packs the origin PE into 16 bits (one slot past the
+            // real PEs is reserved for init events); beyond that, ids would
+            // alias and anti-messages could annihilate the wrong event.
+            return Err(RunError::config(format!(
+                "PE count {} exceeds the EventId space (max {})",
+                self.n_pes,
+                crate::event::EventId::PE_LIMIT - 1
+            )));
+        }
         if self.n_kps == 0 {
             return Err(RunError::config("need at least one KP"));
         }
@@ -159,6 +185,9 @@ impl EngineConfig {
         }
         if self.batch == 0 {
             return Err(RunError::config("batch must be >= 1"));
+        }
+        if self.comm_batch == Some(0) {
+            return Err(RunError::config("comm_batch must be >= 1 (or None for unbounded)"));
         }
         if self.gvt_stall_rounds == Some(0) {
             return Err(RunError::config("gvt_stall_rounds must be >= 1 (or None)"));
@@ -215,5 +244,19 @@ mod tests {
 
         assert!(c.clone().with_gvt_stall_rounds(Some(0)).validate().is_err());
         assert!(c.with_gvt_stall_rounds(None).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_event_id_overflow_and_bad_comm_batch() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1));
+        let mut too_many_pes = c.clone();
+        too_many_pes.n_pes = 1 << 16;
+        too_many_pes.n_kps = u32::MAX;
+        let err = too_many_pes.validate().unwrap_err();
+        assert!(err.to_string().contains("EventId"), "got: {err}");
+
+        assert!(c.clone().with_comm_batch(Some(0)).validate().is_err());
+        assert!(c.clone().with_comm_batch(Some(1)).validate().is_ok());
+        assert!(c.with_comm_batch(None).validate().is_ok());
     }
 }

@@ -135,6 +135,17 @@ impl fmt::Display for RunDiagnostics {
                 pe.stats.events_processed,
                 pe.stats.events_rolled_back,
             )?;
+            writeln!(
+                f,
+                "        comm: {} batches ({:.1} msgs/batch) | {} ring-full stalls | \
+                 pool {:.0}% hit ({}h/{}m)",
+                pe.stats.batches_flushed,
+                pe.stats.mean_batch_size(),
+                pe.stats.ring_full_stalls,
+                100.0 * pe.stats.pool_hit_rate(),
+                pe.stats.pool_hits,
+                pe.stats.pool_misses,
+            )?;
             for line in &pe.trace {
                 writeln!(f, "    trace: {line}")?;
             }

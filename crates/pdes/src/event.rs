@@ -27,12 +27,32 @@ pub type PeId = usize;
 pub struct EventId(pub u64);
 
 impl EventId {
+    /// Exclusive upper bound on the PE index an id can encode (16 bits).
+    /// Note the parallel kernel reserves one extra slot past the real PEs
+    /// for init events, so configurations must keep
+    /// `n_pes < PE_LIMIT` — enforced by
+    /// [`EngineConfig::validate`](crate::config::EngineConfig::validate).
+    pub const PE_LIMIT: PeId = 1 << 16;
+
+    /// Exclusive upper bound on the per-PE sequence number (48 bits).
+    pub const SEQ_LIMIT: u64 = 1 << 48;
+
     /// Compose an id from an origin PE and its local sequence counter.
     #[inline]
     pub fn new(pe: PeId, seq: u64) -> Self {
-        debug_assert!(pe < (1 << 16));
-        debug_assert!(seq < (1 << 48));
+        debug_assert!(pe < Self::PE_LIMIT);
+        debug_assert!(seq < Self::SEQ_LIMIT);
         EventId(((pe as u64) << 48) | seq)
+    }
+
+    /// Like [`new`](Self::new), but returns `None` instead of silently
+    /// wrapping when either field exceeds its packed width. The kernel uses
+    /// this on the allocation path so exhaustion surfaces as a contained
+    /// failure instead of id aliasing in release builds.
+    #[inline]
+    pub fn try_new(pe: PeId, seq: u64) -> Option<Self> {
+        (pe < Self::PE_LIMIT && seq < Self::SEQ_LIMIT)
+            .then_some(EventId(((pe as u64) << 48) | seq))
     }
 
     /// The PE that allocated this id.
@@ -162,6 +182,13 @@ mod tests {
         let id = EventId::new(3, 0xABCDEF);
         assert_eq!(id.origin_pe(), 3);
         assert_eq!(id.seq(), 0xABCDEF);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_fields() {
+        assert!(EventId::try_new(EventId::PE_LIMIT - 1, EventId::SEQ_LIMIT - 1).is_some());
+        assert!(EventId::try_new(EventId::PE_LIMIT, 0).is_none());
+        assert!(EventId::try_new(0, EventId::SEQ_LIMIT).is_none());
     }
 
     #[test]

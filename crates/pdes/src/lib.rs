@@ -85,6 +85,7 @@
 //! rollback machinery absorbs them (committed output stays bit-identical to
 //! the sequential run).
 
+mod comm;
 pub mod config;
 pub mod error;
 pub mod event;
@@ -93,6 +94,7 @@ pub mod kp;
 pub mod mapping;
 pub mod model;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod scheduler;
 pub mod sequential;

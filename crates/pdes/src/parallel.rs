@@ -4,9 +4,14 @@
 //!
 //! * **PEs** — one worker thread each, owning a pending-event queue, the
 //!   states and RNG streams of its LPs, and the processed-event lists of its
-//!   KPs. PEs exchange events through mutex-protected inboxes (the
-//!   shared-memory analogue of ROSS handing ownership of an event's memory
-//!   to the destination PE).
+//!   KPs. PEs exchange events through the lock-free batched
+//!   [`comm`](crate::comm) fabric — one bounded SPSC ring per sender →
+//!   receiver pair, carrying whole batches of messages (the shared-memory
+//!   analogue of ROSS handing ownership of an event's memory to the
+//!   destination PE). Remote sends accumulate in per-destination buffers
+//!   flushed at batch/GVT boundaries; per-PE [`pool`](crate::pool)s recycle
+//!   child-reference vectors and message batches so the hot path stays off
+//!   the global allocator.
 //! * **Optimistic execution** — each PE greedily executes its locally
 //!   minimal pending event. A *straggler* (an arriving event in a KP's past)
 //!   triggers a **primary rollback**: the KP's processed list is rewound by
@@ -81,6 +86,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use crate::comm::{Batch, CommFabric};
 use crate::config::EngineConfig;
 use crate::error::{decode_payload, FailureCause, PeDiagnostics, RunDiagnostics, RunError};
 use crate::event::{Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, Remote};
@@ -88,6 +94,7 @@ use crate::fault::FaultState;
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
+use crate::pool::VecPool;
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::scheduler::EventQueue;
 use crate::stats::{EngineStats, RunResult};
@@ -97,6 +104,10 @@ use crate::time::VirtualTime;
 /// Consecutive idle polls before an idle PE forces a GVT round (drives
 /// termination detection without barrier-storming busy PEs).
 const IDLE_GVT_TRIGGER: u64 = 64;
+
+/// Consecutive no-progress polls of the GVT settle phase (neither counter
+/// moved) before a PE gives up and falls through to the barriered retry.
+const SETTLE_POLLS: u32 = 0;
 
 /// Lock a mutex, recovering the guard if a panicking thread poisoned it (the
 /// kernel's shared state stays consistent across a contained panic — we only
@@ -148,9 +159,12 @@ struct Halt;
 
 /// State shared by all PEs.
 struct Shared<P> {
-    /// Per-PE incoming message queues.
-    inboxes: Vec<Mutex<Vec<Remote<P>>>>,
-    /// Global count of inter-PE messages pushed.
+    /// Lock-free batched inter-PE channels (one SPSC ring per PE pair).
+    fabric: CommFabric<P>,
+    /// Global count of inter-PE messages sent. Incremented when a message
+    /// enters a sender-side buffer — the moment it logically exists — so GVT
+    /// quiescence (`sent == received`) can never be reached while a message
+    /// sits unflushed in a local buffer or un-drained in a ring.
     sent: AtomicU64,
     /// Global count of inter-PE messages drained.
     received: AtomicU64,
@@ -221,6 +235,19 @@ struct PeRuntime<'a, M: Model> {
     snapshot_fn: SnapshotFn<M>,
     /// Chaos layer (`None` = no fault injection).
     faults: Option<FaultState<M::Payload>>,
+    /// Per-destination send buffers (index = destination PE; own slot
+    /// unused). Flushed into the comm fabric when `comm_flush` messages
+    /// accumulate and at every main-loop / GVT-round boundary.
+    out_bufs: Vec<Batch<M::Payload>>,
+    /// Flush threshold derived from `config.comm_batch` (`usize::MAX` =
+    /// boundary flushes only).
+    comm_flush: usize,
+    /// Recycles message-batch vectors: drained batches come back empty and
+    /// are reused for outgoing batches.
+    msg_pool: VecPool<Remote<M::Payload>>,
+    /// Recycles the per-event `children` vectors across
+    /// commit/fossil-collection and rollback.
+    child_pool: VecPool<ChildRef>,
     /// Scratch buffer reused by `drain_inbox`.
     pending_buf: Vec<Remote<M::Payload>>,
     /// Ids of remote positives/antis already delivered once — consulted only
@@ -284,6 +311,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 return Err(Halt);
             }
             self.drain_inbox(true);
+            // Draining can roll back and buffer anti-messages; publish them
+            // (and any leftovers from the previous execute batch) now.
+            self.flush_out_bufs();
             let want_gvt = self.shared.gvt_flag.load(SeqCst)
                 || self.since_gvt >= self.config.gvt_interval
                 || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER);
@@ -311,15 +341,56 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 ttrace!(self, Act::Execute, ev.id, ev.key);
                 self.execute(ev);
             }
+            // End-of-batch boundary: everything buffered becomes visible.
+            self.flush_out_bufs();
         }
     }
 
-    /// Pull every message out of this PE's inbox and apply it. With `chaos`
-    /// set (main loop) drained batches pass through the fault filter, which
-    /// may hold messages back, duplicate them, or shuffle the batch. Without
-    /// it (GVT quiescence) everything — including the fault layer's held-back
-    /// messages — is delivered verbatim, so quiescence always sees a fully
-    /// flushed machine and GVT can never pass a delayed message.
+    /// Queue one message for a remote PE: count it as sent (GVT's in-flight
+    /// accounting starts *here*, before the message is visible — see
+    /// [`Shared::sent`]), append it to the destination's send buffer, and
+    /// flush the buffer if it reached the batching threshold.
+    #[inline]
+    fn send_remote(&mut self, pe: PeId, msg: Remote<M::Payload>) {
+        self.shared.sent.fetch_add(1, SeqCst);
+        let buf = &mut self.out_bufs[pe];
+        buf.push(msg);
+        if buf.len() >= self.comm_flush {
+            self.flush_to(pe);
+        }
+    }
+
+    /// Publish the send buffer for `pe` into its ring (one release-store on
+    /// the fast path).
+    fn flush_to(&mut self, pe: PeId) {
+        if self.out_bufs[pe].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.out_bufs[pe], self.msg_pool.get());
+        self.stats.batches_flushed += 1;
+        self.stats.batched_messages += batch.len() as u64;
+        if self.shared.fabric.push_batch(self.id, pe, batch) {
+            self.stats.ring_full_stalls += 1;
+        }
+    }
+
+    /// Flush every non-empty send buffer. Called after each inbox drain and
+    /// each execute batch in the main loop, and before every drain of the
+    /// GVT quiescence loop — the flush points that bound how long a message
+    /// can sit locally.
+    fn flush_out_bufs(&mut self) {
+        for pe in 0..self.out_bufs.len() {
+            self.flush_to(pe);
+        }
+    }
+
+    /// Pull every message out of this PE's channels and apply it. With
+    /// `chaos` set (main loop) drained batches pass through the fault
+    /// filter, which may hold messages back, duplicate them, or shuffle the
+    /// batch. Without it (GVT quiescence) everything — including the fault
+    /// layer's held-back messages — is delivered verbatim, so quiescence
+    /// always sees a fully flushed machine and GVT can never pass a delayed
+    /// message.
     fn drain_inbox(&mut self, chaos: bool) {
         let mut pending = std::mem::take(&mut self.pending_buf);
         debug_assert!(pending.is_empty());
@@ -327,26 +398,27 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             faults.take_holdback(&mut pending);
         }
         loop {
-            {
-                let mut guard = lock(&self.shared.inboxes[self.id]);
-                let n = guard.len();
-                if n > 0 {
-                    pending.append(&mut guard);
-                    drop(guard);
-                    self.shared.received.fetch_add(n as u64, SeqCst);
-                }
+            let n = self.shared.fabric.drain_to(self.id, &mut pending, &mut self.msg_pool);
+            if n > 0 {
+                self.shared.received.fetch_add(n, SeqCst);
             }
             if pending.is_empty() {
                 break;
             }
-            let deliver = match (chaos, self.faults.as_mut()) {
+            let mut deliver = match (chaos, self.faults.as_mut()) {
                 (true, Some(faults)) => faults.filter(pending, &mut self.stats),
                 _ => pending,
             };
-            pending = Vec::new();
-            for msg in deliver {
+            pending = self.msg_pool.get();
+            for msg in deliver.drain(..) {
                 self.apply_remote(msg);
             }
+            self.msg_pool.put(deliver);
+            // Rollbacks triggered above may have buffered anti-messages;
+            // publish them before the next pass so cancellation cascades
+            // propagate one drain per hop (the GVT quiescence loop's
+            // convergence speed depends on this).
+            self.flush_out_bufs();
         }
         self.pending_buf = pending;
     }
@@ -428,10 +500,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         while let Some(mut p) = self.kps[kp_idx].pop_if_at_or_after(bound) {
             // Cancel everything this execution scheduled.
             ttrace!(self, Act::RollbackPop, p.ev.id, p.ev.key);
-            let children = std::mem::take(&mut p.children);
-            for child in children {
+            let mut children = std::mem::take(&mut p.children);
+            for child in children.drain(..) {
                 self.cancel(child);
             }
+            self.child_pool.put(children);
             // Undo the execution: restore the pre-event snapshot (state
             // saving) or reverse-execute and un-step the RNG (reverse
             // computation).
@@ -477,9 +550,24 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         if pe == self.id {
             self.cancel_local(child);
         } else {
-            self.shared.sent.fetch_add(1, SeqCst);
-            lock(&self.shared.inboxes[pe]).push(Remote::Anti(child));
+            self.send_remote(pe, Remote::Anti(child));
         }
+    }
+
+    /// Allocate the next event id from this PE's sequence space, failing
+    /// loudly (contained as [`RunError::PePanic`]) instead of wrapping into
+    /// id aliasing when the 48-bit space is exhausted.
+    #[inline]
+    fn alloc_event_id(&mut self) -> EventId {
+        #[cold]
+        #[inline(never)]
+        fn exhausted(pe: PeId, seq: u64) -> ! {
+            panic!("PE {pe} exhausted its {}-event id space (seq {seq})", EventId::SEQ_LIMIT)
+        }
+        let id = EventId::try_new(self.id, self.next_seq)
+            .unwrap_or_else(|| exhausted(self.id, self.next_seq));
+        self.next_seq += 1;
+        id
     }
 
     /// Forward-execute one event and record it for possible rollback.
@@ -515,10 +603,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         let rng_calls = self.slots[li].rng.call_count() - rng_before;
 
-        let mut children = Vec::with_capacity(emits.len());
+        let mut children = self.child_pool.get_with_capacity(emits.len());
         for emit in emits.drain(..) {
-            let id = EventId::new(self.id, self.next_seq);
-            self.next_seq += 1;
+            let id = self.alloc_event_id();
             let key = EventKey {
                 recv_time: emit.recv_time,
                 dst: emit.dst,
@@ -534,8 +621,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.enqueue_positive(child_ev);
             } else {
                 self.stats.remote_events += 1;
-                self.shared.sent.fetch_add(1, SeqCst);
-                lock(&self.shared.inboxes[pe]).push(Remote::Positive(child_ev));
+                self.send_remote(pe, Remote::Positive(child_ev));
             }
         }
         self.emit_buf = emits;
@@ -551,15 +637,60 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     fn gvt_round(&mut self) -> Result<bool, Halt> {
         self.bwait()?; // B1: everyone has stopped executing.
         loop {
-            // Draining can trigger rollbacks, which push new messages —
-            // iterate until the whole machine is quiescent. Chaos is off:
-            // held-back messages are flushed, so GVT can never pass a
-            // fault-delayed message's timestamp.
-            self.drain_inbox(false);
-            self.bwait()?; // B2: all inboxes drained once.
+            // Settle phase — no barriers. Draining can trigger rollbacks,
+            // which buffer new messages (each already counted in `sent`, so
+            // the machine cannot read as quiescent while any message sits
+            // unflushed or un-drained; chaos is off, so fault-held messages
+            // are delivered too and GVT can never pass a delayed message's
+            // timestamp). Keep flushing and draining while the global
+            // counters move: cancellation cascades propagate PE-to-PE
+            // through yields instead of paying two barrier crossings per
+            // hop. Give up after a few fruitless polls — any remaining
+            // in-flight message is addressed to a PE already parked at B2,
+            // which only the barriered retry below can release.
+            let mut last = (0u64, 0u64);
+            let mut idle = 0u32;
+            loop {
+                self.flush_out_bufs();
+                self.drain_inbox(false);
+                let now = (
+                    self.shared.sent.load(SeqCst),
+                    self.shared.received.load(SeqCst),
+                );
+                if now.0 == now.1 {
+                    break;
+                }
+                if self.shared.barrier.is_aborted() {
+                    return Err(Halt);
+                }
+                if now == last {
+                    idle += 1;
+                    if idle > SETTLE_POLLS {
+                        break;
+                    }
+                } else {
+                    idle = 0;
+                    last = now;
+                }
+                std::thread::yield_now();
+            }
+            self.bwait()?; // B2: all channels flushed and drained once.
+            // Between B2 and B3 every PE only *loads* the counters, so all
+            // PEs sample the same values and agree on `quiet`.
             let quiet =
                 self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
-            self.bwait()?; // B3: everyone sampled the counters.
+            if quiet {
+                // Quiescent — this PE's pending queue is final for this
+                // round, so its local minimum can be published right away:
+                // the closing barrier below then doubles as the
+                // publication barrier (the old separate B4).
+                let local_min = match self.queue.peek_key() {
+                    Some(k) => k.recv_time.0,
+                    None => u64::MAX,
+                };
+                self.shared.local_mins[self.id].store(local_min, SeqCst);
+            }
+            self.bwait()?; // B3: counters sampled; minima published if quiet.
             if quiet {
                 break;
             }
@@ -576,13 +707,6 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.early_antis.len(),
             self.early_antis.keys().take(8).collect::<Vec<_>>(),
         );
-        // The global minimum pending receive-time is exactly GVT.
-        let local_min = match self.queue.peek_key() {
-            Some(k) => k.recv_time.0,
-            None => u64::MAX,
-        };
-        self.shared.local_mins[self.id].store(local_min, SeqCst);
-        self.bwait()?; // B4: all minima published.
         let gvt = self
             .shared
             .local_mins
@@ -634,7 +758,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         Ok(())
     }
 
-    /// Commit and reclaim all processed events older than `horizon`.
+    /// Commit and reclaim all processed events older than `horizon`. The
+    /// committed events' child vectors go back to the pool instead of the
+    /// allocator — the other half of the recycling loop started in
+    /// [`execute`](Self::execute).
     fn fossil_collect(&mut self, horizon: VirtualTime) {
         for kp in &mut self.kps {
             for p in kp.fossil_collect(horizon) {
@@ -642,6 +769,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.model.commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
                 self.stats.events_committed += 1;
                 self.stats.fossils_collected += 1;
+                self.child_pool.put(p.children);
             }
         }
     }
@@ -656,8 +784,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     }
 
     /// Snapshot this PE's state for failure diagnostics (inbox depth is
-    /// filled in post-join, from the shared side).
-    fn diagnostics(&self) -> PeDiagnostics {
+    /// filled in post-join, from the shared side). Also folds the buffer
+    /// pools' hit/miss counters into the stats — this runs on both the
+    /// success and failure paths, so the counters reach the merged totals.
+    fn diagnostics(&mut self) -> PeDiagnostics {
+        self.stats.pool_hits = self.msg_pool.hits + self.child_pool.hits;
+        self.stats.pool_misses = self.msg_pool.misses + self.child_pool.misses;
         PeDiagnostics {
             pe: self.id,
             queue_depth: self.queue.len(),
@@ -767,7 +899,9 @@ fn run_parallel_inner<M: Model>(
     }
     let flat = FlatMapping::from_mapping(mapping);
     let n_pes = flat.n_pes;
-    if n_pes >= (1 << 16) {
+    if n_pes >= EventId::PE_LIMIT {
+        // `config.validate()` already bounds `config.n_pes`; this re-checks
+        // the count an explicit mapping actually derived.
         return Err(RunError::config(format!("PE count {n_pes} exceeds EventId space")));
     }
 
@@ -817,7 +951,7 @@ fn run_parallel_inner<M: Model>(
     }
 
     let shared = Shared::<M::Payload> {
-        inboxes: (0..n_pes).map(|_| Mutex::new(Vec::new())).collect(),
+        fabric: CommFabric::new(n_pes),
         sent: AtomicU64::new(0),
         received: AtomicU64::new(0),
         gvt_flag: AtomicBool::new(false),
@@ -892,6 +1026,10 @@ fn run_parallel_inner<M: Model>(
                     faults: config.fault_plan.and_then(|plan| {
                         (!plan.is_noop()).then(|| FaultState::new(plan, pe))
                     }),
+                    out_bufs: (0..n_pes).map(|_| Vec::new()).collect(),
+                    comm_flush: config.comm_batch.unwrap_or(usize::MAX),
+                    msg_pool: VecPool::new(),
+                    child_pool: VecPool::new(),
                     pending_buf: Vec::new(),
                     seen_pos: HashSet::new(),
                     seen_anti: HashSet::new(),
@@ -925,13 +1063,14 @@ fn run_parallel_inner<M: Model>(
     let wall = start.elapsed();
 
     let failure = lock(&shared.failure).take();
-    let reports = shared
-        .inboxes
-        .iter()
-        .zip(results.into_inner().unwrap_or_else(PoisonError::into_inner))
-        .map(|(inbox, slot)| {
+    let reports = results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .enumerate()
+        .map(|(pe, slot)| {
             slot.map(|mut report| {
-                report.diag.inbox_depth = lock(inbox).len();
+                report.diag.inbox_depth = shared.fabric.inbox_depth(pe) as usize;
                 report
             })
         })

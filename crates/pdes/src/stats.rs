@@ -29,6 +29,18 @@ pub struct EngineStats {
     pub gvt_rounds: u64,
     /// Events reclaimed by fossil collection.
     pub fossils_collected: u64,
+    /// Message batches flushed into the inter-PE comm fabric.
+    pub batches_flushed: u64,
+    /// Messages carried by those batches (`/ batches_flushed` = mean batch
+    /// size, see [`mean_batch_size`](Self::mean_batch_size)).
+    pub batched_messages: u64,
+    /// Flushes that found the destination ring full and spilled to the
+    /// order-preserving overflow queue (a lock acquisition — the slow path).
+    pub ring_full_stalls: u64,
+    /// Buffer requests served from a per-PE recycling pool.
+    pub pool_hits: u64,
+    /// Buffer requests that had to hit the global allocator.
+    pub pool_misses: u64,
     /// Histogram of rollback lengths (events undone per rollback), bucketed
     /// by powers of two: bucket i counts rollbacks undoing in
     /// `[2^i, 2^(i+1))` events; the last bucket is open-ended.
@@ -62,6 +74,11 @@ impl EngineStats {
         self.remote_events += other.remote_events;
         self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
         self.fossils_collected += other.fossils_collected;
+        self.batches_flushed += other.batches_flushed;
+        self.batched_messages += other.batched_messages;
+        self.ring_full_stalls += other.ring_full_stalls;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
         for (a, b) in self.rollback_lengths.iter_mut().zip(&other.rollback_lengths) {
             *a += b;
         }
@@ -107,6 +124,26 @@ impl EngineStats {
         }
     }
 
+    /// Mean messages per flushed comm batch (0 if nothing was flushed).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_flushed == 0 {
+            0.0
+        } else {
+            self.batched_messages as f64 / self.batches_flushed as f64
+        }
+    }
+
+    /// Fraction of buffer requests served by the recycling pools (0 if no
+    /// requests were made).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
     /// Total rollbacks of either kind.
     pub fn total_rollbacks(&self) -> u64 {
         self.primary_rollbacks + self.secondary_rollbacks
@@ -136,6 +173,24 @@ impl fmt::Display for EngineStats {
         writeln!(f, "remote events        : {}", self.remote_events)?;
         writeln!(f, "gvt rounds           : {}", self.gvt_rounds)?;
         writeln!(f, "fossils collected    : {}", self.fossils_collected)?;
+        if self.batches_flushed > 0 {
+            writeln!(
+                f,
+                "comm batches         : {} flushed, {:.1} msgs/batch, {} ring-full stalls",
+                self.batches_flushed,
+                self.mean_batch_size(),
+                self.ring_full_stalls
+            )?;
+        }
+        if self.pool_hits + self.pool_misses > 0 {
+            writeln!(
+                f,
+                "buffer pool          : {:.1}% hit rate ({} hits / {} misses)",
+                100.0 * self.pool_hit_rate(),
+                self.pool_hits,
+                self.pool_misses
+            )?;
+        }
         if self.total_injected_faults() > 0 {
             writeln!(
                 f,
@@ -218,5 +273,35 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.event_rate(), 0.0);
         assert_eq!(s.rollback_ratio(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.pool_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn comm_counters_merge_and_derive() {
+        let mut a = EngineStats {
+            batches_flushed: 10,
+            batched_messages: 55,
+            ring_full_stalls: 1,
+            pool_hits: 30,
+            pool_misses: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            batches_flushed: 10,
+            batched_messages: 25,
+            pool_hits: 10,
+            pool_misses: 10,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batches_flushed, 20);
+        assert_eq!(a.batched_messages, 80);
+        assert_eq!(a.ring_full_stalls, 1);
+        assert!((a.mean_batch_size() - 4.0).abs() < 1e-12);
+        assert!((a.pool_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let text = a.to_string();
+        assert!(text.contains("msgs/batch"));
+        assert!(text.contains("hit rate"));
     }
 }

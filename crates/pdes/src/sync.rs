@@ -8,6 +8,14 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+/// Pads (via alignment) a value to its own cache line so two hot atomics —
+/// like an SPSC ring's producer and consumer counters — never false-share.
+/// 64 bytes covers x86-64 and most aarch64 parts; on 128-byte-line hardware
+/// this halves the padding but stays correct.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub(crate) T);
+
 /// Returned by [`AbortableBarrier::wait`] when the barrier was aborted; the
 /// caller must unwind instead of continuing the protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

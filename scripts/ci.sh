@@ -13,4 +13,14 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== bench smoke: 16x16 torus at 1 and 4 PEs (BENCH_pr2.json) =="
+# Perf-trajectory smoke: asserts parallel output == sequential oracle at
+# both PE counts, then records committed-events/sec. Not a pass/fail gate
+# on throughput (CI machines vary); the JSON is the artifact to eyeball.
+cargo build --release -p bench
+# --baseline is the pre-comm-fabric (mutex inbox) 4-PE throughput measured on
+# the 1-core reference box; keeps the speedup field in the regenerated JSON.
+./target/release/bench_pr2 --out=BENCH_pr2.json --baseline=845529
+cat BENCH_pr2.json
+
 echo "CI gate passed."
