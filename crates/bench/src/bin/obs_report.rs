@@ -1,0 +1,132 @@
+//! Instrumented smoke run: execute a hot-potato torus under maximum
+//! observability, render a per-PE health summary (Korniss virtual-time
+//! roughness, rollbacks, comm pressure, pool hit rate, recorder occupancy),
+//! and optionally export the run as a Chrome/Perfetto trace and a metrics
+//! JSONL stream. Every file written is re-read and validated as JSON before
+//! the binary exits 0, so CI can use it as an end-to-end check of the
+//! export pipeline.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin obs_report -- \
+//!     --trace=artifacts/trace.json --metrics=artifacts/metrics.jsonl
+//! ```
+//!
+//! Flags:
+//! * `--n=<u32>` — torus side (default 16).
+//! * `--steps=<u64>` — simulated steps (default 96).
+//! * `--pes=<usize>` — worker threads (default 4).
+//! * `--load=<f64>` — injector fraction (default 0.4).
+//! * `--seed=<u64>` — engine seed (default 0xBE9C_0702).
+//! * `--trace=<path>` — write a Chrome `trace_event` JSON here (open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * `--metrics=<path>` — stream every GVT-round snapshot here as JSONL
+//!   (one JSON object per line, via [`JsonlSink`]).
+//! * `--progress=<u64>` — print a stderr progress line every K rounds.
+
+use std::sync::Arc;
+
+use hotpotato::{simulate_parallel, HotPotatoConfig, HotPotatoModel};
+use pdes::obs::{chrome, json};
+use pdes::{EngineConfig, JsonlSink, ObsConfig, Telemetry};
+
+fn main() {
+    let mut n: u32 = 16;
+    let mut steps: u64 = 96;
+    let mut pes: usize = 4;
+    let mut load: f64 = 0.4;
+    let mut seed: u64 = 0xBE9C_0702;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress: Option<u64> = None;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--n=") {
+            n = v.parse().expect("--n=<u32>");
+        } else if let Some(v) = a.strip_prefix("--steps=") {
+            steps = v.parse().expect("--steps=<u64>");
+        } else if let Some(v) = a.strip_prefix("--pes=") {
+            pes = v.parse().expect("--pes=<usize>");
+        } else if let Some(v) = a.strip_prefix("--load=") {
+            load = v.parse().expect("--load=<f64>");
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = v.parse().expect("--seed=<u64>");
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            trace_path = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
+            metrics_path = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--progress=") {
+            progress = Some(v.parse().expect("--progress=<u64>"));
+        } else {
+            eprintln!(
+                "flags: --n=<u32> --steps=<u64> --pes=<usize> --load=<f64> --seed=<u64> \
+                 --trace=<path> --metrics=<path> --progress=<u64>"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(n, steps).with_injectors(load));
+    let mut obs = ObsConfig::verbose();
+    if let Some(k) = progress {
+        obs = obs.with_progress_every(k);
+    }
+    if let Some(path) = &metrics_path {
+        let sink = JsonlSink::create(path).expect("create metrics JSONL file");
+        obs = obs.with_sink(Arc::new(sink));
+    }
+    let engine = EngineConfig::new(model.end_time())
+        .with_seed(seed)
+        .with_pes(pes)
+        .with_kps(64)
+        .with_lookahead(model.natural_lookahead())
+        .with_obs(obs);
+
+    let run = simulate_parallel(&model, &engine).expect("parallel run failed");
+    print_summary(&run.telemetry, &run.stats.to_string());
+
+    if let Some(path) = &trace_path {
+        chrome::write_chrome_trace(&run.telemetry, path).expect("write Chrome trace");
+        let text = std::fs::read_to_string(path).expect("re-read Chrome trace");
+        json::validate(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+        println!("wrote {path} ({} bytes, valid JSON)", text.len());
+    }
+    if let Some(path) = &metrics_path {
+        let text = std::fs::read_to_string(path).expect("re-read metrics JSONL");
+        let lines = json::validate_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{path} is not valid JSONL: {e}"));
+        println!("wrote {path} ({lines} snapshots, valid JSONL)");
+    }
+}
+
+fn print_summary(t: &Telemetry, stats: &str) {
+    println!("=== engine counters ===\n{stats}");
+    println!("=== per-PE telemetry ({} rounds retained, {} decimated) ===", t.rounds.len(), t.rounds_dropped);
+    println!(
+        "{:>3} {:>7} {:>14} {:>9} {:>10} {:>9} {:>10} {:>9}",
+        "pe", "rounds", "roughness(avg)", "rough(max)", "committed", "rollbacks", "ring_stall", "pool_hit"
+    );
+    for pe in 0..t.n_pes() {
+        let rounds = t.rounds_for(pe).count();
+        let last = t.rounds_for(pe).last();
+        let (mean, max) = t.roughness(pe).unwrap_or((0.0, 0));
+        println!(
+            "{:>3} {:>7} {:>14.1} {:>9} {:>10} {:>9} {:>10} {:>8.1}%",
+            pe,
+            rounds,
+            mean,
+            max,
+            last.map_or(0, |s| s.events_committed),
+            last.map_or(0, |s| s.rollbacks),
+            last.map_or(0, |s| s.ring_full_stalls),
+            last.map_or(0.0, |s| s.pool_hit_rate() * 100.0),
+        );
+    }
+    if !t.recorders.is_empty() {
+        println!("=== flight recorders ===");
+        for r in &t.recorders {
+            println!(
+                "pe {:>2}: {} records kept of {} ({} overwritten, capacity {})",
+                r.pe, r.len, r.recorded, r.overwritten, r.capacity
+            );
+        }
+    }
+}

@@ -41,6 +41,28 @@ use crate::timing::{
     arrive_time, inject_time, route_time, HEARTBEAT_PHASE, JITTER_SPAN,
 };
 
+/// Codes for the model-level notes this model drops into the kernel's
+/// flight recorder via [`EventCtx::note`] (category
+/// [`Model`](pdes::ObsCategory::Model)). The note's `arg` carries the
+/// packet id (or, for [`ABSORB`](notes::ABSORB), the delivered packet's
+/// deflection count). Notes are recorded at execution time — speculated
+/// executions leave notes even if later rolled back (see
+/// [`EventCtx::note`]); committed truth lives in
+/// [`NetStats`](crate::stats::NetStats).
+pub mod notes {
+    /// A packet was deflected off its desired link.
+    pub const DEFLECT: u64 = 1;
+    /// A packet was absorbed at its destination (`arg` = its deflections).
+    pub const ABSORB: u64 = 2;
+    /// An injector placed a new packet on a free link.
+    pub const INJECT: u64 = 3;
+    /// An injection attempt found no free link.
+    pub const INJECT_FAIL: u64 = 4;
+    /// A transiently over-subscribed router parked a packet one step
+    /// (possible only in speculative states; never commits).
+    pub const STALL: u64 = 5;
+}
+
 /// The simulation model: an N×N grid of hot-potato routers.
 pub struct HotPotatoModel<T: Topology> {
     topo: T,
@@ -114,6 +136,7 @@ impl<T: Topology> HotPotatoModel<T> {
                 state.stats.transit_steps_sum += step - pkt.injected_step;
                 state.stats.distance_sum += self.topo.distance(pkt.src, lp) as u64;
                 state.stats.delivered_deflections_sum += pkt.deflections as u64;
+                ctx.note(notes::ABSORB, pkt.deflections as u64);
                 return;
             }
         }
@@ -145,6 +168,7 @@ impl<T: Topology> HotPotatoModel<T> {
             // asserted to be zero by the test suite).
             ctx.bf().set(bits::STALLED, true);
             state.stats.stalls += 1;
+            ctx.note(notes::STALL, pkt.id.0);
             let at = arrive_time(step + 1, pkt.jitter);
             ctx.schedule_self(at - ctx.now(), pkt.id.0, Msg::Arrive { packet: pkt });
             return;
@@ -203,6 +227,7 @@ impl<T: Topology> HotPotatoModel<T> {
             ctx.bf().set(bits::DEFLECT, true);
             state.stats.deflections += 1;
             out.deflections += 1;
+            ctx.note(notes::DEFLECT, pkt.id.0);
         }
         state.take_link(decision.dir);
         saved.chosen = decision.dir.index() as u8;
@@ -230,6 +255,7 @@ impl<T: Topology> HotPotatoModel<T> {
             // No free link: the pending packet keeps waiting.
             ctx.bf().set(bits::INJECT_FAIL, true);
             state.stats.inject_failures += 1;
+            ctx.note(notes::INJECT_FAIL, lp as u64);
         } else {
             ctx.bf().set(bits::INJECTED, true);
             // Fixed draw order: link, destination, jitter.
@@ -264,6 +290,7 @@ impl<T: Topology> HotPotatoModel<T> {
             };
             let neighbor = self.topo.neighbor(lp, dir).expect("free link exists");
             let at = arrive_time(step + 1, jitter);
+            ctx.note(notes::INJECT, id.0);
             ctx.schedule(neighbor, at - ctx.now(), id.0, Msg::Arrive { packet: pkt });
         }
 

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use crate::error::RunError;
 use crate::fault::FaultPlan;
+use crate::obs::ObsConfig;
 use crate::scheduler::SchedulerKind;
 use crate::time::VirtualTime;
 
@@ -57,6 +58,11 @@ pub struct EngineConfig {
     /// returns can still hang the run — the kernel only regains control
     /// between events.
     pub deadline: Option<Duration>,
+    /// Observability: flight recorder, GVT-round snapshot series, metrics
+    /// sink, progress line (see [`ObsConfig`]). [`EngineConfig::new`] seeds
+    /// this from [`ObsConfig::from_env`], so the legacy `PDES_TRACE` env
+    /// toggle keeps working; override with [`with_obs`](Self::with_obs).
+    pub obs: ObsConfig,
 }
 
 impl EngineConfig {
@@ -77,6 +83,7 @@ impl EngineConfig {
             fault_plan: None,
             gvt_stall_rounds: Some(1_000_000),
             deadline: None,
+            obs: ObsConfig::from_env(),
         }
     }
 
@@ -155,6 +162,12 @@ impl EngineConfig {
         self
     }
 
+    /// Replace the observability configuration (see [`obs`](Self::obs)).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Check the configuration is self-consistent; both kernels call this
     /// before touching the model.
     pub fn validate(&self) -> Result<(), RunError> {
@@ -191,6 +204,9 @@ impl EngineConfig {
         }
         if self.gvt_stall_rounds == Some(0) {
             return Err(RunError::config("gvt_stall_rounds must be >= 1 (or None)"));
+        }
+        if self.obs.progress_every == Some(0) {
+            return Err(RunError::config("obs.progress_every must be >= 1 (or None)"));
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate().map_err(RunError::config)?;
@@ -258,5 +274,16 @@ mod tests {
         assert!(c.clone().with_comm_batch(Some(0)).validate().is_err());
         assert!(c.clone().with_comm_batch(Some(1)).validate().is_ok());
         assert!(c.with_comm_batch(None).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_progress_interval() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1));
+        let mut bad = c.clone();
+        bad.obs.progress_every = Some(0);
+        assert!(bad.validate().is_err());
+        let good = c.with_obs(ObsConfig::verbose().with_progress_every(8));
+        assert!(good.validate().is_ok());
+        assert_eq!(good.obs.progress_every, Some(8));
     }
 }

@@ -10,13 +10,16 @@
 //!
 //! Diagnostics are collected *after* all PE threads have unwound, so they are
 //! a consistent post-mortem snapshot: last GVT, global message counters, and
-//! per-PE queue depths, engine counters, and (when `PDES_TRACE=1`) the
-//! decoded kernel-action trace.
+//! per-PE queue depths, engine counters, and — when the flight recorder is
+//! enabled (`PDES_TRACE=1` or
+//! [`ObsConfig::recorder_capacity`](crate::obs::ObsConfig::recorder_capacity))
+//! — the decoded tail of each PE's kernel-event ring.
 
 use std::fmt;
 use std::time::Duration;
 
 use crate::event::PeId;
+use crate::obs::RecorderSummary;
 use crate::stats::EngineStats;
 
 /// Why a kernel run failed.
@@ -146,6 +149,16 @@ impl fmt::Display for RunDiagnostics {
                 pe.stats.pool_hits,
                 pe.stats.pool_misses,
             )?;
+            if pe.recorder.recorded > 0 {
+                writeln!(
+                    f,
+                    "        recorder: {} records kept of {} ({} overwritten), last {} shown",
+                    pe.recorder.len,
+                    pe.recorder.recorded,
+                    pe.recorder.overwritten,
+                    pe.trace.len(),
+                )?;
+            }
             for line in &pe.trace {
                 writeln!(f, "    trace: {line}")?;
             }
@@ -171,8 +184,12 @@ pub struct PeDiagnostics {
     pub deferred_antis: usize,
     /// This PE's engine counters at unwind time.
     pub stats: EngineStats,
-    /// Decoded kernel-action trace (empty unless `PDES_TRACE=1`).
+    /// Decoded tail (newest records) of the PE's flight-recorder ring —
+    /// empty unless the recorder was enabled.
     pub trace: Vec<String>,
+    /// The flight recorder's occupancy at unwind time (how many records the
+    /// `trace` tail was cut from, and how many the ring overwrote).
+    pub recorder: RecorderSummary,
 }
 
 /// Internal: the first failure recorded by any PE; converted into a

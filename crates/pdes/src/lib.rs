@@ -93,6 +93,7 @@ pub mod fault;
 pub mod kp;
 pub mod mapping;
 pub mod model;
+pub mod obs;
 pub mod parallel;
 pub mod pool;
 pub mod rng;
@@ -110,6 +111,10 @@ pub mod prelude {
     pub use crate::fault::FaultPlan;
     pub use crate::mapping::{LinearMapping, Mapping};
     pub use crate::model::{EventCtx, InitCtx, Merge, Model, ReverseCtx};
+    pub use crate::obs::{
+        CategoryMask, JsonlSink, MemorySink, MetricsSink, NullSink, ObsCategory, ObsConfig,
+        ObsSeverity, RecorderSummary, RoundSnapshot, Telemetry,
+    };
     pub use crate::parallel::{
         run_parallel, run_parallel_mapped, run_parallel_mapped_state_saving,
         run_parallel_state_saving,

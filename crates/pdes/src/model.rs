@@ -19,7 +19,8 @@
 //!   [`EventKey`](crate::event::EventKey) — supply a discriminating `tie`
 //!   (e.g. a unique packet id) when scheduling.
 
-use crate::event::{Bitfield, LpId};
+use crate::event::{Bitfield, EventId, EventKey, LpId};
+use crate::obs::{FlightRecorder, ObsKind, ObsRecord};
 use crate::rng::Clcg4;
 use crate::time::VirtualTime;
 
@@ -46,6 +47,9 @@ pub struct EventCtx<'a, P> {
     pub(crate) bf: &'a mut Bitfield,
     pub(crate) rng: &'a mut Clcg4,
     pub(crate) out: &'a mut Vec<Emit<P>>,
+    /// The executing kernel's flight recorder (`None` in synthetic test
+    /// contexts), target of [`note`](Self::note).
+    pub(crate) obs: Option<&'a mut FlightRecorder>,
 }
 
 impl<'a, P> EventCtx<'a, P> {
@@ -103,10 +107,39 @@ impl<'a, P> EventCtx<'a, P> {
         self.schedule(lp, delay, tie, payload);
     }
 
+    /// Drop a model-level note into the kernel's flight recorder
+    /// ([`ObsKind::ModelNote`], [`ObsCategory::Model`](crate::obs::ObsCategory::Model)):
+    /// `code` is a model-defined event code (carried in the record's
+    /// `key.tie`) and `arg` a model-defined value. The record captures the
+    /// executing LP and current virtual time.
+    ///
+    /// Notes share the recorder's flight-recorder semantics: they are
+    /// written at *execution* time, so a note from a speculated execution
+    /// stays in the ring even if the execution later rolls back (no
+    /// compensation) — they answer "what did the machine do", not "what was
+    /// committed". No-op when the recorder is disabled, the `Model` category
+    /// is filtered, or the context is [`synthetic`](Self::synthetic).
+    #[inline]
+    pub fn note(&mut self, code: u64, arg: u64) {
+        if let Some(rec) = self.obs.as_deref_mut() {
+            if rec.wants(ObsKind::ModelNote) {
+                let key = EventKey {
+                    recv_time: self.now,
+                    dst: self.lp,
+                    tie: code,
+                    src: self.src,
+                    send_time: self.send_time,
+                };
+                rec.record(ObsRecord::event(ObsKind::ModelNote, EventId(0), key, arg));
+            }
+        }
+    }
+
     /// Build a context directly — for unit-testing model handlers outside a
     /// kernel. Emissions are appended to `out`; the caller plays kernel and
     /// is responsible for reversing `rng` by the number of draws made if it
-    /// wants to test reverse computation.
+    /// wants to test reverse computation. [`note`](Self::note) calls are
+    /// discarded (no recorder attached).
     pub fn synthetic(
         lp: LpId,
         src: LpId,
@@ -115,7 +148,7 @@ impl<'a, P> EventCtx<'a, P> {
         rng: &'a mut Clcg4,
         out: &'a mut Vec<Emit<P>>,
     ) -> Self {
-        EventCtx { lp, src, now, send_time: VirtualTime::ZERO, bf, rng, out }
+        EventCtx { lp, src, now, send_time: VirtualTime::ZERO, bf, rng, out, obs: None }
     }
 }
 

@@ -1,0 +1,1039 @@
+//! Flight-recorder telemetry for the Time Warp kernel.
+//!
+//! Everything the engine used to report was an end-of-run aggregate
+//! ([`EngineStats`](crate::stats::EngineStats)), so the *dynamics* an
+//! optimistic simulation lives or dies by — rollback cascades, virtual-time
+//! progress, speculation depth — were invisible while a run was in flight.
+//! This module is the always-compiled, near-zero-overhead observability
+//! layer that makes them visible. Three pieces:
+//!
+//! * **[`FlightRecorder`]** — a per-PE, fixed-capacity ring buffer of
+//!   structured kernel events ([`ObsRecord`]): event executed / rolled back,
+//!   anti-message sent/received, GVT advance, comm flush/overflow, pool
+//!   hit/miss, fault injected, model-level notes. Records are filtered by
+//!   [category](ObsCategory) and [severity](ObsSeverity) at the recording
+//!   site (one table lookup when enabled, one branch when disabled), and the
+//!   buffer overwrites its oldest entries — memory is bounded no matter how
+//!   pathological the rollback storm. On failure the *last N* decoded
+//!   records feed [`PeDiagnostics`](crate::error::PeDiagnostics), replacing
+//!   the old grow-forever `PDES_TRACE` action `Vec`.
+//! * **[`RoundSnapshot`] series** — at every GVT reduction each PE samples
+//!   its local virtual time against the new GVT (the Korniss *roughness*
+//!   profile: the per-PE virtual-time spread is the health signal of an
+//!   optimistic simulation), plus queue depth, rollback and commit counters,
+//!   comm-ring occupancy and pool hit rates. Snapshots accumulate in a
+//!   bounded [`RoundSeries`] (stride-doubling decimation keeps whole-run
+//!   coverage in fixed memory) exposed as [`Telemetry`] on
+//!   [`RunResult`](crate::stats::RunResult), and stream through a
+//!   [`MetricsSink`] ([`NullSink`] / [`MemorySink`] / [`JsonlSink`]).
+//! * **Exporters** — [`chrome`] renders a run as Chrome `trace_event` JSON
+//!   (open it in `chrome://tracing` or <https://ui.perfetto.dev>, one track
+//!   per PE); [`json`] dumps the snapshot series as JSONL and hosts the
+//!   dependency-free JSON validator the test-suite and CI use.
+//!
+//! Observation never perturbs committed output: the recorder and series are
+//! write-only side channels off the hot path, and the determinism suites run
+//! bit-identical to the sequential oracle with everything at maximum
+//! verbosity.
+
+pub mod chrome;
+pub mod json;
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::event::{EventId, EventKey, PeId};
+use crate::time::VirtualTime;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Categories, severities, kinds
+// ---------------------------------------------------------------------------
+
+/// Coarse grouping of kernel events, used as a recording filter: a
+/// [`FlightRecorder`] only keeps kinds whose category is in its
+/// [`CategoryMask`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ObsCategory {
+    /// Event lifecycle: enqueue, execute, emit, fossil-collect.
+    Event = 1 << 0,
+    /// Rollback machinery: straggler/secondary rollbacks, un-executions.
+    Rollback = 1 << 1,
+    /// Cancellation: anti-messages, annihilations, deferred antis.
+    Cancel = 1 << 2,
+    /// GVT progress.
+    Gvt = 1 << 3,
+    /// Inter-PE comm fabric: batch flushes, ring overflow spills.
+    Comm = 1 << 4,
+    /// Buffer-pool recycling.
+    Pool = 1 << 5,
+    /// Fault-injection activity.
+    Fault = 1 << 6,
+    /// Model-level notes emitted via
+    /// [`EventCtx::note`](crate::model::EventCtx::note).
+    Model = 1 << 7,
+}
+
+/// Bitmask over [`ObsCategory`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CategoryMask(pub u16);
+
+impl CategoryMask {
+    /// Every category.
+    pub const ALL: CategoryMask = CategoryMask(0xFF);
+    /// No category (records nothing even if the recorder has capacity).
+    pub const NONE: CategoryMask = CategoryMask(0);
+
+    /// Does the mask include `cat`?
+    #[inline]
+    pub fn contains(self, cat: ObsCategory) -> bool {
+        self.0 & cat as u16 != 0
+    }
+
+    /// Mask with `cat` added.
+    #[must_use]
+    pub fn with(self, cat: ObsCategory) -> CategoryMask {
+        CategoryMask(self.0 | cat as u16)
+    }
+
+    /// Mask with `cat` removed.
+    #[must_use]
+    pub fn without(self, cat: ObsCategory) -> CategoryMask {
+        CategoryMask(self.0 & !(cat as u16))
+    }
+}
+
+/// How notable a record is; the recorder drops records below its configured
+/// minimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsSeverity {
+    /// Per-event bookkeeping (the bulk of a verbose trace).
+    Debug = 0,
+    /// Round-level progress and anomalies worth seeing by default.
+    Info = 1,
+    /// Slow paths and injected trouble.
+    Warn = 2,
+}
+
+/// Every structured kernel event the recorder can hold.
+///
+/// The `arg` field of [`ObsRecord`] is kind-specific (documented per
+/// variant); kinds without an argument leave it zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ObsKind {
+    /// A positive event entered the pending queue.
+    Enqueue = 0,
+    /// A pending event was forward-executed.
+    Execute,
+    /// The executing event scheduled a child (`arg` = destination LP).
+    Emit,
+    /// An event passed GVT and was committed + reclaimed.
+    Fossil,
+    /// A straggler rolled its KP back (`arg` = straggler's recv ticks).
+    PrimaryRollback,
+    /// A processed event was un-executed during a rollback.
+    RollbackPop,
+    /// An undone event was re-enqueued for re-execution.
+    Requeue,
+    /// An anti-message was dispatched (`arg` = destination PE).
+    AntiSent,
+    /// An anti-message caught its target still pending.
+    CancelPending,
+    /// An anti-message's target was already processed (secondary rollback).
+    CancelMiss,
+    /// The rollback reached and dropped the annihilation target.
+    Annihilate,
+    /// A positive met a parked anti-message on arrival and both vanished.
+    AnnihilateEarly,
+    /// An anti arrived before its positive and was parked.
+    DeferAnti,
+    /// A chaos-injected duplicate delivery was absorbed by id.
+    DropDuplicate,
+    /// GVT advanced (`arg` = new GVT ticks).
+    GvtAdvance,
+    /// A send buffer was flushed into a comm ring (`arg` = messages).
+    CommFlush,
+    /// A flush found the ring full and spilled to the overflow queue
+    /// (`arg` = messages).
+    CommOverflow,
+    /// A buffer request was served from a recycling pool.
+    PoolHit,
+    /// A buffer request had to hit the global allocator.
+    PoolMiss,
+    /// The fault layer perturbed this inbox drain (`arg` = faults injected).
+    FaultInjected,
+    /// A model-level note (`arg` = model-defined value; the record's `key.tie`
+    /// carries the model's note code).
+    ModelNote,
+}
+
+/// Number of distinct [`ObsKind`] variants (size of the per-kind filter
+/// table).
+const N_KINDS: usize = ObsKind::ModelNote as usize + 1;
+
+impl ObsKind {
+    /// The category this kind belongs to.
+    pub fn category(self) -> ObsCategory {
+        use ObsKind::*;
+        match self {
+            Enqueue | Execute | Emit | Fossil => ObsCategory::Event,
+            PrimaryRollback | RollbackPop | Requeue => ObsCategory::Rollback,
+            AntiSent | CancelPending | CancelMiss | Annihilate | AnnihilateEarly
+            | DeferAnti | DropDuplicate => ObsCategory::Cancel,
+            GvtAdvance => ObsCategory::Gvt,
+            CommFlush | CommOverflow => ObsCategory::Comm,
+            PoolHit | PoolMiss => ObsCategory::Pool,
+            FaultInjected => ObsCategory::Fault,
+            ModelNote => ObsCategory::Model,
+        }
+    }
+
+    /// The severity this kind records at.
+    pub fn severity(self) -> ObsSeverity {
+        use ObsKind::*;
+        match self {
+            Enqueue | Execute | Emit | Fossil | Requeue | PoolHit | PoolMiss => ObsSeverity::Debug,
+            RollbackPop | CancelPending | Annihilate | AntiSent | GvtAdvance | CommFlush
+            | ModelNote => ObsSeverity::Info,
+            PrimaryRollback | CancelMiss | AnnihilateEarly | DeferAnti | DropDuplicate
+            | CommOverflow | FaultInjected => ObsSeverity::Warn,
+        }
+    }
+
+    fn all() -> [ObsKind; N_KINDS] {
+        use ObsKind::*;
+        [
+            Enqueue, Execute, Emit, Fossil, PrimaryRollback, RollbackPop, Requeue, AntiSent,
+            CancelPending, CancelMiss, Annihilate, AnnihilateEarly, DeferAnti, DropDuplicate,
+            GvtAdvance, CommFlush, CommOverflow, PoolHit, PoolMiss, FaultInjected, ModelNote,
+        ]
+    }
+}
+
+/// One structured flight-recorder entry: a kind, the event it concerns (zero
+/// id/key for kernel-global kinds like [`ObsKind::GvtAdvance`]), and a
+/// kind-specific argument.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsRecord {
+    /// What happened.
+    pub kind: ObsKind,
+    /// The event concerned (or `EventId(0)`).
+    pub id: EventId,
+    /// Its ordering key (or the zero key).
+    pub key: EventKey,
+    /// Kind-specific argument (see [`ObsKind`]).
+    pub arg: u64,
+}
+
+/// The zero key used by records that do not concern a specific event.
+pub(crate) const NO_KEY: EventKey = EventKey {
+    recv_time: VirtualTime::ZERO,
+    dst: 0,
+    tie: 0,
+    src: 0,
+    send_time: VirtualTime::ZERO,
+};
+
+impl ObsRecord {
+    /// A record about one event.
+    #[inline]
+    pub fn event(kind: ObsKind, id: EventId, key: EventKey, arg: u64) -> ObsRecord {
+        ObsRecord { kind, id, key, arg }
+    }
+
+    /// A kernel-global record (no event attached).
+    #[inline]
+    pub fn kernel(kind: ObsKind, arg: u64) -> ObsRecord {
+        ObsRecord { kind, id: EventId(0), key: NO_KEY, arg }
+    }
+
+    /// Render the record as one trace line (the format
+    /// [`PeDiagnostics::trace`](crate::error::PeDiagnostics) carries).
+    pub fn decode(&self) -> String {
+        format!(
+            "{:?} id={:?} t={} dst={} tie={} arg={}",
+            self.kind, self.id, self.key.recv_time.0, self.key.dst, self.key.tie, self.arg
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Fixed-capacity ring buffer of [`ObsRecord`]s owned by one PE (or the
+/// sequential kernel). Recording is lock-free by construction — each PE
+/// writes only its own recorder — and O(1): a table lookup on the filter, a
+/// slot write on accept. When full, the oldest record is overwritten and
+/// counted, so memory never exceeds `capacity × sizeof(ObsRecord)`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<ObsRecord>,
+    capacity: usize,
+    /// Ring write cursor (`buf[next]` is the oldest record once wrapped).
+    next: usize,
+    /// Records accepted over the recorder's lifetime.
+    recorded: u64,
+    /// Per-kind filter table, precomputed from the category mask + severity
+    /// floor so the hot-path check is one indexed load.
+    wants: [bool; N_KINDS],
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` records of the kinds selected
+    /// by `mask` at or above `min_severity`. `capacity == 0` disables it.
+    pub fn new(capacity: usize, mask: CategoryMask, min_severity: ObsSeverity) -> FlightRecorder {
+        let mut wants = [false; N_KINDS];
+        if capacity > 0 {
+            for kind in ObsKind::all() {
+                wants[kind as usize] =
+                    mask.contains(kind.category()) && kind.severity() >= min_severity;
+            }
+        }
+        FlightRecorder { buf: Vec::new(), capacity, next: 0, recorded: 0, wants }
+    }
+
+    /// A recorder that records nothing (all checks short-circuit).
+    pub fn disabled() -> FlightRecorder {
+        Self::new(0, CategoryMask::NONE, ObsSeverity::Debug)
+    }
+
+    /// Would a record of `kind` be kept? Call before building the record so
+    /// a disabled recorder costs one load + branch.
+    #[inline]
+    pub fn wants(&self, kind: ObsKind) -> bool {
+        self.wants[kind as usize]
+    }
+
+    /// Append one record, overwriting the oldest if at capacity.
+    #[inline]
+    pub fn record(&mut self, rec: ObsRecord) {
+        if !self.wants[rec.kind as usize] {
+            return;
+        }
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            // capacity > 0 here: wants() is all-false at capacity 0.
+            self.buf[self.next] = rec;
+        }
+        self.next += 1;
+        if self.next == self.capacity {
+            self.next = 0;
+        }
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded (or the recorder is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records accepted over the recorder's lifetime (≥ `len`).
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Iterate the held records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &ObsRecord> {
+        let split = if self.buf.len() == self.capacity { self.next } else { 0 };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Decode the newest `last_n` records, oldest of them first — what a
+    /// failure's [`PeDiagnostics`](crate::error::PeDiagnostics) carries.
+    pub fn decode_last(&self, last_n: usize) -> Vec<String> {
+        let skip = self.buf.len().saturating_sub(last_n);
+        self.iter().skip(skip).map(ObsRecord::decode).collect()
+    }
+
+    /// Size/occupancy summary for [`Telemetry`].
+    pub fn summary(&self, pe: PeId) -> RecorderSummary {
+        RecorderSummary {
+            pe,
+            capacity: self.capacity,
+            len: self.len(),
+            recorded: self.recorded,
+            overwritten: self.overwritten(),
+        }
+    }
+}
+
+/// One recorder's occupancy, surfaced per PE in [`Telemetry`] so tests (and
+/// operators) can verify the bounded-memory guarantee held.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderSummary {
+    /// The PE the recorder belonged to.
+    pub pe: PeId,
+    /// Configured ring capacity (records).
+    pub capacity: usize,
+    /// Records held at end of run (≤ capacity).
+    pub len: usize,
+    /// Records accepted over the run.
+    pub recorded: u64,
+    /// Records lost to ring overwriting.
+    pub overwritten: u64,
+}
+
+// ---------------------------------------------------------------------------
+// GVT-round snapshots
+// ---------------------------------------------------------------------------
+
+/// One PE's health sample at one GVT reduction round.
+///
+/// Counter fields are *cumulative* over the run (not per-round deltas), so a
+/// series survives decimation and consumers can difference any two snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundSnapshot {
+    /// GVT reduction round index (1-based).
+    pub round: u64,
+    /// The PE this sample describes.
+    pub pe: PeId,
+    /// Wall-clock microseconds since the parallel phase started.
+    pub wall_us: u64,
+    /// The GVT this round computed (ticks).
+    pub gvt: u64,
+    /// This PE's local virtual time at quiescence — the head of its pending
+    /// queue, or `u64::MAX` when idle. `lvt - gvt` is the Korniss
+    /// virtual-time roughness profile.
+    pub lvt: u64,
+    /// Pending-queue depth after the round.
+    pub queue_depth: u64,
+    /// Processed-but-uncommitted events across this PE's KPs.
+    pub uncommitted: u64,
+    /// Messages in flight toward this PE in the comm fabric.
+    pub inbox_depth: u64,
+    /// Cumulative ring-full overflow spills by this PE.
+    pub ring_full_stalls: u64,
+    /// Cumulative events committed on this PE.
+    pub events_committed: u64,
+    /// Cumulative forward executions (committed + speculated).
+    pub events_processed: u64,
+    /// Cumulative events undone by rollbacks.
+    pub events_rolled_back: u64,
+    /// Cumulative rollbacks (primary + secondary).
+    pub rollbacks: u64,
+    /// Cumulative buffer-pool hits.
+    pub pool_hits: u64,
+    /// Cumulative buffer-pool misses.
+    pub pool_misses: u64,
+}
+
+impl RoundSnapshot {
+    /// Virtual-time lead of this PE over GVT (the roughness profile sample);
+    /// `None` when the PE was idle (no pending events).
+    pub fn lvt_lead(&self) -> Option<u64> {
+        (self.lvt != u64::MAX).then(|| self.lvt.saturating_sub(self.gvt))
+    }
+
+    /// Fraction of this PE's forward executions wasted so far.
+    pub fn rollback_ratio(&self) -> f64 {
+        if self.events_processed == 0 {
+            0.0
+        } else {
+            self.events_rolled_back as f64 / self.events_processed as f64
+        }
+    }
+
+    /// Pool hit rate so far (0 when no requests were made).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded in-memory series of [`RoundSnapshot`]s.
+///
+/// Keeps whole-run coverage in fixed memory by stride-doubling decimation:
+/// when the buffer would exceed `capacity`, every second retained round is
+/// dropped and the sampling stride doubles, so the series always spans the
+/// run start to the present at uniform (if coarsening) resolution. Snapshot
+/// fields are cumulative, so decimation loses resolution, never totals.
+#[derive(Clone, Debug)]
+pub struct RoundSeries {
+    snaps: Vec<RoundSnapshot>,
+    capacity: usize,
+    /// Only rounds divisible by the stride are retained.
+    stride: u64,
+    /// Snapshots not retained (skipped by stride or dropped by decimation).
+    dropped: u64,
+}
+
+impl RoundSeries {
+    /// A series retaining at most `capacity` snapshots (`0` disables it).
+    pub fn new(capacity: usize) -> RoundSeries {
+        RoundSeries { snaps: Vec::new(), capacity, stride: 1, dropped: 0 }
+    }
+
+    /// Offer one snapshot; the series decides whether to retain it.
+    pub fn push(&mut self, snap: RoundSnapshot) {
+        if self.capacity == 0 || !snap.round.is_multiple_of(self.stride) {
+            self.dropped += u64::from(self.capacity != 0);
+            return;
+        }
+        if self.snaps.len() >= self.capacity {
+            self.stride *= 2;
+            let stride = self.stride;
+            let before = self.snaps.len();
+            self.snaps.retain(|s| s.round % stride == 0);
+            self.dropped += (before - self.snaps.len()) as u64;
+            if !snap.round.is_multiple_of(stride) {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.snaps.push(snap);
+    }
+
+    /// Retained snapshots, oldest first.
+    pub fn snapshots(&self) -> &[RoundSnapshot] {
+        &self.snaps
+    }
+
+    /// Snapshots offered but not retained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current sampling stride (1 until the first decimation).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    pub(crate) fn into_snapshots(self) -> Vec<RoundSnapshot> {
+        self.snaps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics sinks
+// ---------------------------------------------------------------------------
+
+/// Streaming consumer of [`RoundSnapshot`]s.
+///
+/// Every PE calls [`record`](Self::record) once per GVT round with its own
+/// snapshot (un-decimated — the bounded series is separate), so a sink sees
+/// the full-resolution stream and can ship it anywhere (a file, a socket, a
+/// metrics registry). Implementations must be `Send + Sync`; calls arrive
+/// concurrently from all PE threads.
+pub trait MetricsSink: Send + Sync {
+    /// Consume one snapshot.
+    fn record(&self, snap: &RoundSnapshot);
+    /// Flush buffered output (called once when the run ends).
+    fn flush(&self) {}
+}
+
+/// A sink that discards everything (the explicit "off" value).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn record(&self, _snap: &RoundSnapshot) {}
+}
+
+/// An in-memory sink retaining the last `capacity` snapshots — for tests and
+/// in-process dashboards.
+#[derive(Debug)]
+pub struct MemorySink {
+    snaps: Mutex<std::collections::VecDeque<RoundSnapshot>>,
+    capacity: usize,
+    seen: std::sync::atomic::AtomicU64,
+}
+
+impl MemorySink {
+    /// A sink retaining at most `capacity` snapshots (oldest evicted first).
+    pub fn new(capacity: usize) -> MemorySink {
+        MemorySink {
+            snaps: Mutex::new(std::collections::VecDeque::new()),
+            capacity,
+            seen: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Copy out the retained snapshots, oldest first.
+    pub fn snapshots(&self) -> Vec<RoundSnapshot> {
+        lock(&self.snaps).iter().copied().collect()
+    }
+
+    /// Total snapshots ever offered (≥ retained).
+    pub fn total_seen(&self) -> u64 {
+        self.seen.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn record(&self, snap: &RoundSnapshot) {
+        self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut q = lock(&self.snaps);
+        if q.len() >= self.capacity {
+            q.pop_front();
+        }
+        q.push_back(*snap);
+    }
+}
+
+/// A sink appending one JSON object per snapshot to a file (JSONL). Writes
+/// are buffered and serialized by a mutex — one short line per PE per GVT
+/// round, far off the hot path.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream snapshots into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl MetricsSink for JsonlSink {
+    fn record(&self, snap: &RoundSnapshot) {
+        let line = json::snapshot_json(snap);
+        let mut out = lock(&self.out);
+        // A full disk is not worth killing the simulation over; drop the line.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.out).flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Observability knobs, embedded in
+/// [`EngineConfig::obs`](crate::config::EngineConfig::obs).
+///
+/// The default configuration keeps the GVT-round series (cheap: one sample
+/// per PE per reduction) and leaves the flight recorder off; see
+/// [`verbose`](Self::verbose) and [`disabled`](Self::disabled) for the
+/// extremes. [`from_env`](Self::from_env) layers the legacy `PDES_TRACE`
+/// environment override on top of the defaults.
+#[derive(Clone)]
+pub struct ObsConfig {
+    /// Flight-recorder ring capacity in records per PE (`0` = recorder off).
+    pub recorder_capacity: usize,
+    /// Categories the recorder keeps.
+    pub categories: CategoryMask,
+    /// Minimum severity the recorder keeps.
+    pub min_severity: ObsSeverity,
+    /// GVT-round series capacity in snapshots per PE (`0` = series off).
+    pub series_capacity: usize,
+    /// Emit a one-line progress report on stderr every `K` GVT rounds
+    /// (`None` = silent). Printed by PE 0 only.
+    pub progress_every: Option<u64>,
+    /// Streaming snapshot consumer (`None` = no streaming; the in-memory
+    /// series still fills).
+    pub sink: Option<Arc<dyn MetricsSink>>,
+}
+
+/// Recorder capacity used when the legacy `PDES_TRACE` env toggle (or
+/// [`ObsConfig::verbose`]) turns the flight recorder on.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 65_536;
+
+/// Series capacity used by [`ObsConfig::default`].
+pub const DEFAULT_SERIES_CAPACITY: usize = 1_024;
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            recorder_capacity: 0,
+            categories: CategoryMask::ALL,
+            min_severity: ObsSeverity::Debug,
+            series_capacity: DEFAULT_SERIES_CAPACITY,
+            progress_every: None,
+            sink: None,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off: no recorder, no series, no progress, no sink.
+    pub fn disabled() -> ObsConfig {
+        ObsConfig {
+            recorder_capacity: 0,
+            categories: CategoryMask::NONE,
+            min_severity: ObsSeverity::Debug,
+            series_capacity: 0,
+            progress_every: None,
+            sink: None,
+        }
+    }
+
+    /// Maximum verbosity: full recorder (every category at `Debug`) and a
+    /// deep snapshot series. The determinism suites run under this.
+    pub fn verbose() -> ObsConfig {
+        ObsConfig {
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            categories: CategoryMask::ALL,
+            min_severity: ObsSeverity::Debug,
+            series_capacity: 4 * DEFAULT_SERIES_CAPACITY,
+            progress_every: None,
+            sink: None,
+        }
+    }
+
+    /// The defaults with the process environment folded in:
+    ///
+    /// * `PDES_TRACE=1` (or `true`) — the legacy kernel-trace toggle — turns
+    ///   the flight recorder on at full category verbosity. Any other value
+    ///   (including `0`) leaves it off.
+    /// * `PDES_OBS_PROGRESS=<K>` enables the stderr progress line every `K`
+    ///   GVT rounds.
+    ///
+    /// The lookups happen once per process (cached in a `OnceLock`), never
+    /// on a hot path.
+    pub fn from_env() -> ObsConfig {
+        let &(trace, progress) = env_overrides();
+        let mut cfg = ObsConfig::default();
+        if trace {
+            cfg.recorder_capacity = DEFAULT_RECORDER_CAPACITY;
+        }
+        cfg.progress_every = progress;
+        cfg
+    }
+
+    /// Set the flight-recorder capacity (`0` disables it).
+    #[must_use]
+    pub fn with_recorder_capacity(mut self, records: usize) -> ObsConfig {
+        self.recorder_capacity = records;
+        self
+    }
+
+    /// Select the recorded categories.
+    #[must_use]
+    pub fn with_categories(mut self, mask: CategoryMask) -> ObsConfig {
+        self.categories = mask;
+        self
+    }
+
+    /// Set the recorder's severity floor.
+    #[must_use]
+    pub fn with_min_severity(mut self, min: ObsSeverity) -> ObsConfig {
+        self.min_severity = min;
+        self
+    }
+
+    /// Set the GVT-round series capacity (`0` disables it).
+    #[must_use]
+    pub fn with_series_capacity(mut self, snapshots: usize) -> ObsConfig {
+        self.series_capacity = snapshots;
+        self
+    }
+
+    /// Emit a stderr progress line every `rounds` GVT rounds.
+    #[must_use]
+    pub fn with_progress_every(mut self, rounds: u64) -> ObsConfig {
+        self.progress_every = Some(rounds);
+        self
+    }
+
+    /// Stream snapshots into `sink`.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn MetricsSink>) -> ObsConfig {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Build a recorder per this configuration.
+    pub(crate) fn build_recorder(&self) -> FlightRecorder {
+        FlightRecorder::new(self.recorder_capacity, self.categories, self.min_severity)
+    }
+
+    /// Build a round series per this configuration.
+    pub(crate) fn build_series(&self) -> RoundSeries {
+        RoundSeries::new(self.series_capacity)
+    }
+}
+
+impl fmt::Debug for ObsConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsConfig")
+            .field("recorder_capacity", &self.recorder_capacity)
+            .field("categories", &self.categories)
+            .field("min_severity", &self.min_severity)
+            .field("series_capacity", &self.series_capacity)
+            .field("progress_every", &self.progress_every)
+            .field("sink", &self.sink.as_ref().map(|_| "<dyn MetricsSink>"))
+            .finish()
+    }
+}
+
+/// Cached `(PDES_TRACE on, PDES_OBS_PROGRESS)` environment lookups.
+fn env_overrides() -> &'static (bool, Option<u64>) {
+    static ENV: std::sync::OnceLock<(bool, Option<u64>)> = std::sync::OnceLock::new();
+    ENV.get_or_init(|| {
+        let trace = matches!(std::env::var("PDES_TRACE").as_deref(), Ok("1") | Ok("true"));
+        let progress = std::env::var("PDES_OBS_PROGRESS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&k| k > 0);
+        (trace, progress)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Run-level telemetry
+// ---------------------------------------------------------------------------
+
+/// Everything the observability layer collected over one run, attached to
+/// [`RunResult::telemetry`](crate::stats::RunResult::telemetry).
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Retained GVT-round snapshots across all PEs, sorted by
+    /// `(round, pe)`. Empty when the series was disabled.
+    pub rounds: Vec<RoundSnapshot>,
+    /// One flight-recorder summary per PE (empty when disabled).
+    pub recorders: Vec<RecorderSummary>,
+    /// Snapshots offered to the per-PE series but not retained (decimation).
+    pub rounds_dropped: u64,
+}
+
+impl Telemetry {
+    /// Number of PEs that contributed snapshots.
+    pub fn n_pes(&self) -> usize {
+        self.rounds.iter().map(|s| s.pe + 1).max().unwrap_or(0)
+    }
+
+    /// Snapshots for one PE, in round order.
+    pub fn rounds_for(&self, pe: PeId) -> impl Iterator<Item = &RoundSnapshot> {
+        self.rounds.iter().filter(move |s| s.pe == pe)
+    }
+
+    /// The distinct rounds present, ascending.
+    pub fn round_indices(&self) -> Vec<u64> {
+        let mut rounds: Vec<u64> = self.rounds.iter().map(|s| s.round).collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+
+    /// Mean and max `lvt - gvt` roughness for one PE over the run, ignoring
+    /// idle samples. `None` if the PE never had a finite LVT.
+    pub fn roughness(&self, pe: PeId) -> Option<(f64, u64)> {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for s in self.rounds_for(pe) {
+            if let Some(lead) = s.lvt_lead() {
+                n += 1;
+                sum += lead;
+                max = max.max(lead);
+            }
+        }
+        (n > 0).then(|| (sum as f64 / n as f64, max))
+    }
+
+    /// Merge another PE's telemetry in (kernel use).
+    pub(crate) fn absorb(&mut self, series: RoundSeries, recorder: RecorderSummary) {
+        self.rounds_dropped += series.dropped();
+        self.rounds.extend(series.into_snapshots());
+        if recorder.capacity > 0 {
+            self.recorders.push(recorder);
+        }
+    }
+
+    /// Final sort after all PEs merged (kernel use).
+    pub(crate) fn seal(&mut self) {
+        self.rounds.sort_unstable_by_key(|s| (s.round, s.pe));
+        self.recorders.sort_unstable_by_key(|r| r.pe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: ObsKind, seq: u64) -> ObsRecord {
+        ObsRecord::event(kind, EventId::new(0, seq), NO_KEY, 0)
+    }
+
+    #[test]
+    fn recorder_filters_by_category_and_severity() {
+        let mut r = FlightRecorder::new(
+            16,
+            CategoryMask::ALL.without(ObsCategory::Pool),
+            ObsSeverity::Info,
+        );
+        assert!(r.wants(ObsKind::GvtAdvance));
+        assert!(!r.wants(ObsKind::PoolMiss), "category filtered");
+        assert!(!r.wants(ObsKind::Execute), "below severity floor");
+        r.record(rec(ObsKind::Execute, 1)); // dropped
+        r.record(rec(ObsKind::PrimaryRollback, 2)); // kept
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total_recorded(), 1);
+    }
+
+    #[test]
+    fn recorder_ring_overwrites_oldest_and_stays_bounded() {
+        let mut r = FlightRecorder::new(4, CategoryMask::ALL, ObsSeverity::Debug);
+        for seq in 0..10 {
+            r.record(rec(ObsKind::Execute, seq));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.total_recorded(), 10);
+        assert_eq!(r.overwritten(), 6);
+        let seqs: Vec<u64> = r.iter().map(|x| x.id.seq()).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first iteration after wrap");
+        let last2 = r.decode_last(2);
+        assert_eq!(last2.len(), 2);
+        assert!(last2[1].contains("id=EventId(9)"), "got: {}", last2[1]);
+    }
+
+    #[test]
+    fn disabled_recorder_accepts_nothing() {
+        let mut r = FlightRecorder::disabled();
+        assert!(!r.wants(ObsKind::Execute));
+        r.record(rec(ObsKind::Execute, 0));
+        assert!(r.is_empty());
+        assert_eq!(r.summary(3), RecorderSummary { pe: 3, ..Default::default() });
+    }
+
+    #[test]
+    fn every_kind_has_consistent_metadata() {
+        for kind in ObsKind::all() {
+            // The filter table covers every kind, and category/severity are
+            // total functions (this test is the N_KINDS drift guard).
+            assert!(CategoryMask::ALL.contains(kind.category()));
+            assert!(kind.severity() <= ObsSeverity::Warn);
+        }
+        assert_eq!(ObsKind::all().len(), N_KINDS);
+    }
+
+    fn snap(round: u64, pe: PeId) -> RoundSnapshot {
+        RoundSnapshot { round, pe, gvt: round * 10, lvt: round * 10 + 5, ..Default::default() }
+    }
+
+    #[test]
+    fn series_decimates_but_spans_the_whole_run() {
+        let mut s = RoundSeries::new(8);
+        for round in 1..=100 {
+            s.push(snap(round, 0));
+        }
+        assert!(s.snapshots().len() <= 8, "len {} over capacity", s.snapshots().len());
+        assert!(s.stride() > 1, "decimation never triggered");
+        assert!(s.dropped() > 0);
+        let rounds: Vec<u64> = s.snapshots().iter().map(|x| x.round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]), "out of order: {rounds:?}");
+        assert!(*rounds.last().unwrap() > 90, "series lost the tail: {rounds:?}");
+        assert!(rounds[0] <= s.stride(), "series lost the head: {rounds:?}");
+    }
+
+    #[test]
+    fn zero_capacity_series_retains_nothing() {
+        let mut s = RoundSeries::new(0);
+        s.push(snap(1, 0));
+        assert!(s.snapshots().is_empty());
+        assert_eq!(s.dropped(), 0, "disabled series does not count drops");
+    }
+
+    #[test]
+    fn snapshot_derived_metrics() {
+        let s = RoundSnapshot {
+            gvt: 100,
+            lvt: 140,
+            events_processed: 50,
+            events_rolled_back: 10,
+            pool_hits: 3,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.lvt_lead(), Some(40));
+        assert!((s.rollback_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.pool_hit_rate() - 0.75).abs() < 1e-12);
+        let idle = RoundSnapshot { lvt: u64::MAX, ..Default::default() };
+        assert_eq!(idle.lvt_lead(), None);
+        assert_eq!(RoundSnapshot::default().rollback_ratio(), 0.0);
+        assert_eq!(RoundSnapshot::default().pool_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn memory_sink_is_bounded_and_counts() {
+        let sink = MemorySink::new(3);
+        for round in 1..=10 {
+            sink.record(&snap(round, 0));
+        }
+        let got = sink.snapshots();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].round, 10, "keeps the newest");
+        assert_eq!(sink.total_seen(), 10);
+    }
+
+    #[test]
+    fn telemetry_merge_sorts_and_summarizes() {
+        let mut t = Telemetry::default();
+        let mut s1 = RoundSeries::new(8);
+        s1.push(snap(1, 1));
+        s1.push(snap(2, 1));
+        let mut s0 = RoundSeries::new(8);
+        s0.push(snap(1, 0));
+        s0.push(snap(2, 0));
+        t.absorb(s1, RecorderSummary { pe: 1, capacity: 4, len: 2, recorded: 2, overwritten: 0 });
+        t.absorb(s0, RecorderSummary { pe: 0, capacity: 4, len: 1, recorded: 1, overwritten: 0 });
+        t.seal();
+        assert_eq!(t.n_pes(), 2);
+        assert_eq!(t.round_indices(), vec![1, 2]);
+        let order: Vec<(u64, PeId)> = t.rounds.iter().map(|s| (s.round, s.pe)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+        assert_eq!(t.recorders[0].pe, 0);
+        let (mean, max) = t.roughness(0).unwrap();
+        assert_eq!(max, 5);
+        assert!((mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_config_builders_and_debug() {
+        let cfg = ObsConfig::default()
+            .with_recorder_capacity(128)
+            .with_categories(CategoryMask::NONE.with(ObsCategory::Gvt))
+            .with_min_severity(ObsSeverity::Info)
+            .with_series_capacity(7)
+            .with_progress_every(16)
+            .with_sink(Arc::new(NullSink));
+        assert_eq!(cfg.recorder_capacity, 128);
+        assert_eq!(cfg.series_capacity, 7);
+        assert_eq!(cfg.progress_every, Some(16));
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("recorder_capacity: 128"), "got: {dbg}");
+        assert!(dbg.contains("MetricsSink"), "sink must render without Debug impl");
+        let r = cfg.build_recorder();
+        assert!(r.wants(ObsKind::GvtAdvance));
+        assert!(!r.wants(ObsKind::Execute));
+        assert!(ObsConfig::disabled().build_recorder().is_empty());
+        assert_eq!(ObsConfig::verbose().build_series().capacity, 4 * DEFAULT_SERIES_CAPACITY);
+    }
+}

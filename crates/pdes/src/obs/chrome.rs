@@ -1,0 +1,216 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Renders a run's [`Telemetry`] in the Trace Event Format consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: drop the exported file
+//! onto either and you get one track per PE on a shared wall-clock
+//! timeline. Per PE the exporter emits:
+//!
+//! * a `"X"` (complete) slice per retained GVT round, spanning the wall
+//!   time from the previous retained snapshot to this one, so the track
+//!   visually tiles the run and hovering a slice shows that round's
+//!   cumulative counters;
+//! * `"C"` (counter) tracks for the Korniss roughness profile
+//!   (`lvt_lead` = local virtual time − GVT, clamped to 0 when idle),
+//!   pending-queue depth, per-round committed/rolled-back deltas, and
+//!   comm inbox depth;
+//! * a process-level `gvt` counter (ticks) on a dedicated track.
+//!
+//! Timestamps are microseconds ([`RoundSnapshot::wall_us`]); every emitted
+//! string is a fixed ASCII literal or an integer, so no JSON escaping is
+//! needed anywhere.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use super::{RoundSnapshot, Telemetry};
+
+/// Pseudo-thread id for the process-wide GVT counter track.
+const GVT_TID: usize = 0;
+
+/// Offset separating PE tracks from the GVT track (tid = pe + this).
+const PE_TID_BASE: usize = 1;
+
+/// Write `telemetry` to `path` in Chrome trace_event JSON (object form with
+/// a `traceEvents` array, the variant both Chrome and Perfetto accept).
+pub fn write_chrome_trace(telemetry: &Telemetry, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    write_chrome_trace_to(telemetry, &mut out)?;
+    out.flush()
+}
+
+/// Like [`write_chrome_trace`], into any writer.
+pub fn write_chrome_trace_to<W: Write>(t: &Telemetry, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |out: &mut W, ev: String| -> std::io::Result<()> {
+        if first {
+            first = false;
+            write!(out, "{ev}")
+        } else {
+            write!(out, ",\n{ev}")
+        }
+    };
+
+    // Metadata: name the process and one thread per track.
+    emit(
+        out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"pdes time warp\"}}"
+            .into(),
+    )?;
+    emit(
+        out,
+        format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{GVT_TID},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"gvt\"}}}}"
+        ),
+    )?;
+    let n_pes = t.n_pes();
+    for pe in 0..n_pes {
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"pe {pe}\"}}}}",
+                pe + PE_TID_BASE
+            ),
+        )?;
+    }
+
+    // GVT counter: one sample per distinct round (PE 0's snapshot carries
+    // the same GVT value as everyone else's that round).
+    let mut last_round = u64::MAX;
+    for snap in &t.rounds {
+        if snap.round != last_round {
+            last_round = snap.round;
+            emit(
+                out,
+                format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{GVT_TID},\"ts\":{},\"name\":\"gvt\",\
+                     \"args\":{{\"ticks\":{}}}}}",
+                    snap.wall_us, snap.gvt
+                ),
+            )?;
+        }
+    }
+
+    // Per-PE tracks.
+    for pe in 0..n_pes {
+        let tid = pe + PE_TID_BASE;
+        let mut prev: Option<&RoundSnapshot> = None;
+        for snap in t.rounds_for(pe) {
+            let lead = snap.lvt_lead().unwrap_or(0);
+            emit(
+                out,
+                format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                     \"name\":\"pe {pe} health\",\"args\":{{\"lvt_lead\":{lead},\
+                     \"queue_depth\":{},\"inbox_depth\":{}}}}}",
+                    snap.wall_us, snap.queue_depth, snap.inbox_depth
+                ),
+            )?;
+            let (start, committed, rolled_back) = match prev {
+                Some(p) => (
+                    p.wall_us,
+                    snap.events_committed.saturating_sub(p.events_committed),
+                    snap.events_rolled_back.saturating_sub(p.events_rolled_back),
+                ),
+                None => (0, snap.events_committed, snap.events_rolled_back),
+            };
+            // Zero-duration slices render invisibly; floor at 1 µs.
+            let dur = snap.wall_us.saturating_sub(start).max(1);
+            emit(
+                out,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{start},\"dur\":{dur},\
+                     \"name\":\"round {}\",\"args\":{{\"gvt\":{},\"lvt_lead\":{lead},\
+                     \"committed\":{committed},\"rolled_back\":{rolled_back},\
+                     \"rollbacks_total\":{},\"ring_full_stalls\":{},\
+                     \"pool_hits\":{},\"pool_misses\":{}}}}}",
+                    snap.round,
+                    snap.gvt,
+                    snap.rollbacks,
+                    snap.ring_full_stalls,
+                    snap.pool_hits,
+                    snap.pool_misses
+                ),
+            )?;
+            prev = Some(snap);
+        }
+    }
+
+    writeln!(out, "\n]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::validate;
+    use super::*;
+
+    fn sample_telemetry() -> Telemetry {
+        let mut t = Telemetry::default();
+        for round in 1..=3u64 {
+            for pe in 0..2usize {
+                t.rounds.push(RoundSnapshot {
+                    round,
+                    pe,
+                    wall_us: round * 100 + pe as u64,
+                    gvt: round * 1_000_000,
+                    lvt: if pe == 1 && round == 2 {
+                        u64::MAX // idle PE: lead must clamp to 0
+                    } else {
+                        round * 1_000_000 + 500_000
+                    },
+                    queue_depth: 4,
+                    events_committed: round * 50,
+                    events_processed: round * 60,
+                    events_rolled_back: round * 10,
+                    rollbacks: round,
+                    ..Default::default()
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_tracks() {
+        let t = sample_telemetry();
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{text}"));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"name\":\"pe 0\""));
+        assert!(text.contains("\"name\":\"pe 1\""));
+        assert!(text.contains("\"name\":\"gvt\""));
+        // 3 distinct rounds → 3 GVT counter samples.
+        assert_eq!(text.matches("\"ticks\":").count(), 3);
+        // 2 PEs × 3 rounds → 6 slices.
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 6);
+        // Idle sample clamps instead of emitting u64::MAX.
+        assert!(!text.contains(&u64::MAX.to_string()));
+        assert!(text.contains("\"lvt_lead\":0"));
+    }
+
+    #[test]
+    fn empty_telemetry_still_exports_valid_json() {
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&Telemetry::default(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap();
+        assert!(text.contains("process_name"));
+    }
+
+    #[test]
+    fn slice_durations_tile_the_track() {
+        let t = sample_telemetry();
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // PE 0 snapshots at 100/200/300 µs → slices [0,100] [100,200] [200,300].
+        assert!(text.contains("\"ts\":0,\"dur\":100"));
+        assert!(text.contains("\"ts\":100,\"dur\":100"));
+        assert!(text.contains("\"ts\":200,\"dur\":100"));
+    }
+}

@@ -1,0 +1,387 @@
+//! JSONL metrics export and a dependency-free JSON validator.
+//!
+//! The emitter side is deliberately trivial: every [`RoundSnapshot`] field
+//! is an unsigned integer, so one `format!` per line produces valid JSON
+//! with no escaping concerns. The validator side is a minimal
+//! recursive-descent checker (not a parser — it builds nothing) used by the
+//! unit tests, `obs_report`, and CI to prove exported files are well-formed
+//! without pulling in a JSON crate.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use super::{RoundSnapshot, Telemetry};
+
+/// Render one snapshot as a single-line JSON object (no trailing newline).
+pub fn snapshot_json(s: &RoundSnapshot) -> String {
+    format!(
+        concat!(
+            "{{\"round\":{},\"pe\":{},\"wall_us\":{},\"gvt\":{},\"lvt\":{},",
+            "\"queue_depth\":{},\"uncommitted\":{},\"inbox_depth\":{},",
+            "\"ring_full_stalls\":{},\"events_committed\":{},",
+            "\"events_processed\":{},\"events_rolled_back\":{},\"rollbacks\":{},",
+            "\"pool_hits\":{},\"pool_misses\":{}}}"
+        ),
+        s.round,
+        s.pe,
+        s.wall_us,
+        s.gvt,
+        s.lvt,
+        s.queue_depth,
+        s.uncommitted,
+        s.inbox_depth,
+        s.ring_full_stalls,
+        s.events_committed,
+        s.events_processed,
+        s.events_rolled_back,
+        s.rollbacks,
+        s.pool_hits,
+        s.pool_misses,
+    )
+}
+
+/// Write a telemetry's retained snapshot series to `path` as JSONL (one
+/// object per line, `(round, pe)` order).
+pub fn write_metrics_jsonl(telemetry: &Telemetry, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for snap in &telemetry.rounds {
+        writeln!(out, "{}", snapshot_json(snap))?;
+    }
+    out.flush()
+}
+
+/// Validate that `text` is exactly one well-formed JSON value (RFC 8259
+/// grammar; rejects trailing garbage). Returns the byte offset of the first
+/// error.
+pub fn validate(text: &str) -> Result<(), JsonError> {
+    let mut v = Validator { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    v.skip_ws();
+    v.value()?;
+    v.skip_ws();
+    if v.pos != v.bytes.len() {
+        return Err(v.err("trailing characters after JSON value"));
+    }
+    Ok(())
+}
+
+/// Validate JSONL: every non-empty line must be a well-formed JSON value.
+/// Returns the number of valid lines.
+pub fn validate_jsonl(text: &str) -> Result<usize, JsonError> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| JsonError {
+            offset: e.offset,
+            line: Some(i + 1),
+            message: e.message,
+        })?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// A validation failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset within the value (or line, for JSONL).
+    pub offset: usize,
+    /// 1-based line number (JSONL validation only).
+    pub line: Option<usize>,
+    /// What the validator expected.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {}, byte {}: {}", line, self.offset, self.message),
+            None => write!(f, "byte {}: {}", self.offset, self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting bound: deep enough for any real export, shallow enough that a
+/// hostile input cannot overflow the validator's stack.
+const MAX_DEPTH: usize = 128;
+
+struct Validator<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Validator<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { offset: self.pos, line: None, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8]) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        self.eat(b'{', "expected '{'")?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        self.eat(b'[', "expected '['")?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("invalid \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_valid_and_roundtrips_fields() {
+        let snap = RoundSnapshot {
+            round: 7,
+            pe: 2,
+            wall_us: 1234,
+            gvt: 5_000_000,
+            lvt: 6_000_000,
+            queue_depth: 10,
+            uncommitted: 3,
+            inbox_depth: 1,
+            ring_full_stalls: 0,
+            events_committed: 400,
+            events_processed: 450,
+            events_rolled_back: 50,
+            rollbacks: 5,
+            pool_hits: 90,
+            pool_misses: 10,
+        };
+        let line = snapshot_json(&snap);
+        validate(&line).unwrap();
+        assert!(line.contains("\"round\":7"));
+        assert!(line.contains("\"lvt\":6000000"));
+        assert!(line.contains("\"pool_misses\":10"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e+3",
+            "\"a \\\"quoted\\\" \\u00e9 string\"",
+            "{\"a\": [1, 2, {\"b\": null}], \"c\": false}",
+            "  [1, 2, 3]  ",
+            "0.5",
+        ] {
+            assert!(validate(ok).is_ok(), "rejected valid JSON: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2,]",
+            "{\"a\": 1,}",
+            "{'a': 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "+1",
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid JSON: {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_bounds_recursion_depth() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = validate(&deep).unwrap_err();
+        assert_eq!(err.message, "nesting too deep");
+    }
+
+    #[test]
+    fn jsonl_validation_counts_lines_and_locates_errors() {
+        assert_eq!(validate_jsonl("{\"a\":1}\n\n{\"b\":2}\n").unwrap(), 2);
+        let err = validate_jsonl("{\"a\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn write_metrics_jsonl_emits_one_valid_line_per_snapshot() {
+        let mut t = Telemetry::default();
+        t.rounds.push(RoundSnapshot { round: 1, pe: 0, ..Default::default() });
+        t.rounds.push(RoundSnapshot { round: 1, pe: 1, lvt: u64::MAX, ..Default::default() });
+        let path = std::env::temp_dir().join("pdes_obs_json_test.jsonl");
+        write_metrics_jsonl(&t, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(validate_jsonl(&text).unwrap(), 2);
+        assert!(text.contains(&format!("\"lvt\":{}", u64::MAX)));
+    }
+}

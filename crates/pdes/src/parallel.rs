@@ -73,12 +73,34 @@
 //! impossible without fault injection (messages from one PE to another stay
 //! ordered), but the machinery is always compiled in and checked.
 //!
-//! ## Environment
+//! ## Observability
 //!
-//! `PDES_TRACE=1` (or `true`) enables the per-PE kernel-action trace:
-//! compact records pushed into a per-PE buffer and decoded into
-//! [`PeDiagnostics::trace`](crate::error::PeDiagnostics) when a run fails.
-//! Any other value (including `0`) leaves tracing off.
+//! The kernel is instrumented by the [`obs`](crate::obs) layer, configured
+//! through [`EngineConfig::obs`](crate::config::EngineConfig::obs):
+//!
+//! * Each PE owns a bounded [`FlightRecorder`] ring of structured kernel
+//!   events (execute, rollback, cancellation, GVT, comm, pool, fault). On
+//!   failure the newest records are decoded into
+//!   [`PeDiagnostics::trace`](crate::error::PeDiagnostics); memory stays
+//!   ≤ capacity no matter how long or pathological the run. The legacy
+//!   `PDES_TRACE=1` environment toggle (cached once per process) enables
+//!   the recorder at full verbosity via
+//!   [`ObsConfig::from_env`](crate::obs::ObsConfig::from_env).
+//! * At every GVT round each PE samples a
+//!   [`RoundSnapshot`](crate::obs::RoundSnapshot) — local virtual time vs
+//!   GVT (the Korniss roughness profile), queue depth, rollback/commit
+//!   counters, comm and pool occupancy — into a bounded series returned on
+//!   [`RunResult::telemetry`](crate::stats::RunResult::telemetry) and
+//!   streamed to any configured
+//!   [`MetricsSink`](crate::obs::MetricsSink).
+//! * PE 0 can emit a one-line stderr progress report every K rounds
+//!   ([`ObsConfig::progress_every`](crate::obs::ObsConfig::progress_every),
+//!   env `PDES_OBS_PROGRESS=K`).
+//!
+//! Observation is write-only and per-PE (no cross-thread synchronization on
+//! the hot path beyond three relaxed-ordering counter adds per GVT round
+//! when the progress line is on), so enabling it never perturbs committed
+//! output — the determinism suites run at maximum verbosity.
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -94,6 +116,7 @@ use crate::fault::FaultState;
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
+use crate::obs::{FlightRecorder, ObsKind, ObsRecord, RoundSeries, RoundSnapshot, Telemetry};
 use crate::pool::VecPool;
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::scheduler::EventQueue;
@@ -116,39 +139,21 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Kernel-action trace for debugging, enabled by setting the environment
-/// variable `PDES_TRACE` to `1` or `true` (any other value, including `0`,
-/// disables it — see the module docs): compact binary records pushed into a
-/// per-PE buffer, decoded into the failure diagnostics when a PE panics.
-/// Cheap enough not to mask timing-sensitive races.
-fn trace_enabled() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| {
-        matches!(std::env::var("PDES_TRACE").as_deref(), Ok("1") | Ok("true"))
-    })
-}
+/// Newest flight-recorder records decoded into failure diagnostics (the
+/// "last N actions" a post-mortem usually needs; the full ring stays
+/// available in memory until the runtime drops).
+const TRACE_TAIL: usize = 64;
 
-/// One traced kernel action.
-#[derive(Clone, Copy, Debug)]
-enum Act {
-    Enqueue,
-    Execute,
-    CancelPending,
-    CancelMiss,
-    RollbackPop,
-    Requeue,
-    Annihilate,
-    AnnihilateEarly,
-    DeferAnti,
-    DropDuplicate,
-    Emit,
-    Fossil,
-}
-
-macro_rules! ttrace {
-    ($self:ident, $act:expr, $id:expr, $key:expr) => {
-        if trace_enabled() {
-            $self.trace_buf.push(($act, $id, $key));
+/// Record one kernel event into this PE's flight recorder. The leading
+/// `wants` check makes a disabled (or filtered) recorder cost one indexed
+/// load and branch — cheap enough not to mask timing-sensitive races.
+macro_rules! obs {
+    ($self:ident, $kind:expr, $id:expr, $key:expr) => {
+        obs!($self, $kind, $id, $key, 0u64)
+    };
+    ($self:ident, $kind:expr, $id:expr, $key:expr, $arg:expr) => {
+        if $self.recorder.wants($kind) {
+            $self.recorder.record(ObsRecord::event($kind, $id, $key, $arg as u64));
         }
     };
 }
@@ -179,6 +184,14 @@ struct Shared<P> {
     barrier: AbortableBarrier,
     /// First failure recorded by any PE (first writer wins).
     failure: Mutex<Option<FailureCause>>,
+    /// Run-wide committed / processed / rolled-back event totals, updated
+    /// with per-round deltas by every PE just before the closing GVT barrier
+    /// — only when the stderr progress line is enabled
+    /// ([`ObsConfig::progress_every`](crate::obs::ObsConfig::progress_every)),
+    /// so an unobserved run pays nothing.
+    committed: AtomicU64,
+    processed: AtomicU64,
+    rolled_back: AtomicU64,
 }
 
 impl<P> Shared<P> {
@@ -229,8 +242,14 @@ struct PeRuntime<'a, M: Model> {
     stats: EngineStats,
     since_gvt: u64,
     idle_polls: u64,
-    /// Kernel-action trace (only filled when `PDES_TRACE=1`).
-    trace_buf: Vec<(Act, EventId, EventKey)>,
+    /// Bounded ring of structured kernel events (see [`obs`](crate::obs)).
+    recorder: FlightRecorder,
+    /// Bounded per-GVT-round snapshot series (merged into
+    /// [`RunResult::telemetry`] on success).
+    series: RoundSeries,
+    /// Totals already published to the shared progress counters (the next
+    /// round publishes only the delta).
+    progress_published: (u64, u64, u64),
     /// State-saving snapshotter (`None` = reverse computation).
     snapshot_fn: SnapshotFn<M>,
     /// Chaos layer (`None` = no fault injection).
@@ -338,7 +357,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                     break;
                 }
                 let ev = self.queue.pop().expect("peeked executable event must pop");
-                ttrace!(self, Act::Execute, ev.id, ev.key);
+                obs!(self, ObsKind::Execute, ev.id, ev.key);
                 self.execute(ev);
             }
             // End-of-batch boundary: everything buffered becomes visible.
@@ -368,9 +387,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         let batch = std::mem::replace(&mut self.out_bufs[pe], self.msg_pool.get());
         self.stats.batches_flushed += 1;
-        self.stats.batched_messages += batch.len() as u64;
+        let len = batch.len() as u64;
+        self.stats.batched_messages += len;
         if self.shared.fabric.push_batch(self.id, pe, batch) {
             self.stats.ring_full_stalls += 1;
+            obs!(self, ObsKind::CommOverflow, EventId(pe as u64), crate::obs::NO_KEY, len);
+        } else {
+            obs!(self, ObsKind::CommFlush, EventId(pe as u64), crate::obs::NO_KEY, len);
         }
     }
 
@@ -406,7 +429,21 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 break;
             }
             let mut deliver = match (chaos, self.faults.as_mut()) {
-                (true, Some(faults)) => faults.filter(pending, &mut self.stats),
+                (true, Some(faults)) => {
+                    let before = self.stats.total_injected_faults();
+                    let filtered = faults.filter(pending, &mut self.stats);
+                    let injected = self.stats.total_injected_faults() - before;
+                    if injected > 0 {
+                        obs!(
+                            self,
+                            ObsKind::FaultInjected,
+                            EventId(0),
+                            crate::obs::NO_KEY,
+                            injected
+                        );
+                    }
+                    filtered
+                }
                 _ => pending,
             };
             pending = self.msg_pool.get();
@@ -430,13 +467,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 if self.faults.is_some() && !self.seen_pos.insert(ev.id) {
                     // Chaos-injected duplicate delivery: absorb by id.
                     self.stats.duplicates_dropped += 1;
-                    ttrace!(self, Act::DropDuplicate, ev.id, ev.key);
+                    obs!(self, ObsKind::DropDuplicate, ev.id, ev.key);
                     return;
                 }
                 if self.early_antis.remove(&ev.id).is_some() {
                     // Its anti-message got here first: they annihilate.
                     self.stats.early_annihilations += 1;
-                    ttrace!(self, Act::AnnihilateEarly, ev.id, ev.key);
+                    obs!(self, ObsKind::AnnihilateEarly, ev.id, ev.key);
                     return;
                 }
                 self.enqueue_positive(ev);
@@ -444,7 +481,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             Remote::Anti(child) => {
                 if self.faults.is_some() && !self.seen_anti.insert(child.id) {
                     self.stats.duplicates_dropped += 1;
-                    ttrace!(self, Act::DropDuplicate, child.id, child.key);
+                    obs!(self, ObsKind::DropDuplicate, child.id, child.key);
                     return;
                 }
                 self.cancel_local(child);
@@ -456,13 +493,14 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// straggler (primary rollback).
     fn enqueue_positive(&mut self, ev: Event<M::Payload>) {
         let kp_idx = self.local_kp_idx(ev.dst());
-        ttrace!(self, Act::Enqueue, ev.id, ev.key);
+        obs!(self, ObsKind::Enqueue, ev.id, ev.key);
         if let Some(last) = self.kps[kp_idx].last_key() {
             // Equality is possible: a not-yet-cancelled stale twin of this
             // event may already be processed (see module docs on transient
             // duplicates); only a strictly earlier key is a straggler.
             if ev.key < last {
                 self.stats.primary_rollbacks += 1;
+                obs!(self, ObsKind::PrimaryRollback, ev.id, ev.key, ev.key.recv_time.0);
                 self.rollback(kp_idx, ev.key, None);
             }
         }
@@ -475,16 +513,16 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// arrange — park the anti to annihilate the positive on arrival.
     fn cancel_local(&mut self, child: ChildRef) {
         if self.queue.remove(child.id, child.key) {
-            ttrace!(self, Act::CancelPending, child.id, child.key);
+            obs!(self, ObsKind::CancelPending, child.id, child.key);
             return;
         }
         let kp_idx = self.local_kp_idx(child.key.dst);
         if self.kps[kp_idx].contains_at_or_after(child.id, child.key) {
-            ttrace!(self, Act::CancelMiss, child.id, child.key);
+            obs!(self, ObsKind::CancelMiss, child.id, child.key);
             self.stats.secondary_rollbacks += 1;
             self.rollback(kp_idx, child.key, Some(child.id));
         } else {
-            ttrace!(self, Act::DeferAnti, child.id, child.key);
+            obs!(self, ObsKind::DeferAnti, child.id, child.key);
             self.stats.antis_deferred += 1;
             self.early_antis.insert(child.id, child);
         }
@@ -499,7 +537,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let mut undone = 0u64;
         while let Some(mut p) = self.kps[kp_idx].pop_if_at_or_after(bound) {
             // Cancel everything this execution scheduled.
-            ttrace!(self, Act::RollbackPop, p.ev.id, p.ev.key);
+            obs!(self, ObsKind::RollbackPop, p.ev.id, p.ev.key);
             let mut children = std::mem::take(&mut p.children);
             for child in children.drain(..) {
                 self.cancel(child);
@@ -525,11 +563,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // transient stale twin may share the key and must be requeued,
             // not dropped.
             if annihilate == Some(p.ev.id) {
-                ttrace!(self, Act::Annihilate, p.ev.id, p.ev.key);
+                obs!(self, ObsKind::Annihilate, p.ev.id, p.ev.key);
                 target_found = true;
                 break;
             }
-            ttrace!(self, Act::Requeue, p.ev.id, p.ev.key);
+            obs!(self, ObsKind::Requeue, p.ev.id, p.ev.key);
             self.queue.push(p.ev);
         }
         // `cancel_local` only rolls back after locating the target, so a
@@ -547,6 +585,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     fn cancel(&mut self, child: ChildRef) {
         self.stats.anti_messages += 1;
         let pe = self.flat.pe_of_lp[child.key.dst as usize];
+        obs!(self, ObsKind::AntiSent, child.id, child.key, pe);
         if pe == self.id {
             self.cancel_local(child);
         } else {
@@ -598,12 +637,20 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 bf: &mut self.bf,
                 rng: &mut slot.rng,
                 out: &mut emits,
+                obs: Some(&mut self.recorder),
             };
             self.model.handle(&mut slot.state, &mut ev.payload, &mut ctx);
         }
         let rng_calls = self.slots[li].rng.call_count() - rng_before;
 
+        let misses_before = self.child_pool.misses;
         let mut children = self.child_pool.get_with_capacity(emits.len());
+        let pool_kind = if self.child_pool.misses > misses_before {
+            ObsKind::PoolMiss
+        } else {
+            ObsKind::PoolHit
+        };
+        obs!(self, pool_kind, ev.id, ev.key);
         for emit in emits.drain(..) {
             let id = self.alloc_event_id();
             let key = EventKey {
@@ -614,7 +661,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 send_time: ev.key.recv_time,
             };
             children.push(ChildRef { id, key });
-            ttrace!(self, Act::Emit, id, key);
+            obs!(self, ObsKind::Emit, id, key, emit.dst);
             let child_ev = Event { id, key, payload: emit.payload };
             let pe = self.flat.pe_of_lp[emit.dst as usize];
             if pe == self.id {
@@ -723,8 +770,80 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         self.stats.gvt_rounds += 1;
         self.fossil_collect(VirtualTime(gvt));
-        self.bwait()?; // B5: flag cleared, fossils reclaimed.
+        self.sample_round(gvt);
+        self.bwait()?; // B5: flag cleared, fossils reclaimed, round sampled.
+        self.progress_line(gvt);
         Ok(gvt >= self.config.end_time.0)
+    }
+
+    /// Per-round observability hook, run between fossil collection and the
+    /// closing barrier: record the GVT advance in the flight recorder,
+    /// publish progress deltas, and sample this PE's [`RoundSnapshot`] into
+    /// the bounded series and the configured sink.
+    fn sample_round(&mut self, gvt: u64) {
+        if self.recorder.wants(ObsKind::GvtAdvance) {
+            self.recorder.record(ObsRecord::kernel(ObsKind::GvtAdvance, gvt));
+        }
+        if self.config.obs.progress_every.is_some() {
+            let (c, p, r) = self.progress_published;
+            self.shared.committed.fetch_add(self.stats.events_committed - c, SeqCst);
+            self.shared.processed.fetch_add(self.stats.events_processed - p, SeqCst);
+            self.shared.rolled_back.fetch_add(self.stats.events_rolled_back - r, SeqCst);
+            self.progress_published = (
+                self.stats.events_committed,
+                self.stats.events_processed,
+                self.stats.events_rolled_back,
+            );
+        }
+        if self.config.obs.series_capacity == 0 && self.config.obs.sink.is_none() {
+            return;
+        }
+        let snap = RoundSnapshot {
+            round: self.stats.gvt_rounds,
+            pe: self.id,
+            wall_us: self.start_time.elapsed().as_micros() as u64,
+            gvt,
+            // The minimum this PE published for the round (u64::MAX = idle).
+            lvt: self.shared.local_mins[self.id].load(SeqCst),
+            queue_depth: self.queue.len() as u64,
+            uncommitted: self.kps.iter().map(|kp| kp.processed.len() as u64).sum(),
+            inbox_depth: self.shared.fabric.inbox_depth(self.id),
+            ring_full_stalls: self.stats.ring_full_stalls,
+            events_committed: self.stats.events_committed,
+            events_processed: self.stats.events_processed,
+            events_rolled_back: self.stats.events_rolled_back,
+            rollbacks: self.stats.total_rollbacks(),
+            pool_hits: self.msg_pool.hits + self.child_pool.hits,
+            pool_misses: self.msg_pool.misses + self.child_pool.misses,
+        };
+        self.series.push(snap);
+        if let Some(sink) = &self.config.obs.sink {
+            sink.record(&snap);
+        }
+    }
+
+    /// Stderr progress report, printed by PE 0 every
+    /// [`progress_every`](crate::obs::ObsConfig::progress_every) rounds.
+    /// Runs after the closing barrier, so every PE's deltas for this round
+    /// are in the shared totals.
+    fn progress_line(&self, gvt: u64) {
+        let Some(every) = self.config.obs.progress_every else {
+            return;
+        };
+        if self.id != 0 || !self.stats.gvt_rounds.is_multiple_of(every) {
+            return;
+        }
+        let committed = self.shared.committed.load(SeqCst);
+        let processed = self.shared.processed.load(SeqCst);
+        let rolled = self.shared.rolled_back.load(SeqCst);
+        let secs = self.start_time.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { committed as f64 / secs } else { 0.0 };
+        let ratio = if processed > 0 { rolled as f64 / processed as f64 } else { 0.0 };
+        eprintln!(
+            "[pdes] round {:>6}  gvt {:>14}  committed {:>12} ({rate:.0} ev/s)  \
+             rollback ratio {ratio:.3}",
+            self.stats.gvt_rounds, gvt, committed
+        );
     }
 
     /// GVT liveness watchdog, run by PE 0 while work remains: trip if GVT
@@ -765,7 +884,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     fn fossil_collect(&mut self, horizon: VirtualTime) {
         for kp in &mut self.kps {
             for p in kp.fossil_collect(horizon) {
-                ttrace!(self, Act::Fossil, p.ev.id, p.ev.key);
+                obs!(self, ObsKind::Fossil, p.ev.id, p.ev.key);
                 self.model.commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
                 self.stats.events_committed += 1;
                 self.stats.fossils_collected += 1;
@@ -798,25 +917,18 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             held_faults: self.faults.as_ref().map_or(0, |f| f.held()),
             deferred_antis: self.early_antis.len(),
             stats: self.stats.clone(),
-            trace: self
-                .trace_buf
-                .iter()
-                .map(|(act, id, key)| {
-                    format!(
-                        "{act:?} id={:?} t={} dst={} tie={}",
-                        id, key.recv_time.0, key.dst, key.tie
-                    )
-                })
-                .collect(),
+            trace: self.recorder.decode_last(TRACE_TAIL),
+            recorder: self.recorder.summary(self.id),
         }
     }
 }
 
-/// What one PE thread leaves behind: its diagnostics snapshot always, its
-/// model output only on success.
+/// What one PE thread leaves behind: its diagnostics snapshot and telemetry
+/// series always, its model output only on success.
 struct PeReport<O> {
     diag: PeDiagnostics,
     output: Option<O>,
+    series: RoundSeries,
 }
 
 /// Run `model` on the optimistic kernel with the default contiguous
@@ -959,6 +1071,9 @@ fn run_parallel_inner<M: Model>(
         local_mins: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
         barrier: AbortableBarrier::new(n_pes),
         failure: Mutex::new(None),
+        committed: AtomicU64::new(0),
+        processed: AtomicU64::new(0),
+        rolled_back: AtomicU64::new(0),
     };
 
     // Build each PE's runtime ingredients.
@@ -1021,7 +1136,9 @@ fn run_parallel_inner<M: Model>(
                     stats: EngineStats::default(),
                     since_gvt: 0,
                     idle_polls: 0,
-                    trace_buf: Vec::new(),
+                    recorder: config.obs.build_recorder(),
+                    series: config.obs.build_series(),
+                    progress_published: (0, 0, 0),
                     snapshot_fn,
                     faults: config.fault_plan.and_then(|plan| {
                         (!plan.is_noop()).then(|| FaultState::new(plan, pe))
@@ -1056,11 +1173,18 @@ fn run_parallel_inner<M: Model>(
                         None
                     }
                 };
-                lock(results)[pe] = Some(PeReport { diag: rt.diagnostics(), output });
+                lock(results)[pe] = Some(PeReport {
+                    diag: rt.diagnostics(),
+                    output,
+                    series: std::mem::replace(&mut rt.series, RoundSeries::new(0)),
+                });
             });
         }
     });
     let wall = start.elapsed();
+    if let Some(sink) = &config.obs.sink {
+        sink.flush();
+    }
 
     let failure = lock(&shared.failure).take();
     let reports = results
@@ -1096,6 +1220,7 @@ fn run_parallel_inner<M: Model>(
     // commutatively for kernel-equality; see `Merge` docs).
     let mut stats = EngineStats::default();
     let mut output = M::Output::default();
+    let mut telemetry = Telemetry::default();
     for (pe, slot) in reports.into_iter().enumerate() {
         let report = match slot {
             Some(r) => r,
@@ -1106,8 +1231,10 @@ fn run_parallel_inner<M: Model>(
             None => return Err(RunError::WorkerLost { pe }),
         };
         stats.merge(&report.diag.stats);
+        telemetry.absorb(report.series, report.diag.recorder);
         output.merge(out);
     }
+    telemetry.seal();
     stats.wall_time = wall;
-    Ok(RunResult { output, stats })
+    Ok(RunResult { output, stats, telemetry })
 }

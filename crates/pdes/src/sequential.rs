@@ -13,6 +13,7 @@ use crate::config::EngineConfig;
 use crate::error::RunError;
 use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
 use crate::model::{Emit, EventCtx, InitCtx, Model};
+use crate::obs::{ObsKind, ObsRecord, RoundSnapshot, Telemetry};
 use crate::rng::{stream_seed, Clcg4};
 use crate::stats::{EngineStats, RunResult};
 
@@ -55,6 +56,15 @@ pub fn run_sequential<M: Model>(
     let mut bf = Bitfield::default();
     let mut last_key: Option<EventKey> = None;
 
+    // Observability: same surface as the parallel kernel, adapted to one
+    // thread with no rollback. The "GVT" of a sequential run is simply the
+    // current event's time (everything commits immediately), so a snapshot
+    // is sampled every `gvt_interval` committed events with gvt == lvt.
+    let mut recorder = config.obs.build_recorder();
+    let mut series = config.obs.build_series();
+    let mut round: u64 = 0;
+    let mut since_sample: u64 = 0;
+
     loop {
         // Events at or beyond the horizon are never executed; the queue is
         // ordered, so the first such key ends the run.
@@ -73,6 +83,9 @@ pub fn run_sequential<M: Model>(
         let lp = ev.key.dst;
         assert!(lp < n_lps, "event addressed to nonexistent LP {lp}");
         bf.clear();
+        if recorder.wants(ObsKind::Execute) {
+            recorder.record(ObsRecord::event(ObsKind::Execute, ev.id, ev.key, 0));
+        }
         {
             let mut ctx = EventCtx {
                 lp,
@@ -82,6 +95,7 @@ pub fn run_sequential<M: Model>(
                 bf: &mut bf,
                 rng: &mut rngs[lp as usize],
                 out: &mut emits,
+                obs: Some(&mut recorder),
             };
             model.handle(&mut states[lp as usize], &mut ev.payload, &mut ctx);
         }
@@ -92,10 +106,34 @@ pub fn run_sequential<M: Model>(
             let src = lp;
             let mut e = materialize(emit, src, &mut seq);
             e.key.send_time = ev.key.recv_time;
+            if recorder.wants(ObsKind::Enqueue) {
+                recorder.record(ObsRecord::event(ObsKind::Enqueue, e.id, e.key, 0));
+            }
             queue.push(e);
         }
         stats.events_processed += 1;
         stats.events_committed += 1;
+        since_sample += 1;
+        if since_sample >= config.gvt_interval {
+            since_sample = 0;
+            round += 1;
+            let now_ticks = ev.key.recv_time.0;
+            let snap = RoundSnapshot {
+                round,
+                pe: 0,
+                wall_us: start.elapsed().as_micros() as u64,
+                gvt: now_ticks,
+                lvt: now_ticks,
+                queue_depth: queue.len() as u64,
+                events_committed: stats.events_committed,
+                events_processed: stats.events_processed,
+                ..Default::default()
+            };
+            series.push(snap);
+            if let Some(sink) = &config.obs.sink {
+                sink.record(&snap);
+            }
+        }
     }
 
     stats.wall_time = start.elapsed();
@@ -104,7 +142,13 @@ pub fn run_sequential<M: Model>(
     for lp in 0..n_lps {
         model.finish(lp, &states[lp as usize], &mut output);
     }
-    Ok(RunResult { output, stats })
+    let mut telemetry = Telemetry::default();
+    telemetry.absorb(series, recorder.summary(0));
+    telemetry.seal();
+    if let Some(sink) = &config.obs.sink {
+        sink.flush();
+    }
+    Ok(RunResult { output, stats, telemetry })
 }
 
 /// Turn an [`Emit`] into a full event. The sequential kernel allocates all

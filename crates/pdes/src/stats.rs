@@ -209,13 +209,17 @@ impl fmt::Display for EngineStats {
 }
 
 /// Everything a kernel run returns: the model's aggregated output plus the
-/// engine counters.
+/// engine counters and the observability layer's collected telemetry.
 #[derive(Clone, Debug)]
 pub struct RunResult<O> {
     /// Model output, merged across all LPs (via [`Merge`](crate::model::Merge)).
     pub output: O,
     /// Engine counters, merged across all PEs.
     pub stats: EngineStats,
+    /// GVT-round snapshot series and flight-recorder summaries (empty when
+    /// observability is disabled; see
+    /// [`ObsConfig`](crate::obs::ObsConfig)).
+    pub telemetry: crate::obs::Telemetry,
 }
 
 #[cfg(test)]
@@ -275,6 +279,68 @@ mod tests {
         assert_eq!(s.rollback_ratio(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
         assert_eq!(s.pool_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_denominator_derived_metrics_are_finite() {
+        // Every derived metric must return a finite 0 — never NaN/inf — when
+        // its denominator counter is zero, even if the numerator is not.
+        let s = EngineStats {
+            events_rolled_back: 7, // no rollbacks recorded: mean length denom = 0
+            events_committed: 5,   // zero wall time: event_rate denom = 0
+            batched_messages: 9,   // no flushes: batch size denom = 0
+            ..Default::default()
+        };
+        assert_eq!(s.total_rollbacks(), 0);
+        assert_eq!(s.mean_rollback_length(), 0.0);
+        assert_eq!(s.event_rate(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.pool_hit_rate(), 0.0);
+        assert_eq!(s.rollback_ratio(), 0.0);
+        assert!(s.mean_rollback_length().is_finite());
+        assert!(s.rollback_ratio().is_finite());
+    }
+
+    #[test]
+    fn mean_rollback_length_divides_by_both_rollback_kinds() {
+        let s = EngineStats {
+            events_rolled_back: 30,
+            primary_rollbacks: 4,
+            secondary_rollbacks: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.total_rollbacks(), 6);
+        assert!((s.mean_rollback_length() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_hit_rate_handles_all_miss_and_all_hit() {
+        let all_miss = EngineStats { pool_misses: 10, ..Default::default() };
+        assert_eq!(all_miss.pool_hit_rate(), 0.0);
+        let all_hit = EngineStats { pool_hits: 10, ..Default::default() };
+        assert_eq!(all_hit.pool_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn event_rate_uses_committed_not_processed() {
+        let s = EngineStats {
+            events_processed: 200,
+            events_committed: 100,
+            wall_time: Duration::from_secs(4),
+            ..Default::default()
+        };
+        assert_eq!(s.event_rate(), 25.0);
+    }
+
+    #[test]
+    fn rollback_length_histogram_buckets_by_power_of_two() {
+        let mut s = EngineStats::default();
+        s.record_rollback_length(1); // bucket 0
+        s.record_rollback_length(2); // bucket 1
+        s.record_rollback_length(3); // bucket 1
+        s.record_rollback_length(255); // bucket 7 (open-ended)
+        s.record_rollback_length(1 << 20); // bucket 7 (clamped)
+        assert_eq!(s.rollback_lengths, [1, 2, 0, 0, 0, 0, 0, 2]);
     }
 
     #[test]

@@ -23,4 +23,31 @@ cargo build --release -p bench
 ./target/release/bench_pr2 --out=BENCH_pr2.json --baseline=845529
 cat BENCH_pr2.json
 
+echo "== instrumented smoke: trace + metrics export (artifacts/) =="
+# Full-verbosity run with both exporters on; obs_report itself re-validates
+# everything it writes with the in-tree JSON validator before exiting 0.
+mkdir -p artifacts
+./target/release/obs_report \
+    --steps=48 --progress=16 \
+    --trace=artifacts/trace.json --metrics=artifacts/metrics.jsonl
+# Belt and braces: confirm the artifacts parse with an *independent* JSON
+# implementation too, when one is available on the box.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool artifacts/trace.json >/dev/null
+    python3 - artifacts/metrics.jsonl <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    n = sum(1 for line in f if line.strip() and json.loads(line))
+assert n > 0, "metrics.jsonl is empty"
+print(f"metrics.jsonl: {n} snapshots parsed")
+EOF
+fi
+
+echo "== bench smoke: observability overhead (BENCH_pr3.json) =="
+# Gates the *default* always-on telemetry (GVT-round series + sink) at
+# <3% committed-events/sec vs a dark run, using interleaved paired samples;
+# full-verbosity overhead is recorded in the JSON informationally.
+./target/release/bench_pr3 --out=BENCH_pr3.json
+cp BENCH_pr3.json artifacts/
+
 echo "CI gate passed."

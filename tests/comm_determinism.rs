@@ -6,7 +6,9 @@
 //! channel boundary must also absorb chaos-injected reordering.
 
 use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
-use pdes::{EngineConfig, FaultPlan, SchedulerKind};
+use std::sync::Arc;
+
+use pdes::{EngineConfig, FaultPlan, MemorySink, ObsConfig, SchedulerKind};
 
 /// The batch sizes the issue calls out: per-message flushing, the default,
 /// a large batch, and unbounded (boundary-only flushes).
@@ -18,8 +20,14 @@ fn model(n: u32, steps: u64) -> HotPotatoModel<topo::Torus> {
 
 fn engine(m: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
     // Small GVT interval and batch so a short run still crosses many flush
-    // boundaries and GVT quiescence rounds.
-    EngineConfig::new(m.end_time()).with_seed(seed).with_gvt_interval(64).with_batch(4)
+    // boundaries and GVT quiescence rounds. Maximum observability (full
+    // recorder + streaming sink) rides along to prove the comm-layer
+    // determinism guarantee holds while being watched.
+    EngineConfig::new(m.end_time())
+        .with_seed(seed)
+        .with_gvt_interval(64)
+        .with_batch(4)
+        .with_obs(ObsConfig::verbose().with_sink(Arc::new(MemorySink::new(1024))))
 }
 
 /// The full matrix: {1, 8, 64, unbounded} × {Heap, Splay, Calendar},

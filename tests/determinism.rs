@@ -11,10 +11,17 @@ use hotpotato::{
     simulate_parallel, simulate_parallel_state_saving, simulate_sequential, HotPotatoConfig,
     HotPotatoModel, PolicyKind,
 };
-use pdes::{EngineConfig, SchedulerKind};
+use std::sync::Arc;
+
+use pdes::{EngineConfig, MemorySink, ObsConfig, SchedulerKind};
 
 fn engine(model: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
-    EngineConfig::new(model.end_time()).with_seed(seed)
+    // Every determinism run executes at maximum observability — full flight
+    // recorder plus a streaming sink — so these suites also prove that
+    // observation never perturbs committed output.
+    EngineConfig::new(model.end_time())
+        .with_seed(seed)
+        .with_obs(ObsConfig::verbose().with_sink(Arc::new(MemorySink::new(1024))))
 }
 
 #[test]
