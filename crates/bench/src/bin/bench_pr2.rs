@@ -75,7 +75,11 @@ fn main() {
         } else if let Some(v) = a.strip_prefix("--batch=") {
             batch = Some(v.parse().expect("--batch=<usize>"));
         } else if let Some(v) = a.strip_prefix("--comm-batch=") {
-            comm_batch = Some(if v == "none" { None } else { Some(v.parse().expect("--comm-batch=<usize|none>")) });
+            comm_batch = Some(if v == "none" {
+                None
+            } else {
+                Some(v.parse().expect("--comm-batch=<usize|none>"))
+            });
         } else if let Some(v) = a.strip_prefix("--lookahead=") {
             lookahead = Some(v.parse().expect("--lookahead=<ticks>"));
         } else {
@@ -117,11 +121,15 @@ fn main() {
         );
         let mut stats: Vec<EngineStats> = Vec::new();
         let cpu0 = cpu_ticks();
-        let median = bench_time(&format!("timewarp_{pes}pe_{N}x{N}_load{LOAD}"), samples, || {
-            let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
-            stats.push(r.stats);
-            r.output
-        });
+        let median = bench_time(
+            &format!("timewarp_{pes}pe_{N}x{N}_load{LOAD}"),
+            samples,
+            || {
+                let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+                stats.push(r.stats);
+                r.output
+            },
+        );
         stats.sort_by_key(|s| s.wall_time);
         let mid = &stats[stats.len() / 2];
         if dump_stats {
@@ -158,9 +166,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"lookahead\": {},",
-        engine.max_lookahead.map_or("null".into(), |l| l.to_string())
+        engine
+            .max_lookahead
+            .map_or("null".into(), |l| l.to_string())
     );
-    let _ = writeln!(json, "  \"hardware_threads\": {},", std::thread::available_parallelism().map_or(0, |n| n.get()));
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
@@ -180,7 +194,11 @@ fn main() {
         let four = points.iter().find(|p| p.pes == 4).expect("4-PE point");
         json.push_str(",\n");
         let _ = writeln!(json, "  \"baseline_pre_pr_4pe_events_per_sec\": {base:.1},");
-        let _ = write!(json, "  \"speedup_4pe_vs_baseline\": {:.3}", four.events_per_sec / base);
+        let _ = write!(
+            json,
+            "  \"speedup_4pe_vs_baseline\": {:.3}",
+            four.events_per_sec / base
+        );
     }
     json.push_str("\n}\n");
 

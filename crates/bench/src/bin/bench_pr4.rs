@@ -1,37 +1,35 @@
-//! PR 3 observability-overhead benchmark: Time Warp throughput on a 4-PE
-//! 16×16 torus with telemetry off, at the always-on default (GVT-round
-//! series + streaming sink, flight recorder off), and at full diagnostic
-//! verbosity (every kernel event recorded). The always-compiled layer is
-//! only acceptable if the *default* instrumented run stays within a few
-//! percent of the dark one; this binary measures that and writes the
-//! verdict as `BENCH_pr3.json`. Verbose-mode overhead is recorded too, but
-//! informationally — it is a debugging tier, not the production default.
+//! PR 4 profiler/tracing-overhead benchmark: Time Warp throughput on a
+//! 4-PE 16×16 torus with the phase profiler off, at its default-on
+//! stride-sampled setting, and with full per-packet causal tracing. The
+//! profiler ships enabled by default, so it must cost almost nothing: this
+//! binary fails if the profiled run loses more than a small percentage of
+//! committed-events/sec versus the dark run. Packet tracing is an opt-in
+//! diagnostic tier — its overhead is recorded informationally only.
 //!
-//! Samples are interleaved (off/on/verbose, off/on/verbose, …) so ambient
+//! Samples are interleaved (off/prof/trace, off/prof/trace, …) so ambient
 //! machine load hits every mode equally, and the reported overhead is the
 //! ratio of each mode's *fastest* wall — load spikes only ever slow a
 //! sample down, so the minimum is the clean signal on the oversubscribed
 //! single-core containers this repo is benchmarked in.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_pr3 -- --out=BENCH_pr3.json
+//! cargo run --release -p bench --bin bench_pr4 -- --out=BENCH_pr4.json
 //! ```
 //!
 //! Flags:
-//! * `--out=<path>` — where to write the JSON (default `BENCH_pr3.json`).
+//! * `--out=<path>` — where to write the JSON (default `BENCH_pr4.json`).
 //! * `--steps=<u64>` — simulated step count (default 96).
 //! * `--samples=<usize>` — interleaved rounds (default 9).
-//! * `--max-overhead=<f64>` — fail (exit 1) if the default obs-on run loses
+//! * `--max-overhead=<f64>` — fail (exit 1) if the profiler-on run loses
 //!   more than this percent of committed-events/sec (default 3.0), over and
 //!   above the measured same-mode noise floor. The JSON always records the
 //!   measured numbers either way.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
-use pdes::{EngineConfig, MemorySink, ObsConfig};
+use pdes::{EngineConfig, ObsConfig, Phase, TRACE_UNBOUNDED};
 
 const N: u32 = 16;
 const LOAD: f64 = 0.4;
@@ -41,10 +39,11 @@ const PES: usize = 4;
 struct Mode {
     name: &'static str,
     cfg: EngineConfig,
-    sink: Arc<MemorySink>,
     walls: Vec<Duration>,
     events_committed: u64,
-    rounds_retained: usize,
+    busy_ns: u64,
+    share_sum: f64,
+    trace_hops: usize,
 }
 
 fn median_wall(walls: &[Duration]) -> Duration {
@@ -80,7 +79,7 @@ fn noise_floor_pct(dark: &[Duration]) -> f64 {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut steps: u64 = 96;
     let mut samples: usize = 9;
     let mut max_overhead: f64 = 3.0;
@@ -106,32 +105,38 @@ fn main() {
         .with_kps(64)
         .with_lookahead(model.natural_lookahead());
 
-    // Correctness gate first: committed output must be bit-identical to the
-    // sequential oracle in every mode before any throughput is recorded —
-    // observation that perturbs the simulation is a bug, not overhead.
-    let oracle = simulate_sequential(&model, &base).expect("sequential oracle failed");
+    // Correctness gates first: committed output must be bit-identical to the
+    // sequential oracle in every mode, and the traced mode's committed
+    // lineage must be byte-identical to the oracle's, before any throughput
+    // is recorded — observation that perturbs the simulation is a bug, not
+    // overhead.
+    let oracle = simulate_sequential(
+        &model,
+        &base
+            .clone()
+            .with_obs(ObsConfig::disabled().with_packet_trace(TRACE_UNBOUNDED)),
+    )
+    .expect("sequential oracle failed");
 
     let mut modes: Vec<Mode> = [
-        ("obs_off", ObsConfig::disabled()),
-        ("obs_default", ObsConfig::default()),
-        ("obs_verbose", ObsConfig::verbose()),
+        ("prof_off", ObsConfig::disabled()),
+        ("prof_on", ObsConfig::disabled().with_profiler(true)),
+        (
+            "prof_and_trace",
+            ObsConfig::disabled()
+                .with_profiler(true)
+                .with_packet_trace(TRACE_UNBOUNDED),
+        ),
     ]
     .into_iter()
-    .map(|(name, obs)| {
-        let sink = Arc::new(MemorySink::new(4096));
-        let obs = if name == "obs_off" {
-            obs
-        } else {
-            obs.with_sink(sink.clone())
-        };
-        Mode {
-            name,
-            cfg: base.clone().with_obs(obs),
-            sink,
-            walls: Vec::new(),
-            events_committed: 0,
-            rounds_retained: 0,
-        }
+    .map(|(name, obs)| Mode {
+        name,
+        cfg: base.clone().with_obs(obs),
+        walls: Vec::new(),
+        events_committed: 0,
+        busy_ns: 0,
+        share_sum: 0.0,
+        trace_hops: 0,
     })
     .collect();
 
@@ -143,8 +148,19 @@ fn main() {
             "{}: committed output diverged from the sequential oracle",
             m.name
         );
+        if m.name == "prof_and_trace" {
+            assert_eq!(r.telemetry.trace.dropped, 0, "trace capacity exceeded");
+            assert_eq!(
+                r.telemetry.trace.to_jsonl(),
+                oracle.telemetry.trace.to_jsonl(),
+                "{}: committed packet lineage diverged from the sequential oracle",
+                m.name
+            );
+            m.trace_hops = r.telemetry.trace.len();
+        }
         m.events_committed = r.stats.events_committed;
-        m.rounds_retained = r.telemetry.rounds.len();
+        m.busy_ns = r.stats.prof.busy_ns();
+        m.share_sum = Phase::ALL.iter().map(|&ph| r.stats.prof.share(ph)).sum();
     }
 
     for _ in 0..samples {
@@ -159,7 +175,7 @@ fn main() {
     for m in &modes {
         let med = median_wall(&m.walls);
         println!(
-            "timewarp_{PES}pe_{N}x{N}_{:<12} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({samples} samples)",
+            "timewarp_{PES}pe_{N}x{N}_{:<15} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({samples} samples)",
             m.name,
             med,
             m.walls.iter().min().unwrap(),
@@ -167,15 +183,23 @@ fn main() {
         );
     }
 
+    // The phase shares must tile busy time: Σ share == 1 exactly (the
+    // denominator is the sum of the per-phase estimates).
+    let share_sum = modes[1].share_sum;
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "profiled phase shares sum to {share_sum}, expected 1.0"
+    );
+
     let dark: Vec<Duration> = modes[0].walls.clone();
-    let overhead_default = min_overhead_pct(&dark, &modes[1].walls);
-    let overhead_verbose = min_overhead_pct(&dark, &modes[2].walls);
+    let overhead_prof = min_overhead_pct(&dark, &modes[1].walls);
+    let overhead_trace = min_overhead_pct(&dark, &modes[2].walls);
     let noise = noise_floor_pct(&dark);
     let budget = max_overhead + noise;
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"pr3_observability_overhead\",");
+    let _ = writeln!(json, "  \"bench\": \"pr4_profiler_tracing_overhead\",");
     let _ = writeln!(json, "  \"torus\": \"{N}x{N}\",");
     let _ = writeln!(json, "  \"pes\": {PES},");
     let _ = writeln!(json, "  \"load\": {LOAD},");
@@ -193,31 +217,33 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{ \"mode\": \"{}\", \"events_per_sec\": {:.1}, \"events_committed\": {}, \
-             \"median_wall_s\": {:.4}, \"rounds_retained\": {}, \"snapshots_streamed_total\": {} }}{}",
+             \"median_wall_s\": {:.4}, \"profiled_busy_ns\": {}, \"phase_share_sum\": {:.9}, \
+             \"trace_hops\": {} }}{}",
             m.name,
             m.events_committed as f64 / med,
             m.events_committed,
             med,
-            m.rounds_retained,
-            m.sink.total_seen(),
+            m.busy_ns,
+            m.share_sum,
+            m.trace_hops,
             if i + 1 < modes.len() { "," } else { "" }
         );
     }
     json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"overhead_pct_default\": {overhead_default:.2},");
-    let _ = writeln!(json, "  \"overhead_pct_verbose\": {overhead_verbose:.2},");
+    let _ = writeln!(json, "  \"overhead_pct_profiler\": {overhead_prof:.2},");
+    let _ = writeln!(json, "  \"overhead_pct_tracing\": {overhead_trace:.2},");
     let _ = writeln!(json, "  \"noise_floor_pct\": {noise:.2},");
     let _ = writeln!(json, "  \"max_overhead_pct\": {max_overhead},");
-    let _ = writeln!(json, "  \"within_budget\": {}", overhead_default <= budget);
+    let _ = writeln!(json, "  \"within_budget\": {}", overhead_prof <= budget);
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");
     print!("{json}");
 
-    if overhead_default > budget {
+    if overhead_prof > budget {
         eprintln!(
-            "default-mode telemetry overhead {overhead_default:.2}% exceeds the \
+            "default-on profiler overhead {overhead_prof:.2}% exceeds the \
              {max_overhead}% budget (+{noise:.2}% measured noise floor)"
         );
         std::process::exit(1);

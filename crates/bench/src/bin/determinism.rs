@@ -20,11 +20,23 @@ fn main() {
     println!("# Attachment 3: identical results across kernels ({n}x{n}, {steps} steps)");
     let report = Report::new(
         args.csv,
-        &["kernel", "delivered", "avg deliver", "injected", "avg wait", "max wait", "rolled back"],
+        &[
+            "kernel",
+            "delivered",
+            "avg deliver",
+            "injected",
+            "avg wait",
+            "max wait",
+            "rolled back",
+        ],
     );
 
     let mut outputs = Vec::new();
-    for (label, pes) in [("sequential", 1usize), ("parallel-2PE", 2), ("parallel-4PE", 4)] {
+    for (label, pes) in [
+        ("sequential", 1usize),
+        ("parallel-2PE", 2),
+        ("parallel-4PE", 4),
+    ] {
         let r = run_point(&model, args.seed, pes, 64);
         report.row(&[
             label.to_string(),
@@ -38,7 +50,13 @@ fn main() {
         outputs.push(r.output);
     }
 
-    assert_eq!(outputs[0], outputs[1], "2-PE parallel diverged from sequential");
-    assert_eq!(outputs[0], outputs[2], "4-PE parallel diverged from sequential");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "2-PE parallel diverged from sequential"
+    );
+    assert_eq!(
+        outputs[0], outputs[2],
+        "4-PE parallel diverged from sequential"
+    );
     println!("# RESULT: all kernels produced IDENTICAL statistics (deterministic)");
 }

@@ -5,11 +5,19 @@
 //! shape: approximately linear growth in N, with injection load having only
 //! a limited effect.
 //!
+//! Up to N = 48 the statistic is derived from the *committed packet
+//! lineage* (per-packet ABSORB hops carry exact inject-step and latency)
+//! and cross-checked against the model's aggregate counters — the run
+//! aborts if the two bookkeeping paths disagree. Larger N fall back to the
+//! counters alone to bound memory.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin fig3_delivery [--full] [--csv]
 //! ```
 
-use bench::{f, run_point, torus_model, Args, Report};
+use bench::{
+    f, lineage_means, run_point, run_point_traced, torus_model, Args, Report, TRACE_DERIVE_MAX_N,
+};
 
 fn main() {
     let args = Args::parse();
@@ -24,8 +32,14 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for load in loads {
             let model = torus_model(n, steps, load);
-            let net = run_point(&model, args.seed, 1, 64).output;
-            cells.push(f(net.avg_delivery_steps()));
+            let avg = if n <= TRACE_DERIVE_MAX_N {
+                lineage_means(&run_point_traced(&model, args.seed, 1, 64)).0
+            } else {
+                run_point(&model, args.seed, 1, 64)
+                    .output
+                    .avg_delivery_steps()
+            };
+            cells.push(f(avg));
         }
         report.row(&cells);
     }

@@ -5,11 +5,19 @@
 //! injection loads. Expected shape: grows with N within each load, and the
 //! load has a *significant* effect (unlike delivery time).
 //!
+//! Up to N = 48 the statistic is derived from the *committed packet
+//! lineage* (INJECT hops carry each packet's exact wait) and cross-checked
+//! against the model's aggregate counters — the run aborts if the two
+//! bookkeeping paths disagree. Larger N fall back to the counters alone to
+//! bound memory.
+//!
 //! ```sh
 //! cargo run --release -p bench --bin fig4_inject_wait [--full] [--csv]
 //! ```
 
-use bench::{f, run_point, torus_model, Args, Report};
+use bench::{
+    f, lineage_means, run_point, run_point_traced, torus_model, Args, Report, TRACE_DERIVE_MAX_N,
+};
 
 fn main() {
     let args = Args::parse();
@@ -24,8 +32,14 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for load in loads {
             let model = torus_model(n, steps, load);
-            let net = run_point(&model, args.seed, 1, 64).output;
-            cells.push(f(net.avg_inject_wait_steps()));
+            let avg = if n <= TRACE_DERIVE_MAX_N {
+                lineage_means(&run_point_traced(&model, args.seed, 1, 64)).1
+            } else {
+                run_point(&model, args.seed, 1, 64)
+                    .output
+                    .avg_inject_wait_steps()
+            };
+            cells.push(f(avg));
         }
         report.row(&cells);
     }

@@ -17,15 +17,21 @@ use bench::{f, median_wall, run_point_timewarp, torus_model, Args, Report};
 
 fn main() {
     let args = Args::parse();
-    let sizes: Vec<u32> =
-        if args.full { vec![16, 32, 64, 128] } else { vec![8, 16, 32] };
+    let sizes: Vec<u32> = if args.full {
+        vec![16, 32, 64, 128]
+    } else {
+        vec![8, 16, 32]
+    };
     let pes = [1usize, 2, 4];
 
     println!("# Figure 5: event rate (committed events/s) vs N, by PE count");
     println!("# Figure 6: efficiency = (rate_P / rate_1) / P");
     let report = Report::new(
         args.csv,
-        &["N", "LPs", "ev/s 1PE", "ev/s 2PE", "ev/s 4PE", "eff 2PE", "eff 4PE", "rb 2PE", "rb 4PE"],
+        &[
+            "N", "LPs", "ev/s 1PE", "ev/s 2PE", "ev/s 4PE", "eff 2PE", "eff 4PE", "rb 2PE",
+            "rb 4PE",
+        ],
     );
 
     for n in sizes {
@@ -35,9 +41,8 @@ fn main() {
         let mut rolled = Vec::new();
         for &p in &pes {
             let kps = 64.max(p as u32);
-            let (stats, _) = median_wall(|| {
-                run_point_timewarp(&model, args.seed, p, kps, 1024).stats
-            });
+            let (stats, _) =
+                median_wall(|| run_point_timewarp(&model, args.seed, p, kps, 1024).stats);
             rates.push(stats.event_rate());
             rolled.push(stats.events_rolled_back);
         }

@@ -15,7 +15,11 @@ use bench::{run_point_timewarp, torus_model, Args, Report};
 fn main() {
     let args = Args::parse();
     let kp_counts = [4u32, 8, 16, 32, 64, 128];
-    let sizes: Vec<u32> = if args.full { vec![16, 32, 64, 128] } else { vec![16, 32] };
+    let sizes: Vec<u32> = if args.full {
+        vec![16, 32, 64, 128]
+    } else {
+        vec![16, 32]
+    };
 
     println!("# Figure 7: total events rolled back vs number of KPs (2 PEs)");
     let mut headers = vec!["KPs".to_string()];
@@ -32,7 +36,11 @@ fn main() {
             // the KP count then controls rollback scope. Rollback counts
             // are scheduling-sensitive, so take the median of five runs.
             let mut counts: Vec<u64> = (0..5)
-                .map(|_| run_point_timewarp(&model, args.seed, 2, kps, 512).stats.events_rolled_back)
+                .map(|_| {
+                    run_point_timewarp(&model, args.seed, 2, kps, 512)
+                        .stats
+                        .events_rolled_back
+                })
                 .collect();
             counts.sort_unstable();
             cells.push(counts[2].to_string());

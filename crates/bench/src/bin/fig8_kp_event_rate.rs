@@ -14,7 +14,11 @@ use bench::{f, median_wall, run_point_timewarp, torus_model, Args, Report};
 fn main() {
     let args = Args::parse();
     let kp_counts = [4u32, 8, 16, 32, 64, 128];
-    let sizes: Vec<u32> = if args.full { vec![16, 32, 64, 128] } else { vec![16, 32] };
+    let sizes: Vec<u32> = if args.full {
+        vec![16, 32, 64, 128]
+    } else {
+        vec![16, 32]
+    };
 
     println!("# Figure 8: event rate (committed events/s) vs number of KPs (2 PEs)");
     let mut headers = vec!["KPs".to_string()];
@@ -27,9 +31,8 @@ fn main() {
         for &n in &sizes {
             let steps = args.steps.unwrap_or(120);
             let model = torus_model(n, steps, 1.0);
-            let (stats, _) = median_wall(|| {
-                run_point_timewarp(&model, args.seed, 2, kps, 512).stats
-            });
+            let (stats, _) =
+                median_wall(|| run_point_timewarp(&model, args.seed, 2, kps, 512).stats);
             cells.push(f(stats.event_rate()));
         }
         report.row(&cells);

@@ -13,7 +13,11 @@ use pdes::EngineConfig;
 
 fn main() {
     let args = Args::parse();
-    let sizes: Vec<u32> = if args.full { vec![8, 16, 32, 64] } else { vec![8, 16] };
+    let sizes: Vec<u32> = if args.full {
+        vec![8, 16, 32, 64]
+    } else {
+        vec![8, 16]
+    };
     let policies = [
         PolicyKind::Bhw,
         PolicyKind::Greedy,
@@ -24,7 +28,16 @@ fn main() {
     println!("# E8: routing-policy comparison (100% injectors)");
     let report = Report::new(
         args.csv,
-        &["N", "policy", "delivered", "avg deliver", "stretch", "avg wait", "max wait", "deflect%"],
+        &[
+            "N",
+            "policy",
+            "delivered",
+            "avg deliver",
+            "stretch",
+            "avg wait",
+            "max wait",
+            "deflect%",
+        ],
     );
 
     for n in sizes {

@@ -20,7 +20,15 @@ fn main() {
     println!("# E11: ROUTE decisions by priority state vs N");
     let report = Report::new(
         args.csv,
-        &["N", "sleeping%", "active%", "excited", "running", "promotions", "demotions"],
+        &[
+            "N",
+            "sleeping%",
+            "active%",
+            "excited",
+            "running",
+            "promotions",
+            "demotions",
+        ],
     );
 
     for n in args.network_sizes() {

@@ -20,12 +20,23 @@ use pdes::EngineConfig;
 
 fn main() {
     let args = Args::parse();
-    let sizes: Vec<u32> = if args.full { vec![8, 16, 32, 64] } else { vec![8, 16, 32] };
+    let sizes: Vec<u32> = if args.full {
+        vec![8, 16, 32, 64]
+    } else {
+        vec![8, 16, 32]
+    };
 
     println!("# E12: rollback mechanism ablation (2 PEs, 64 KPs)");
     let report = Report::new(
         args.csv,
-        &["N", "ev/s reverse", "ev/s state-save", "ratio", "rb reverse", "rb state-save"],
+        &[
+            "N",
+            "ev/s reverse",
+            "ev/s state-save",
+            "ratio",
+            "rb reverse",
+            "rb state-save",
+        ],
     );
 
     for n in sizes {

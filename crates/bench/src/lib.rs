@@ -8,8 +8,11 @@
 
 use std::time::Duration;
 
+use hotpotato::model::hops;
 use hotpotato::{HotPotatoConfig, HotPotatoModel, NetStats};
-use pdes::{EngineConfig, EngineStats, RunError, RunResult};
+use pdes::{
+    EngineConfig, EngineStats, ObsConfig, RunError, RunResult, VirtualTime, TRACE_UNBOUNDED,
+};
 
 /// Command-line options shared by all figure binaries.
 #[derive(Clone, Debug)]
@@ -28,7 +31,12 @@ impl Args {
     /// Parse from `std::env::args` (flags: `--full`, `--csv`,
     /// `--seed=<u64>`, `--steps=<u64>`).
     pub fn parse() -> Args {
-        let mut args = Args { full: false, csv: false, seed: 0xF16_5EED, steps: None };
+        let mut args = Args {
+            full: false,
+            csv: false,
+            seed: 0xF16_5EED,
+            steps: None,
+        };
         for a in std::env::args().skip(1) {
             if a == "--full" {
                 args.full = true;
@@ -77,7 +85,11 @@ impl Report {
     pub fn new(csv: bool, headers: &[&str]) -> Report {
         let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
         let widths = headers.iter().map(|h| h.len().max(12)).collect();
-        let r = Report { csv, headers, widths };
+        let r = Report {
+            csv,
+            headers,
+            widths,
+        };
         r.print_row_strings(&r.headers.clone());
         r
     }
@@ -133,12 +145,96 @@ pub fn run_point(
     pes: usize,
     kps: u32,
 ) -> RunResult<NetStats> {
-    let engine = EngineConfig::new(model.end_time()).with_seed(seed).with_pes(pes).with_kps(kps);
+    let engine = EngineConfig::new(model.end_time())
+        .with_seed(seed)
+        .with_pes(pes)
+        .with_kps(kps);
     check(if pes <= 1 {
         hotpotato::simulate_sequential(model, &engine)
     } else {
         hotpotato::simulate_parallel(model, &engine)
     })
+}
+
+/// Largest N for which the figure binaries derive their statistics from the
+/// committed packet lineage instead of the model counters. A full lineage
+/// keeps every ROUTE hop in memory (~56 B each), so the paper-scale sweep
+/// sizes fall back to the (provably identical, see [`lineage_means`])
+/// counter aggregation.
+pub const TRACE_DERIVE_MAX_N: u32 = 48;
+
+/// Like [`run_point`], with committed per-packet lineage tracing enabled
+/// (unbounded capacity — see [`TRACE_DERIVE_MAX_N`]).
+pub fn run_point_traced(
+    model: &HotPotatoModel<topo::Torus>,
+    seed: u64,
+    pes: usize,
+    kps: u32,
+) -> RunResult<NetStats> {
+    let engine = EngineConfig::new(model.end_time())
+        .with_seed(seed)
+        .with_pes(pes)
+        .with_kps(kps)
+        .with_obs(ObsConfig::default().with_packet_trace(TRACE_UNBOUNDED));
+    check(if pes <= 1 {
+        hotpotato::simulate_sequential(model, &engine)
+    } else {
+        hotpotato::simulate_parallel(model, &engine)
+    })
+}
+
+/// `(avg delivery steps, avg inject wait steps)` recomputed from the
+/// committed packet lineage — the Figure 3/4 quantities, derived from
+/// per-packet ABSORB latencies and INJECT waits rather than the model's
+/// aggregate counters. The two are independent bookkeeping of the same
+/// committed history, so their integer sums are asserted equal before the
+/// means are returned: a run whose lineage disagrees with its counters
+/// aborts rather than plotting either.
+pub fn lineage_means(res: &RunResult<NetStats>) -> (f64, f64) {
+    let trace = &res.telemetry.trace;
+    assert!(!trace.is_empty(), "lineage_means on an untraced run");
+    assert_eq!(
+        trace.dropped, 0,
+        "capacity cap dropped hops; lineage incomplete"
+    );
+    let (mut delivered, mut transit, mut injected, mut wait) = (0u64, 0u64, 0u64, 0u64);
+    for h in &trace.hops {
+        match h.kind {
+            hops::INJECT => {
+                injected += 1;
+                wait += h.arg;
+            }
+            hops::ABSORB => {
+                delivered += 1;
+                let (injected_step, _) = hops::unpack_absorb(h.arg);
+                transit += VirtualTime(h.at).step() - injected_step;
+            }
+            _ => {}
+        }
+    }
+    let t = &res.output.totals;
+    assert_eq!(
+        (delivered, transit),
+        (t.delivered, t.transit_steps_sum),
+        "lineage delivery sums disagree with model counters"
+    );
+    assert_eq!(
+        (injected, wait),
+        (t.injected, t.wait_steps_sum),
+        "lineage inject sums disagree with model counters"
+    );
+    (
+        if delivered == 0 {
+            0.0
+        } else {
+            transit as f64 / delivered as f64
+        },
+        if injected == 0 {
+            0.0
+        } else {
+            wait as f64 / injected as f64
+        },
+    )
 }
 
 /// Run one sweep point on the *optimistic* kernel even for one PE (for

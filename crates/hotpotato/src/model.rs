@@ -26,8 +26,8 @@
 //! home-run link — the same practical approximation the paper's simulation
 //! makes.
 
-use pdes::prelude::*;
 use pdes::model::{EventCtx, InitCtx, ReverseCtx};
+use pdes::prelude::*;
 use pdes::rng::ReversibleRng;
 use topo::{Direction, Topology, Torus};
 
@@ -37,9 +37,7 @@ use crate::packet::{Packet, PacketId, Priority};
 use crate::policy::PolicyKind;
 use crate::router::RouterState;
 use crate::stats::NetStats;
-use crate::timing::{
-    arrive_time, inject_time, route_time, HEARTBEAT_PHASE, JITTER_SPAN,
-};
+use crate::timing::{arrive_time, inject_time, route_time, HEARTBEAT_PHASE, JITTER_SPAN};
 
 /// Codes for the model-level notes this model drops into the kernel's
 /// flight recorder via [`EventCtx::note`] (category
@@ -61,6 +59,47 @@ pub mod notes {
     /// A transiently over-subscribed router parked a packet one step
     /// (possible only in speculative states; never commits).
     pub const STALL: u64 = 5;
+}
+
+/// Codes for the causal hops this model emits into the kernel's *committed*
+/// packet trace via [`EventCtx::trace_hop`]. Unlike [`notes`], hops follow
+/// the committed history (rolled-back executions leave none), so the
+/// lineage `INJECT → ROUTE* → ABSORB` per packet carries exact per-packet
+/// latency and deflection counts, bit-identical between kernels. `packet`
+/// is always the packed [`PacketId`]; `arg` packs kind-specific values via
+/// the helpers here.
+pub mod hops {
+    /// Packet entered the network; `arg` = steps its injector waited for a
+    /// free link.
+    pub const INJECT: u8 = 1;
+    /// Packet was routed one step; `arg` = [`pack_route`].
+    pub const ROUTE: u8 = 2;
+    /// Packet was absorbed at its destination; `arg` = [`pack_absorb`].
+    pub const ABSORB: u8 = 3;
+
+    /// Pack a ROUTE hop's argument: whether this hop deflected the packet,
+    /// and its total deflection count after the hop.
+    pub fn pack_route(deflected: bool, deflections_after: u32) -> u64 {
+        ((deflected as u64) << 32) | deflections_after as u64
+    }
+
+    /// Inverse of [`pack_route`].
+    pub fn unpack_route(arg: u64) -> (bool, u32) {
+        (arg >> 32 != 0, arg as u32)
+    }
+
+    /// Pack an ABSORB hop's argument: the step the packet was injected at
+    /// and its final deflection count. Injection steps are bounded by the
+    /// run horizon, far below 2³².
+    pub fn pack_absorb(injected_step: u64, deflections: u32) -> u64 {
+        debug_assert!(injected_step < 1 << 32, "horizon exceeds ABSORB packing");
+        (injected_step << 32) | deflections as u64
+    }
+
+    /// Inverse of [`pack_absorb`].
+    pub fn unpack_absorb(arg: u64) -> (u64, u32) {
+        (arg >> 32, arg as u32)
+    }
 }
 
 /// The simulation model: an N×N grid of hot-potato routers.
@@ -88,8 +127,15 @@ impl HotPotatoModel<topo::Mesh> {
 impl<T: Topology> HotPotatoModel<T> {
     /// Build a model over any [`Topology`] whose node count matches `n²`.
     pub fn with_topology(topo: T, cfg: HotPotatoConfig) -> Self {
-        assert_eq!(topo.n_nodes(), cfg.n * cfg.n, "topology/config dimension mismatch");
-        assert!(topo.n_nodes() < tie::MAX_LP, "grid too large for the tie namespace");
+        assert_eq!(
+            topo.n_nodes(),
+            cfg.n * cfg.n,
+            "topology/config dimension mismatch"
+        );
+        assert!(
+            topo.n_nodes() < tie::MAX_LP,
+            "grid too large for the tie namespace"
+        );
         HotPotatoModel { topo, cfg }
     }
 
@@ -137,6 +183,11 @@ impl<T: Topology> HotPotatoModel<T> {
                 state.stats.distance_sum += self.topo.distance(pkt.src, lp) as u64;
                 state.stats.delivered_deflections_sum += pkt.deflections as u64;
                 ctx.note(notes::ABSORB, pkt.deflections as u64);
+                ctx.trace_hop(
+                    hops::ABSORB,
+                    pkt.id.0,
+                    hops::pack_absorb(pkt.injected_step, pkt.deflections),
+                );
                 return;
             }
         }
@@ -144,7 +195,14 @@ impl<T: Topology> HotPotatoModel<T> {
         let prec = self.cfg.policy.precedence(&pkt, step, self.cfg.n);
         let rt = route_time(step, prec, pkt.jitter);
         let delay = rt - ctx.now();
-        ctx.schedule_self(delay, pkt.id.0, Msg::Route { packet: pkt, saved: SavedRoute::default() });
+        ctx.schedule_self(
+            delay,
+            pkt.id.0,
+            Msg::Route {
+                packet: pkt,
+                saved: SavedRoute::default(),
+            },
+        );
     }
 
     fn handle_route(
@@ -156,7 +214,13 @@ impl<T: Topology> HotPotatoModel<T> {
     ) {
         let lp = ctx.lp();
         let step = ctx.now().step();
-        self.ensure_step(state, step, ctx, &mut saved.old_links, &mut saved.old_cur_step);
+        self.ensure_step(
+            state,
+            step,
+            ctx,
+            &mut saved.old_links,
+            &mut saved.old_cur_step,
+        );
 
         let free = state.free_links(self.topo.link_dirs(lp));
         if free.is_empty() {
@@ -173,7 +237,10 @@ impl<T: Topology> HotPotatoModel<T> {
             ctx.schedule_self(at - ctx.now(), pkt.id.0, Msg::Arrive { packet: pkt });
             return;
         }
-        let decision = self.cfg.policy.decide(&self.topo, lp, &pkt, free, ctx.rng());
+        let decision = self
+            .cfg
+            .policy
+            .decide(&self.topo, lp, &pkt, free, ctx.rng());
 
         // BHW priority transitions (paper Section 1.2.4).
         let mut out = pkt;
@@ -229,13 +296,26 @@ impl<T: Topology> HotPotatoModel<T> {
             out.deflections += 1;
             ctx.note(notes::DEFLECT, pkt.id.0);
         }
+        ctx.trace_hop(
+            hops::ROUTE,
+            pkt.id.0,
+            hops::pack_route(decision.deflected, out.deflections),
+        );
         state.take_link(decision.dir);
         saved.chosen = decision.dir.index() as u8;
         out.last_dir = Some(decision.dir);
 
-        let neighbor = self.topo.neighbor(lp, decision.dir).expect("chosen link exists");
+        let neighbor = self
+            .topo
+            .neighbor(lp, decision.dir)
+            .expect("chosen link exists");
         let at = arrive_time(step + 1, out.jitter);
-        ctx.schedule(neighbor, at - ctx.now(), out.id.0, Msg::Arrive { packet: out });
+        ctx.schedule(
+            neighbor,
+            at - ctx.now(),
+            out.id.0,
+            Msg::Arrive { packet: out },
+        );
     }
 
     fn handle_inject(
@@ -247,7 +327,13 @@ impl<T: Topology> HotPotatoModel<T> {
         let lp = ctx.lp();
         let step = ctx.now().step();
         debug_assert!(state.is_injector, "INJECT at a non-injector router");
-        self.ensure_step(state, step, ctx, &mut saved.old_links, &mut saved.old_cur_step);
+        self.ensure_step(
+            state,
+            step,
+            ctx,
+            &mut saved.old_links,
+            &mut saved.old_cur_step,
+        );
 
         state.stats.inject_attempts += 1;
         let free = state.free_links(self.topo.link_dirs(lp));
@@ -291,18 +377,28 @@ impl<T: Topology> HotPotatoModel<T> {
             let neighbor = self.topo.neighbor(lp, dir).expect("free link exists");
             let at = arrive_time(step + 1, jitter);
             ctx.note(notes::INJECT, id.0);
+            ctx.trace_hop(hops::INJECT, id.0, wait);
             ctx.schedule(neighbor, at - ctx.now(), id.0, Msg::Arrive { packet: pkt });
         }
 
         // The application attempts an injection every step.
         let next = inject_time(step + 1, lp);
-        ctx.schedule_self(next - ctx.now(), tie::inject(lp), Msg::Inject { saved: SavedInject::default() });
+        ctx.schedule_self(
+            next - ctx.now(),
+            tie::inject(lp),
+            Msg::Inject {
+                saved: SavedInject::default(),
+            },
+        );
     }
 
     fn handle_heartbeat(&self, state: &mut RouterState, ctx: &mut EventCtx<'_, Msg>) {
         let lp = ctx.lp();
         state.stats.heartbeats += 1;
-        let every = self.cfg.heartbeat_every.expect("heartbeat event without config");
+        let every = self
+            .cfg
+            .heartbeat_every
+            .expect("heartbeat event without config");
         let next = VirtualTime::from_parts(ctx.now().step() + every, HEARTBEAT_PHASE);
         ctx.schedule_self(next - ctx.now(), tie::heartbeat(lp), Msg::Heartbeat);
     }
@@ -363,14 +459,24 @@ impl<T: Topology> Model for HotPotatoModel<T> {
                 last_dir: None,
                 deflections: 0,
             };
-            ctx.schedule_at(lp, arrive_time(1, jitter), id.0, Msg::Arrive { packet: pkt });
+            ctx.schedule_at(
+                lp,
+                arrive_time(1, jitter),
+                id.0,
+                Msg::Arrive { packet: pkt },
+            );
         }
 
         if state.is_injector {
             state.pending_since_step = 1;
-            ctx.schedule_at(lp, inject_time(1, lp), tie::inject(lp), Msg::Inject {
-                saved: SavedInject::default(),
-            });
+            ctx.schedule_at(
+                lp,
+                inject_time(1, lp),
+                tie::inject(lp),
+                Msg::Inject {
+                    saved: SavedInject::default(),
+                },
+            );
         }
         if self.cfg.heartbeat_every.is_some() {
             ctx.schedule_at(
@@ -526,7 +632,10 @@ mod tests {
         assert_eq!(draws, 0);
         assert_eq!(state.stats.delivered, 1);
         assert_eq!(state.stats.transit_steps_sum, 5); // step 7 - injected 2
-        assert_eq!(state.stats.distance_sum, Torus::new(8).distance(3, 5) as u64);
+        assert_eq!(
+            state.stats.distance_sum,
+            Torus::new(8).distance(3, 5) as u64
+        );
     }
 
     #[test]
@@ -572,7 +681,10 @@ mod tests {
         };
         let mut rng = Clcg4::new(2);
         let pkt = test_packet(1, Priority::Sleeping); // dst = (0,1): East good
-        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let mut msg = Msg::Route {
+            packet: pkt,
+            saved: SavedRoute::default(),
+        };
         let now = route_time(7, Priority::Sleeping, pkt.jitter);
         let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
         assert!(bf.get(bits::RESET), "stale step must reset the link mask");
@@ -594,11 +706,17 @@ mod tests {
     #[test]
     fn route_deflects_when_good_links_taken() {
         let m = model(8);
-        let mut state = RouterState { cur_step: 7, ..Default::default() };
+        let mut state = RouterState {
+            cur_step: 7,
+            ..Default::default()
+        };
         state.take_link(Direction::East); // the only good link for dst=(0,1)
         let mut rng = Clcg4::new(3);
         let pkt = test_packet(1, Priority::Active);
-        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let mut msg = Msg::Route {
+            packet: pkt,
+            saved: SavedRoute::default(),
+        };
         let now = route_time(7, Priority::Active, pkt.jitter);
         let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
         assert!(bf.get(bits::DEFLECT));
@@ -612,10 +730,16 @@ mod tests {
     #[test]
     fn excited_promotes_to_running_on_home_run() {
         let m = model(8);
-        let mut state = RouterState { cur_step: 7, ..Default::default() };
+        let mut state = RouterState {
+            cur_step: 7,
+            ..Default::default()
+        };
         let mut rng = Clcg4::new(4);
         let pkt = test_packet(3, Priority::Excited); // same row, East is home-run
-        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let mut msg = Msg::Route {
+            packet: pkt,
+            saved: SavedRoute::default(),
+        };
         let now = route_time(7, Priority::Excited, pkt.jitter);
         let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
         assert!(bf.get(bits::PROMOTE));
@@ -629,11 +753,17 @@ mod tests {
     #[test]
     fn excited_demotes_to_active_on_deflection() {
         let m = model(8);
-        let mut state = RouterState { cur_step: 7, ..Default::default() };
+        let mut state = RouterState {
+            cur_step: 7,
+            ..Default::default()
+        };
         state.take_link(Direction::East);
         let mut rng = Clcg4::new(4);
         let pkt = test_packet(3, Priority::Excited);
-        let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let mut msg = Msg::Route {
+            packet: pkt,
+            saved: SavedRoute::default(),
+        };
         let now = route_time(7, Priority::Excited, pkt.jitter);
         let (bf, out, _) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
         assert!(bf.get(bits::DEMOTE));
@@ -647,9 +777,15 @@ mod tests {
     #[test]
     fn inject_succeeds_on_free_link_and_reschedules() {
         let m = model(8);
-        let mut state = RouterState { is_injector: true, pending_since_step: 1, ..Default::default() };
+        let mut state = RouterState {
+            is_injector: true,
+            pending_since_step: 1,
+            ..Default::default()
+        };
         let mut rng = Clcg4::new(5);
-        let mut msg = Msg::Inject { saved: SavedInject::default() };
+        let mut msg = Msg::Inject {
+            saved: SavedInject::default(),
+        };
         let now = inject_time(4, 0);
         let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, now, &mut rng);
         assert!(bf.get(bits::INJECTED));
@@ -676,12 +812,19 @@ mod tests {
     #[test]
     fn inject_fails_when_all_links_taken() {
         let m = model(8);
-        let mut state = RouterState { is_injector: true, pending_since_step: 1, cur_step: 4, ..Default::default() };
+        let mut state = RouterState {
+            is_injector: true,
+            pending_since_step: 1,
+            cur_step: 4,
+            ..Default::default()
+        };
         for d in topo::ALL_DIRECTIONS {
             state.take_link(d);
         }
         let mut rng = Clcg4::new(5);
-        let mut msg = Msg::Inject { saved: SavedInject::default() };
+        let mut msg = Msg::Inject {
+            saved: SavedInject::default(),
+        };
         let (bf, out, draws) = drive(&m, &mut state, &mut msg, 0, inject_time(4, 0), &mut rng);
         assert!(bf.get(bits::INJECT_FAIL));
         assert_eq!(draws, 0);
@@ -701,8 +844,14 @@ mod tests {
             m.init(9, &mut ctx)
         };
         assert!(state.is_injector, "fraction 1.0 makes everyone an injector");
-        let arrives = out.iter().filter(|e| matches!(e.payload, Msg::Arrive { .. })).count();
-        let injects = out.iter().filter(|e| matches!(e.payload, Msg::Inject { .. })).count();
+        let arrives = out
+            .iter()
+            .filter(|e| matches!(e.payload, Msg::Arrive { .. }))
+            .count();
+        let injects = out
+            .iter()
+            .filter(|e| matches!(e.payload, Msg::Inject { .. }))
+            .count();
         assert_eq!(arrives, 4);
         assert_eq!(injects, 1);
         for e in &out {

@@ -29,8 +29,12 @@ pub enum Priority {
 }
 
 /// All priorities, lowest first.
-pub const ALL_PRIORITIES: [Priority; 4] =
-    [Priority::Sleeping, Priority::Active, Priority::Excited, Priority::Running];
+pub const ALL_PRIORITIES: [Priority; 4] = [
+    Priority::Sleeping,
+    Priority::Active,
+    Priority::Excited,
+    Priority::Running,
+];
 
 impl Priority {
     /// Stable rank 0 (Sleeping) .. 3 (Running).

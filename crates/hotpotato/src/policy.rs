@@ -85,7 +85,10 @@ impl PolicyKind {
         free: DirSet,
         rng: &mut Clcg4,
     ) -> RouteDecision {
-        debug_assert!(!free.is_empty(), "deflection guarantee violated at router {lp}");
+        debug_assert!(
+            !free.is_empty(),
+            "deflection guarantee violated at router {lp}"
+        );
         match self {
             PolicyKind::Bhw => match pkt.priority {
                 Priority::Sleeping | Priority::Active => greedy_choice(topo, lp, pkt, free, rng),
@@ -116,9 +119,15 @@ fn greedy_choice<T: Topology>(
 ) -> RouteDecision {
     let candidates = topo.good_dirs(lp, pkt.dst).intersect(free);
     if !candidates.is_empty() {
-        RouteDecision { dir: pick(candidates, rng), deflected: false }
+        RouteDecision {
+            dir: pick(candidates, rng),
+            deflected: false,
+        }
     } else {
-        RouteDecision { dir: pick(free, rng), deflected: true }
+        RouteDecision {
+            dir: pick(free, rng),
+            deflected: true,
+        }
     }
 }
 
@@ -133,8 +142,14 @@ fn homerun_choice<T: Topology>(
     rng: &mut Clcg4,
 ) -> RouteDecision {
     match topo.home_run_dir(lp, pkt.dst) {
-        Some(hr) if free.contains(hr) => RouteDecision { dir: hr, deflected: false },
-        Some(_) => RouteDecision { dir: pick(free, rng), deflected: true },
+        Some(hr) if free.contains(hr) => RouteDecision {
+            dir: hr,
+            deflected: false,
+        },
+        Some(_) => RouteDecision {
+            dir: pick(free, rng),
+            deflected: true,
+        },
         None => greedy_choice(topo, lp, pkt, free, rng),
     }
 }
@@ -167,7 +182,13 @@ mod tests {
         let t = Torus::new(8);
         let from = t.lp_of(Coord::new(0, 0));
         let to = t.lp_of(Coord::new(0, 3)); // East is the only good dir
-        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Sleeping), DirSet::ALL, &mut rng());
+        let d = PolicyKind::Bhw.decide(
+            &t,
+            from,
+            &pkt(to, Priority::Sleeping),
+            DirSet::ALL,
+            &mut rng(),
+        );
         assert_eq!(d.dir, Direction::East);
         assert!(!d.deflected);
     }
@@ -190,7 +211,13 @@ mod tests {
         let t = Torus::new(8);
         let from = t.lp_of(Coord::new(1, 1));
         let to = t.lp_of(Coord::new(5, 3)); // row phase: East first
-        let d = PolicyKind::Bhw.decide(&t, from, &pkt(to, Priority::Running), DirSet::ALL, &mut rng());
+        let d = PolicyKind::Bhw.decide(
+            &t,
+            from,
+            &pkt(to, Priority::Running),
+            DirSet::ALL,
+            &mut rng(),
+        );
         assert_eq!(d.dir, Direction::East);
         assert!(!d.deflected);
     }
@@ -228,16 +255,30 @@ mod tests {
         assert_eq!(PolicyKind::Bhw.precedence(&p, 10, 8), Priority::Excited);
         assert_eq!(PolicyKind::Greedy.precedence(&p, 10, 8), Priority::Sleeping);
         // OldestFirst: age 0 → lowest band; age 3N → top band.
-        assert_eq!(PolicyKind::OldestFirst.precedence(&p, 0, 8), Priority::Sleeping);
-        let old = Packet { injected_step: 0, ..p };
-        assert_eq!(PolicyKind::OldestFirst.precedence(&old, 24, 8), Priority::Running);
+        assert_eq!(
+            PolicyKind::OldestFirst.precedence(&p, 0, 8),
+            Priority::Sleeping
+        );
+        let old = Packet {
+            injected_step: 0,
+            ..p
+        };
+        assert_eq!(
+            PolicyKind::OldestFirst.precedence(&old, 24, 8),
+            Priority::Running
+        );
     }
 
     #[test]
     fn chosen_dir_is_always_free() {
         let t = Torus::new(6);
         let mut r = rng();
-        for kind in [PolicyKind::Bhw, PolicyKind::Greedy, PolicyKind::OldestFirst, PolicyKind::DimOrder] {
+        for kind in [
+            PolicyKind::Bhw,
+            PolicyKind::Greedy,
+            PolicyKind::OldestFirst,
+            PolicyKind::DimOrder,
+        ] {
             for free_bits in 1u8..16 {
                 let mut free = DirSet::EMPTY;
                 for d in topo::ALL_DIRECTIONS {

@@ -181,8 +181,18 @@ mod tests {
 
     #[test]
     fn absorb_and_merge_agree() {
-        let a = RouterStats { delivered: 2, transit_steps_sum: 10, max_wait_steps: 3, ..Default::default() };
-        let b = RouterStats { delivered: 1, transit_steps_sum: 7, max_wait_steps: 9, ..Default::default() };
+        let a = RouterStats {
+            delivered: 2,
+            transit_steps_sum: 10,
+            max_wait_steps: 3,
+            ..Default::default()
+        };
+        let b = RouterStats {
+            delivered: 1,
+            transit_steps_sum: 7,
+            max_wait_steps: 9,
+            ..Default::default()
+        };
 
         // One NetStats absorbing both routers...
         let mut direct = NetStats::default();
@@ -205,8 +215,18 @@ mod tests {
 
     #[test]
     fn merge_is_commutative() {
-        let a = RouterStats { injected: 5, wait_steps_sum: 12, max_wait_steps: 4, ..Default::default() };
-        let b = RouterStats { injected: 2, wait_steps_sum: 30, max_wait_steps: 20, ..Default::default() };
+        let a = RouterStats {
+            injected: 5,
+            wait_steps_sum: 12,
+            max_wait_steps: 4,
+            ..Default::default()
+        };
+        let b = RouterStats {
+            injected: 2,
+            wait_steps_sum: 30,
+            max_wait_steps: 20,
+            ..Default::default()
+        };
         let mut ab = NetStats::default();
         ab.absorb_router(&a, true);
         let mut b_stats = NetStats::default();

@@ -14,9 +14,7 @@ use topo::Direction;
 
 use hotpotato::msg::{Msg, SavedInject, SavedRoute};
 use hotpotato::timing::{arrive_time, inject_time, route_time, JITTER_SPAN};
-use hotpotato::{
-    HotPotatoConfig, HotPotatoModel, Packet, PacketId, Priority, RouterState,
-};
+use hotpotato::{HotPotatoConfig, HotPotatoModel, Packet, PacketId, Priority, RouterState};
 
 const N: u32 = 8;
 
@@ -149,7 +147,10 @@ fn route_roundtrips() {
         }
         let m = model(false);
         let now = route_time(step, pkt.priority, pkt.jitter);
-        let msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+        let msg = Msg::Route {
+            packet: pkt,
+            saved: SavedRoute::default(),
+        };
         let emitted = roundtrip(&m, &state, &msg, lp, now, seed);
         assert_eq!(emitted, 1, "ROUTE always forwards the packet");
     }
@@ -168,7 +169,9 @@ fn inject_roundtrips() {
         state.pending_since_step = state.pending_since_step.min(step);
         let m = model(true);
         let now = inject_time(step, lp);
-        let msg = Msg::Inject { saved: SavedInject::default() };
+        let msg = Msg::Inject {
+            saved: SavedInject::default(),
+        };
         roundtrip(&m, &state, &msg, lp, now, seed);
     }
 }
@@ -205,15 +208,15 @@ fn lifo_pair_roundtrips() {
         let mut rng = Clcg4::new(seed);
         let rng0 = rng;
 
-        let run = |pkt: Packet,
-                   state: &mut RouterState,
-                   rng: &mut Clcg4|
-         -> (Msg, Bitfield, u64) {
+        let run = |pkt: Packet, state: &mut RouterState, rng: &mut Clcg4| -> (Msg, Bitfield, u64) {
             let mut pkt = pkt;
             if pkt.dst == lp {
                 pkt.priority = Priority::Sleeping;
             }
-            let mut msg = Msg::Route { packet: pkt, saved: SavedRoute::default() };
+            let mut msg = Msg::Route {
+                packet: pkt,
+                saved: SavedRoute::default(),
+            };
             let now = route_time(step, pkt.priority, pkt.jitter);
             let mut bf = Bitfield::default();
             let mut out = Vec::new();
@@ -238,9 +241,17 @@ fn lifo_pair_roundtrips() {
         // Rollback in LIFO order.
         let now = route_time(step, Priority::Sleeping, 0);
         rng.reverse_n(draws_b);
-        m.reverse(&mut state, &mut msg_b, &ReverseCtx::synthetic(lp, now, bf_b));
+        m.reverse(
+            &mut state,
+            &mut msg_b,
+            &ReverseCtx::synthetic(lp, now, bf_b),
+        );
         rng.reverse_n(draws_a);
-        m.reverse(&mut state, &mut msg_a, &ReverseCtx::synthetic(lp, now, bf_a));
+        m.reverse(
+            &mut state,
+            &mut msg_a,
+            &ReverseCtx::synthetic(lp, now, bf_a),
+        );
 
         assert_eq!(state, state_pre);
         assert_eq!(rng, rng0);

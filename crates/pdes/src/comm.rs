@@ -85,7 +85,9 @@ impl<T> SpscRing<T> {
     fn new(capacity: usize) -> Self {
         assert!(capacity.is_power_of_two());
         SpscRing {
-            slots: (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
             mask: capacity - 1,
             head: CachePadded(AtomicUsize::new(0)),
             tail: CachePadded(AtomicUsize::new(0)),
@@ -212,7 +214,8 @@ impl<P: Send> CommFabric<P> {
         debug_assert!(!batch.is_empty());
         debug_assert!(from != to, "local events never cross the fabric");
         let ch = self.channel(from, to);
-        ch.in_flight.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        ch.in_flight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         if ch.spilled.load(Ordering::Acquire) == 0 {
             // SAFETY: per the contract, this thread is the unique producer
             // for channel (from → to).

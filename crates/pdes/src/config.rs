@@ -200,13 +200,17 @@ impl EngineConfig {
             return Err(RunError::config("batch must be >= 1"));
         }
         if self.comm_batch == Some(0) {
-            return Err(RunError::config("comm_batch must be >= 1 (or None for unbounded)"));
+            return Err(RunError::config(
+                "comm_batch must be >= 1 (or None for unbounded)",
+            ));
         }
         if self.gvt_stall_rounds == Some(0) {
             return Err(RunError::config("gvt_stall_rounds must be >= 1 (or None)"));
         }
         if self.obs.progress_every == Some(0) {
-            return Err(RunError::config("obs.progress_every must be >= 1 (or None)"));
+            return Err(RunError::config(
+                "obs.progress_every must be >= 1 (or None)",
+            ));
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate().map_err(RunError::config)?;

@@ -68,7 +68,9 @@ pub enum RunError {
 impl RunError {
     /// Shorthand constructor for [`RunError::ConfigInvalid`].
     pub fn config(reason: impl Into<String>) -> Self {
-        RunError::ConfigInvalid { reason: reason.into() }
+        RunError::ConfigInvalid {
+            reason: reason.into(),
+        }
     }
 
     /// The machine snapshot attached to this failure, if any.
@@ -84,10 +86,19 @@ impl RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::PePanic { pe, payload, diagnostics } => {
+            RunError::PePanic {
+                pe,
+                payload,
+                diagnostics,
+            } => {
                 write!(f, "PE {pe} panicked: {payload}\n{diagnostics}")
             }
-            RunError::GvtStalled { gvt, rounds, elapsed, diagnostics } => {
+            RunError::GvtStalled {
+                gvt,
+                rounds,
+                elapsed,
+                diagnostics,
+            } => {
                 write!(
                     f,
                     "GVT stalled at {gvt} for {rounds} rounds ({elapsed:?} elapsed)\n{diagnostics}"
@@ -196,21 +207,45 @@ pub struct PeDiagnostics {
 /// [`RunError`] once every thread has unwound and diagnostics are complete.
 #[derive(Debug)]
 pub(crate) enum FailureCause {
-    Panic { pe: PeId, payload: String },
-    Stalled { gvt: u64, rounds: u64 },
-    DeadlineExpired { gvt: u64, rounds: u64, elapsed: Duration },
+    Panic {
+        pe: PeId,
+        payload: String,
+    },
+    Stalled {
+        gvt: u64,
+        rounds: u64,
+    },
+    DeadlineExpired {
+        gvt: u64,
+        rounds: u64,
+        elapsed: Duration,
+    },
 }
 
 impl FailureCause {
     pub(crate) fn into_error(self, diagnostics: RunDiagnostics) -> RunError {
         match self {
-            FailureCause::Panic { pe, payload } => RunError::PePanic { pe, payload, diagnostics },
-            FailureCause::Stalled { gvt, rounds } => {
-                RunError::GvtStalled { gvt, rounds, elapsed: Duration::ZERO, diagnostics }
-            }
-            FailureCause::DeadlineExpired { gvt, rounds, elapsed } => {
-                RunError::GvtStalled { gvt, rounds, elapsed, diagnostics }
-            }
+            FailureCause::Panic { pe, payload } => RunError::PePanic {
+                pe,
+                payload,
+                diagnostics,
+            },
+            FailureCause::Stalled { gvt, rounds } => RunError::GvtStalled {
+                gvt,
+                rounds,
+                elapsed: Duration::ZERO,
+                diagnostics,
+            },
+            FailureCause::DeadlineExpired {
+                gvt,
+                rounds,
+                elapsed,
+            } => RunError::GvtStalled {
+                gvt,
+                rounds,
+                elapsed,
+                diagnostics,
+            },
         }
     }
 }
@@ -240,7 +275,11 @@ mod tests {
                 gvt: 17,
                 sent: 5,
                 received: 4,
-                pes: vec![PeDiagnostics { pe: 0, queue_depth: 3, ..Default::default() }],
+                pes: vec![PeDiagnostics {
+                    pe: 0,
+                    queue_depth: 3,
+                    ..Default::default()
+                }],
             },
         };
         let text = err.to_string();
@@ -260,6 +299,9 @@ mod tests {
     fn decode_payload_handles_both_string_kinds() {
         assert_eq!(decode_payload(Box::new("static")), "static");
         assert_eq!(decode_payload(Box::new(String::from("owned"))), "owned");
-        assert_eq!(decode_payload(Box::new(42u32)), "<non-string panic payload>");
+        assert_eq!(
+            decode_payload(Box::new(42u32)),
+            "<non-string panic payload>"
+        );
     }
 }

@@ -51,8 +51,7 @@ impl EventId {
     /// failure instead of id aliasing in release builds.
     #[inline]
     pub fn try_new(pe: PeId, seq: u64) -> Option<Self> {
-        (pe < Self::PE_LIMIT && seq < Self::SEQ_LIMIT)
-            .then_some(EventId(((pe as u64) << 48) | seq))
+        (pe < Self::PE_LIMIT && seq < Self::SEQ_LIMIT).then_some(EventId(((pe as u64) << 48) | seq))
     }
 
     /// The PE that allocated this id.

@@ -64,7 +64,12 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that injects nothing until rates are set.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, delay: 0.0, duplicate: 0.0, reorder: 0.0 }
+        FaultPlan {
+            seed,
+            delay: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
     }
 
     /// Set the per-message delay (holdback) probability.
@@ -93,11 +98,15 @@ impl FaultPlan {
 
     /// Check all rates are probabilities.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, p) in
-            [("delay", self.delay), ("duplicate", self.duplicate), ("reorder", self.reorder)]
-        {
+        for (name, p) in [
+            ("delay", self.delay),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(format!("fault {name} rate {p} is not a probability in [0, 1]"));
+                return Err(format!(
+                    "fault {name} rate {p} is not a probability in [0, 1]"
+                ));
             }
         }
         Ok(())
@@ -213,7 +222,10 @@ mod tests {
 
     #[test]
     fn faults_are_deterministic_per_seed_and_pe() {
-        let plan = FaultPlan::new(7).with_delay(0.3).with_duplicate(0.2).with_reorder(0.5);
+        let plan = FaultPlan::new(7)
+            .with_delay(0.3)
+            .with_duplicate(0.2)
+            .with_reorder(0.5);
         let run = |pe: PeId| {
             let mut fs: FaultState<()> = FaultState::new(plan, pe);
             let mut stats = EngineStats::default();
@@ -226,7 +238,10 @@ mod tests {
 
     #[test]
     fn nothing_is_lost_or_invented() {
-        let plan = FaultPlan::new(99).with_delay(0.4).with_duplicate(0.3).with_reorder(1.0);
+        let plan = FaultPlan::new(99)
+            .with_delay(0.4)
+            .with_duplicate(0.3)
+            .with_reorder(1.0);
         let mut fs: FaultState<()> = FaultState::new(plan, 2);
         let mut stats = EngineStats::default();
         let n = 200u64;
@@ -240,7 +255,11 @@ mod tests {
         let mut seen = ids(&delivered);
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen, (0..n).collect::<Vec<_>>(), "every original must survive");
+        assert_eq!(
+            seen,
+            (0..n).collect::<Vec<_>>(),
+            "every original must survive"
+        );
         assert_eq!(
             delivered.len() as u64,
             n + stats.injected_duplicates,
@@ -253,7 +272,10 @@ mod tests {
     fn validate_rejects_bad_rates() {
         assert!(FaultPlan::new(0).with_delay(1.5).validate().is_err());
         assert!(FaultPlan::new(0).with_reorder(-0.1).validate().is_err());
-        assert!(FaultPlan::new(0).with_duplicate(f64::NAN).validate().is_err());
+        assert!(FaultPlan::new(0)
+            .with_duplicate(f64::NAN)
+            .validate()
+            .is_err());
         assert!(FaultPlan::new(0).with_delay(1.0).validate().is_ok());
     }
 }

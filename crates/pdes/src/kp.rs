@@ -29,6 +29,10 @@ pub struct Processed<P, S> {
     pub children: Vec<ChildRef>,
     /// State-saving snapshot (None under reverse computation).
     pub snapshot: Option<(S, crate::rng::Clcg4)>,
+    /// Causal hops this execution emitted into the packet tracer (0 when
+    /// tracing is off); rollback unwinds and fossil collection commits
+    /// exactly this many.
+    pub n_trace: u32,
 }
 
 /// Per-KP bookkeeping. Events are appended in processing order, which within
@@ -45,7 +49,10 @@ pub struct Kp<P, S> {
 impl<P, S> Kp<P, S> {
     /// Fresh, empty KP.
     pub fn new() -> Self {
-        Kp { processed: VecDeque::new(), rolled_back: 0 }
+        Kp {
+            processed: VecDeque::new(),
+            rolled_back: 0,
+        }
     }
 
     /// Key of the most recently processed (uncommitted) event, if any.
@@ -137,6 +144,7 @@ mod tests {
             rng_calls: 0,
             children: Vec::new(),
             snapshot: None,
+            n_trace: 0,
         }
     }
 

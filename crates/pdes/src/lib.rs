@@ -111,6 +111,8 @@ pub mod prelude {
     pub use crate::fault::FaultPlan;
     pub use crate::mapping::{LinearMapping, Mapping};
     pub use crate::model::{EventCtx, InitCtx, Merge, Model, ReverseCtx};
+    pub use crate::obs::prof::{Phase, PhaseProfile, PhaseStats};
+    pub use crate::obs::trace::{HopEmit, HopRecord, PacketTrace, TRACE_UNBOUNDED};
     pub use crate::obs::{
         CategoryMask, JsonlSink, MemorySink, MetricsSink, NullSink, ObsCategory, ObsConfig,
         ObsSeverity, RecorderSummary, RoundSnapshot, Telemetry,

@@ -39,11 +39,17 @@ pub trait Mapping: Send + Sync {
         );
         for lp in 0..self.n_lps() {
             let kp = self.kp_of(lp);
-            assert!(kp < self.n_kps(), "mapping: lp {lp} -> kp {kp} out of range");
+            assert!(
+                kp < self.n_kps(),
+                "mapping: lp {lp} -> kp {kp} out of range"
+            );
         }
         for kp in 0..self.n_kps() {
             let pe = self.pe_of(kp);
-            assert!(pe < self.n_pes(), "mapping: kp {kp} -> pe {pe} out of range");
+            assert!(
+                pe < self.n_pes(),
+                "mapping: kp {kp} -> pe {pe} out of range"
+            );
         }
     }
 }
@@ -62,7 +68,11 @@ pub struct LinearMapping {
 impl LinearMapping {
     /// Create a mapping of `n_lps` LPs over `n_kps` KPs over `n_pes` PEs.
     pub fn new(n_lps: u32, n_kps: u32, n_pes: usize) -> Self {
-        let m = LinearMapping { n_lps, n_kps: n_kps.min(n_lps), n_pes };
+        let m = LinearMapping {
+            n_lps,
+            n_kps: n_kps.min(n_lps),
+            n_pes,
+        };
         m.validate();
         m
     }
@@ -114,9 +124,14 @@ impl FlatMapping {
         let n_kps = m.n_kps();
         let pe_of_kp: Vec<PeId> = (0..n_kps).map(|kp| m.pe_of(kp)).collect();
         let kp_of_lp: Vec<KpId> = (0..n_lps).map(|lp| m.kp_of(lp)).collect();
-        let pe_of_lp: Vec<PeId> =
-            kp_of_lp.iter().map(|&kp| pe_of_kp[kp as usize]).collect();
-        FlatMapping { kp_of_lp, pe_of_lp, pe_of_kp, n_pes: m.n_pes(), n_kps }
+        let pe_of_lp: Vec<PeId> = kp_of_lp.iter().map(|&kp| pe_of_kp[kp as usize]).collect();
+        FlatMapping {
+            kp_of_lp,
+            pe_of_lp,
+            pe_of_kp,
+            n_pes: m.n_pes(),
+            n_kps,
+        }
     }
 
     /// LPs owned by PE `pe`, in LP order.

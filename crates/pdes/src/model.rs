@@ -20,6 +20,7 @@
 //!   (e.g. a unique packet id) when scheduling.
 
 use crate::event::{Bitfield, EventId, EventKey, LpId};
+use crate::obs::trace::HopEmit;
 use crate::obs::{FlightRecorder, ObsKind, ObsRecord};
 use crate::rng::Clcg4;
 use crate::time::VirtualTime;
@@ -50,6 +51,9 @@ pub struct EventCtx<'a, P> {
     /// The executing kernel's flight recorder (`None` in synthetic test
     /// contexts), target of [`note`](Self::note).
     pub(crate) obs: Option<&'a mut FlightRecorder>,
+    /// The kernel's per-event hop buffer (`None` when packet tracing is
+    /// off), target of [`trace_hop`](Self::trace_hop).
+    pub(crate) trace: Option<&'a mut Vec<HopEmit>>,
 }
 
 impl<'a, P> EventCtx<'a, P> {
@@ -97,7 +101,12 @@ impl<'a, P> EventCtx<'a, P> {
     #[inline]
     pub fn schedule(&mut self, dst: LpId, delay: u64, tie: u64, payload: P) {
         assert!(delay >= 1, "schedule: zero-delay events are not allowed");
-        self.out.push(Emit { dst, recv_time: self.now + delay, tie, payload });
+        self.out.push(Emit {
+            dst,
+            recv_time: self.now + delay,
+            tie,
+            payload,
+        });
     }
 
     /// Schedule an event to this LP itself.
@@ -135,6 +144,27 @@ impl<'a, P> EventCtx<'a, P> {
         }
     }
 
+    /// Is per-packet causal tracing on for this execution? Lets a model skip
+    /// argument packing when no one is listening.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record one causal hop for `packet` — a model-defined lineage point
+    /// (hotpotato: inject / route / absorb). Unlike [`note`](Self::note),
+    /// hops follow the *committed* history: the kernel buffers them with the
+    /// executing event, erases them if it rolls back, and publishes them
+    /// only at fossil collection, so the committed lineage is bit-identical
+    /// between sequential and parallel runs. No-op when tracing is off or
+    /// the context is [`synthetic`](Self::synthetic).
+    #[inline]
+    pub fn trace_hop(&mut self, kind: u8, packet: u64, arg: u64) {
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.push(HopEmit { kind, packet, arg });
+        }
+    }
+
     /// Build a context directly — for unit-testing model handlers outside a
     /// kernel. Emissions are appended to `out`; the caller plays kernel and
     /// is responsible for reversing `rng` by the number of draws made if it
@@ -148,7 +178,17 @@ impl<'a, P> EventCtx<'a, P> {
         rng: &'a mut Clcg4,
         out: &'a mut Vec<Emit<P>>,
     ) -> Self {
-        EventCtx { lp, src, now, send_time: VirtualTime::ZERO, bf, rng, out, obs: None }
+        EventCtx {
+            lp,
+            src,
+            now,
+            send_time: VirtualTime::ZERO,
+            bf,
+            rng,
+            out,
+            obs: None,
+            trace: None,
+        }
     }
 }
 
@@ -214,7 +254,12 @@ impl<'a, P> InitCtx<'a, P> {
             recv_time > VirtualTime::ZERO,
             "init events must have recv_time > 0"
         );
-        self.out.push(Emit { dst, recv_time, tie, payload });
+        self.out.push(Emit {
+            dst,
+            recv_time,
+            tie,
+            payload,
+        });
     }
 
     /// Build an init context directly — for unit-testing model setup
@@ -260,12 +305,7 @@ pub trait Model: Send + Sync + 'static {
     /// Reverse-execute one event, restoring `state` to its value before the
     /// corresponding [`handle`](Self::handle). RNG draws are un-stepped by
     /// the kernel; child events are cancelled by the kernel.
-    fn reverse(
-        &self,
-        state: &mut Self::State,
-        payload: &mut Self::Payload,
-        ctx: &ReverseCtx,
-    );
+    fn reverse(&self, state: &mut Self::State, payload: &mut Self::Payload, ctx: &ReverseCtx);
 
     /// Called when an event is irrevocably committed (passed by GVT).
     /// Default: nothing. Use for irreversible side effects (I/O).

@@ -38,6 +38,8 @@
 
 pub mod chrome;
 pub mod json;
+pub mod prof;
+pub mod trace;
 
 use std::fmt;
 use std::fs::File;
@@ -186,8 +188,8 @@ impl ObsKind {
         match self {
             Enqueue | Execute | Emit | Fossil => ObsCategory::Event,
             PrimaryRollback | RollbackPop | Requeue => ObsCategory::Rollback,
-            AntiSent | CancelPending | CancelMiss | Annihilate | AnnihilateEarly
-            | DeferAnti | DropDuplicate => ObsCategory::Cancel,
+            AntiSent | CancelPending | CancelMiss | Annihilate | AnnihilateEarly | DeferAnti
+            | DropDuplicate => ObsCategory::Cancel,
             GvtAdvance => ObsCategory::Gvt,
             CommFlush | CommOverflow => ObsCategory::Comm,
             PoolHit | PoolMiss => ObsCategory::Pool,
@@ -211,9 +213,27 @@ impl ObsKind {
     fn all() -> [ObsKind; N_KINDS] {
         use ObsKind::*;
         [
-            Enqueue, Execute, Emit, Fossil, PrimaryRollback, RollbackPop, Requeue, AntiSent,
-            CancelPending, CancelMiss, Annihilate, AnnihilateEarly, DeferAnti, DropDuplicate,
-            GvtAdvance, CommFlush, CommOverflow, PoolHit, PoolMiss, FaultInjected, ModelNote,
+            Enqueue,
+            Execute,
+            Emit,
+            Fossil,
+            PrimaryRollback,
+            RollbackPop,
+            Requeue,
+            AntiSent,
+            CancelPending,
+            CancelMiss,
+            Annihilate,
+            AnnihilateEarly,
+            DeferAnti,
+            DropDuplicate,
+            GvtAdvance,
+            CommFlush,
+            CommOverflow,
+            PoolHit,
+            PoolMiss,
+            FaultInjected,
+            ModelNote,
         ]
     }
 }
@@ -252,7 +272,12 @@ impl ObsRecord {
     /// A kernel-global record (no event attached).
     #[inline]
     pub fn kernel(kind: ObsKind, arg: u64) -> ObsRecord {
-        ObsRecord { kind, id: EventId(0), key: NO_KEY, arg }
+        ObsRecord {
+            kind,
+            id: EventId(0),
+            key: NO_KEY,
+            arg,
+        }
     }
 
     /// Render the record as one trace line (the format
@@ -298,7 +323,13 @@ impl FlightRecorder {
                     mask.contains(kind.category()) && kind.severity() >= min_severity;
             }
         }
-        FlightRecorder { buf: Vec::new(), capacity, next: 0, recorded: 0, wants }
+        FlightRecorder {
+            buf: Vec::new(),
+            capacity,
+            next: 0,
+            recorded: 0,
+            wants,
+        }
     }
 
     /// A recorder that records nothing (all checks short-circuit).
@@ -359,7 +390,11 @@ impl FlightRecorder {
 
     /// Iterate the held records oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &ObsRecord> {
-        let split = if self.buf.len() == self.capacity { self.next } else { 0 };
+        let split = if self.buf.len() == self.capacity {
+            self.next
+        } else {
+            0
+        };
         self.buf[split..].iter().chain(self.buf[..split].iter())
     }
 
@@ -440,6 +475,9 @@ pub struct RoundSnapshot {
     pub pool_hits: u64,
     /// Cumulative buffer-pool misses.
     pub pool_misses: u64,
+    /// Cumulative estimated nanoseconds per kernel phase (indexed by
+    /// [`prof::Phase`] discriminant; all zero when the profiler is off).
+    pub phase_ns: [u64; prof::N_PHASES],
 }
 
 impl RoundSnapshot {
@@ -489,7 +527,12 @@ pub struct RoundSeries {
 impl RoundSeries {
     /// A series retaining at most `capacity` snapshots (`0` disables it).
     pub fn new(capacity: usize) -> RoundSeries {
-        RoundSeries { snaps: Vec::new(), capacity, stride: 1, dropped: 0 }
+        RoundSeries {
+            snaps: Vec::new(),
+            capacity,
+            stride: 1,
+            dropped: 0,
+        }
     }
 
     /// Offer one snapshot; the series decides whether to retain it.
@@ -613,7 +656,9 @@ impl JsonlSink {
     /// Create (truncate) `path` and stream snapshots into it.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
         let file = File::create(path)?;
-        Ok(JsonlSink { out: Mutex::new(BufWriter::new(file)) })
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
     }
 }
 
@@ -658,6 +703,16 @@ pub struct ObsConfig {
     /// Streaming snapshot consumer (`None` = no streaming; the in-memory
     /// series still fills).
     pub sink: Option<Arc<dyn MetricsSink>>,
+    /// Phase-level wall-clock profiler ([`prof`]). On by default: hot-phase
+    /// stride sampling keeps it inside the CI overhead budget.
+    pub prof_enabled: bool,
+    /// Hot phases are timed 1 in `2^prof_sample_shift` scopes (0 = every
+    /// scope; cold phases are always timed).
+    pub prof_sample_shift: u32,
+    /// Committed per-packet hop-trace capacity per PE ([`trace`]); `0`
+    /// disables causal packet tracing (the default — a traced run buys exact
+    /// per-packet lineage for memory proportional to committed hops).
+    pub packet_trace_capacity: usize,
 }
 
 /// Recorder capacity used when the legacy `PDES_TRACE` env toggle (or
@@ -666,6 +721,10 @@ pub const DEFAULT_RECORDER_CAPACITY: usize = 65_536;
 
 /// Series capacity used by [`ObsConfig::default`].
 pub const DEFAULT_SERIES_CAPACITY: usize = 1_024;
+
+/// Committed-hop capacity used when `PDES_OBS_PACKET_TRACE=1`/`true` turns
+/// packet tracing on without an explicit cap.
+pub const DEFAULT_PACKET_TRACE_CAPACITY: usize = 1 << 20;
 
 impl Default for ObsConfig {
     fn default() -> Self {
@@ -676,12 +735,16 @@ impl Default for ObsConfig {
             series_capacity: DEFAULT_SERIES_CAPACITY,
             progress_every: None,
             sink: None,
+            prof_enabled: true,
+            prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
+            packet_trace_capacity: 0,
         }
     }
 }
 
 impl ObsConfig {
-    /// Everything off: no recorder, no series, no progress, no sink.
+    /// Everything off: no recorder, no series, no progress, no sink, no
+    /// profiler, no packet trace.
     pub fn disabled() -> ObsConfig {
         ObsConfig {
             recorder_capacity: 0,
@@ -690,11 +753,16 @@ impl ObsConfig {
             series_capacity: 0,
             progress_every: None,
             sink: None,
+            prof_enabled: false,
+            prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
+            packet_trace_capacity: 0,
         }
     }
 
     /// Maximum verbosity: full recorder (every category at `Debug`) and a
-    /// deep snapshot series. The determinism suites run under this.
+    /// deep snapshot series. The determinism suites run under this. Packet
+    /// tracing stays opt-in even here (its memory scales with committed
+    /// hops, not with a fixed cap a storm can't exceed).
     pub fn verbose() -> ObsConfig {
         ObsConfig {
             recorder_capacity: DEFAULT_RECORDER_CAPACITY,
@@ -703,6 +771,9 @@ impl ObsConfig {
             series_capacity: 4 * DEFAULT_SERIES_CAPACITY,
             progress_every: None,
             sink: None,
+            prof_enabled: true,
+            prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
+            packet_trace_capacity: 0,
         }
     }
 
@@ -713,16 +784,32 @@ impl ObsConfig {
     ///   (including `0`) leaves it off.
     /// * `PDES_OBS_PROGRESS=<K>` enables the stderr progress line every `K`
     ///   GVT rounds.
+    /// * `PDES_OBS_PROF=0` (or `false`) turns the phase profiler off;
+    ///   anything else leaves it at the default (on).
+    /// * `PDES_OBS_PROF_SHIFT=<S>` sets the hot-phase sampling stride to
+    ///   1 in `2^S`.
+    /// * `PDES_OBS_PACKET_TRACE=<N>` enables per-packet causal tracing with
+    ///   a committed-hop cap of `N` per PE (`1`/`true` picks
+    ///   [`DEFAULT_PACKET_TRACE_CAPACITY`]; `0` leaves it off).
     ///
     /// The lookups happen once per process (cached in a `OnceLock`), never
     /// on a hot path.
     pub fn from_env() -> ObsConfig {
-        let &(trace, progress) = env_overrides();
+        let env = env_overrides();
         let mut cfg = ObsConfig::default();
-        if trace {
+        if env.trace {
             cfg.recorder_capacity = DEFAULT_RECORDER_CAPACITY;
         }
-        cfg.progress_every = progress;
+        cfg.progress_every = env.progress;
+        if let Some(on) = env.prof {
+            cfg.prof_enabled = on;
+        }
+        if let Some(shift) = env.prof_shift {
+            cfg.prof_sample_shift = shift;
+        }
+        if let Some(cap) = env.packet_trace {
+            cfg.packet_trace_capacity = cap;
+        }
         cfg
     }
 
@@ -768,6 +855,28 @@ impl ObsConfig {
         self
     }
 
+    /// Turn the phase-level wall-clock profiler on or off.
+    #[must_use]
+    pub fn with_profiler(mut self, enabled: bool) -> ObsConfig {
+        self.prof_enabled = enabled;
+        self
+    }
+
+    /// Time hot-phase scopes 1 in `2^shift` (0 = time every scope).
+    #[must_use]
+    pub fn with_prof_sample_shift(mut self, shift: u32) -> ObsConfig {
+        self.prof_sample_shift = shift;
+        self
+    }
+
+    /// Enable per-packet causal tracing, committing at most `capacity` hops
+    /// per PE ([`trace::TRACE_UNBOUNDED`] for no cap; `0` disables).
+    #[must_use]
+    pub fn with_packet_trace(mut self, capacity: usize) -> ObsConfig {
+        self.packet_trace_capacity = capacity;
+        self
+    }
+
     /// Build a recorder per this configuration.
     pub(crate) fn build_recorder(&self) -> FlightRecorder {
         FlightRecorder::new(self.recorder_capacity, self.categories, self.min_severity)
@@ -776,6 +885,16 @@ impl ObsConfig {
     /// Build a round series per this configuration.
     pub(crate) fn build_series(&self) -> RoundSeries {
         RoundSeries::new(self.series_capacity)
+    }
+
+    /// Build a phase profiler per this configuration.
+    pub(crate) fn build_profiler(&self) -> prof::PhaseProfiler {
+        prof::PhaseProfiler::new(self.prof_enabled, self.prof_sample_shift)
+    }
+
+    /// Build a packet tracer per this configuration.
+    pub(crate) fn build_tracer(&self, n_kps: usize) -> trace::PacketTracer {
+        trace::PacketTracer::new(self.packet_trace_capacity, n_kps)
     }
 }
 
@@ -788,20 +907,50 @@ impl fmt::Debug for ObsConfig {
             .field("series_capacity", &self.series_capacity)
             .field("progress_every", &self.progress_every)
             .field("sink", &self.sink.as_ref().map(|_| "<dyn MetricsSink>"))
+            .field("prof_enabled", &self.prof_enabled)
+            .field("prof_sample_shift", &self.prof_sample_shift)
+            .field("packet_trace_capacity", &self.packet_trace_capacity)
             .finish()
     }
 }
 
-/// Cached `(PDES_TRACE on, PDES_OBS_PROGRESS)` environment lookups.
-fn env_overrides() -> &'static (bool, Option<u64>) {
-    static ENV: std::sync::OnceLock<(bool, Option<u64>)> = std::sync::OnceLock::new();
+/// Cached `PDES_*` environment lookups.
+struct EnvOverrides {
+    trace: bool,
+    progress: Option<u64>,
+    prof: Option<bool>,
+    prof_shift: Option<u32>,
+    packet_trace: Option<usize>,
+}
+
+fn env_overrides() -> &'static EnvOverrides {
+    static ENV: std::sync::OnceLock<EnvOverrides> = std::sync::OnceLock::new();
     ENV.get_or_init(|| {
         let trace = matches!(std::env::var("PDES_TRACE").as_deref(), Ok("1") | Ok("true"));
         let progress = std::env::var("PDES_OBS_PROGRESS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&k| k > 0);
-        (trace, progress)
+        let prof = match std::env::var("PDES_OBS_PROF").as_deref() {
+            Ok("0") | Ok("false") => Some(false),
+            Ok(_) => Some(true),
+            Err(_) => None,
+        };
+        let prof_shift = std::env::var("PDES_OBS_PROF_SHIFT")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok());
+        let packet_trace = match std::env::var("PDES_OBS_PACKET_TRACE").as_deref() {
+            Ok("1") | Ok("true") => Some(DEFAULT_PACKET_TRACE_CAPACITY),
+            Ok(v) => v.parse::<usize>().ok(),
+            Err(_) => None,
+        };
+        EnvOverrides {
+            trace,
+            progress,
+            prof,
+            prof_shift,
+            packet_trace,
+        }
     })
 }
 
@@ -820,6 +969,10 @@ pub struct Telemetry {
     pub recorders: Vec<RecorderSummary>,
     /// Snapshots offered to the per-PE series but not retained (decimation).
     pub rounds_dropped: u64,
+    /// Committed per-packet hop lineage (empty unless
+    /// [`ObsConfig::with_packet_trace`] enabled it), sealed into sequential
+    /// execution order.
+    pub trace: trace::PacketTrace,
 }
 
 impl Telemetry {
@@ -866,10 +1019,16 @@ impl Telemetry {
         }
     }
 
+    /// Merge one PE's committed packet trace in (kernel use).
+    pub(crate) fn absorb_trace(&mut self, trace: trace::PacketTrace) {
+        self.trace.absorb(trace);
+    }
+
     /// Final sort after all PEs merged (kernel use).
     pub(crate) fn seal(&mut self) {
         self.rounds.sort_unstable_by_key(|s| (s.round, s.pe));
         self.recorders.sort_unstable_by_key(|r| r.pe);
+        self.trace.seal();
     }
 }
 
@@ -920,7 +1079,13 @@ mod tests {
         assert!(!r.wants(ObsKind::Execute));
         r.record(rec(ObsKind::Execute, 0));
         assert!(r.is_empty());
-        assert_eq!(r.summary(3), RecorderSummary { pe: 3, ..Default::default() });
+        assert_eq!(
+            r.summary(3),
+            RecorderSummary {
+                pe: 3,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -935,7 +1100,13 @@ mod tests {
     }
 
     fn snap(round: u64, pe: PeId) -> RoundSnapshot {
-        RoundSnapshot { round, pe, gvt: round * 10, lvt: round * 10 + 5, ..Default::default() }
+        RoundSnapshot {
+            round,
+            pe,
+            gvt: round * 10,
+            lvt: round * 10 + 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -944,12 +1115,22 @@ mod tests {
         for round in 1..=100 {
             s.push(snap(round, 0));
         }
-        assert!(s.snapshots().len() <= 8, "len {} over capacity", s.snapshots().len());
+        assert!(
+            s.snapshots().len() <= 8,
+            "len {} over capacity",
+            s.snapshots().len()
+        );
         assert!(s.stride() > 1, "decimation never triggered");
         assert!(s.dropped() > 0);
         let rounds: Vec<u64> = s.snapshots().iter().map(|x| x.round).collect();
-        assert!(rounds.windows(2).all(|w| w[0] < w[1]), "out of order: {rounds:?}");
-        assert!(*rounds.last().unwrap() > 90, "series lost the tail: {rounds:?}");
+        assert!(
+            rounds.windows(2).all(|w| w[0] < w[1]),
+            "out of order: {rounds:?}"
+        );
+        assert!(
+            *rounds.last().unwrap() > 90,
+            "series lost the tail: {rounds:?}"
+        );
         assert!(rounds[0] <= s.stride(), "series lost the head: {rounds:?}");
     }
 
@@ -975,7 +1156,10 @@ mod tests {
         assert_eq!(s.lvt_lead(), Some(40));
         assert!((s.rollback_ratio() - 0.2).abs() < 1e-12);
         assert!((s.pool_hit_rate() - 0.75).abs() < 1e-12);
-        let idle = RoundSnapshot { lvt: u64::MAX, ..Default::default() };
+        let idle = RoundSnapshot {
+            lvt: u64::MAX,
+            ..Default::default()
+        };
         assert_eq!(idle.lvt_lead(), None);
         assert_eq!(RoundSnapshot::default().rollback_ratio(), 0.0);
         assert_eq!(RoundSnapshot::default().pool_hit_rate(), 0.0);
@@ -1002,8 +1186,26 @@ mod tests {
         let mut s0 = RoundSeries::new(8);
         s0.push(snap(1, 0));
         s0.push(snap(2, 0));
-        t.absorb(s1, RecorderSummary { pe: 1, capacity: 4, len: 2, recorded: 2, overwritten: 0 });
-        t.absorb(s0, RecorderSummary { pe: 0, capacity: 4, len: 1, recorded: 1, overwritten: 0 });
+        t.absorb(
+            s1,
+            RecorderSummary {
+                pe: 1,
+                capacity: 4,
+                len: 2,
+                recorded: 2,
+                overwritten: 0,
+            },
+        );
+        t.absorb(
+            s0,
+            RecorderSummary {
+                pe: 0,
+                capacity: 4,
+                len: 1,
+                recorded: 1,
+                overwritten: 0,
+            },
+        );
         t.seal();
         assert_eq!(t.n_pes(), 2);
         assert_eq!(t.round_indices(), vec![1, 2]);
@@ -1029,11 +1231,37 @@ mod tests {
         assert_eq!(cfg.progress_every, Some(16));
         let dbg = format!("{cfg:?}");
         assert!(dbg.contains("recorder_capacity: 128"), "got: {dbg}");
-        assert!(dbg.contains("MetricsSink"), "sink must render without Debug impl");
+        assert!(
+            dbg.contains("MetricsSink"),
+            "sink must render without Debug impl"
+        );
         let r = cfg.build_recorder();
         assert!(r.wants(ObsKind::GvtAdvance));
         assert!(!r.wants(ObsKind::Execute));
         assert!(ObsConfig::disabled().build_recorder().is_empty());
-        assert_eq!(ObsConfig::verbose().build_series().capacity, 4 * DEFAULT_SERIES_CAPACITY);
+        assert_eq!(
+            ObsConfig::verbose().build_series().capacity,
+            4 * DEFAULT_SERIES_CAPACITY
+        );
+    }
+
+    #[test]
+    fn obs_config_profiler_and_trace_knobs() {
+        let cfg = ObsConfig::default();
+        assert!(cfg.prof_enabled, "profiler is on by default");
+        assert_eq!(cfg.packet_trace_capacity, 0, "packet tracing is opt-in");
+        assert!(!ObsConfig::disabled().prof_enabled);
+        assert!(!ObsConfig::disabled().build_profiler().enabled());
+
+        let cfg = ObsConfig::default()
+            .with_profiler(false)
+            .with_prof_sample_shift(2)
+            .with_packet_trace(512);
+        assert!(!cfg.prof_enabled);
+        assert_eq!(cfg.prof_sample_shift, 2);
+        assert_eq!(cfg.packet_trace_capacity, 512);
+        assert!(cfg.build_tracer(4).enabled());
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("packet_trace_capacity: 512"), "got: {dbg}");
     }
 }

@@ -13,7 +13,16 @@
 //!   (`lvt_lead` = local virtual time − GVT, clamped to 0 when idle),
 //!   pending-queue depth, per-round committed/rolled-back deltas, and
 //!   comm inbox depth;
+//! * a `"C"` track per PE with the per-round wall-clock microseconds each
+//!   kernel phase consumed (deltas of the profiler's cumulative
+//!   [`RoundSnapshot::phase_ns`]), omitted when the profiler was off;
 //! * a process-level `gvt` counter (ticks) on a dedicated track.
+//!
+//! [`write_packet_flow`] is a second, separate exporter: it renders a
+//! committed [`PacketTrace`] on the *virtual*-time axis, one slice per hop
+//! on the executing LP's track, stitched per packet with Chrome flow events
+//! (`"s"`/`"t"`/`"f"`) so following a packet's arrows walks its inject →
+//! deflections → absorb lineage.
 //!
 //! Timestamps are microseconds ([`RoundSnapshot::wall_us`]); every emitted
 //! string is a fixed ASCII literal or an integer, so no JSON escaping is
@@ -22,6 +31,8 @@
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+use super::prof::Phase;
+use super::trace::PacketTrace;
 use super::{RoundSnapshot, Telemetry};
 
 /// Pseudo-thread id for the process-wide GVT counter track.
@@ -109,6 +120,25 @@ pub fn write_chrome_trace_to<W: Write>(t: &Telemetry, out: &mut W) -> std::io::R
                     snap.wall_us, snap.queue_depth, snap.inbox_depth
                 ),
             )?;
+            if snap.phase_ns.iter().any(|&v| v > 0) {
+                let mut args = String::new();
+                for (k, ph) in Phase::ALL.iter().enumerate() {
+                    if k > 0 {
+                        args.push(',');
+                    }
+                    let before = prev.map_or(0, |p| p.phase_ns[k]);
+                    let delta_us = snap.phase_ns[k].saturating_sub(before) / 1_000;
+                    args.push_str(&format!("\"{}\":{delta_us}", ph.name()));
+                }
+                emit(
+                    out,
+                    format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\
+                         \"name\":\"pe {pe} phase us\",\"args\":{{{args}}}}}",
+                        snap.wall_us
+                    ),
+                )?;
+            }
             let (start, committed, rolled_back) = match prev {
                 Some(p) => (
                     p.wall_us,
@@ -139,6 +169,78 @@ pub fn write_chrome_trace_to<W: Write>(t: &Telemetry, out: &mut W) -> std::io::R
         }
     }
 
+    writeln!(out, "\n]}}")
+}
+
+/// Write a committed packet lineage to `path` as a Chrome trace on the
+/// **virtual**-time axis: one 1 µs slice per hop on the executing LP's
+/// track (`ts` = the hop's virtual receive time in ticks, read as µs), and
+/// per packet a chain of flow events (`"s"` at its first hop, `"t"` at
+/// intermediate hops, `"f"` at its last) with `id` = the packet id, so the
+/// UI draws an arrow along the packet's inject → deflections → absorb path.
+/// The trace must be sealed (it is, on any `RunResult`).
+pub fn write_packet_flow(trace: &PacketTrace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    write_packet_flow_to(trace, &mut out)?;
+    out.flush()
+}
+
+/// Like [`write_packet_flow`], into any writer.
+pub fn write_packet_flow_to<W: Write>(trace: &PacketTrace, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |out: &mut W, ev: String| -> std::io::Result<()> {
+        if first {
+            first = false;
+            write!(out, "{ev}")
+        } else {
+            write!(out, ",\n{ev}")
+        }
+    };
+    emit(
+        out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"packet lineage (virtual time)\"}}"
+            .into(),
+    )?;
+
+    // A packet's flow chain needs to know which hop is its last.
+    let mut last_hop: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, h) in trace.hops.iter().enumerate() {
+        last_hop.insert(h.packet, i);
+    }
+    let mut started: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (i, h) in trace.hops.iter().enumerate() {
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":1,\
+                 \"name\":\"hop kind {}\",\"args\":{{\"packet\":{},\"arg\":{},\
+                 \"src\":{},\"send\":{},\"idx\":{}}}}}",
+                h.lp, h.at, h.kind, h.packet, h.arg, h.src, h.send, h.idx
+            ),
+        )?;
+        let is_first = started.insert(h.packet);
+        let is_last = last_hop[&h.packet] == i;
+        if is_first && is_last {
+            continue; // one-hop packet: nothing to connect
+        }
+        let (ph, bp) = if is_first {
+            ("s", "")
+        } else if is_last {
+            ("f", ",\"bp\":\"e\"")
+        } else {
+            ("t", "")
+        };
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"packet\",\"cat\":\"packet\",\"id\":{}{bp}}}",
+                h.lp, h.at, h.packet
+            ),
+        )?;
+    }
     writeln!(out, "\n]}}")
 }
 
@@ -200,6 +302,79 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         validate(&text).unwrap();
         assert!(text.contains("process_name"));
+    }
+
+    #[test]
+    fn phase_counter_track_emits_round_deltas_when_profiled() {
+        let mut t = sample_telemetry();
+        // Zeroed phase_ns (profiler off) must emit no phase track at all.
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&t, &mut buf).unwrap();
+        assert!(!String::from_utf8(buf).unwrap().contains("phase us"));
+
+        for (i, snap) in t.rounds.iter_mut().enumerate() {
+            snap.phase_ns[0] = (i as u64 + 1) * 10_000; // cumulative SchedPop ns
+        }
+        let mut buf = Vec::new();
+        write_chrome_trace_to(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap();
+        assert!(text.contains("\"name\":\"pe 0 phase us\""));
+        assert!(text.contains("\"name\":\"pe 1 phase us\""));
+        // PE 0 cumulative 10/30/50 µs → deltas 10, 20, 20.
+        assert!(text.contains("\"sched_pop\":10"));
+        assert!(text.contains("\"sched_pop\":20"));
+        assert!(text.contains("\"gvt_wait\":0"));
+    }
+
+    #[test]
+    fn packet_flow_chains_hops_with_flow_events() {
+        use crate::obs::trace::HopRecord;
+        let hop = |at: u64, lp: u32, packet: u64, kind: u8| HopRecord {
+            at,
+            lp,
+            tie: packet,
+            src: 0,
+            send: at.saturating_sub(1),
+            idx: 0,
+            kind,
+            packet,
+            arg: 7,
+        };
+        let trace = PacketTrace {
+            // Packet 5: three hops (s → t → f); packet 9: single hop (no flow).
+            hops: vec![
+                hop(1, 0, 5, 1),
+                hop(2, 1, 5, 2),
+                hop(2, 3, 9, 3),
+                hop(3, 2, 5, 3),
+            ],
+            dropped: 0,
+        };
+        let mut buf = Vec::new();
+        write_packet_flow_to(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{text}"));
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 4, "one slice per hop");
+        assert_eq!(text.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(text.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(text.matches("\"ph\":\"f\"").count(), 1);
+        assert!(text.contains("\"id\":5"));
+        assert!(
+            !text.contains("\"id\":9"),
+            "single-hop packet draws no arrow"
+        );
+        // Slices land on the executing LP's track at virtual time.
+        assert!(text.contains("\"tid\":2,\"ts\":3"));
+    }
+
+    #[test]
+    fn empty_packet_flow_is_valid_json() {
+        let mut buf = Vec::new();
+        write_packet_flow_to(&PacketTrace::default(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap();
+        assert!(text.contains("packet lineage"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
             "\"queue_depth\":{},\"uncommitted\":{},\"inbox_depth\":{},",
             "\"ring_full_stalls\":{},\"events_committed\":{},",
             "\"events_processed\":{},\"events_rolled_back\":{},\"rollbacks\":{},",
-            "\"pool_hits\":{},\"pool_misses\":{}}}"
+            "\"pool_hits\":{},\"pool_misses\":{},\"phase_ns\":{}}}"
         ),
         s.round,
         s.pe,
@@ -37,7 +37,23 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
         s.rollbacks,
         s.pool_hits,
         s.pool_misses,
+        phase_ns_json(&s.phase_ns),
     )
+}
+
+/// Render the cumulative per-phase nanosecond array as a JSON array in
+/// [`Phase::ALL`](super::prof::Phase::ALL) order.
+fn phase_ns_json(phase_ns: &[u64; super::prof::N_PHASES]) -> String {
+    let mut out = String::with_capacity(2 + phase_ns.len() * 12);
+    out.push('[');
+    for (i, ns) in phase_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ns.to_string());
+    }
+    out.push(']');
+    out
 }
 
 /// Write a telemetry's retained snapshot series to `path` as JSONL (one
@@ -54,7 +70,11 @@ pub fn write_metrics_jsonl(telemetry: &Telemetry, path: impl AsRef<Path>) -> std
 /// grammar; rejects trailing garbage). Returns the byte offset of the first
 /// error.
 pub fn validate(text: &str) -> Result<(), JsonError> {
-    let mut v = Validator { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    let mut v = Validator {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
     v.skip_ws();
     v.value()?;
     v.skip_ws();
@@ -116,7 +136,11 @@ struct Validator<'a> {
 
 impl Validator<'_> {
     fn err(&self, message: &'static str) -> JsonError {
-        JsonError { offset: self.pos, line: None, message }
+        JsonError {
+            offset: self.pos,
+            line: None,
+            message,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -310,12 +334,14 @@ mod tests {
             rollbacks: 5,
             pool_hits: 90,
             pool_misses: 10,
+            phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9],
         };
         let line = snapshot_json(&snap);
         validate(&line).unwrap();
         assert!(line.contains("\"round\":7"));
         assert!(line.contains("\"lvt\":6000000"));
         assert!(line.contains("\"pool_misses\":10"));
+        assert!(line.contains("\"phase_ns\":[1,2,3,4,5,6,7,8,9]"));
         assert!(!line.contains('\n'));
     }
 
@@ -375,8 +401,17 @@ mod tests {
     #[test]
     fn write_metrics_jsonl_emits_one_valid_line_per_snapshot() {
         let mut t = Telemetry::default();
-        t.rounds.push(RoundSnapshot { round: 1, pe: 0, ..Default::default() });
-        t.rounds.push(RoundSnapshot { round: 1, pe: 1, lvt: u64::MAX, ..Default::default() });
+        t.rounds.push(RoundSnapshot {
+            round: 1,
+            pe: 0,
+            ..Default::default()
+        });
+        t.rounds.push(RoundSnapshot {
+            round: 1,
+            pe: 1,
+            lvt: u64::MAX,
+            ..Default::default()
+        });
         let path = std::env::temp_dir().join("pdes_obs_json_test.jsonl");
         write_metrics_jsonl(&t, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

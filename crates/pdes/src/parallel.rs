@@ -116,6 +116,8 @@ use crate::fault::FaultState;
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
+use crate::obs::prof::{Phase, PhaseProfiler};
+use crate::obs::trace::{HopEmit, PacketTrace, PacketTracer};
 use crate::obs::{FlightRecorder, ObsKind, ObsRecord, RoundSeries, RoundSnapshot, Telemetry};
 use crate::pool::VecPool;
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
@@ -153,7 +155,9 @@ macro_rules! obs {
     };
     ($self:ident, $kind:expr, $id:expr, $key:expr, $arg:expr) => {
         if $self.recorder.wants($kind) {
-            $self.recorder.record(ObsRecord::event($kind, $id, $key, $arg as u64));
+            $self
+                .recorder
+                .record(ObsRecord::event($kind, $id, $key, $arg as u64));
         }
     };
 }
@@ -215,8 +219,7 @@ struct LpSlot<M: Model> {
 
 /// Snapshot function for state-saving mode: clones `(state, rng)` before
 /// each event. `None` selects reverse computation.
-type SnapshotFn<M> =
-    Option<fn(&<M as Model>::State, &Clcg4) -> (<M as Model>::State, Clcg4)>;
+type SnapshotFn<M> = Option<fn(&<M as Model>::State, &Clcg4) -> (<M as Model>::State, Clcg4)>;
 
 /// Everything one worker thread owns.
 struct PeRuntime<'a, M: Model> {
@@ -247,6 +250,17 @@ struct PeRuntime<'a, M: Model> {
     /// Bounded per-GVT-round snapshot series (merged into
     /// [`RunResult::telemetry`] on success).
     series: RoundSeries,
+    /// Phase-level wall-clock profiler (see [`prof`](crate::obs::prof)):
+    /// every kernel phase below runs inside a begin/end scope; hot phases
+    /// are stride-sampled to stay inside the overhead budget.
+    profiler: PhaseProfiler,
+    /// Rollback-aware per-packet hop tracer (see
+    /// [`trace`](crate::obs::trace)); disabled unless
+    /// [`ObsConfig::packet_trace_capacity`](crate::obs::ObsConfig) is set.
+    tracer: PacketTracer,
+    /// Scratch buffer the model's `trace_hop` calls fill during one forward
+    /// execution; drained into the tracer with the event's key.
+    hop_buf: Vec<HopEmit>,
     /// Totals already published to the shared progress counters (the next
     /// round publishes only the delta).
     progress_published: (u64, u64, u64),
@@ -303,21 +317,29 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         self.shared.barrier.wait().map_err(|_| Halt)
     }
 
+    /// [`bwait`](Self::bwait) under a [`Phase::GvtWait`] profiler scope —
+    /// the GVT reduction's barrier waits are where load imbalance shows up.
+    #[inline]
+    fn bwait_timed(&mut self) -> Result<(), Halt> {
+        let t0 = self.profiler.begin(Phase::GvtWait);
+        let r = self.bwait();
+        self.profiler.end(Phase::GvtWait, t0);
+        r
+    }
+
     /// True if the pending queue's head is executable: before the horizon
     /// and, when optimism is throttled, within the lookahead window past
     /// the last computed GVT.
     #[inline]
     fn has_executable(&mut self) -> bool {
         match self.queue.peek_key() {
-            Some(k) if k.recv_time < self.config.end_time => {
-                match self.config.max_lookahead {
-                    Some(window) => {
-                        let gvt = self.shared.gvt.load(SeqCst);
-                        k.recv_time.0 <= gvt.saturating_add(window)
-                    }
-                    None => true,
+            Some(k) if k.recv_time < self.config.end_time => match self.config.max_lookahead {
+                Some(window) => {
+                    let gvt = self.shared.gvt.load(SeqCst);
+                    k.recv_time.0 <= gvt.saturating_add(window)
                 }
-            }
+                None => true,
+            },
             _ => false,
         }
     }
@@ -356,7 +378,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 if !self.has_executable() {
                     break;
                 }
+                let t0 = self.profiler.begin(Phase::SchedPop);
                 let ev = self.queue.pop().expect("peeked executable event must pop");
+                self.profiler.end(Phase::SchedPop, t0);
                 obs!(self, ObsKind::Execute, ev.id, ev.key);
                 self.execute(ev);
             }
@@ -385,16 +409,30 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         if self.out_bufs[pe].is_empty() {
             return;
         }
+        let t0 = self.profiler.begin(Phase::CommFlush);
         let batch = std::mem::replace(&mut self.out_bufs[pe], self.msg_pool.get());
         self.stats.batches_flushed += 1;
         let len = batch.len() as u64;
         self.stats.batched_messages += len;
         if self.shared.fabric.push_batch(self.id, pe, batch) {
             self.stats.ring_full_stalls += 1;
-            obs!(self, ObsKind::CommOverflow, EventId(pe as u64), crate::obs::NO_KEY, len);
+            obs!(
+                self,
+                ObsKind::CommOverflow,
+                EventId(pe as u64),
+                crate::obs::NO_KEY,
+                len
+            );
         } else {
-            obs!(self, ObsKind::CommFlush, EventId(pe as u64), crate::obs::NO_KEY, len);
+            obs!(
+                self,
+                ObsKind::CommFlush,
+                EventId(pe as u64),
+                crate::obs::NO_KEY,
+                len
+            );
         }
+        self.profiler.end(Phase::CommFlush, t0);
     }
 
     /// Flush every non-empty send buffer. Called after each inbox drain and
@@ -421,7 +459,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             faults.take_holdback(&mut pending);
         }
         loop {
-            let n = self.shared.fabric.drain_to(self.id, &mut pending, &mut self.msg_pool);
+            let t0 = self.profiler.begin(Phase::CommDrain);
+            let n = self
+                .shared
+                .fabric
+                .drain_to(self.id, &mut pending, &mut self.msg_pool);
+            self.profiler.end(Phase::CommDrain, t0);
             if n > 0 {
                 self.shared.received.fetch_add(n, SeqCst);
             }
@@ -500,11 +543,19 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // duplicates); only a strictly earlier key is a straggler.
             if ev.key < last {
                 self.stats.primary_rollbacks += 1;
-                obs!(self, ObsKind::PrimaryRollback, ev.id, ev.key, ev.key.recv_time.0);
+                obs!(
+                    self,
+                    ObsKind::PrimaryRollback,
+                    ev.id,
+                    ev.key,
+                    ev.key.recv_time.0
+                );
                 self.rollback(kp_idx, ev.key, None);
             }
         }
+        let t0 = self.profiler.begin(Phase::SchedPush);
         self.queue.push(ev);
+        self.profiler.end(Phase::SchedPush, t0);
     }
 
     /// Annihilate a local event: remove it from the pending queue, roll its
@@ -536,6 +587,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let mut target_found = annihilate.is_none();
         let mut undone = 0u64;
         while let Some(mut p) = self.kps[kp_idx].pop_if_at_or_after(bound) {
+            // Erase the hops this execution traced *before* cancelling its
+            // children — a local cancellation can recurse into this KP, and
+            // the tracer's unwind must mirror the pop order exactly.
+            self.tracer.unwind(kp_idx, p.n_trace);
             // Cancel everything this execution scheduled.
             obs!(self, ObsKind::RollbackPop, p.ev.id, p.ev.key);
             let mut children = std::mem::take(&mut p.children);
@@ -548,14 +603,21 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // computation).
             let lp = p.ev.dst();
             let li = self.local_lp_idx(lp);
+            let t0 = self.profiler.begin(Phase::Reverse);
             if let Some((state, rng)) = p.snapshot.take() {
                 self.slots[li].state = state;
                 self.slots[li].rng = rng;
             } else {
-                let rctx = ReverseCtx { lp, now: p.ev.recv_time(), bf: p.bf };
-                self.model.reverse(&mut self.slots[li].state, &mut p.ev.payload, &rctx);
+                let rctx = ReverseCtx {
+                    lp,
+                    now: p.ev.recv_time(),
+                    bf: p.bf,
+                };
+                self.model
+                    .reverse(&mut self.slots[li].state, &mut p.ev.payload, &rctx);
                 self.slots[li].rng.reverse_n(p.rng_calls);
             }
+            self.profiler.end(Phase::Reverse, t0);
             self.stats.events_rolled_back += 1;
             undone += 1;
 
@@ -568,7 +630,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 break;
             }
             obs!(self, ObsKind::Requeue, p.ev.id, p.ev.key);
+            let t0 = self.profiler.begin(Phase::SchedPush);
             self.queue.push(p.ev);
+            self.profiler.end(Phase::SchedPush, t0);
         }
         // `cancel_local` only rolls back after locating the target, so a
         // miss here is a kernel bug — contained as `RunError::PePanic`.
@@ -587,9 +651,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let pe = self.flat.pe_of_lp[child.key.dst as usize];
         obs!(self, ObsKind::AntiSent, child.id, child.key, pe);
         if pe == self.id {
+            // Local cancellation's cost lands in the rollback phases it
+            // triggers (Reverse / SchedPush), not here.
             self.cancel_local(child);
         } else {
+            let t0 = self.profiler.begin(Phase::AntiSend);
             self.send_remote(pe, Remote::Anti(child));
+            self.profiler.end(Phase::AntiSend, t0);
         }
     }
 
@@ -601,7 +669,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         #[cold]
         #[inline(never)]
         fn exhausted(pe: PeId, seq: u64) -> ! {
-            panic!("PE {pe} exhausted its {}-event id space (seq {seq})", EventId::SEQ_LIMIT)
+            panic!(
+                "PE {pe} exhausted its {}-event id space (seq {seq})",
+                EventId::SEQ_LIMIT
+            )
         }
         let id = EventId::try_new(self.id, self.next_seq)
             .unwrap_or_else(|| exhausted(self.id, self.next_seq));
@@ -625,8 +696,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let mut emits = std::mem::take(&mut self.emit_buf);
         debug_assert!(emits.is_empty());
 
-        let snapshot = self.snapshot_fn.map(|f| f(&self.slots[li].state, &self.slots[li].rng));
+        let snapshot = self
+            .snapshot_fn
+            .map(|f| f(&self.slots[li].state, &self.slots[li].rng));
         let rng_before = self.slots[li].rng.call_count();
+        let tracing = self.tracer.enabled();
+        let t0 = self.profiler.begin(Phase::Execute);
         {
             let slot = &mut self.slots[li];
             let mut ctx = EventCtx {
@@ -638,9 +713,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 rng: &mut slot.rng,
                 out: &mut emits,
                 obs: Some(&mut self.recorder),
+                trace: tracing.then_some(&mut self.hop_buf),
             };
-            self.model.handle(&mut slot.state, &mut ev.payload, &mut ctx);
+            self.model
+                .handle(&mut slot.state, &mut ev.payload, &mut ctx);
         }
+        self.profiler.end(Phase::Execute, t0);
         let rng_calls = self.slots[li].rng.call_count() - rng_before;
 
         let misses_before = self.child_pool.misses;
@@ -662,7 +740,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             };
             children.push(ChildRef { id, key });
             obs!(self, ObsKind::Emit, id, key, emit.dst);
-            let child_ev = Event { id, key, payload: emit.payload };
+            let child_ev = Event {
+                id,
+                key,
+                payload: emit.payload,
+            };
             let pe = self.flat.pe_of_lp[emit.dst as usize];
             if pe == self.id {
                 self.enqueue_positive(child_ev);
@@ -673,7 +755,19 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         self.emit_buf = emits;
 
-        self.kps[kp_idx].record(Processed { ev, bf: self.bf, rng_calls, children, snapshot });
+        // Stamp the traced hops only now: enqueueing children above can
+        // recurse into a rollback of this very KP (via a secondary
+        // cancellation), and the tracer's deque must contain exactly the
+        // hops of *recorded* processed events when that unwind runs.
+        let n_trace = self.tracer.record_exec(kp_idx, &ev.key, &mut self.hop_buf);
+        self.kps[kp_idx].record(Processed {
+            ev,
+            bf: self.bf,
+            rng_calls,
+            children,
+            snapshot,
+            n_trace,
+        });
         self.stats.events_processed += 1;
         self.since_gvt += 1;
     }
@@ -682,7 +776,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// whether the simulation is finished, or `Err` if the run was aborted
     /// (peer failure, stalled GVT, expired deadline).
     fn gvt_round(&mut self) -> Result<bool, Halt> {
-        self.bwait()?; // B1: everyone has stopped executing.
+        self.bwait_timed()?; // B1: everyone has stopped executing.
         loop {
             // Settle phase — no barriers. Draining can trigger rollbacks,
             // which buffer new messages (each already counted in `sent`, so
@@ -721,11 +815,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 }
                 std::thread::yield_now();
             }
-            self.bwait()?; // B2: all channels flushed and drained once.
-            // Between B2 and B3 every PE only *loads* the counters, so all
-            // PEs sample the same values and agree on `quiet`.
-            let quiet =
-                self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
+            self.bwait_timed()?; // B2: all channels flushed and drained once.
+                                 // Between B2 and B3 every PE only *loads* the counters, so all
+                                 // PEs sample the same values and agree on `quiet`.
+            let quiet = self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
             if quiet {
                 // Quiescent — this PE's pending queue is final for this
                 // round, so its local minimum can be published right away:
@@ -737,7 +830,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 };
                 self.shared.local_mins[self.id].store(local_min, SeqCst);
             }
-            self.bwait()?; // B3: counters sampled; minima published if quiet.
+            self.bwait_timed()?; // B3: counters sampled; minima published if quiet.
             if quiet {
                 break;
             }
@@ -769,9 +862,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             }
         }
         self.stats.gvt_rounds += 1;
+        let t0 = self.profiler.begin(Phase::Fossil);
         self.fossil_collect(VirtualTime(gvt));
+        self.profiler.end(Phase::Fossil, t0);
         self.sample_round(gvt);
-        self.bwait()?; // B5: flag cleared, fossils reclaimed, round sampled.
+        self.bwait_timed()?; // B5: flag cleared, fossils reclaimed, round sampled.
         self.progress_line(gvt);
         Ok(gvt >= self.config.end_time.0)
     }
@@ -782,13 +877,20 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// the bounded series and the configured sink.
     fn sample_round(&mut self, gvt: u64) {
         if self.recorder.wants(ObsKind::GvtAdvance) {
-            self.recorder.record(ObsRecord::kernel(ObsKind::GvtAdvance, gvt));
+            self.recorder
+                .record(ObsRecord::kernel(ObsKind::GvtAdvance, gvt));
         }
         if self.config.obs.progress_every.is_some() {
             let (c, p, r) = self.progress_published;
-            self.shared.committed.fetch_add(self.stats.events_committed - c, SeqCst);
-            self.shared.processed.fetch_add(self.stats.events_processed - p, SeqCst);
-            self.shared.rolled_back.fetch_add(self.stats.events_rolled_back - r, SeqCst);
+            self.shared
+                .committed
+                .fetch_add(self.stats.events_committed - c, SeqCst);
+            self.shared
+                .processed
+                .fetch_add(self.stats.events_processed - p, SeqCst);
+            self.shared
+                .rolled_back
+                .fetch_add(self.stats.events_rolled_back - r, SeqCst);
             self.progress_published = (
                 self.stats.events_committed,
                 self.stats.events_processed,
@@ -815,6 +917,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             rollbacks: self.stats.total_rollbacks(),
             pool_hits: self.msg_pool.hits + self.child_pool.hits,
             pool_misses: self.msg_pool.misses + self.child_pool.misses,
+            phase_ns: self.profiler.cumulative_ns(),
         };
         self.series.push(snap);
         if let Some(sink) = &self.config.obs.sink {
@@ -837,8 +940,16 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let processed = self.shared.processed.load(SeqCst);
         let rolled = self.shared.rolled_back.load(SeqCst);
         let secs = self.start_time.elapsed().as_secs_f64();
-        let rate = if secs > 0.0 { committed as f64 / secs } else { 0.0 };
-        let ratio = if processed > 0 { rolled as f64 / processed as f64 } else { 0.0 };
+        let rate = if secs > 0.0 {
+            committed as f64 / secs
+        } else {
+            0.0
+        };
+        let ratio = if processed > 0 {
+            rolled as f64 / processed as f64
+        } else {
+            0.0
+        };
         eprintln!(
             "[pdes] round {:>6}  gvt {:>14}  committed {:>12} ({rate:.0} ev/s)  \
              rollback ratio {ratio:.3}",
@@ -859,7 +970,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         if let Some(limit) = self.config.gvt_stall_rounds {
             if self.stall_rounds >= limit {
-                self.shared.fail(FailureCause::Stalled { gvt, rounds: self.stall_rounds });
+                self.shared.fail(FailureCause::Stalled {
+                    gvt,
+                    rounds: self.stall_rounds,
+                });
                 return Err(Halt);
             }
         }
@@ -882,10 +996,15 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// allocator — the other half of the recycling loop started in
     /// [`execute`](Self::execute).
     fn fossil_collect(&mut self, horizon: VirtualTime) {
-        for kp in &mut self.kps {
-            for p in kp.fossil_collect(horizon) {
+        for ki in 0..self.kps.len() {
+            for p in self.kps[ki].fossil_collect(horizon) {
                 obs!(self, ObsKind::Fossil, p.ev.id, p.ev.key);
-                self.model.commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
+                self.model
+                    .commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
+                // Fossil collection pops oldest-first, mirroring the
+                // tracer's per-KP deque: publish this event's hops to the
+                // committed lineage.
+                self.tracer.commit(ki, p.n_trace);
                 self.stats.events_committed += 1;
                 self.stats.fossils_collected += 1;
                 self.child_pool.put(p.children);
@@ -909,6 +1028,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     fn diagnostics(&mut self) -> PeDiagnostics {
         self.stats.pool_hits = self.msg_pool.hits + self.child_pool.hits;
         self.stats.pool_misses = self.msg_pool.misses + self.child_pool.misses;
+        self.stats.prof = self.profiler.profile().clone();
         PeDiagnostics {
             pe: self.id,
             queue_depth: self.queue.len(),
@@ -929,6 +1049,7 @@ struct PeReport<O> {
     diag: PeDiagnostics,
     output: Option<O>,
     series: RoundSeries,
+    trace: PacketTrace,
 }
 
 /// Run `model` on the optimistic kernel with the default contiguous
@@ -966,7 +1087,12 @@ where
         return Err(RunError::config("model has no LPs"));
     }
     let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
-    run_parallel_inner(model, config, &mapping, Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)))
+    run_parallel_inner(
+        model,
+        config,
+        &mapping,
+        Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)),
+    )
 }
 
 /// State-saving variant of [`run_parallel_mapped`].
@@ -979,7 +1105,12 @@ where
     M: Model,
     M::State: Clone,
 {
-    run_parallel_inner(model, config, mapping, Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)))
+    run_parallel_inner(
+        model,
+        config,
+        mapping,
+        Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)),
+    )
 }
 
 /// Run `model` on the optimistic kernel with an explicit LP→KP→PE mapping
@@ -1014,21 +1145,32 @@ fn run_parallel_inner<M: Model>(
     if n_pes >= EventId::PE_LIMIT {
         // `config.validate()` already bounds `config.n_pes`; this re-checks
         // the count an explicit mapping actually derived.
-        return Err(RunError::config(format!("PE count {n_pes} exceeds EventId space")));
+        return Err(RunError::config(format!(
+            "PE count {n_pes} exceeds EventId space"
+        )));
     }
 
     // ---- Sequential setup phase (like ROSS's startup function). ----
-    let mut rngs: Vec<Clcg4> =
-        (0..n_lps).map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64))).collect();
+    let mut rngs: Vec<Clcg4> = (0..n_lps)
+        .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
+        .collect();
     let mut states: Vec<Option<M::State>> = Vec::with_capacity(n_lps as usize);
     let mut init_events: Vec<Event<M::Payload>> = Vec::new();
     let mut emits: Vec<Emit<M::Payload>> = Vec::new();
     let mut init_seq: u64 = 0;
     for lp in 0..n_lps {
-        let mut ctx = InitCtx { lp, rng: &mut rngs[lp as usize], out: &mut emits };
+        let mut ctx = InitCtx {
+            lp,
+            rng: &mut rngs[lp as usize],
+            out: &mut emits,
+        };
         states.push(Some(model.init(lp, &mut ctx)));
         for emit in emits.drain(..) {
-            assert!(emit.dst < n_lps, "init event to nonexistent LP {}", emit.dst);
+            assert!(
+                emit.dst < n_lps,
+                "init event to nonexistent LP {}",
+                emit.dst
+            );
             // Init events come from a dedicated id space (origin pe = n_pes).
             let id = EventId::new(n_pes, init_seq);
             init_seq += 1;
@@ -1140,9 +1282,9 @@ fn run_parallel_inner<M: Model>(
                     series: config.obs.build_series(),
                     progress_published: (0, 0, 0),
                     snapshot_fn,
-                    faults: config.fault_plan.and_then(|plan| {
-                        (!plan.is_noop()).then(|| FaultState::new(plan, pe))
-                    }),
+                    faults: config
+                        .fault_plan
+                        .and_then(|plan| (!plan.is_noop()).then(|| FaultState::new(plan, pe))),
                     out_bufs: (0..n_pes).map(|_| Vec::new()).collect(),
                     comm_flush: config.comm_batch.unwrap_or(usize::MAX),
                     msg_pool: VecPool::new(),
@@ -1154,6 +1296,9 @@ fn run_parallel_inner<M: Model>(
                     start_time: start,
                     prev_gvt: u64::MAX,
                     stall_rounds: 0,
+                    profiler: config.obs.build_profiler(),
+                    tracer: config.obs.build_tracer(seed.n_kps),
+                    hop_buf: Vec::new(),
                 };
                 // Contain panics from model handlers and kernel invariants:
                 // record the failure, abort the barrier so every sibling
@@ -1175,6 +1320,8 @@ fn run_parallel_inner<M: Model>(
                 };
                 lock(results)[pe] = Some(PeReport {
                     diag: rt.diagnostics(),
+                    trace: std::mem::replace(&mut rt.tracer, PacketTracer::new(0, 0))
+                        .finish(output.is_some()),
                     output,
                     series: std::mem::replace(&mut rt.series, RoundSeries::new(0)),
                 });
@@ -1210,7 +1357,10 @@ fn run_parallel_inner<M: Model>(
         for (pe, slot) in reports.into_iter().enumerate() {
             diagnostics.pes.push(match slot {
                 Some(report) => report.diag,
-                None => PeDiagnostics { pe, ..Default::default() },
+                None => PeDiagnostics {
+                    pe,
+                    ..Default::default()
+                },
             });
         }
         return Err(cause.into_error(diagnostics));
@@ -1232,9 +1382,14 @@ fn run_parallel_inner<M: Model>(
         };
         stats.merge(&report.diag.stats);
         telemetry.absorb(report.series, report.diag.recorder);
+        telemetry.absorb_trace(report.trace);
         output.merge(out);
     }
     telemetry.seal();
     stats.wall_time = wall;
-    Ok(RunResult { output, stats, telemetry })
+    Ok(RunResult {
+        output,
+        stats,
+        telemetry,
+    })
 }

@@ -42,7 +42,12 @@ impl<T> VecPool<T> {
 
     /// An empty pool retaining at most `max_retained` free buffers.
     pub fn with_max_retained(max_retained: usize) -> Self {
-        VecPool { free: Vec::new(), max_retained, hits: 0, misses: 0 }
+        VecPool {
+            free: Vec::new(),
+            max_retained,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Take an empty buffer, recycled if one is shelved.

@@ -38,7 +38,10 @@ pub struct Lcg64 {
 impl Lcg64 {
     /// Create a stream seeded with `seed` (every seed is valid).
     pub fn new(seed: u64) -> Self {
-        Lcg64 { state: seed, count: 0 }
+        Lcg64 {
+            state: seed,
+            count: 0,
+        }
     }
 
     /// Raw state (for tests).

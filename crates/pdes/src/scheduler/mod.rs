@@ -73,7 +73,10 @@ pub(crate) mod testutil {
     /// Build a test event with a key derived from `(t, dst, tie)`.
     pub fn ev(t: u64, dst: u32, tie: u64) -> Event<u64> {
         Event {
-            id: EventId::new(0, (tie ^ (t << 20) ^ ((dst as u64) << 40)) & ((1 << 48) - 1)),
+            id: EventId::new(
+                0,
+                (tie ^ (t << 20) ^ ((dst as u64) << 40)) & ((1 << 48) - 1),
+            ),
             key: EventKey {
                 recv_time: VirtualTime(t),
                 dst,
@@ -195,7 +198,11 @@ mod tests {
                     }
                     1 => {
                         oracle.sort_by_key(|e| (e.key, e.id));
-                        let want = if oracle.is_empty() { None } else { Some(oracle.remove(0)) };
+                        let want = if oracle.is_empty() {
+                            None
+                        } else {
+                            Some(oracle.remove(0))
+                        };
                         let want_k = want.as_ref().map(|e| (e.key, e.id));
                         assert_eq!(heap.pop().map(|e| (e.key, e.id)), want_k);
                         assert_eq!(splay.pop().map(|e| (e.key, e.id)), want_k);

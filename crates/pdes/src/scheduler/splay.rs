@@ -62,7 +62,12 @@ pub struct SplayQueue<P> {
 impl<P> SplayQueue<P> {
     /// New empty queue.
     pub fn new() -> Self {
-        SplayQueue { slab: Vec::new(), free: Vec::new(), root: NIL, len: 0 }
+        SplayQueue {
+            slab: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
     }
 
     #[inline]
@@ -92,7 +97,11 @@ impl<P> SplayQueue<P> {
     }
 
     fn alloc(&mut self, ev: Event<P>) -> u32 {
-        let node = Node { ev, left: NIL, right: NIL };
+        let node = Node {
+            ev,
+            left: NIL,
+            right: NIL,
+        };
         if let Some(idx) = self.free.pop() {
             self.slab[idx as usize] = Some(node);
             idx

@@ -13,6 +13,7 @@ use crate::config::EngineConfig;
 use crate::error::RunError;
 use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
 use crate::model::{Emit, EventCtx, InitCtx, Model};
+use crate::obs::prof::Phase;
 use crate::obs::{ObsKind, ObsRecord, RoundSnapshot, Telemetry};
 use crate::rng::{stream_seed, Clcg4};
 use crate::stats::{EngineStats, RunResult};
@@ -35,8 +36,9 @@ pub fn run_sequential<M: Model>(
         return Err(RunError::config("model has no LPs"));
     }
 
-    let mut rngs: Vec<Clcg4> =
-        (0..n_lps).map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64))).collect();
+    let mut rngs: Vec<Clcg4> = (0..n_lps)
+        .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
+        .collect();
     let mut states: Vec<M::State> = Vec::with_capacity(n_lps as usize);
     let mut queue = config.scheduler.build::<M::Payload>();
     let mut seq: u64 = 0;
@@ -44,7 +46,11 @@ pub fn run_sequential<M: Model>(
 
     // Initialize every LP and enqueue its bootstrap events.
     for lp in 0..n_lps {
-        let mut ctx = InitCtx { lp, rng: &mut rngs[lp as usize], out: &mut emits };
+        let mut ctx = InitCtx {
+            lp,
+            rng: &mut rngs[lp as usize],
+            out: &mut emits,
+        };
         states.push(model.init(lp, &mut ctx));
         for emit in emits.drain(..) {
             queue.push(materialize(emit, lp, &mut seq));
@@ -62,6 +68,9 @@ pub fn run_sequential<M: Model>(
     // is sampled every `gvt_interval` committed events with gvt == lvt.
     let mut recorder = config.obs.build_recorder();
     let mut series = config.obs.build_series();
+    let mut profiler = config.obs.build_profiler();
+    let mut tracer = config.obs.build_tracer(1);
+    let mut hop_buf: Vec<crate::obs::trace::HopEmit> = Vec::new();
     let mut round: u64 = 0;
     let mut since_sample: u64 = 0;
 
@@ -72,7 +81,9 @@ pub fn run_sequential<M: Model>(
         if !executable {
             break;
         }
+        let t0 = profiler.begin(Phase::SchedPop);
         let mut ev = queue.pop().expect("peeked key must pop");
+        profiler.end(Phase::SchedPop, t0);
         debug_assert!(
             last_key.is_none_or(|lk| lk < ev.key),
             "event keys must be strictly increasing (duplicate key?): {last_key:?} then {:?}",
@@ -86,7 +97,9 @@ pub fn run_sequential<M: Model>(
         if recorder.wants(ObsKind::Execute) {
             recorder.record(ObsRecord::event(ObsKind::Execute, ev.id, ev.key, 0));
         }
+        let tracing = tracer.enabled();
         {
+            let t0 = profiler.begin(Phase::Execute);
             let mut ctx = EventCtx {
                 lp,
                 src: ev.key.src,
@@ -96,11 +109,16 @@ pub fn run_sequential<M: Model>(
                 rng: &mut rngs[lp as usize],
                 out: &mut emits,
                 obs: Some(&mut recorder),
+                trace: tracing.then_some(&mut hop_buf),
             };
             model.handle(&mut states[lp as usize], &mut ev.payload, &mut ctx);
+            profiler.end(Phase::Execute, t0);
         }
-        // Sequential execution commits immediately.
+        // Sequential execution commits immediately — hops go straight to the
+        // committed log; no speculation to stage.
+        tracer.commit_direct(&ev.key, &mut hop_buf);
         model.commit(&ev.payload, lp, ev.key.recv_time);
+        let t0 = profiler.begin(Phase::SchedPush);
         for emit in emits.drain(..) {
             debug_assert!(emit.dst < n_lps, "scheduled to nonexistent LP {}", emit.dst);
             let src = lp;
@@ -111,6 +129,7 @@ pub fn run_sequential<M: Model>(
             }
             queue.push(e);
         }
+        profiler.end(Phase::SchedPush, t0);
         stats.events_processed += 1;
         stats.events_committed += 1;
         since_sample += 1;
@@ -127,6 +146,7 @@ pub fn run_sequential<M: Model>(
                 queue_depth: queue.len() as u64,
                 events_committed: stats.events_committed,
                 events_processed: stats.events_processed,
+                phase_ns: profiler.cumulative_ns(),
                 ..Default::default()
             };
             series.push(snap);
@@ -137,6 +157,7 @@ pub fn run_sequential<M: Model>(
     }
 
     stats.wall_time = start.elapsed();
+    stats.prof = profiler.profile().clone();
 
     let mut output = M::Output::default();
     for lp in 0..n_lps {
@@ -144,11 +165,16 @@ pub fn run_sequential<M: Model>(
     }
     let mut telemetry = Telemetry::default();
     telemetry.absorb(series, recorder.summary(0));
+    telemetry.absorb_trace(tracer.finish(true));
     telemetry.seal();
     if let Some(sink) = &config.obs.sink {
         sink.flush();
     }
-    Ok(RunResult { output, stats, telemetry })
+    Ok(RunResult {
+        output,
+        stats,
+        telemetry,
+    })
 }
 
 /// Turn an [`Emit`] into a full event. The sequential kernel allocates all
@@ -259,8 +285,16 @@ mod tests {
     fn different_seed_same_topological_counts() {
         // Event counts don't depend on RNG here, only the draws do.
         let model = PingPong { n: 4 };
-        let a = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(1)).unwrap();
-        let b = run_sequential(&model, &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(2)).unwrap();
+        let a = run_sequential(
+            &model,
+            &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(1),
+        )
+        .unwrap();
+        let b = run_sequential(
+            &model,
+            &EngineConfig::new(VirtualTime::from_steps(5)).with_seed(2),
+        )
+        .unwrap();
         assert_eq!(a.output, b.output);
     }
 
@@ -269,7 +303,8 @@ mod tests {
         use crate::scheduler::SchedulerKind;
         let model = PingPong { n: 8 };
         let base = EngineConfig::new(VirtualTime::from_steps(30)).with_seed(5);
-        let heap = run_sequential(&model, &base.clone().with_scheduler(SchedulerKind::Heap)).unwrap();
+        let heap =
+            run_sequential(&model, &base.clone().with_scheduler(SchedulerKind::Heap)).unwrap();
         let splay = run_sequential(&model, &base.with_scheduler(SchedulerKind::Splay)).unwrap();
         assert_eq!(heap.output, splay.output);
         assert_eq!(heap.stats.events_committed, splay.stats.events_committed);

@@ -7,6 +7,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::obs::prof::{Phase, PhaseProfile};
+
 /// Counters collected by one PE (or the sequential kernel) and merged into a
 /// run-wide total.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -59,6 +61,9 @@ pub struct EngineStats {
     pub early_annihilations: u64,
     /// Wall-clock run time (only set on the merged total).
     pub wall_time: Duration,
+    /// Per-phase wall-clock profile (empty when the profiler is disabled;
+    /// see [`ObsConfig::with_profiler`](crate::obs::ObsConfig::with_profiler)).
+    pub prof: PhaseProfile,
 }
 
 impl EngineStats {
@@ -79,7 +84,11 @@ impl EngineStats {
         self.ring_full_stalls += other.ring_full_stalls;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
-        for (a, b) in self.rollback_lengths.iter_mut().zip(&other.rollback_lengths) {
+        for (a, b) in self
+            .rollback_lengths
+            .iter_mut()
+            .zip(&other.rollback_lengths)
+        {
             *a += b;
         }
         self.injected_delays += other.injected_delays;
@@ -89,6 +98,7 @@ impl EngineStats {
         self.antis_deferred += other.antis_deferred;
         self.early_annihilations += other.early_annihilations;
         self.wall_time = self.wall_time.max(other.wall_time);
+        self.prof.merge(&other.prof);
     }
 
     /// Total faults the chaos layer injected.
@@ -157,6 +167,22 @@ impl EngineStats {
             self.events_rolled_back as f64 / self.events_processed as f64
         }
     }
+
+    /// Optimism efficiency: the fraction of profiled busy time spent on
+    /// forward execution that *committed* — execution time scaled by the
+    /// committed/processed ratio, over total busy time. 1.0 means every
+    /// profiled nanosecond advanced the committed frontier; speculation waste
+    /// (rolled-back execution, reverse handlers, anti-messages, GVT waits)
+    /// pulls it down. `None` when the profiler was off or nothing executed.
+    pub fn optimism_efficiency(&self) -> Option<f64> {
+        let busy = self.prof.busy_ns();
+        if busy == 0 || self.events_processed == 0 {
+            return None;
+        }
+        let exec = self.prof.est_ns(Phase::Execute) as f64;
+        let committed_frac = self.events_committed as f64 / self.events_processed as f64;
+        Some(exec * committed_frac / busy as f64)
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -203,8 +229,19 @@ impl fmt::Display for EngineStats {
                 self.duplicates_dropped, self.antis_deferred, self.early_annihilations
             )?;
         }
-        writeln!(f, "wall time            : {:.3}s", self.wall_time.as_secs_f64())?;
-        write!(f, "event rate           : {:.0} ev/s", self.event_rate())
+        writeln!(
+            f,
+            "wall time            : {:.3}s",
+            self.wall_time.as_secs_f64()
+        )?;
+        write!(f, "event rate           : {:.0} ev/s", self.event_rate())?;
+        if !self.prof.is_empty() {
+            write!(f, "\n{}", self.prof)?;
+            if let Some(eff) = self.optimism_efficiency() {
+                write!(f, "\noptimism efficiency  : {:.1}%", 100.0 * eff)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -315,9 +352,15 @@ mod tests {
 
     #[test]
     fn pool_hit_rate_handles_all_miss_and_all_hit() {
-        let all_miss = EngineStats { pool_misses: 10, ..Default::default() };
+        let all_miss = EngineStats {
+            pool_misses: 10,
+            ..Default::default()
+        };
         assert_eq!(all_miss.pool_hit_rate(), 0.0);
-        let all_hit = EngineStats { pool_hits: 10, ..Default::default() };
+        let all_hit = EngineStats {
+            pool_hits: 10,
+            ..Default::default()
+        };
         assert_eq!(all_hit.pool_hit_rate(), 1.0);
     }
 

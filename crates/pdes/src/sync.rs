@@ -50,7 +50,10 @@ impl AbortableBarrier {
         assert!(n >= 1, "barrier needs at least one participant");
         AbortableBarrier {
             n,
-            state: Mutex::new(BarrierState { waiting: n, sense: false }),
+            state: Mutex::new(BarrierState {
+                waiting: n,
+                sense: false,
+            }),
             cv: Condvar::new(),
             aborted: AtomicBool::new(false),
         }

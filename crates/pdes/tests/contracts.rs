@@ -61,19 +61,34 @@ fn cfg() -> EngineConfig {
 #[test]
 #[should_panic(expected = "zero-delay")]
 fn zero_delay_events_are_rejected() {
-    let _ = run_sequential(&Misbehaving { mode: Mode::ZeroDelay }, &cfg());
+    let _ = run_sequential(
+        &Misbehaving {
+            mode: Mode::ZeroDelay,
+        },
+        &cfg(),
+    );
 }
 
 #[test]
 #[should_panic(expected = "recv_time > 0")]
 fn init_events_at_time_zero_are_rejected() {
-    let _ = run_sequential(&Misbehaving { mode: Mode::InitAtZero }, &cfg());
+    let _ = run_sequential(
+        &Misbehaving {
+            mode: Mode::InitAtZero,
+        },
+        &cfg(),
+    );
 }
 
 #[test]
 #[should_panic]
 fn events_to_nonexistent_lps_are_rejected() {
-    let _ = run_sequential(&Misbehaving { mode: Mode::BadDestination }, &cfg());
+    let _ = run_sequential(
+        &Misbehaving {
+            mode: Mode::BadDestination,
+        },
+        &cfg(),
+    );
 }
 
 #[test]
@@ -147,9 +162,15 @@ fn invalid_engine_configs_are_rejected_not_asserted() {
     let mut c = cfg().with_pes(2);
     c.n_kps = 1; // fewer KPs than PEs
     let r = run_parallel(&Misbehaving { mode: Mode::Fine }, &c);
-    assert!(matches!(r, Err(RunError::ConfigInvalid { .. })), "got {r:?}");
+    assert!(
+        matches!(r, Err(RunError::ConfigInvalid { .. })),
+        "got {r:?}"
+    );
 
     let bad_faults = cfg().with_faults(FaultPlan::new(1).with_delay(7.0));
     let r = run_sequential(&Misbehaving { mode: Mode::Fine }, &bad_faults);
-    assert!(matches!(r, Err(RunError::ConfigInvalid { .. })), "got {r:?}");
+    assert!(
+        matches!(r, Err(RunError::ConfigInvalid { .. })),
+        "got {r:?}"
+    );
 }

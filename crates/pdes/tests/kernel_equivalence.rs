@@ -87,7 +87,10 @@ impl Model for TokenStorm {
 }
 
 fn storm() -> TokenStorm {
-    TokenStorm { n_lps: 16, tokens_per_lp: 4 }
+    TokenStorm {
+        n_lps: 16,
+        tokens_per_lp: 4,
+    }
 }
 
 fn config() -> EngineConfig {
@@ -119,7 +122,10 @@ fn parallel_two_pes_matches_sequential() {
     for kps in [2, 4, 16] {
         let par = run_parallel(&storm(), &config().with_pes(2).with_kps(kps)).unwrap();
         assert_eq!(par.output, seq.output, "kps={kps}");
-        assert_eq!(par.stats.events_committed, seq.stats.events_committed, "kps={kps}");
+        assert_eq!(
+            par.stats.events_committed, seq.stats.events_committed,
+            "kps={kps}"
+        );
     }
 }
 
@@ -137,8 +143,11 @@ fn parallel_matches_across_seeds_and_schedulers() {
         let cfg = config().with_seed(seed);
         let seq = run_sequential(&storm(), &cfg).unwrap();
         for sched in [SchedulerKind::Heap, SchedulerKind::Splay] {
-            let par =
-                run_parallel(&storm(), &cfg.clone().with_pes(2).with_kps(8).with_scheduler(sched)).unwrap();
+            let par = run_parallel(
+                &storm(),
+                &cfg.clone().with_pes(2).with_kps(8).with_scheduler(sched),
+            )
+            .unwrap();
             assert_eq!(par.output, seq.output, "seed={seed} sched={sched:?}");
         }
     }
@@ -229,7 +238,8 @@ fn throttled_optimism_matches_sequential() {
         let par = run_parallel(
             &storm(),
             &config().with_pes(2).with_kps(8).with_lookahead(window),
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(par.output, seq.output, "window={window}");
         assert_eq!(par.stats.events_committed, seq.stats.events_committed);
     }
@@ -241,10 +251,8 @@ fn state_saving_matches_reverse_computation() {
     // observationally identical — only the undo machinery differs.
     let seq = run_sequential(&storm(), &config()).unwrap();
     for pes in [1usize, 2, 4] {
-        let ss = pdes::run_parallel_state_saving(
-            &storm(),
-            &config().with_pes(pes).with_kps(8),
-        ).unwrap();
+        let ss =
+            pdes::run_parallel_state_saving(&storm(), &config().with_pes(pes).with_kps(8)).unwrap();
         assert_eq!(ss.output, seq.output, "pes={pes}");
         assert_eq!(ss.stats.events_committed, seq.stats.events_committed);
     }
@@ -257,10 +265,9 @@ fn state_saving_survives_forced_straggler() {
         .with_gvt_interval(1_000_000)
         .with_batch(100_000);
     let seq = run_sequential(&ForcedStraggler, &cfg).unwrap();
-    let ss = pdes::run_parallel_state_saving(
-        &ForcedStraggler,
-        &cfg.clone().with_pes(2).with_kps(2),
-    ).unwrap();
+    let ss =
+        pdes::run_parallel_state_saving(&ForcedStraggler, &cfg.clone().with_pes(2).with_kps(2))
+            .unwrap();
     assert_eq!(ss.output, seq.output);
     assert!(ss.stats.primary_rollbacks >= 1, "stats: {:?}", ss.stats);
 }
@@ -270,7 +277,11 @@ fn rollback_histogram_accounts_for_all_rolled_back_events() {
     let par = run_parallel(&storm(), &config().with_pes(4).with_kps(16)).unwrap();
     let s = &par.stats;
     let hist_rollbacks: u64 = s.rollback_lengths.iter().sum();
-    assert_eq!(hist_rollbacks, s.total_rollbacks(), "every rollback is bucketed");
+    assert_eq!(
+        hist_rollbacks,
+        s.total_rollbacks(),
+        "every rollback is bucketed"
+    );
     if s.total_rollbacks() > 0 {
         assert!(s.mean_rollback_length() >= 1.0);
     }
@@ -282,7 +293,10 @@ fn engine_stats_are_consistent() {
     let s = &par.stats;
     // processed = committed + rolled back (+ any still-uncommitted, which is
     // zero after termination).
-    assert_eq!(s.events_processed, s.events_committed + s.events_rolled_back);
+    assert_eq!(
+        s.events_processed,
+        s.events_committed + s.events_rolled_back
+    );
     assert!(s.gvt_rounds >= 1);
     assert_eq!(s.fossils_collected, s.events_committed);
 }

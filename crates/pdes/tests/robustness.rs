@@ -79,8 +79,16 @@ fn ring_config() -> EngineConfig {
 /// worker threads joined, no deadlocked barrier) on every scheduler backend.
 #[test]
 fn handler_panic_is_contained_on_every_scheduler() {
-    for sched in [SchedulerKind::Heap, SchedulerKind::Splay, SchedulerKind::Calendar] {
-        let model = PanicRing { n_lps: 8, victim: 5, after: 3 };
+    for sched in [
+        SchedulerKind::Heap,
+        SchedulerKind::Splay,
+        SchedulerKind::Calendar,
+    ] {
+        let model = PanicRing {
+            n_lps: 8,
+            victim: 5,
+            after: 3,
+        };
         let cfg = ring_config().with_scheduler(sched);
 
         let t0 = Instant::now();
@@ -92,14 +100,22 @@ fn handler_panic_is_contained_on_every_scheduler() {
         );
 
         match &err {
-            RunError::PePanic { pe, payload, diagnostics } => {
+            RunError::PePanic {
+                pe,
+                payload,
+                diagnostics,
+            } => {
                 assert!(
                     payload.contains("injected test panic at lp 5"),
                     "payload not decoded: {payload:?} ({sched:?})"
                 );
                 // LP 5 lives on PE 1 under the 8-LP/4-KP/2-PE linear mapping.
                 assert_eq!(*pe, 1, "wrong PE blamed ({sched:?})");
-                assert_eq!(diagnostics.pes.len(), 2, "missing per-PE diagnostics ({sched:?})");
+                assert_eq!(
+                    diagnostics.pes.len(),
+                    2,
+                    "missing per-PE diagnostics ({sched:?})"
+                );
                 for pd in &diagnostics.pes {
                     assert_eq!(pd.pe, pd.pe, "diagnostics present for PE {}", pd.pe);
                 }
@@ -115,9 +131,13 @@ fn handler_panic_is_contained_on_every_scheduler() {
 /// Same containment holds for the state-saving rollback backend.
 #[test]
 fn handler_panic_is_contained_under_state_saving() {
-    let model = PanicRing { n_lps: 8, victim: 5, after: 3 };
-    let err = run_parallel_state_saving(&model, &ring_config())
-        .expect_err("panic must not be swallowed");
+    let model = PanicRing {
+        n_lps: 8,
+        victim: 5,
+        after: 3,
+    };
+    let err =
+        run_parallel_state_saving(&model, &ring_config()).expect_err("panic must not be swallowed");
     assert!(matches!(err, RunError::PePanic { pe: 1, .. }), "got {err}");
 }
 
@@ -125,7 +145,11 @@ fn handler_panic_is_contained_under_state_saving() {
 /// containment machinery must not disturb a healthy run.
 #[test]
 fn disarmed_panic_model_still_completes_and_matches_sequential() {
-    let model = PanicRing { n_lps: 8, victim: 5, after: 0 };
+    let model = PanicRing {
+        n_lps: 8,
+        victim: 5,
+        after: 0,
+    };
     let seq = run_sequential(&model, &ring_config()).unwrap();
     let par = run_parallel(&model, &ring_config()).unwrap();
     assert_eq!(seq.output, par.output);
@@ -183,8 +207,17 @@ fn gvt_stall_watchdog_aborts_with_diagnostics() {
 
     let err = run_parallel(&model, &cfg).expect_err("watchdog must trip");
     match &err {
-        RunError::GvtStalled { gvt, rounds, diagnostics, .. } => {
-            assert_eq!(*gvt, VirtualTime::from_steps(1).0, "stalled at the burst time");
+        RunError::GvtStalled {
+            gvt,
+            rounds,
+            diagnostics,
+            ..
+        } => {
+            assert_eq!(
+                *gvt,
+                VirtualTime::from_steps(1).0,
+                "stalled at the burst time"
+            );
             assert!(*rounds >= 5, "tripped after only {rounds} rounds");
             assert_eq!(diagnostics.pes.len(), 2);
             // The burst lives on PE 0; its queue depth shows in the dump.
@@ -214,11 +247,21 @@ fn stall_watchdog_stays_quiet_on_a_healthy_run() {
 #[test]
 fn wall_clock_deadline_aborts_the_run() {
     // A zero deadline trips at the first GVT round while work remains.
-    let model = PanicRing { n_lps: 8, victim: 0, after: 0 };
-    let cfg = ring_config().with_gvt_interval(1).with_deadline(Duration::ZERO);
+    let model = PanicRing {
+        n_lps: 8,
+        victim: 0,
+        after: 0,
+    };
+    let cfg = ring_config()
+        .with_gvt_interval(1)
+        .with_deadline(Duration::ZERO);
     let err = run_parallel(&model, &cfg).expect_err("deadline must trip");
     match &err {
-        RunError::GvtStalled { elapsed, diagnostics, .. } => {
+        RunError::GvtStalled {
+            elapsed,
+            diagnostics,
+            ..
+        } => {
             assert!(*elapsed >= Duration::ZERO);
             assert_eq!(diagnostics.pes.len(), 2);
         }
@@ -231,14 +274,27 @@ fn wall_clock_deadline_aborts_the_run() {
 /// the stats prove faults were actually injected and absorbed.
 #[test]
 fn fault_injection_preserves_determinism_on_the_ring() {
-    let model = PanicRing { n_lps: 8, victim: 0, after: 0 };
+    let model = PanicRing {
+        n_lps: 8,
+        victim: 0,
+        after: 0,
+    };
     let seq = run_sequential(&model, &ring_config()).unwrap();
     let mut injected_total = 0;
     for seed in [1u64, 2, 0xFA17] {
-        let plan = FaultPlan::new(seed).with_delay(0.25).with_duplicate(0.15).with_reorder(0.5);
+        let plan = FaultPlan::new(seed)
+            .with_delay(0.25)
+            .with_duplicate(0.15)
+            .with_reorder(0.5);
         let par = run_parallel(&model, &ring_config().with_faults(plan)).unwrap();
-        assert_eq!(par.output, seq.output, "chaos seed {seed} changed committed output");
+        assert_eq!(
+            par.output, seq.output,
+            "chaos seed {seed} changed committed output"
+        );
         injected_total += par.stats.total_injected_faults();
     }
-    assert!(injected_total > 0, "fault layer never fired — rates too low or plumbing broken");
+    assert!(
+        injected_total > 0,
+        "fault layer never fired — rates too low or plumbing broken"
+    );
 }

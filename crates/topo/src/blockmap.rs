@@ -43,7 +43,13 @@ impl BlockMapping {
             d += 1;
         }
         let kp_cols = n_kps / kp_rows;
-        let m = BlockMapping { n, n_kps, n_pes, kp_rows, kp_cols };
+        let m = BlockMapping {
+            n,
+            n_kps,
+            n_pes,
+            kp_rows,
+            kp_cols,
+        };
         m.validate();
         m
     }

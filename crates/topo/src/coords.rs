@@ -191,7 +191,9 @@ impl DirSet {
 
     /// Iterate over members in index order.
     pub fn iter(self) -> impl Iterator<Item = Direction> {
-        ALL_DIRECTIONS.into_iter().filter(move |&d| self.contains(d))
+        ALL_DIRECTIONS
+            .into_iter()
+            .filter(move |&d| self.contains(d))
     }
 }
 

@@ -81,9 +81,17 @@ impl Topology for Mesh {
     fn home_run_dir(&self, from: LpId, to: LpId) -> Option<Direction> {
         let (cf, ct) = (self.coord_of(from), self.coord_of(to));
         if cf.col != ct.col {
-            Some(if ct.col > cf.col { Direction::East } else { Direction::West })
+            Some(if ct.col > cf.col {
+                Direction::East
+            } else {
+                Direction::West
+            })
         } else if cf.row != ct.row {
-            Some(if ct.row > cf.row { Direction::South } else { Direction::North })
+            Some(if ct.row > cf.row {
+                Direction::South
+            } else {
+                Direction::North
+            })
         } else {
             None
         }
@@ -99,7 +107,10 @@ mod tests {
     fn corners_have_degree_two() {
         let m = Mesh::new(4);
         let corner = m.lp_of(Coord::new(0, 0));
-        let degree = ALL_DIRECTIONS.iter().filter(|&&d| m.neighbor(corner, d).is_some()).count();
+        let degree = ALL_DIRECTIONS
+            .iter()
+            .filter(|&&d| m.neighbor(corner, d).is_some())
+            .count();
         assert_eq!(degree, 2);
         assert_eq!(m.neighbor(corner, Direction::North), None);
         assert_eq!(m.neighbor(corner, Direction::West), None);
@@ -109,14 +120,20 @@ mod tests {
     fn interior_nodes_have_degree_four() {
         let m = Mesh::new(4);
         let mid = m.lp_of(Coord::new(2, 2));
-        let degree = ALL_DIRECTIONS.iter().filter(|&&d| m.neighbor(mid, d).is_some()).count();
+        let degree = ALL_DIRECTIONS
+            .iter()
+            .filter(|&&d| m.neighbor(mid, d).is_some())
+            .count();
         assert_eq!(degree, 4);
     }
 
     #[test]
     fn mesh_diameter_is_twice_n_minus_one() {
         let m = Mesh::new(5);
-        assert_eq!(m.distance(m.lp_of(Coord::new(0, 0)), m.lp_of(Coord::new(4, 4))), 8);
+        assert_eq!(
+            m.distance(m.lp_of(Coord::new(0, 0)), m.lp_of(Coord::new(4, 4))),
+            8
+        );
     }
 
     #[test]
@@ -127,7 +144,10 @@ mod tests {
         for a in 0..m.n_nodes() {
             for b in 0..m.n_nodes() {
                 for d in m.good_dirs(a, b).iter() {
-                    assert!(m.neighbor(a, d).is_some(), "good dir {d} off the edge at {a}");
+                    assert!(
+                        m.neighbor(a, d).is_some(),
+                        "good dir {d} off the edge at {a}"
+                    );
                 }
             }
         }

@@ -9,9 +9,9 @@
 
 use pdes::LpId;
 
-use crate::coords::{Coord, DirSet, Direction};
 #[cfg(test)]
 use crate::coords::ALL_DIRECTIONS;
+use crate::coords::{Coord, DirSet, Direction};
 use crate::Topology;
 
 /// An N×N wrap-around grid.
@@ -114,11 +114,19 @@ impl Topology for Torus {
             // is in (-n/2, n/2], so the exactly-opposite tie comes out
             // positive — ties deterministically resolve East.
             let dc = self.axis_delta(cf.col, ct.col);
-            Some(if dc > 0 { Direction::East } else { Direction::West })
+            Some(if dc > 0 {
+                Direction::East
+            } else {
+                Direction::West
+            })
         } else if cf.row != ct.row {
             // Column phase: ties resolve South for the same reason.
             let dr = self.axis_delta(cf.row, ct.row);
-            Some(if dr > 0 { Direction::South } else { Direction::North })
+            Some(if dr > 0 {
+                Direction::South
+            } else {
+                Direction::North
+            })
         } else {
             None
         }
@@ -147,9 +155,15 @@ mod tests {
         // Paper's example: East from the east edge wraps to the west edge
         // of the same row.
         let east_edge = t.lp_of(Coord::new(2, 3));
-        assert_eq!(t.neighbor(east_edge, Direction::East), Some(t.lp_of(Coord::new(2, 0))));
+        assert_eq!(
+            t.neighbor(east_edge, Direction::East),
+            Some(t.lp_of(Coord::new(2, 0)))
+        );
         let top = t.lp_of(Coord::new(0, 1));
-        assert_eq!(t.neighbor(top, Direction::North), Some(t.lp_of(Coord::new(3, 1))));
+        assert_eq!(
+            t.neighbor(top, Direction::North),
+            Some(t.lp_of(Coord::new(3, 1)))
+        );
     }
 
     #[test]

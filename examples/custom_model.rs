@@ -109,7 +109,10 @@ impl Model for PcsNetwork {
                     ctx.schedule_self(
                         VirtualTime::STEP,
                         next_id,
-                        PcsEvent::CallArrival { id: next_id, stream: true },
+                        PcsEvent::CallArrival {
+                            id: next_id,
+                            stream: true,
+                        },
                     );
                 }
             }
@@ -125,7 +128,10 @@ impl Model for PcsNetwork {
                         next,
                         delay,
                         id | 2,
-                        PcsEvent::CallArrival { id: id | 2, stream: false },
+                        PcsEvent::CallArrival {
+                            id: id | 2,
+                            stream: false,
+                        },
                     );
                 } else {
                     state.completed += 1;
@@ -164,22 +170,30 @@ impl Model for PcsNetwork {
 }
 
 fn main() {
-    let model = PcsNetwork { cells: 64, channels: 8, hold_steps: 3.0 };
+    let model = PcsNetwork {
+        cells: 64,
+        channels: 8,
+        hold_steps: 3.0,
+    };
     let config = EngineConfig::new(VirtualTime::from_steps(300)).with_seed(0x9C5);
     println!("== PCS cellular network: 64 cells, 8 channels, 300 steps ==\n");
 
     let seq = run_sequential(&model, &config).expect("sequential run failed");
-    let par =
-        run_parallel(&model, &config.clone().with_pes(2).with_kps(16)).expect("parallel run failed");
+    let par = run_parallel(&model, &config.clone().with_pes(2).with_kps(16))
+        .expect("parallel run failed");
 
     println!("answered : {}", seq.output.answered);
-    println!("blocked  : {} ({:.2}% blocking probability)",
+    println!(
+        "blocked  : {} ({:.2}% blocking probability)",
         seq.output.blocked,
-        100.0 * seq.output.blocked as f64 / (seq.output.blocked + seq.output.answered) as f64);
+        100.0 * seq.output.blocked as f64 / (seq.output.blocked + seq.output.answered) as f64
+    );
     println!("completed: {}", seq.output.completed);
     println!("handoffs : {}", seq.output.handoffs);
-    println!("\nsequential committed {} events; parallel committed {} (rolled back {})",
-        seq.stats.events_committed, par.stats.events_committed, par.stats.events_rolled_back);
+    println!(
+        "\nsequential committed {} events; parallel committed {} (rolled back {})",
+        seq.stats.events_committed, par.stats.events_committed, par.stats.events_rolled_back
+    );
 
     assert_eq!(seq.output, par.output, "kernels disagree");
     println!("sequential ≡ parallel ✔  (the engine generalizes beyond routing)");

@@ -19,7 +19,10 @@ fn main() {
     let steps = 400;
     let edge_fraction = 0.25;
 
-    println!("== optical switch fabric: {n}x{n} torus, {:.0}% edge injectors, {steps} steps ==\n", edge_fraction * 100.0);
+    println!(
+        "== optical switch fabric: {n}x{n} torus, {:.0}% edge injectors, {steps} steps ==\n",
+        edge_fraction * 100.0
+    );
     println!(
         "{:<14} {:>10} {:>12} {:>10} {:>12} {:>12}",
         "policy", "delivered", "avg deliver", "stretch", "avg wait", "worst wait"
@@ -36,7 +39,9 @@ fn main() {
             .with_policy(policy);
         let model = HotPotatoModel::torus(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(0x0971CA1);
-        let net = simulate_sequential(&model, &engine).expect("policy run failed").output;
+        let net = simulate_sequential(&model, &engine)
+            .expect("policy run failed")
+            .output;
 
         println!(
             "{:<14} {:>10} {:>9.2} st {:>10.3} {:>9.2} st {:>9} st",

@@ -42,14 +42,30 @@ fn report(label: &str, r: &pdes::RunResult<hotpotato::NetStats>) {
     let net = &r.output;
     println!("--- {label} ---");
     println!("  packets delivered      : {}", net.totals.delivered);
-    println!("  avg delivery time      : {:.2} steps", net.avg_delivery_steps());
+    println!(
+        "  avg delivery time      : {:.2} steps",
+        net.avg_delivery_steps()
+    );
     println!("  avg src->dst distance  : {:.2} hops", net.avg_distance());
     println!("  routing stretch        : {:.3}", net.stretch());
     println!("  packets injected       : {}", net.totals.injected);
-    println!("  avg wait to inject     : {:.2} steps", net.avg_inject_wait_steps());
-    println!("  worst wait to inject   : {} steps", net.totals.max_wait_steps);
-    println!("  deflection rate        : {:.1}%", 100.0 * net.deflection_rate());
-    println!("  engine: {} events committed, {} rolled back, {:.0} ev/s",
-        r.stats.events_committed, r.stats.events_rolled_back, r.stats.event_rate());
+    println!(
+        "  avg wait to inject     : {:.2} steps",
+        net.avg_inject_wait_steps()
+    );
+    println!(
+        "  worst wait to inject   : {} steps",
+        net.totals.max_wait_steps
+    );
+    println!(
+        "  deflection rate        : {:.1}%",
+        100.0 * net.deflection_rate()
+    );
+    println!(
+        "  engine: {} events committed, {} rolled back, {:.0} ev/s",
+        r.stats.events_committed,
+        r.stats.events_rolled_back,
+        r.stats.event_rate()
+    );
     println!();
 }

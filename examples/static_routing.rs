@@ -13,7 +13,10 @@ use pdes::EngineConfig;
 fn main() {
     let n = 12;
     println!("== static (one-shot) drain of a full {n}x{n} network ==\n");
-    println!("{:<8} {:>10} {:>12} {:>12} {:>12}", "steps", "delivered", "of total", "avg deliver", "deflect %");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12}",
+        "steps", "delivered", "of total", "avg deliver", "deflect %"
+    );
 
     // Drain profile on the torus: run the same static batch for longer and
     // longer horizons and watch completion approach 100%.
@@ -33,10 +36,18 @@ fn main() {
     println!("\n-- torus vs mesh at 200 steps (same workload) --");
     let torus = run_static(n, 200, true);
     let mesh = run_static(n, 200, false);
-    println!("torus: {} delivered, avg {:.2} steps, stretch {:.3}",
-        torus.totals.delivered, torus.avg_delivery_steps(), torus.stretch());
-    println!("mesh : {} delivered, avg {:.2} steps, stretch {:.3}",
-        mesh.totals.delivered, mesh.avg_delivery_steps(), mesh.stretch());
+    println!(
+        "torus: {} delivered, avg {:.2} steps, stretch {:.3}",
+        torus.totals.delivered,
+        torus.avg_delivery_steps(),
+        torus.stretch()
+    );
+    println!(
+        "mesh : {} delivered, avg {:.2} steps, stretch {:.3}",
+        mesh.totals.delivered,
+        mesh.avg_delivery_steps(),
+        mesh.stretch()
+    );
     println!("\nThe torus delivers faster: wraparound halves the expected distance");
     println!("(max N-1 vs 2(N-1) — the reason the paper simulates the torus).");
 }
@@ -47,10 +58,14 @@ fn run_static(n: u32, steps: u64, torus: bool) -> NetStats {
     if torus {
         let model = HotPotatoModel::torus(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-        simulate_sequential(&model, &engine).expect("static run failed").output
+        simulate_sequential(&model, &engine)
+            .expect("static run failed")
+            .output
     } else {
         let model = HotPotatoModel::mesh(cfg);
         let engine = EngineConfig::new(model.end_time()).with_seed(seed);
-        simulate_sequential(&model, &engine).expect("static run failed").output
+        simulate_sequential(&model, &engine)
+            .expect("static run failed")
+            .output
     }
 }

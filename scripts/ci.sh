@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -29,17 +32,39 @@ echo "== instrumented smoke: trace + metrics export (artifacts/) =="
 mkdir -p artifacts
 ./target/release/obs_report \
     --steps=48 --progress=16 \
-    --trace=artifacts/trace.json --metrics=artifacts/metrics.jsonl
+    --trace=artifacts/trace.json --metrics=artifacts/metrics.jsonl \
+    --summary-json=artifacts/summary.json \
+    --flows=artifacts/packet_flows.json --lineage=artifacts/lineage.jsonl
 # Belt and braces: confirm the artifacts parse with an *independent* JSON
 # implementation too, when one is available on the box.
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool artifacts/trace.json >/dev/null
+    python3 -m json.tool artifacts/packet_flows.json >/dev/null
     python3 - artifacts/metrics.jsonl <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     n = sum(1 for line in f if line.strip() and json.loads(line))
 assert n > 0, "metrics.jsonl is empty"
 print(f"metrics.jsonl: {n} snapshots parsed")
+EOF
+    python3 - artifacts/lineage.jsonl <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    n = sum(1 for line in f if line.strip() and json.loads(line))
+assert n > 0, "lineage.jsonl is empty"
+print(f"lineage.jsonl: {n} hops parsed")
+EOF
+    python3 - artifacts/summary.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+assert s["events_committed"] > 0
+shares = [p["share"] for p in s["profiler"]["phases"].values()]
+assert abs(sum(shares) - 1.0) < 1e-6, f"phase shares sum to {sum(shares)}"
+assert s["packet_trace"]["dropped"] == 0
+print(f"summary.json: {s['events_committed']} committed, "
+      f"phase share sum {sum(shares):.6f}, "
+      f"{s['packet_trace']['hops']} traced hops")
 EOF
 fi
 
@@ -49,5 +74,26 @@ echo "== bench smoke: observability overhead (BENCH_pr3.json) =="
 # full-verbosity overhead is recorded in the JSON informationally.
 ./target/release/bench_pr3 --out=BENCH_pr3.json
 cp BENCH_pr3.json artifacts/
+
+echo "== bench smoke: profiler + packet-trace overhead (BENCH_pr4.json) =="
+# Gates the default-on phase profiler at <3% committed-events/sec vs a dark
+# run (paired interleaved samples); full packet tracing is recorded
+# informationally. Also re-asserts committed output and committed lineage
+# are bit-identical to the sequential oracle before timing anything.
+./target/release/bench_pr4 --out=BENCH_pr4.json
+cp BENCH_pr4.json artifacts/
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_pr4.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], f"profiler overhead {b['overhead_pct_profiler']}% over budget"
+for m in b["modes"]:
+    if m["mode"] != "prof_off":
+        assert abs(m["phase_share_sum"] - 1.0) < 1e-6, m
+print(f"BENCH_pr4.json: profiler {b['overhead_pct_profiler']}%, "
+      f"tracing {b['overhead_pct_tracing']}% (informational)")
+EOF
+fi
 
 echo "CI gate passed."

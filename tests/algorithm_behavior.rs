@@ -17,7 +17,10 @@ fn run(n: u32, steps: u64, frac: f64, seed: u64) -> NetStats {
 fn packets_are_conserved() {
     let net = run(8, 100, 1.0, 1);
     let born = net.routers * 4 + net.totals.injected; // 4 initial per router
-    assert!(net.totals.delivered <= born, "delivered more packets than exist");
+    assert!(
+        net.totals.delivered <= born,
+        "delivered more packets than exist"
+    );
     // In a 100-step run on an 8x8 torus most packets complete.
     assert!(
         net.totals.delivered as f64 > 0.5 * born as f64,
@@ -46,7 +49,10 @@ fn delivery_time_grows_roughly_linearly_with_n() {
     for n in [8u32, 16, 24] {
         let net = run(n, 120, 1.0, 3);
         let t = net.avg_delivery_steps();
-        assert!(t > prev, "delivery time must grow with N ({n}: {t} <= {prev})");
+        assert!(
+            t > prev,
+            "delivery time must grow with N ({n}: {t} <= {prev})"
+        );
         let ratio = t / n as f64;
         assert!(
             (0.2..4.0).contains(&ratio),
@@ -96,7 +102,10 @@ fn average_delivery_exceeds_average_distance() {
 #[test]
 fn promotions_happen_and_demotions_require_deflections() {
     let net = run(16, 200, 1.0, 7);
-    assert!(net.totals.promotions > 0, "with 1/(24N) wake probability some packets promote");
+    assert!(
+        net.totals.promotions > 0,
+        "with 1/(24N) wake probability some packets promote"
+    );
     assert!(net.totals.demotions <= net.totals.deflections);
 }
 
@@ -121,9 +130,7 @@ fn proof_mode_delivers_slower() {
     // absorb_sleeping = false keeps Sleeping packets bouncing; delivery
     // totals must not exceed the practical mode's.
     let practical = run(8, 80, 1.0, 9);
-    let model = HotPotatoModel::torus(
-        HotPotatoConfig::new(8, 80).with_absorb_sleeping(false),
-    );
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 80).with_absorb_sleeping(false));
     let engine = EngineConfig::new(model.end_time()).with_seed(9);
     let proof = simulate_sequential(&model, &engine).unwrap().output;
     assert!(proof.totals.delivered < practical.totals.delivered);
@@ -137,10 +144,11 @@ fn bhw_beats_plain_greedy_on_worst_case_wait() {
     let mut bhw_max = 0;
     let mut greedy_max = 0;
     for seed in 10..14 {
-        for (policy, acc) in [(PolicyKind::Bhw, &mut bhw_max), (PolicyKind::Greedy, &mut greedy_max)] {
-            let model = HotPotatoModel::torus(
-                HotPotatoConfig::new(8, 150).with_policy(policy),
-            );
+        for (policy, acc) in [
+            (PolicyKind::Bhw, &mut bhw_max),
+            (PolicyKind::Greedy, &mut greedy_max),
+        ] {
+            let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 150).with_policy(policy));
             let engine = EngineConfig::new(model.end_time()).with_seed(seed);
             let net = simulate_sequential(&model, &engine).unwrap().output;
             *acc += net.totals.max_wait_steps;
@@ -162,8 +170,14 @@ fn heartbeats_fire_and_do_not_disturb_routing() {
     let m2 = HotPotatoModel::torus(with_hb);
     let e1 = EngineConfig::new(m1.end_time()).with_seed(15);
     let a = simulate_sequential(&m1, &e1).unwrap().output;
-    let b = simulate_sequential(&m2, &EngineConfig::new(m2.end_time()).with_seed(15)).unwrap().output;
-    assert_eq!(b.totals.heartbeats, 64 * 5, "64 routers, every 10 steps over 50");
+    let b = simulate_sequential(&m2, &EngineConfig::new(m2.end_time()).with_seed(15))
+        .unwrap()
+        .output;
+    assert_eq!(
+        b.totals.heartbeats,
+        64 * 5,
+        "64 routers, every 10 steps over 50"
+    );
     assert_eq!(a.totals.heartbeats, 0);
     // Heartbeats are administrative: routing statistics are identical.
     assert_eq!(a.totals.delivered, b.totals.delivered);

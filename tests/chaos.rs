@@ -12,7 +12,10 @@ fn model(n: u32, steps: u64) -> HotPotatoModel<topo::Torus> {
 }
 
 fn engine(m: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
-    EngineConfig::new(m.end_time()).with_seed(seed).with_gvt_interval(64).with_batch(4)
+    EngineConfig::new(m.end_time())
+        .with_seed(seed)
+        .with_gvt_interval(64)
+        .with_batch(4)
 }
 
 /// Sweep fault seeds on one small config: every plan commits the sequential
@@ -43,7 +46,10 @@ fn random_fault_plans_preserve_hot_potato_determinism() {
         rollbacks += par.stats.total_rollbacks();
     }
     assert!(injected > 0, "no faults injected across the sweep");
-    assert!(rollbacks > 0, "faults never provoked a rollback — injection inert?");
+    assert!(
+        rollbacks > 0,
+        "faults never provoked a rollback — injection inert?"
+    );
 }
 
 /// Fault absorption works across PE counts and both rollback backends.
@@ -85,12 +91,18 @@ fn single_fault_kinds_are_absorbed() {
     .unwrap();
     assert_eq!(par.output, seq.output, "duplicate-only plan");
     assert!(par.stats.injected_duplicates > 0);
-    assert!(par.stats.duplicates_dropped > 0, "dedup path never exercised");
+    assert!(
+        par.stats.duplicates_dropped > 0,
+        "dedup path never exercised"
+    );
 
     let delay_only = FaultPlan::new(43).with_delay(0.4);
     let par = simulate_parallel(
         &m,
-        &engine(&m, 31).with_pes(2).with_kps(8).with_faults(delay_only),
+        &engine(&m, 31)
+            .with_pes(2)
+            .with_kps(8)
+            .with_faults(delay_only),
     )
     .unwrap();
     assert_eq!(par.output, seq.output, "delay-only plan");
@@ -104,7 +116,10 @@ fn single_fault_kinds_are_absorbed() {
 #[test]
 fn fault_runs_are_reproducible() {
     let m = model(6, 30);
-    let plan = FaultPlan::new(99).with_delay(0.3).with_duplicate(0.2).with_reorder(0.4);
+    let plan = FaultPlan::new(99)
+        .with_delay(0.3)
+        .with_duplicate(0.2)
+        .with_reorder(0.4);
     let cfg = engine(&m, 41).with_pes(2).with_kps(8).with_faults(plan);
     let a = simulate_parallel(&m, &cfg).unwrap();
     let b = simulate_parallel(&m, &cfg).unwrap();

@@ -37,7 +37,11 @@ fn comm_batch_times_scheduler_matrix_matches_sequential() {
     let m = model(6, 40);
     let seq = simulate_sequential(&m, &engine(&m, 0xC0B1)).unwrap();
     for comm_batch in COMM_BATCHES {
-        for sched in [SchedulerKind::Heap, SchedulerKind::Splay, SchedulerKind::Calendar] {
+        for sched in [
+            SchedulerKind::Heap,
+            SchedulerKind::Splay,
+            SchedulerKind::Calendar,
+        ] {
             for pes in [2usize, 4] {
                 let par = simulate_parallel(
                     &m,
@@ -68,7 +72,10 @@ fn comm_counters_reflect_batching() {
     for comm_batch in [Some(1), Some(8)] {
         let par = simulate_parallel(
             &m,
-            &engine(&m, 0xC0B2).with_comm_batch(comm_batch).with_pes(2).with_kps(8),
+            &engine(&m, 0xC0B2)
+                .with_comm_batch(comm_batch)
+                .with_pes(2)
+                .with_kps(8),
         )
         .unwrap();
         assert!(par.stats.batches_flushed > 0, "comm fabric never used");
@@ -107,7 +114,10 @@ fn chaos_reordering_at_the_channel_boundary_is_absorbed() {
                 .with_faults(plan),
         )
         .unwrap();
-        assert_eq!(par.output, seq.output, "comm_batch={comm_batch:?} under reordering chaos");
+        assert_eq!(
+            par.output, seq.output,
+            "comm_batch={comm_batch:?} under reordering chaos"
+        );
         reorders += par.stats.injected_reorders;
     }
     assert!(reorders > 0, "reordering chaos never fired");

@@ -31,7 +31,10 @@ fn parallel_equals_sequential_default_config() {
     for pes in [1usize, 2, 4] {
         let par = simulate_parallel(&model, &engine(&model, 1).with_pes(pes).with_kps(16)).unwrap();
         assert_eq!(par.output, seq.output, "pes={pes}");
-        assert_eq!(par.stats.events_committed, seq.stats.events_committed, "pes={pes}");
+        assert_eq!(
+            par.stats.events_committed, seq.stats.events_committed,
+            "pes={pes}"
+        );
     }
 }
 
@@ -49,7 +52,11 @@ fn parallel_equals_sequential_across_kp_counts() {
 fn parallel_equals_sequential_with_every_scheduler() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
     let reference = simulate_sequential(&model, &engine(&model, 3)).unwrap();
-    for sched in [SchedulerKind::Heap, SchedulerKind::Splay, SchedulerKind::Calendar] {
+    for sched in [
+        SchedulerKind::Heap,
+        SchedulerKind::Splay,
+        SchedulerKind::Calendar,
+    ] {
         let base = engine(&model, 3).with_scheduler(sched);
         let seq = simulate_sequential(&model, &base).unwrap();
         let par = simulate_parallel(&model, &base.clone().with_pes(2).with_kps(8)).unwrap();
@@ -120,16 +127,26 @@ fn different_seeds_differ() {
 fn gvt_interval_does_not_change_results() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
     let seq = simulate_sequential(&model, &engine(&model, 10)).unwrap();
-    assert_eq!(seq.output.totals.stalls, 0, "sequential runs can never stall");
+    assert_eq!(
+        seq.output.totals.stalls, 0,
+        "sequential runs can never stall"
+    );
     for interval in [64u64, 1024, 100_000] {
         let par = simulate_parallel(
             &model,
-            &engine(&model, 10).with_pes(2).with_kps(8).with_gvt_interval(interval),
-        ).unwrap();
+            &engine(&model, 10)
+                .with_pes(2)
+                .with_kps(8)
+                .with_gvt_interval(interval),
+        )
+        .unwrap();
         assert_eq!(par.output, seq.output, "gvt_interval={interval}");
         // Transient stalls (causally-inconsistent over-subscription) must
         // all have been rolled back before commit.
-        assert_eq!(par.output.totals.stalls, 0, "committed stalls at interval {interval}");
+        assert_eq!(
+            par.output.totals.stalls, 0,
+            "committed stalls at interval {interval}"
+        );
     }
 }
 
@@ -142,8 +159,12 @@ fn unbounded_optimism_still_matches_sequential() {
     for trial in 0..5 {
         let par = simulate_parallel(
             &model,
-            &engine(&model, 11).with_pes(2).with_kps(8).with_gvt_interval(1_000_000),
-        ).unwrap();
+            &engine(&model, 11)
+                .with_pes(2)
+                .with_kps(8)
+                .with_gvt_interval(1_000_000),
+        )
+        .unwrap();
         assert_eq!(par.output, seq.output, "trial {trial}");
         assert_eq!(par.output.totals.stalls, 0, "trial {trial}");
     }
@@ -156,7 +177,9 @@ fn state_saving_rollback_matches_sequential() {
     let model = HotPotatoModel::torus(HotPotatoConfig::new(8, 40));
     let seq = simulate_sequential(&model, &engine(&model, 13)).unwrap();
     for pes in [2usize, 4] {
-        let ss = simulate_parallel_state_saving(&model, &engine(&model, 13).with_pes(pes).with_kps(16)).unwrap();
+        let ss =
+            simulate_parallel_state_saving(&model, &engine(&model, 13).with_pes(pes).with_kps(16))
+                .unwrap();
         assert_eq!(ss.output, seq.output, "pes={pes}");
         assert_eq!(ss.output.totals.stalls, 0);
     }
@@ -172,6 +195,7 @@ fn throttled_optimism_matches_sequential_hotpotato() {
             .with_pes(2)
             .with_kps(8)
             .with_lookahead(2 * pdes::VirtualTime::STEP),
-    ).unwrap();
+    )
+    .unwrap();
     assert_eq!(par.output, seq.output);
 }

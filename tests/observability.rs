@@ -10,9 +10,7 @@ use std::sync::Arc;
 
 use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
 use pdes::obs::{chrome, json};
-use pdes::{
-    EngineConfig, FaultPlan, MemorySink, ObsCategory, ObsConfig, RoundSnapshot, Telemetry,
-};
+use pdes::{EngineConfig, FaultPlan, MemorySink, ObsCategory, ObsConfig, RoundSnapshot, Telemetry};
 
 fn model(n: u32, steps: u64) -> HotPotatoModel<topo::Torus> {
     HotPotatoModel::torus(HotPotatoConfig::new(n, steps))
@@ -20,7 +18,10 @@ fn model(n: u32, steps: u64) -> HotPotatoModel<topo::Torus> {
 
 /// Small GVT interval so even a short run crosses many sampling rounds.
 fn engine(m: &HotPotatoModel<topo::Torus>, seed: u64) -> EngineConfig {
-    EngineConfig::new(m.end_time()).with_seed(seed).with_gvt_interval(32).with_batch(4)
+    EngineConfig::new(m.end_time())
+        .with_seed(seed)
+        .with_gvt_interval(32)
+        .with_batch(4)
 }
 
 /// A chaos storm under a deliberately tiny recorder (256 records) and
@@ -35,19 +36,29 @@ fn chaos_storm_with_tiny_recorder_stays_bounded_and_deterministic() {
     let seq = simulate_sequential(&m, &engine(&m, 0x0B5)).unwrap();
 
     let sink = Arc::new(MemorySink::new(8));
-    let plan = FaultPlan::new(0xF00D).with_delay(0.3).with_duplicate(0.2).with_reorder(0.5);
+    let plan = FaultPlan::new(0xF00D)
+        .with_delay(0.3)
+        .with_duplicate(0.2)
+        .with_reorder(0.5);
     let obs = ObsConfig::verbose()
         .with_recorder_capacity(RECORDER_CAP)
         .with_series_capacity(SERIES_CAP)
         .with_sink(sink.clone());
     let par = simulate_parallel(
         &m,
-        &engine(&m, 0x0B5).with_pes(4).with_kps(12).with_faults(plan).with_obs(obs),
+        &engine(&m, 0x0B5)
+            .with_pes(4)
+            .with_kps(12)
+            .with_faults(plan)
+            .with_obs(obs),
     )
     .unwrap();
 
     // Passive: observation changed nothing the model committed.
-    assert_eq!(par.output, seq.output, "instrumented chaos run diverged from oracle");
+    assert_eq!(
+        par.output, seq.output,
+        "instrumented chaos run diverged from oracle"
+    );
     assert_eq!(par.stats.events_committed, seq.stats.events_committed);
 
     let t = &par.telemetry;
@@ -67,7 +78,10 @@ fn chaos_storm_with_tiny_recorder_stays_bounded_and_deterministic() {
     }
     for pe in 0..4 {
         let kept = t.rounds_for(pe).count();
-        assert!(kept <= SERIES_CAP, "pe {pe}: {kept} snapshots exceed capacity {SERIES_CAP}");
+        assert!(
+            kept <= SERIES_CAP,
+            "pe {pe}: {kept} snapshots exceed capacity {SERIES_CAP}"
+        );
         assert!(kept > 0, "pe {pe}: series empty despite many GVT rounds");
     }
     assert!(
@@ -87,7 +101,10 @@ fn round_snapshots_are_monotonic_per_pe() {
     let m = model(6, 50);
     let par = simulate_parallel(
         &m,
-        &engine(&m, 0xA11).with_pes(2).with_kps(8).with_obs(ObsConfig::verbose()),
+        &engine(&m, 0xA11)
+            .with_pes(2)
+            .with_kps(8)
+            .with_obs(ObsConfig::verbose()),
     )
     .unwrap();
     let t = &par.telemetry;
@@ -134,13 +151,10 @@ fn sequential_kernel_produces_telemetry() {
 #[test]
 fn category_mask_filters_kernel_records() {
     let m = model(6, 30);
-    let obs = ObsConfig::verbose()
-        .with_categories(pdes::CategoryMask::NONE.with(ObsCategory::Model));
-    let par = simulate_parallel(
-        &m,
-        &engine(&m, 0xCA7).with_pes(2).with_kps(8).with_obs(obs),
-    )
-    .unwrap();
+    let obs =
+        ObsConfig::verbose().with_categories(pdes::CategoryMask::NONE.with(ObsCategory::Model));
+    let par =
+        simulate_parallel(&m, &engine(&m, 0xCA7).with_pes(2).with_kps(8).with_obs(obs)).unwrap();
     for r in &par.telemetry.recorders {
         assert!(
             r.recorded > 0,
@@ -153,12 +167,18 @@ fn category_mask_filters_kernel_records() {
     // but no notes — so strictly more with everything enabled.
     let all = simulate_parallel(
         &m,
-        &engine(&m, 0xCA7).with_pes(2).with_kps(8).with_obs(ObsConfig::verbose()),
+        &engine(&m, 0xCA7)
+            .with_pes(2)
+            .with_kps(8)
+            .with_obs(ObsConfig::verbose()),
     )
     .unwrap();
     let notes_only: u64 = par.telemetry.recorders.iter().map(|r| r.recorded).sum();
     let everything: u64 = all.telemetry.recorders.iter().map(|r| r.recorded).sum();
-    assert!(everything > notes_only, "full mask should outrecord Model-only mask");
+    assert!(
+        everything > notes_only,
+        "full mask should outrecord Model-only mask"
+    );
 }
 
 /// Exporters round-trip real telemetry through disk and survive the
@@ -168,7 +188,10 @@ fn exporters_write_valid_files_from_real_run() {
     let m = model(6, 40);
     let par = simulate_parallel(
         &m,
-        &engine(&m, 0xE4).with_pes(2).with_kps(8).with_obs(ObsConfig::verbose()),
+        &engine(&m, 0xE4)
+            .with_pes(2)
+            .with_kps(8)
+            .with_obs(ObsConfig::verbose()),
     )
     .unwrap();
     let t: &Telemetry = &par.telemetry;
@@ -183,7 +206,11 @@ fn exporters_write_valid_files_from_real_run() {
     json::validate(&trace_text).expect("Chrome trace must be valid JSON");
     let metrics_text = std::fs::read_to_string(&metrics).unwrap();
     let lines = json::validate_jsonl(&metrics_text).expect("metrics must be valid JSONL");
-    assert_eq!(lines, t.rounds.len(), "one JSONL line per retained snapshot");
+    assert_eq!(
+        lines,
+        t.rounds.len(),
+        "one JSONL line per retained snapshot"
+    );
 
     let _ = std::fs::remove_file(&trace);
     let _ = std::fs::remove_file(&metrics);
