@@ -1,0 +1,15 @@
+//! Fixture: float accumulation in reversible state (rule `float-accumulate`).
+//! Not compiled — scanned by `lint_reversible --self-test`.
+
+pub struct RouterState {
+    pub queue_depth: u64,
+    pub load_estimate: f64,
+}
+
+pub fn handle(state: &mut RouterState, sample: f64) {
+    state.queue_depth += 1; // integer accumulation: fine
+    state.load_estimate += sample; // not exactly invertible
+    let mut local_avg = 0.0;
+    local_avg += sample / 2.0;
+    state.load_estimate -= local_avg;
+}

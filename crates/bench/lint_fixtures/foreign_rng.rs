@@ -1,0 +1,13 @@
+//! Fixture: randomness outside `pdes::rng` (rule `foreign-rng`).
+//! Not compiled — scanned by `lint_reversible --self-test`.
+
+use std::collections::hash_map::RandomState;
+
+pub fn handle(state: &mut u64) {
+    let roll = rand::random::<u64>();
+    let mut rng = rand::thread_rng();
+    let _ = thread_rng();
+    let _hasher: RandomState = RandomState::new();
+    *state ^= roll;
+    let _ = &mut rng;
+}

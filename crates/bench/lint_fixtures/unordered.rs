@@ -1,0 +1,14 @@
+//! Fixture: iteration-order-dependent state (rule `unordered-collection`).
+//! Not compiled — scanned by `lint_reversible --self-test`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn drain_pending(pending: &mut HashMap<u32, u64>, seen: &HashSet<u32>) -> u64 {
+    let mut total = 0;
+    for (k, v) in pending.iter() {
+        if !seen.contains(k) {
+            total += *v;
+        }
+    }
+    total
+}

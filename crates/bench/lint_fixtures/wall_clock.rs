@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads in a model handler (rule `wall-clock`).
+//! Not compiled — scanned by `lint_reversible --self-test`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn handle(state: &mut u64) {
+    let t0 = Instant::now();
+    // LINT-NEG: Instant::now() inside a comment must not be flagged.
+    if SystemTime::now().elapsed().is_ok() {
+        *state += 1;
+    }
+    let _ = t0.elapsed();
+}

@@ -1,0 +1,341 @@
+//! `lint_reversible` — a dependency-free static lint for model code that
+//! must stay *reversible* and *deterministic* under the Time Warp kernel.
+//!
+//! The runtime auditor (`pdes::audit`) catches non-reversible behaviour when
+//! it executes; this lint catches the constructs that cause it before they
+//! run. It scans the model crates (not the kernel) for four classes of
+//! hazard:
+//!
+//! * `wall-clock` — `SystemTime` / `Instant`: wall-clock reads make handler
+//!   behaviour differ between the forward pass and a re-execution after
+//!   rollback, and between runs.
+//! * `unordered-collection` — `HashMap` / `HashSet`: iteration order is
+//!   randomized per process (SipHash keying), so any model that iterates one
+//!   commits events in nondeterministic order. Use `BTreeMap`/`Vec`.
+//! * `float-accumulate` — `+=`/`-=`/`*=`//`=` on an `f32`/`f64` binding:
+//!   floating accumulation is not exactly invertible (catastrophic
+//!   cancellation), so `state.x -= d` cannot restore the pre-event bits the
+//!   reverse-replay probe demands. Keep reversible state integral.
+//! * `foreign-rng` — `rand::`, `thread_rng`, `getrandom`, `RandomState`:
+//!   draws outside `pdes::rng` are invisible to the kernel's automatic
+//!   RNG reversal and break replay determinism.
+//!
+//! Usage:
+//!   lint_reversible [--allow FILE] [DIR ...]   # scan (defaults below)
+//!   lint_reversible --self-test                # verify rules fire on the
+//!                                              # fixtures in lint_fixtures/
+//!
+//! Findings print as `path:line: [rule] excerpt`; exit status is 1 if any
+//! finding survives the allowlist. The allowlist file (default
+//! `scripts/lint_reversible.allow`) holds `rule path-substring` lines; `*`
+//! matches every rule. Lines are checked with `//` comments stripped, so a
+//! commented-out hazard does not fire.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories scanned by default: every crate that contains *model* code
+/// (the kernel itself legitimately uses wall clocks and hash maps).
+const DEFAULT_DIRS: &[&str] = &["crates/hotpotato/src", "crates/topo/src", "src", "examples"];
+
+const DEFAULT_ALLOW: &str = "scripts/lint_reversible.allow";
+const FIXTURE_DIR: &str = "crates/bench/lint_fixtures";
+
+const ALL_RULES: &[&str] = &[
+    "wall-clock",
+    "unordered-collection",
+    "float-accumulate",
+    "foreign-rng",
+];
+
+#[derive(Debug)]
+struct Finding {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// One allowlist entry: suppress `rule` findings whose path contains `frag`.
+struct Allow {
+    rule: String,
+    frag: String,
+}
+
+fn main() -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut allow_path = PathBuf::from(DEFAULT_ALLOW);
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--allow" => {
+                allow_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--allow requires a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: lint_reversible [--allow FILE] [DIR ...] | --self-test");
+                return ExitCode::SUCCESS;
+            }
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+
+    if self_test {
+        return run_self_test();
+    }
+
+    if dirs.is_empty() {
+        dirs = DEFAULT_DIRS.iter().map(PathBuf::from).collect();
+    }
+    let allows = load_allowlist(&allow_path);
+    let mut findings = Vec::new();
+    for dir in &dirs {
+        scan_tree(dir, &mut findings);
+    }
+    let (kept, suppressed): (Vec<_>, Vec<_>) = findings
+        .into_iter()
+        .partition(|f| !allows.iter().any(|a| a.matches(f)));
+    for f in &kept {
+        println!("{f}");
+    }
+    if !suppressed.is_empty() {
+        eprintln!(
+            "lint_reversible: {} finding(s) allowlisted",
+            suppressed.len()
+        );
+    }
+    if kept.is_empty() {
+        eprintln!("lint_reversible: clean ({} dir(s) scanned)", dirs.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint_reversible: {} finding(s)", kept.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Scan the in-tree fixtures and require every rule to fire at least once —
+/// proof the scanner actually detects what it claims to.
+fn run_self_test() -> ExitCode {
+    let mut findings = Vec::new();
+    scan_tree(Path::new(FIXTURE_DIR), &mut findings);
+    let mut ok = true;
+    for rule in ALL_RULES {
+        let n = findings.iter().filter(|f| f.rule == *rule).count();
+        if n == 0 {
+            eprintln!("self-test FAIL: rule `{rule}` fired 0 times on {FIXTURE_DIR}");
+            ok = false;
+        } else {
+            eprintln!("self-test: rule `{rule}` fired {n} time(s)");
+        }
+    }
+    // A commented-out hazard must NOT fire (the fixtures include one).
+    if findings.iter().any(|f| f.excerpt.contains("LINT-NEG")) {
+        eprintln!("self-test FAIL: a commented-out construct was flagged");
+        ok = false;
+    }
+    if ok {
+        eprintln!("self-test: ok ({} total findings)", findings.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+impl Allow {
+    fn matches(&self, f: &Finding) -> bool {
+        (self.rule == "*" || self.rule == f.rule) && f.path.contains(&self.frag)
+    }
+}
+
+fn load_allowlist(path: &Path) -> Vec<Allow> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (rule, frag) = l.split_once(char::is_whitespace)?;
+            Some(Allow {
+                rule: rule.to_string(),
+                frag: frag.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn scan_tree(dir: &Path, findings: &mut Vec<Finding>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return; // missing dir (e.g. no examples/): nothing to scan
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            scan_tree(&path, findings);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&path) {
+                scan_file(&path.display().to_string(), &text, findings);
+            }
+        }
+    }
+}
+
+fn scan_file(path: &str, text: &str, findings: &mut Vec<Finding>) {
+    let float_names = collect_float_bindings(text);
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let code = line.trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut hit = |rule: &'static str| {
+            findings.push(Finding {
+                rule,
+                path: path.to_string(),
+                line: idx + 1,
+                excerpt: code.chars().take(96).collect(),
+            });
+        };
+        if contains_word(code, "SystemTime") || contains_word(code, "Instant") {
+            hit("wall-clock");
+        }
+        if contains_word(code, "HashMap") || contains_word(code, "HashSet") {
+            hit("unordered-collection");
+        }
+        if contains_word(code, "thread_rng")
+            || contains_word(code, "getrandom")
+            || contains_word(code, "RandomState")
+            || code.contains("rand::")
+            || code.contains("rand_core::")
+        {
+            hit("foreign-rng");
+        }
+        if let Some(target) = compound_assign_target(code) {
+            if float_names.contains(&target) {
+                hit("float-accumulate");
+            }
+        }
+    }
+}
+
+/// Strip a trailing `//` line comment. Good enough for lint purposes: a `//`
+/// inside a string literal (e.g. a URL) also truncates the line, which can
+/// only *hide* findings on that tail, never invent one.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// `needle` appears in `hay` with non-identifier characters (or the string
+/// boundary) on both sides.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let start = from + rel;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !hay[..start].chars().next_back().is_some_and(is_ident);
+        let right_ok = end == hay.len() || !hay[end..].chars().next().is_some_and(is_ident);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Names bound to `f32`/`f64` anywhere in the file: struct fields and typed
+/// bindings (`x: f64`), plus `let mut x = <float literal>`. File-scoped on
+/// purpose — a field named `weight: f64` taints `weight +=` everywhere in
+/// the file, which is the conservative direction for a lint.
+fn collect_float_bindings(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw);
+        // `name: f32` / `name: f64`
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (before, after) = rest.split_at(colon);
+            let after = &after[1..];
+            let ty = after.trim_start();
+            if ty.starts_with("f32") || ty.starts_with("f64") {
+                if let Some(name) = trailing_ident(before) {
+                    names.push(name);
+                }
+            }
+            rest = after;
+        }
+        // `let mut name = 1.0` / `= 1.0f64`
+        if let Some(after_let) = line.trim_start().strip_prefix("let mut ") {
+            if let Some((name, rhs)) = after_let.split_once('=') {
+                let name = name.trim().trim_end_matches(|c: char| !c.is_alphanumeric());
+                if is_float_literal(rhs.trim()) && !name.is_empty() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The identifier ending `s`, if any (e.g. `"pub weight"` → `weight`).
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let ok = !tail.is_empty() && !tail.chars().next().unwrap().is_ascii_digit();
+    ok.then_some(tail)
+}
+
+/// `1.0`, `0.25f64`, `1e-3` — a literal that makes `let mut x = …` a float.
+fn is_float_literal(rhs: &str) -> bool {
+    let tok: String = rhs
+        .chars()
+        .take_while(|c| !c.is_whitespace() && *c != ';')
+        .collect();
+    if !tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    tok.contains('.') || tok.contains("f32") || tok.contains("f64") || tok.contains('e')
+}
+
+/// If the line contains a compound assignment (`+=`, `-=`, `*=`, `/=`),
+/// return the final identifier of its left-hand side (`state.weight += d`
+/// → `weight`).
+fn compound_assign_target(code: &str) -> Option<String> {
+    for op in ["+=", "-=", "*=", "/="] {
+        if let Some(pos) = code.find(op) {
+            // Reject `<=`, `>=`, `==`, `!=` lookalikes: the char before the
+            // operator's sign must not itself be an operator char.
+            let lhs = &code[..pos];
+            return trailing_ident(lhs);
+        }
+    }
+    None
+}

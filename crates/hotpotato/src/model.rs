@@ -570,6 +570,36 @@ impl<T: Topology> Model for HotPotatoModel<T> {
     fn finish(&self, _lp: LpId, state: &RouterState, out: &mut NetStats) {
         out.absorb_router(&state.stats, state.is_injector);
     }
+
+    fn audit_state(&self, _lp: LpId, state: &RouterState, h: &mut AuditHasher) {
+        // Every reversible field of RouterState, in declaration order; the
+        // auditor's reverse-replay probe and rollback hash check compare
+        // this digest (plus the RNG stream position) across undo paths.
+        h.write_u64(state.cur_step);
+        h.write_u64(state.links as u64);
+        h.write_bool(state.is_injector);
+        h.write_u64(state.pending_since_step);
+        h.write_u32(state.next_seq);
+        let s = &state.stats;
+        h.write_u64(s.delivered);
+        h.write_u64(s.transit_steps_sum);
+        h.write_u64(s.distance_sum);
+        h.write_u64(s.delivered_deflections_sum);
+        h.write_u64(s.injected);
+        h.write_u64(s.wait_steps_sum);
+        h.write_u64(s.max_wait_steps);
+        h.write_u64(s.inject_attempts);
+        h.write_u64(s.inject_failures);
+        h.write_u64(s.routes);
+        for r in s.routes_by_priority {
+            h.write_u64(r);
+        }
+        h.write_u64(s.deflections);
+        h.write_u64(s.promotions);
+        h.write_u64(s.demotions);
+        h.write_u64(s.heartbeats);
+        h.write_u64(s.stalls);
+    }
 }
 
 #[cfg(test)]

@@ -75,10 +75,12 @@ struct SpscRing<T> {
     tail: CachePadded<AtomicUsize>,
 }
 
-// SAFETY: the ring hands `T` values across threads (Send required); shared
+// SAFETY: the ring hands `T` values across threads (hence `T: Send`); shared
 // access is coordinated by the head/tail protocol under the documented
 // one-producer/one-consumer discipline.
 unsafe impl<T: Send> Sync for SpscRing<T> {}
+// SAFETY: moving the whole ring moves the owned slots; occupied entries are
+// plain `T: Send` values, so ownership may change threads.
 unsafe impl<T: Send> Send for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
@@ -257,8 +259,8 @@ impl<P: Send> CommFabric<P> {
             }
             let ch = self.channel(from, to);
             let mut msgs = 0u64;
-            // SAFETY (both consume calls): per the contract, this thread is
-            // the unique consumer for channel (from → to).
+            // SAFETY: per the contract, this thread is the unique consumer
+            // for channel (from → to).
             unsafe {
                 ch.ring.consume(|batch| take(&mut msgs, batch));
             }
@@ -270,6 +272,9 @@ impl<P: Send> CommFabric<P> {
             // this second pass finds predates the overflow's head batch.
             if ch.spilled.load(Ordering::Acquire) > 0 {
                 let mut of = lock(&ch.overflow);
+                // SAFETY: same unique-consumer contract as the first consume
+                // above; taking the overflow lock does not admit a second
+                // consumer thread.
                 unsafe {
                     ch.ring.consume(|batch| take(&mut msgs, batch));
                 }
@@ -333,9 +338,11 @@ mod tests {
         let mut next = 0u64;
         for round in 0..10 {
             for _ in 0..(3 + round % 5) {
+                // SAFETY: this test thread is the ring's only producer.
                 unsafe { ring.try_push(next).unwrap() };
                 next += 1;
             }
+            // SAFETY: this test thread is the ring's only consumer.
             unsafe { ring.consume(|v| got.push(v)) };
         }
         assert_eq!(got, (0..next).collect::<Vec<_>>());
@@ -344,6 +351,7 @@ mod tests {
     #[test]
     fn ring_reports_full_and_drops_leftovers() {
         let ring: SpscRing<String> = SpscRing::new(2);
+        // SAFETY: this test thread is the ring's only producer.
         unsafe {
             ring.try_push("a".into()).unwrap();
             ring.try_push("b".into()).unwrap();

@@ -63,6 +63,19 @@ pub struct EngineConfig {
     /// this from [`ObsConfig::from_env`], so the legacy `PDES_TRACE` env
     /// toggle keeps working; override with [`with_obs`](Self::with_obs).
     pub obs: ObsConfig,
+    /// Runtime reversibility auditor (see [`audit`](crate::audit)): probe
+    /// `reverse` right after every `handle`, hash-check real rollbacks,
+    /// track anti-message conservation, and verify scheduler structure every
+    /// GVT round. On by default in debug builds, off in release;
+    /// `PDES_AUDIT=1`/`0` overrides the default, and
+    /// [`with_audit`](Self::with_audit) overrides both.
+    pub audit: bool,
+    /// Test-only audit fault injection: swallow the nth (0-based)
+    /// child-cancellation instead of dispatching it, per PE, to prove the
+    /// conservation check detects a dropped anti-message. `Some(_)` requires
+    /// `audit` and is rejected by [`validate`](Self::validate) otherwise.
+    #[doc(hidden)]
+    pub audit_drop_anti: Option<u64>,
 }
 
 impl EngineConfig {
@@ -84,6 +97,8 @@ impl EngineConfig {
             gvt_stall_rounds: Some(1_000_000),
             deadline: None,
             obs: ObsConfig::from_env(),
+            audit: crate::obs::audit_env_default(),
+            audit_drop_anti: None,
         }
     }
 
@@ -168,6 +183,21 @@ impl EngineConfig {
         self
     }
 
+    /// Force the runtime auditor on or off (see [`audit`](Self::audit)),
+    /// overriding both the build-profile default and `PDES_AUDIT`.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Test-only: swallow the nth child-cancellation on each PE (see
+    /// [`audit_drop_anti`](Self::audit_drop_anti)).
+    #[doc(hidden)]
+    pub fn with_audit_drop_anti(mut self, nth: u64) -> Self {
+        self.audit_drop_anti = Some(nth);
+        self
+    }
+
     /// Check the configuration is self-consistent; both kernels call this
     /// before touching the model.
     pub fn validate(&self) -> Result<(), RunError> {
@@ -214,6 +244,11 @@ impl EngineConfig {
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate().map_err(RunError::config)?;
+        }
+        if self.audit_drop_anti.is_some() && !self.audit {
+            return Err(RunError::config(
+                "audit_drop_anti is an auditor fault injection; it requires audit = true",
+            ));
         }
         Ok(())
     }

@@ -18,6 +18,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::audit::AuditViolation;
 use crate::event::PeId;
 use crate::obs::RecorderSummary;
 use crate::stats::EngineStats;
@@ -63,6 +64,17 @@ pub enum RunError {
         /// The PE whose report slot was empty.
         pe: PeId,
     },
+    /// The runtime auditor (see [`crate::audit`]) caught a reversibility,
+    /// anti-message-conservation, or scheduler-integrity violation. The run
+    /// was stopped at the first violation; all sibling PEs were unwound
+    /// cleanly before this was returned.
+    AuditFailed {
+        /// The structured violation: which check, which PE/LP, which event.
+        /// Boxed to keep `RunError` (and every `Result` carrying it) small.
+        violation: Box<AuditViolation>,
+        /// Post-mortem snapshot of the whole machine.
+        diagnostics: RunDiagnostics,
+    },
 }
 
 impl RunError {
@@ -78,7 +90,17 @@ impl RunError {
         match self {
             RunError::PePanic { diagnostics, .. } => Some(diagnostics),
             RunError::GvtStalled { diagnostics, .. } => Some(diagnostics),
+            RunError::AuditFailed { diagnostics, .. } => Some(diagnostics),
             RunError::ConfigInvalid { .. } | RunError::WorkerLost { .. } => None,
+        }
+    }
+
+    /// The audit violation behind this failure, if it is an
+    /// [`RunError::AuditFailed`].
+    pub fn audit_violation(&self) -> Option<&AuditViolation> {
+        match self {
+            RunError::AuditFailed { violation, .. } => Some(violation.as_ref()),
+            _ => None,
         }
     }
 }
@@ -107,6 +129,12 @@ impl fmt::Display for RunError {
             RunError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
             RunError::WorkerLost { pe } => {
                 write!(f, "PE {pe} worker thread terminated without reporting")
+            }
+            RunError::AuditFailed {
+                violation,
+                diagnostics,
+            } => {
+                write!(f, "{violation}\n{diagnostics}")
             }
         }
     }
@@ -220,6 +248,9 @@ pub(crate) enum FailureCause {
         rounds: u64,
         elapsed: Duration,
     },
+    Audit {
+        violation: AuditViolation,
+    },
 }
 
 impl FailureCause {
@@ -244,6 +275,10 @@ impl FailureCause {
                 gvt,
                 rounds,
                 elapsed,
+                diagnostics,
+            },
+            FailureCause::Audit { violation } => RunError::AuditFailed {
+                violation: Box::new(violation),
                 diagnostics,
             },
         }

@@ -33,6 +33,10 @@ pub struct Processed<P, S> {
     /// tracing is off); rollback unwinds and fossil collection commits
     /// exactly this many.
     pub n_trace: u32,
+    /// Auditor fingerprint of the destination LP (state digest + RNG stream
+    /// position) taken *before* this event executed; a real rollback must
+    /// restore the LP to exactly this hash. Zero when the auditor is off.
+    pub audit_hash: u64,
 }
 
 /// Per-KP bookkeeping. Events are appended in processing order, which within
@@ -145,6 +149,7 @@ mod tests {
             children: Vec::new(),
             snapshot: None,
             n_trace: 0,
+            audit_hash: 0,
         }
     }
 

@@ -85,6 +85,13 @@
 //! rollback machinery absorbs them (committed output stays bit-identical to
 //! the sequential run).
 
+// All `unsafe` in this crate lives in `comm` (the lock-free SPSC rings);
+// every block must carry a `// SAFETY:` comment, and unsafe operations
+// inside `unsafe fn` bodies still need their own explicit blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
+pub mod audit;
 mod comm;
 pub mod config;
 pub mod error;
@@ -105,6 +112,7 @@ pub mod time;
 
 /// One-stop imports for writing and running models.
 pub mod prelude {
+    pub use crate::audit::{AuditCheck, AuditHasher, AuditViolation};
     pub use crate::config::EngineConfig;
     pub use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
     pub use crate::event::{Bitfield, KpId, LpId, PeId};

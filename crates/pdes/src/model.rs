@@ -311,6 +311,16 @@ pub trait Model: Send + Sync + 'static {
     /// Default: nothing. Use for irreversible side effects (I/O).
     fn commit(&self, _payload: &Self::Payload, _lp: LpId, _at: VirtualTime) {}
 
+    /// Feed every field that [`reverse`](Self::reverse) is responsible for
+    /// restoring into the auditor's hasher. The runtime auditor (see
+    /// [`pdes::audit`](crate::audit)) fingerprints LP state around a
+    /// `handle`/`reverse` probe pair and around real rollbacks; a field left
+    /// out of this digest is invisible to those checks. The default digests
+    /// nothing, which still lets the auditor verify RNG stream restoration
+    /// and scheduler integrity — implement it to get per-handler
+    /// reversibility checking of model state.
+    fn audit_state(&self, _lp: LpId, _state: &Self::State, _h: &mut crate::audit::AuditHasher) {}
+
     /// End-of-run statistics collection for one LP (the paper's statistics
     /// collection function).
     fn finish(&self, lp: LpId, state: &Self::State, out: &mut Self::Output);

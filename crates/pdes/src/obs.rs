@@ -172,6 +172,12 @@ pub enum ObsKind {
     PoolMiss,
     /// The fault layer perturbed this inbox drain (`arg` = faults injected).
     FaultInjected,
+    /// The runtime auditor caught a violation (`arg` = the
+    /// [`AuditCheck`](crate::audit::AuditCheck) discriminant). Filed under
+    /// [`ObsCategory::Fault`]: like injected chaos, it marks the machine
+    /// misbehaving, and the full structured report travels on
+    /// [`RunError::AuditFailed`](crate::error::RunError::AuditFailed).
+    AuditViolation,
     /// A model-level note (`arg` = model-defined value; the record's `key.tie`
     /// carries the model's note code).
     ModelNote,
@@ -193,7 +199,7 @@ impl ObsKind {
             GvtAdvance => ObsCategory::Gvt,
             CommFlush | CommOverflow => ObsCategory::Comm,
             PoolHit | PoolMiss => ObsCategory::Pool,
-            FaultInjected => ObsCategory::Fault,
+            FaultInjected | AuditViolation => ObsCategory::Fault,
             ModelNote => ObsCategory::Model,
         }
     }
@@ -206,7 +212,7 @@ impl ObsKind {
             RollbackPop | CancelPending | Annihilate | AntiSent | GvtAdvance | CommFlush
             | ModelNote => ObsSeverity::Info,
             PrimaryRollback | CancelMiss | AnnihilateEarly | DeferAnti | DropDuplicate
-            | CommOverflow | FaultInjected => ObsSeverity::Warn,
+            | CommOverflow | FaultInjected | AuditViolation => ObsSeverity::Warn,
         }
     }
 
@@ -233,6 +239,7 @@ impl ObsKind {
             PoolHit,
             PoolMiss,
             FaultInjected,
+            AuditViolation,
             ModelNote,
         ]
     }
@@ -921,6 +928,7 @@ struct EnvOverrides {
     prof: Option<bool>,
     prof_shift: Option<u32>,
     packet_trace: Option<usize>,
+    audit: Option<bool>,
 }
 
 fn env_overrides() -> &'static EnvOverrides {
@@ -944,14 +952,27 @@ fn env_overrides() -> &'static EnvOverrides {
             Ok(v) => v.parse::<usize>().ok(),
             Err(_) => None,
         };
+        let audit = match std::env::var("PDES_AUDIT").as_deref() {
+            Ok("0") | Ok("false") => Some(false),
+            Ok(_) => Some(true),
+            Err(_) => None,
+        };
         EnvOverrides {
             trace,
             progress,
             prof,
             prof_shift,
             packet_trace,
+            audit,
         }
     })
+}
+
+/// The default for [`EngineConfig::audit`](crate::config::EngineConfig):
+/// `PDES_AUDIT=1`/`0` when set (cached once per process alongside the other
+/// `PDES_*` lookups), otherwise on in debug builds and off in release.
+pub(crate) fn audit_env_default() -> bool {
+    env_overrides().audit.unwrap_or(cfg!(debug_assertions))
 }
 
 // ---------------------------------------------------------------------------

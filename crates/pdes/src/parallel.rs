@@ -108,6 +108,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use crate::audit::{
+    event_fingerprint, lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation,
+};
 use crate::comm::{Batch, CommFabric};
 use crate::config::EngineConfig;
 use crate::error::{decode_payload, FailureCause, PeDiagnostics, RunDiagnostics, RunError};
@@ -292,6 +295,11 @@ struct PeRuntime<'a, M: Model> {
     /// fault-injected reordering/delay), keyed by target id. The positive is
     /// annihilated on arrival. Must be empty at every GVT quiescence.
     early_antis: HashMap<EventId, ChildRef>,
+    /// Reversibility auditor (see [`audit`](crate::audit)); `None` = off.
+    audit: Option<AuditState>,
+    /// Scratch emission buffer for the auditor's reverse-replay probe (the
+    /// probe's emits are discarded, never scheduled).
+    probe_buf: Vec<Emit<M::Payload>>,
     /// Wall-clock start of the parallel phase (deadline watchdog).
     start_time: Instant,
     /// GVT watchdog (consulted by PE 0 only): last GVT seen and how many
@@ -344,6 +352,88 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
     }
 
+    /// Auditor fingerprint of an owned LP: the model's state digest plus the
+    /// RNG stream position (see [`lp_fingerprint`]).
+    fn audit_lp_fingerprint(&self, li: usize, lp: LpId) -> u64 {
+        let mut h = AuditHasher::new();
+        self.model.audit_state(lp, &self.slots[li].state, &mut h);
+        lp_fingerprint(h.finish(), &self.slots[li].rng)
+    }
+
+    /// Record an audit violation: flight-record it, then publish it as the
+    /// run's failure (first failure wins) and abort the barrier so every PE
+    /// unwinds at its next check.
+    fn audit_violation(&mut self, v: AuditViolation) {
+        obs!(
+            self,
+            ObsKind::AuditViolation,
+            v.id.unwrap_or(EventId(0)),
+            v.key.unwrap_or(crate::obs::NO_KEY),
+            v.check as u64
+        );
+        self.shared.fail(FailureCause::Audit { violation: v });
+    }
+
+    /// Reverse-replay probe: run `handle` against a scratch emission buffer
+    /// (no observability, no tracing — the probe must be invisible), run
+    /// `reverse`, un-step the RNG, and require the LP fingerprint to return
+    /// to `before`. On success the LP, RNG, and payload are back exactly
+    /// where they started, so the caller can execute the event for real.
+    fn probe_reverse(
+        &mut self,
+        li: usize,
+        lp: LpId,
+        ev: &mut Event<M::Payload>,
+        before: u64,
+    ) -> Result<(), AuditViolation> {
+        let mut probe_out = std::mem::take(&mut self.probe_buf);
+        debug_assert!(probe_out.is_empty());
+        let mut bf = Bitfield::default();
+        let rng_before = self.slots[li].rng.call_count();
+        {
+            let slot = &mut self.slots[li];
+            let mut ctx = EventCtx {
+                lp,
+                src: ev.key.src,
+                now: ev.key.recv_time,
+                send_time: ev.key.send_time,
+                bf: &mut bf,
+                rng: &mut slot.rng,
+                out: &mut probe_out,
+                obs: None,
+                trace: None,
+            };
+            self.model
+                .handle(&mut slot.state, &mut ev.payload, &mut ctx);
+        }
+        probe_out.clear();
+        let rng_calls = self.slots[li].rng.call_count() - rng_before;
+        let rctx = ReverseCtx {
+            lp,
+            now: ev.key.recv_time,
+            bf,
+        };
+        self.model
+            .reverse(&mut self.slots[li].state, &mut ev.payload, &rctx);
+        self.slots[li].rng.reverse_n(rng_calls);
+        self.probe_buf = probe_out;
+        let after = self.audit_lp_fingerprint(li, lp);
+        if after != before {
+            return Err(AuditViolation {
+                pe: self.id,
+                lp: Some(lp),
+                id: Some(ev.id),
+                key: Some(ev.key),
+                check: AuditCheck::ReverseReplay,
+                detail: format!(
+                    "handle+reverse left LP fingerprint {after:#018x}, expected {before:#018x} \
+                     (reverse is not an exact inverse of handle)"
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Main optimistic loop. Returns `Ok` when GVT passes the horizon, `Err`
     /// when the run was aborted by a failure on any PE.
     fn run(&mut self) -> Result<(), Halt> {
@@ -364,6 +454,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.since_gvt = 0;
                 self.idle_polls = 0;
                 if done {
+                    // End-of-run conservation check: every speculative send
+                    // must have been cancelled or committed by now.
+                    let end_check = self.audit.as_ref().map(|a| a.finish(self.id));
+                    if let Some(Err(v)) = end_check {
+                        self.audit_violation(v);
+                        return Err(Halt);
+                    }
                     return Ok(());
                 }
                 continue;
@@ -381,8 +478,16 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 let t0 = self.profiler.begin(Phase::SchedPop);
                 let ev = self.queue.pop().expect("peeked executable event must pop");
                 self.profiler.end(Phase::SchedPop, t0);
+                if let Some(a) = self.audit.as_mut() {
+                    a.toggle_sched(ev.id, &ev.key);
+                }
                 obs!(self, ObsKind::Execute, ev.id, ev.key);
                 self.execute(ev);
+                // A violation detected mid-batch aborts the barrier; stop
+                // executing promptly instead of finishing the batch.
+                if self.audit.is_some() && self.shared.barrier.is_aborted() {
+                    return Err(Halt);
+                }
             }
             // End-of-batch boundary: everything buffered becomes visible.
             self.flush_out_bufs();
@@ -553,6 +658,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.rollback(kp_idx, ev.key, None);
             }
         }
+        if let Some(a) = self.audit.as_mut() {
+            a.toggle_sched(ev.id, &ev.key);
+        }
         let t0 = self.profiler.begin(Phase::SchedPush);
         self.queue.push(ev);
         self.profiler.end(Phase::SchedPush, t0);
@@ -564,6 +672,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// arrange — park the anti to annihilate the positive on arrival.
     fn cancel_local(&mut self, child: ChildRef) {
         if self.queue.remove(child.id, child.key) {
+            if let Some(a) = self.audit.as_mut() {
+                a.toggle_sched(child.id, &child.key);
+            }
             obs!(self, ObsKind::CancelPending, child.id, child.key);
             return;
         }
@@ -618,6 +729,25 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.slots[li].rng.reverse_n(p.rng_calls);
             }
             self.profiler.end(Phase::Reverse, t0);
+            // Auditor: the undo above must land the LP back on the exact
+            // fingerprint recorded before this event executed.
+            if self.audit.is_some() {
+                let h = self.audit_lp_fingerprint(li, lp);
+                if h != p.audit_hash {
+                    self.audit_violation(AuditViolation {
+                        pe: self.id,
+                        lp: Some(lp),
+                        id: Some(p.ev.id),
+                        key: Some(p.ev.key),
+                        check: AuditCheck::RollbackHash,
+                        detail: format!(
+                            "rollback restored LP fingerprint {h:#018x}, expected {:#018x} \
+                             (this execution was not undone exactly)",
+                            p.audit_hash
+                        ),
+                    });
+                }
+            }
             self.stats.events_rolled_back += 1;
             undone += 1;
 
@@ -630,6 +760,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 break;
             }
             obs!(self, ObsKind::Requeue, p.ev.id, p.ev.key);
+            if let Some(a) = self.audit.as_mut() {
+                a.toggle_sched(p.ev.id, &p.ev.key);
+            }
             let t0 = self.profiler.begin(Phase::SchedPush);
             self.queue.push(p.ev);
             self.profiler.end(Phase::SchedPush, t0);
@@ -647,6 +780,21 @@ impl<'a, M: Model> PeRuntime<'a, M> {
 
     /// Route a cancellation to wherever the child lives.
     fn cancel(&mut self, child: ChildRef) {
+        let mut viol = None;
+        if let Some(a) = self.audit.as_mut() {
+            if a.swallow_cancel() {
+                // Test-only injected fault (`with_audit_drop_anti`): drop
+                // this cancellation entirely; the conservation check must
+                // notice the child left in limbo.
+                return;
+            }
+            if let Err(v) = a.on_cancel(self.id, &child) {
+                viol = Some(v);
+            }
+        }
+        if let Some(v) = viol {
+            self.audit_violation(v);
+        }
         self.stats.anti_messages += 1;
         let pe = self.flat.pe_of_lp[child.key.dst as usize];
         obs!(self, ObsKind::AntiSent, child.id, child.key, pe);
@@ -692,6 +840,22 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             ev.id,
         );
         let li = self.local_lp_idx(lp);
+
+        // Auditor: fingerprint the LP before execution. Under reverse
+        // computation also replay handle+reverse once to prove exact
+        // inversion *before* the real execution commits to anything.
+        let audit_hash = if self.audit.is_some() {
+            let before = self.audit_lp_fingerprint(li, lp);
+            if self.snapshot_fn.is_none() {
+                if let Err(v) = self.probe_reverse(li, lp, &mut ev, before) {
+                    self.audit_violation(v);
+                }
+            }
+            before
+        } else {
+            0
+        };
+
         self.bf.clear();
         let mut emits = std::mem::take(&mut self.emit_buf);
         debug_assert!(emits.is_empty());
@@ -738,7 +902,14 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 src: lp,
                 send_time: ev.key.recv_time,
             };
-            children.push(ChildRef { id, key });
+            let child = ChildRef { id, key };
+            children.push(child);
+            if let Some(a) = self.audit.as_mut() {
+                // Registered before dispatch: enqueueing can recurse into a
+                // rollback whose cancellations must find their targets
+                // outstanding.
+                a.on_send(&child, lp);
+            }
             obs!(self, ObsKind::Emit, id, key, emit.dst);
             let child_ev = Event {
                 id,
@@ -767,6 +938,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             children,
             snapshot,
             n_trace,
+            audit_hash,
         });
         self.stats.events_processed += 1;
         self.since_gvt += 1;
@@ -847,6 +1019,20 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.early_antis.len(),
             self.early_antis.keys().take(8).collect::<Vec<_>>(),
         );
+        // Auditor: with the machine quiescent, the scheduler's recomputed
+        // content fingerprint must match the kernel's push/pop/remove
+        // mirror, and its structural invariants must hold.
+        let sched_check = self.audit.as_ref().map(|a| {
+            a.check_scheduler(
+                self.id,
+                self.queue.audit_digest(),
+                self.queue.check_invariants(),
+            )
+        });
+        if let Some(Err(v)) = sched_check {
+            self.audit_violation(v);
+            return Err(Halt);
+        }
         let gvt = self
             .shared
             .local_mins
@@ -1007,6 +1193,20 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 self.tracer.commit(ki, p.n_trace);
                 self.stats.events_committed += 1;
                 self.stats.fossils_collected += 1;
+                // Auditor: committing an event commits its children; each
+                // must still be outstanding (never cancelled).
+                let mut viol = None;
+                if let Some(a) = self.audit.as_mut() {
+                    for child in &p.children {
+                        if let Err(v) = a.on_commit_child(self.id, child) {
+                            viol = Some(v);
+                            break;
+                        }
+                    }
+                }
+                if let Some(v) = viol {
+                    self.audit_violation(v);
+                }
                 self.child_pool.put(p.children);
             }
         }
@@ -1242,8 +1442,14 @@ fn run_parallel_inner<M: Model>(
             queue: config.scheduler.build::<M::Payload>(),
         });
     }
+    // Seed each PE's queue, folding the init events into the auditor's
+    // scheduler mirror so it starts consistent with the queue contents.
+    let mut init_xors = vec![0u64; n_pes];
     for ev in init_events {
         let pe = flat.pe_of_lp[ev.dst() as usize];
+        if config.audit {
+            init_xors[pe] ^= event_fingerprint(ev.id, &ev.key);
+        }
         seeds[pe].queue.push(ev);
     }
 
@@ -1259,6 +1465,7 @@ fn run_parallel_inner<M: Model>(
             let lp_local = &lp_local;
             let kp_local = &kp_local;
             let results = &results;
+            let init_xors = &init_xors;
             scope.spawn(move || {
                 let mut rt = PeRuntime {
                     id: pe,
@@ -1290,6 +1497,12 @@ fn run_parallel_inner<M: Model>(
                     msg_pool: VecPool::new(),
                     child_pool: VecPool::new(),
                     pending_buf: Vec::new(),
+                    audit: config.audit.then(|| {
+                        let mut a = AuditState::new(config.audit_drop_anti);
+                        a.sched_xor = init_xors[pe];
+                        a
+                    }),
+                    probe_buf: Vec::new(),
                     seen_pos: HashSet::new(),
                     seen_anti: HashSet::new(),
                     early_antis: HashMap::new(),

@@ -203,6 +203,50 @@ impl<P: Send> EventQueue<P> for CalendarQueue<P> {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Bucket membership, per-bucket ordering, and total accounting.
+        let mut total = 0usize;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            total += bucket.len();
+            for pair in bucket.windows(2) {
+                if ckey(&pair[0]) >= ckey(&pair[1]) {
+                    return Err(format!(
+                        "calendar: bucket {b} not strictly sorted at t={}",
+                        pair[1].key.recv_time.0
+                    ));
+                }
+            }
+            for e in bucket {
+                let want = self.bucket_of(e.key.recv_time.0);
+                if want != b {
+                    return Err(format!(
+                        "calendar: event t={} filed in bucket {b}, hashes to {want} \
+                         (width {} over {} days)",
+                        e.key.recv_time.0,
+                        self.width,
+                        self.buckets.len()
+                    ));
+                }
+            }
+        }
+        if total != self.len {
+            return Err(format!(
+                "calendar: {total} events across buckets, len says {}",
+                self.len
+            ));
+        }
+        if self.width == 0 {
+            return Err("calendar: zero bucket width".into());
+        }
+        Ok(())
+    }
+
+    fn audit_digest(&self) -> Option<u64> {
+        Some(self.buckets.iter().flatten().fold(0u64, |acc, e| {
+            acc ^ crate::audit::event_fingerprint(e.id, &e.key)
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,61 @@ impl<P: Send> EventQueue<P> for HeapQueue<P> {
     fn len(&self) -> usize {
         self.pending.len()
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Lazy-deletion accounting: every heap entry is either live or
+        // tombstoned, never both, and nothing is tracked without an entry.
+        if self.heap.len() != self.pending.len() + self.cancelled.len() {
+            return Err(format!(
+                "heap: {} entries != {} pending + {} cancelled (lazy-deletion leak)",
+                self.heap.len(),
+                self.pending.len(),
+                self.cancelled.len()
+            ));
+        }
+        let mut live = 0usize;
+        let mut dead = 0usize;
+        for e in self.heap.iter() {
+            match (
+                self.pending.contains(&e.0.id),
+                self.cancelled.contains(&e.0.id),
+            ) {
+                (true, false) => live += 1,
+                (false, true) => dead += 1,
+                (true, true) => {
+                    return Err(format!(
+                        "heap: id {:?} is both pending and tombstoned",
+                        e.0.id
+                    ))
+                }
+                (false, false) => {
+                    return Err(format!(
+                        "heap: id {:?} is in the heap but tracked nowhere",
+                        e.0.id
+                    ))
+                }
+            }
+        }
+        if live != self.pending.len() || dead != self.cancelled.len() {
+            return Err(format!(
+                "heap: tracked ids missing from the heap ({live}/{} live, {dead}/{} tombstoned)",
+                self.pending.len(),
+                self.cancelled.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn audit_digest(&self) -> Option<u64> {
+        Some(
+            self.heap
+                .iter()
+                .filter(|e| self.pending.contains(&e.0.id))
+                .fold(0u64, |acc, e| {
+                    acc ^ crate::audit::event_fingerprint(e.0.id, &e.0.key)
+                }),
+        )
+    }
 }
 
 #[cfg(test)]

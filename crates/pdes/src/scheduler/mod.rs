@@ -40,6 +40,23 @@ pub trait EventQueue<P>: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Walk the implementation's internal structure and report the first
+    /// broken invariant (heap lazy-deletion accounting, splay in-order key
+    /// monotonicity, calendar bucket membership…). `Ok(())` means the
+    /// structure is sound. The default is a no-op so external
+    /// implementations keep compiling; the in-tree queues all implement it,
+    /// and the runtime auditor calls it at every GVT round.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
+    /// XOR-fold of [`event_fingerprint`](crate::audit::event_fingerprint)
+    /// over every *live* pending event, recomputed from scratch. The
+    /// auditor compares it against the kernel's incrementally maintained
+    /// mirror to catch events lost, duplicated, or mutated inside the
+    /// queue. `None` (the default) means "unsupported — skip the check".
+    fn audit_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Which pending-set implementation a kernel should use.

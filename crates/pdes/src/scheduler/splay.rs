@@ -296,6 +296,76 @@ impl<P: Send> EventQueue<P> for SplayQueue<P> {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Iterative in-order walk (explicit stack: the tree can degenerate
+        // to a path, so recursion could overflow): composite keys must be
+        // strictly increasing, every occupied slab slot must be reachable
+        // exactly once, and slab occupancy must reconcile with the free
+        // list.
+        let occupied = self.slab.iter().filter(|s| s.is_some()).count();
+        if occupied != self.len {
+            return Err(format!(
+                "splay: len {} != {occupied} occupied slab slots",
+                self.len
+            ));
+        }
+        if self.free.len() + self.len != self.slab.len() {
+            return Err(format!(
+                "splay: free list {} + len {} != slab {}",
+                self.free.len(),
+                self.len,
+                self.slab.len()
+            ));
+        }
+        let mut visited = 0usize;
+        let mut prev: Option<CKey> = None;
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                if visited + stack.len() > self.slab.len() {
+                    return Err("splay: cycle detected on a left spine".into());
+                }
+                stack.push(cur);
+                cur = match self.slab[cur as usize].as_ref() {
+                    Some(n) => n.left,
+                    None => return Err(format!("splay: tree references freed slot {cur}")),
+                };
+            }
+            let idx = stack.pop().expect("outer loop guarantees non-empty");
+            let k = self.key(idx);
+            if let Some(p) = prev {
+                if p >= k {
+                    return Err(format!(
+                        "splay: in-order keys not strictly increasing at t={} tie={} \
+                         (duplicate or inverted node)",
+                        (k.0.recv_time).0,
+                        k.0.tie
+                    ));
+                }
+            }
+            prev = Some(k);
+            visited += 1;
+            if visited > self.len {
+                return Err("splay: walk visited more nodes than len (cycle)".into());
+            }
+            cur = self.slab[idx as usize].as_ref().unwrap().right;
+        }
+        if visited != self.len {
+            return Err(format!(
+                "splay: walk reached {visited} nodes, len says {}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
+    fn audit_digest(&self) -> Option<u64> {
+        Some(self.slab.iter().flatten().fold(0u64, |acc, n| {
+            acc ^ crate::audit::event_fingerprint(n.ev.id, &n.ev.key)
+        }))
+    }
 }
 
 #[cfg(test)]

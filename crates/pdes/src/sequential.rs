@@ -9,13 +9,14 @@
 
 use std::time::Instant;
 
+use crate::audit::{lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation};
 use crate::config::EngineConfig;
-use crate::error::RunError;
+use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
 use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
-use crate::model::{Emit, EventCtx, InitCtx, Model};
+use crate::model::{Emit, EventCtx, InitCtx, Model, ReverseCtx};
 use crate::obs::prof::Phase;
-use crate::obs::{ObsKind, ObsRecord, RoundSnapshot, Telemetry};
-use crate::rng::{stream_seed, Clcg4};
+use crate::obs::{FlightRecorder, ObsKind, ObsRecord, RoundSnapshot, Telemetry};
+use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::stats::{EngineStats, RunResult};
 
 /// Run `model` to completion on the sequential kernel.
@@ -44,6 +45,13 @@ pub fn run_sequential<M: Model>(
     let mut seq: u64 = 0;
     let mut emits: Vec<Emit<M::Payload>> = Vec::new();
 
+    // Reversibility auditor (see [`audit`](crate::audit)). The sequential
+    // kernel never rolls back, so only the reverse-replay probe and the
+    // scheduler checks apply — which makes it the cheapest place to localize
+    // a broken `reverse` handler before trusting it under optimism.
+    let mut audit = config.audit.then(|| AuditState::new(None));
+    let mut probe_buf: Vec<Emit<M::Payload>> = Vec::new();
+
     // Initialize every LP and enqueue its bootstrap events.
     for lp in 0..n_lps {
         let mut ctx = InitCtx {
@@ -53,7 +61,11 @@ pub fn run_sequential<M: Model>(
         };
         states.push(model.init(lp, &mut ctx));
         for emit in emits.drain(..) {
-            queue.push(materialize(emit, lp, &mut seq));
+            let e = materialize(emit, lp, &mut seq);
+            if let Some(a) = audit.as_mut() {
+                a.toggle_sched(e.id, &e.key);
+            }
+            queue.push(e);
         }
     }
 
@@ -84,6 +96,9 @@ pub fn run_sequential<M: Model>(
         let t0 = profiler.begin(Phase::SchedPop);
         let mut ev = queue.pop().expect("peeked key must pop");
         profiler.end(Phase::SchedPop, t0);
+        if let Some(a) = audit.as_mut() {
+            a.toggle_sched(ev.id, &ev.key);
+        }
         debug_assert!(
             last_key.is_none_or(|lk| lk < ev.key),
             "event keys must be strictly increasing (duplicate key?): {last_key:?} then {:?}",
@@ -93,6 +108,36 @@ pub fn run_sequential<M: Model>(
 
         let lp = ev.key.dst;
         assert!(lp < n_lps, "event addressed to nonexistent LP {lp}");
+
+        // Auditor: replay handle+reverse once before the real execution and
+        // require the LP fingerprint to return to its starting value.
+        if audit.is_some() {
+            if let Err(v) = probe_reverse(
+                model,
+                lp,
+                &mut states[lp as usize],
+                &mut rngs[lp as usize],
+                &mut ev,
+                &mut probe_buf,
+            ) {
+                if recorder.wants(ObsKind::AuditViolation) {
+                    recorder.record(ObsRecord::event(
+                        ObsKind::AuditViolation,
+                        ev.id,
+                        ev.key,
+                        v.check as u64,
+                    ));
+                }
+                return Err(audit_failed(
+                    v,
+                    ev.key.recv_time.0,
+                    queue.len(),
+                    &stats,
+                    &recorder,
+                ));
+            }
+        }
+
         bf.clear();
         if recorder.wants(ObsKind::Execute) {
             recorder.record(ObsRecord::event(ObsKind::Execute, ev.id, ev.key, 0));
@@ -127,6 +172,9 @@ pub fn run_sequential<M: Model>(
             if recorder.wants(ObsKind::Enqueue) {
                 recorder.record(ObsRecord::event(ObsKind::Enqueue, e.id, e.key, 0));
             }
+            if let Some(a) = audit.as_mut() {
+                a.toggle_sched(e.id, &e.key);
+            }
             queue.push(e);
         }
         profiler.end(Phase::SchedPush, t0);
@@ -136,6 +184,21 @@ pub fn run_sequential<M: Model>(
         if since_sample >= config.gvt_interval {
             since_sample = 0;
             round += 1;
+            // Auditor: the GVT-interval boundary is the sequential analogue
+            // of a GVT round — compare the scheduler's recomputed content
+            // fingerprint with the kernel's mirror and walk its invariants.
+            if let Some(a) = audit.as_ref() {
+                if let Err(v) = a.check_scheduler(0, queue.audit_digest(), queue.check_invariants())
+                {
+                    return Err(audit_failed(
+                        v,
+                        ev.key.recv_time.0,
+                        queue.len(),
+                        &stats,
+                        &recorder,
+                    ));
+                }
+            }
             let now_ticks = ev.key.recv_time.0;
             let snap = RoundSnapshot {
                 round,
@@ -153,6 +216,14 @@ pub fn run_sequential<M: Model>(
             if let Some(sink) = &config.obs.sink {
                 sink.record(&snap);
             }
+        }
+    }
+
+    // Final auditor sweep over whatever the horizon left in the queue.
+    if let Some(a) = audit.as_ref() {
+        if let Err(v) = a.check_scheduler(0, queue.audit_digest(), queue.check_invariants()) {
+            let gvt = last_key.map_or(0, |k| k.recv_time.0);
+            return Err(audit_failed(v, gvt, queue.len(), &stats, &recorder));
         }
     }
 
@@ -175,6 +246,96 @@ pub fn run_sequential<M: Model>(
         stats,
         telemetry,
     })
+}
+
+/// Fingerprint one LP: the model's [`Model::audit_state`] digest plus the
+/// RNG stream position.
+fn audit_fingerprint<M: Model>(model: &M, lp: LpId, state: &M::State, rng: &Clcg4) -> u64 {
+    let mut h = AuditHasher::new();
+    model.audit_state(lp, state, &mut h);
+    lp_fingerprint(h.finish(), rng)
+}
+
+/// Reverse-replay probe (sequential flavor): run `handle` against a scratch
+/// emission buffer with observability off, run `reverse`, un-step the RNG,
+/// and require the LP fingerprint to return to its pre-probe value. On
+/// success the LP, RNG, and payload are back exactly where they started.
+fn probe_reverse<M: Model>(
+    model: &M,
+    lp: LpId,
+    state: &mut M::State,
+    rng: &mut Clcg4,
+    ev: &mut Event<M::Payload>,
+    probe_out: &mut Vec<Emit<M::Payload>>,
+) -> Result<(), AuditViolation> {
+    let before = audit_fingerprint(model, lp, state, rng);
+    let mut bf = Bitfield::default();
+    let rng_before = rng.call_count();
+    {
+        let mut ctx = EventCtx {
+            lp,
+            src: ev.key.src,
+            now: ev.key.recv_time,
+            send_time: ev.key.send_time,
+            bf: &mut bf,
+            rng,
+            out: probe_out,
+            obs: None,
+            trace: None,
+        };
+        model.handle(state, &mut ev.payload, &mut ctx);
+    }
+    probe_out.clear();
+    let rng_calls = rng.call_count() - rng_before;
+    let rctx = ReverseCtx {
+        lp,
+        now: ev.key.recv_time,
+        bf,
+    };
+    model.reverse(state, &mut ev.payload, &rctx);
+    rng.reverse_n(rng_calls);
+    let after = audit_fingerprint(model, lp, state, rng);
+    if after != before {
+        return Err(AuditViolation {
+            pe: 0,
+            lp: Some(lp),
+            id: Some(ev.id),
+            key: Some(ev.key),
+            check: AuditCheck::ReverseReplay,
+            detail: format!(
+                "handle+reverse left LP fingerprint {after:#018x}, expected {before:#018x} \
+                 (reverse is not an exact inverse of handle)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Package an audit violation as [`RunError::AuditFailed`] with a one-PE
+/// diagnostics snapshot.
+fn audit_failed(
+    violation: AuditViolation,
+    gvt: u64,
+    queue_depth: usize,
+    stats: &EngineStats,
+    recorder: &FlightRecorder,
+) -> RunError {
+    RunError::AuditFailed {
+        violation: Box::new(violation),
+        diagnostics: RunDiagnostics {
+            gvt,
+            sent: 0,
+            received: 0,
+            pes: vec![PeDiagnostics {
+                pe: 0,
+                queue_depth,
+                stats: stats.clone(),
+                trace: recorder.decode_last(64),
+                recorder: recorder.summary(0),
+                ..Default::default()
+            }],
+        },
+    }
 }
 
 /// Turn an [`Emit`] into a full event. The sequential kernel allocates all
@@ -215,7 +376,12 @@ mod tests {
     }
 
     #[derive(Clone, Debug)]
-    struct Ping;
+    struct Ping {
+        /// Draw saved by the forward handler so reverse can subtract it
+        /// (exercised by the audit probe even though this kernel never
+        /// rolls back).
+        saved: f64,
+    }
 
     #[derive(Default, Debug, PartialEq)]
     struct PingOut {
@@ -238,19 +404,32 @@ mod tests {
         }
 
         fn init(&self, lp: LpId, ctx: &mut InitCtx<'_, Ping>) -> PingState {
-            ctx.schedule_at(lp, VirtualTime::from_steps(1), lp as u64, Ping);
+            ctx.schedule_at(
+                lp,
+                VirtualTime::from_steps(1),
+                lp as u64,
+                Ping { saved: 0.0 },
+            );
             PingState::default()
         }
 
-        fn handle(&self, state: &mut PingState, _p: &mut Ping, ctx: &mut EventCtx<'_, Ping>) {
+        fn handle(&self, state: &mut PingState, p: &mut Ping, ctx: &mut EventCtx<'_, Ping>) {
             state.received += 1;
-            state.draw_sum += ctx.rng().uniform();
+            let draw = ctx.rng().uniform();
+            state.draw_sum += draw;
+            p.saved = draw;
             let next = (ctx.lp() + 1) % self.n;
-            ctx.schedule(next, VirtualTime::STEP, ctx.lp() as u64, Ping);
+            ctx.schedule(
+                next,
+                VirtualTime::STEP,
+                ctx.lp() as u64,
+                Ping { saved: 0.0 },
+            );
         }
 
-        fn reverse(&self, _s: &mut PingState, _p: &mut Ping, _ctx: &ReverseCtx) {
-            unreachable!("sequential kernel never reverses");
+        fn reverse(&self, state: &mut PingState, p: &mut Ping, _ctx: &ReverseCtx) {
+            state.received -= 1;
+            state.draw_sum -= p.saved;
         }
 
         fn finish(&self, _lp: LpId, state: &PingState, out: &mut PingOut) {

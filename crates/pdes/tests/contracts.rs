@@ -155,6 +155,119 @@ fn parallel_with_more_kps_than_lps_is_clamped_by_mapping() {
     assert_eq!(r.stats.events_committed, 1);
 }
 
+/// Property test for the scheduler audit contract: all three pending-set
+/// implementations, driven through identical randomized push/pop/remove
+/// scripts, must (a) pop identical `(key, id)` sequences, (b) report sound
+/// internal structure via `check_invariants()` after *every* operation, and
+/// (c) agree on `audit_digest()` — both with each other and with an
+/// incrementally maintained XOR mirror, exactly the cross-check the runtime
+/// auditor performs at GVT rounds.
+#[test]
+fn scheduler_audit_contract_under_random_scripts() {
+    use pdes::audit::event_fingerprint;
+    use pdes::event::{Event, EventId, EventKey};
+    use pdes::rng::{stream_seed, Clcg4};
+    use pdes::scheduler::{CalendarQueue, EventQueue, HeapQueue, SplayQueue};
+
+    fn make(t: u64, dst: u32, tie: u64, seq: u64) -> Event<u64> {
+        Event {
+            id: EventId::new(0, seq),
+            key: EventKey {
+                recv_time: VirtualTime(t),
+                dst,
+                tie,
+                src: 0,
+                send_time: VirtualTime::ZERO,
+            },
+            payload: tie,
+        }
+    }
+
+    for case in 0..48u64 {
+        let mut rng = Clcg4::new(stream_seed(0xAD17_C0DE, case));
+        let n_ops = rng.integer(20, 250) as usize;
+        let mut queues: Vec<Box<dyn EventQueue<u64>>> = vec![
+            Box::new(HeapQueue::new()),
+            Box::new(SplayQueue::new()),
+            Box::new(CalendarQueue::new()),
+        ];
+        let mut live: Vec<(EventId, EventKey)> = Vec::new();
+        let mut mirror = 0u64; // kernel-style incremental XOR fingerprint
+        let mut seq = 0u64;
+
+        for _ in 0..n_ops {
+            let op = rng.integer(0, 3); // push-biased: 0/1 push, 2 pop, 3 remove
+            let t = rng.integer(1, 60);
+            let dst = rng.integer(0, 4) as u32;
+            let tie = rng.integer(0, 500);
+            match op {
+                0 | 1 => {
+                    seq += 1;
+                    let e = make(t, dst, tie, seq);
+                    mirror ^= event_fingerprint(e.id, &e.key);
+                    live.push((e.id, e.key));
+                    for q in &mut queues {
+                        q.push(e.clone());
+                    }
+                }
+                2 => {
+                    let got: Vec<Option<(EventKey, EventId)>> = queues
+                        .iter_mut()
+                        .map(|q| q.pop().map(|e| (e.key, e.id)))
+                        .collect();
+                    assert_eq!(got[0], got[1], "heap vs splay pop diverged");
+                    assert_eq!(got[0], got[2], "heap vs calendar pop diverged");
+                    if let Some((key, id)) = got[0] {
+                        mirror ^= event_fingerprint(id, &key);
+                        let pos = live.iter().position(|&(i, _)| i == id).unwrap();
+                        live.remove(pos);
+                    }
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (id, key) = live.remove((t as usize) % live.len());
+                    mirror ^= event_fingerprint(id, &key);
+                    for q in &mut queues {
+                        assert!(q.remove(id, key), "live event missing from queue");
+                    }
+                }
+            }
+            for q in &queues {
+                if let Err(broken) = q.check_invariants() {
+                    panic!("case {case}: scheduler invariant broken: {broken}");
+                }
+                assert_eq!(
+                    q.audit_digest(),
+                    Some(mirror),
+                    "case {case}: audit digest diverged from XOR mirror"
+                );
+                assert_eq!(q.len(), live.len());
+            }
+        }
+
+        // Drain: queues must agree all the way down and end at digest 0.
+        loop {
+            let got: Vec<Option<(EventKey, EventId)>> = queues
+                .iter_mut()
+                .map(|q| q.pop().map(|e| (e.key, e.id)))
+                .collect();
+            assert_eq!(got[0], got[1]);
+            assert_eq!(got[0], got[2]);
+            match got[0] {
+                Some((key, id)) => mirror ^= event_fingerprint(id, &key),
+                None => break,
+            }
+        }
+        assert_eq!(mirror, 0, "case {case}: drained digest must cancel to zero");
+        for q in &queues {
+            assert_eq!(q.audit_digest(), Some(0));
+            assert!(q.check_invariants().is_ok());
+        }
+    }
+}
+
 #[test]
 fn invalid_engine_configs_are_rejected_not_asserted() {
     // Constructed by hand (builders assert); both kernels must reject via

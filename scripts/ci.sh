@@ -16,6 +16,47 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== lint_reversible: self-test + model-tree scan =="
+# Static reversibility lint (crates/bench/src/bin/lint_reversible.rs):
+# proves its four rules fire on the in-tree fixtures, then requires the
+# model crates to scan clean (allowlist: scripts/lint_reversible.allow).
+cargo build --release -p bench --bin lint_reversible
+./target/release/lint_reversible --self-test
+./target/release/lint_reversible
+
+echo "== miri: unit tests on comm/pool/scheduler (nightly-gated) =="
+# The SPSC comm fabric is the only unsafe code in the tree; run its unit
+# tests (plus the pool and scheduler modules it leans on) under Miri when a
+# nightly toolchain with the component is installed. CI boxes without
+# nightly record the stage as SKIPPED rather than failing.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'miri.*(installed)'; then
+    # -Zmiri-disable-isolation: the tests read the system clock via
+    # std::time::Instant (watchdog plumbing).
+    MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -p pdes --lib -- \
+        comm:: pool:: scheduler::
+else
+    echo "SKIPPED: nightly toolchain with miri not installed"
+fi
+
+echo "== thread sanitizer: comm stress test (nightly-gated) =="
+# TSan needs -Zsanitizer=thread plus a rebuilt std (-Zbuild-std), which in
+# turn needs the rust-src component. Gate on all of it; SKIPPED otherwise.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src.*(installed)'; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -p pdes --lib --target "$host" \
+        -Zbuild-std -- comm::tests::concurrent_producer_consumer_stress
+else
+    echo "SKIPPED: nightly toolchain with rust-src not installed"
+fi
+
 echo "== bench smoke: 16x16 torus at 1 and 4 PEs (BENCH_pr2.json) =="
 # Perf-trajectory smoke: asserts parallel output == sequential oracle at
 # both PE counts, then records committed-events/sec. Not a pass/fail gate
@@ -93,6 +134,27 @@ for m in b["modes"]:
         assert abs(m["phase_share_sum"] - 1.0) < 1e-6, m
 print(f"BENCH_pr4.json: profiler {b['overhead_pct_profiler']}%, "
       f"tracing {b['overhead_pct_tracing']}% (informational)")
+EOF
+fi
+
+echo "== bench smoke: runtime-auditor overhead (BENCH_pr5.json) =="
+# Gates the audit-OFF configuration at <1% committed-events/sec regression
+# vs the PR 4 dark baseline just regenerated above (same machine, same
+# session); audit-ON overhead (probe re-execution) is informational. Both
+# modes re-assert bit-identical committed output vs the sequential oracle.
+./target/release/bench_pr5 --baseline=BENCH_pr4.json --out=BENCH_pr5.json
+cp BENCH_pr5.json artifacts/
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_pr5.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], \
+    f"audit-off regression {b['regression_pct_vs_baseline']}% over budget"
+modes = {m["mode"]: m for m in b["modes"]}
+assert modes["audit_off"]["events_committed"] == modes["audit_on"]["events_committed"]
+print(f"BENCH_pr5.json: audit-off regression {b['regression_pct_vs_baseline']}% "
+      f"vs PR4 baseline; audit-on {b['overhead_pct_audit_on']}% (informational)")
 EOF
 fi
 
