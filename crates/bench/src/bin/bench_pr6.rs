@@ -1,0 +1,266 @@
+//! PR 6 checkpoint-overhead benchmark: Time Warp throughput on a 4-PE 16×16
+//! torus with checkpointing off versus snapshotting at every GVT commit
+//! round. Checkpointing is opt-in (`PDES_CKPT` / `with_checkpoint_every`) —
+//! production runs ship with it off — so the hard requirement is that the
+//! *off* configuration costs nothing: this binary fails if ckpt-off
+//! throughput regresses against the PR 5 baseline (`audit_off` in
+//! `BENCH_pr5.json`, regenerated on the same machine by `scripts/ci.sh`) by
+//! more than a small budget. The every-round snapshot cost (quiescence
+//! barrier + serialization + fsync-free write) is recorded informationally.
+//!
+//! Samples are interleaved (off/on, off/on, …) and overheads are ratios of
+//! each mode's *fastest* wall, exactly like `bench_pr4`/`bench_pr5` — see
+//! `bench_pr4` for the rationale on oversubscribed CI containers.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr6 -- \
+//!     --baseline=BENCH_pr5.json --out=BENCH_pr6.json
+//! ```
+//!
+//! Flags:
+//! * `--out=<path>` — where to write the JSON (default `BENCH_pr6.json`).
+//! * `--baseline=<path>` — PR 5 JSON to gate against (default
+//!   `BENCH_pr5.json`; the gate is skipped with a warning if missing).
+//! * `--steps=<u64>` — simulated step count (default 96).
+//! * `--samples=<usize>` — interleaved rounds (default 9).
+//! * `--max-regression=<f64>` — fail (exit 1) if ckpt-off loses more than
+//!   this percent of committed-events/sec versus the baseline (default 1.0),
+//!   over and above the measured same-mode noise floor.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
+use pdes::{EngineConfig, ObsConfig};
+
+const N: u32 = 16;
+const LOAD: f64 = 0.4;
+const SEED: u64 = 0xBE9C_0702;
+const PES: usize = 4;
+
+struct Mode {
+    name: &'static str,
+    cfg: EngineConfig,
+    walls: Vec<Duration>,
+    events_committed: u64,
+    checkpoints_written: u64,
+    checkpoint_bytes: u64,
+}
+
+fn median_wall(walls: &[Duration]) -> Duration {
+    let mut sorted = walls.to_vec();
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
+fn min_overhead_pct(dark: &[Duration], instrumented: &[Duration]) -> f64 {
+    let d = dark.iter().min().unwrap().as_secs_f64();
+    let i = instrumented.iter().min().unwrap().as_secs_f64();
+    (i / d - 1.0) * 100.0
+}
+
+/// Same-mode noise floor from disjoint interleaved halves (see `bench_pr4`).
+fn noise_floor_pct(dark: &[Duration]) -> f64 {
+    let even: Vec<Duration> = dark.iter().step_by(2).copied().collect();
+    let odd: Vec<Duration> = dark.iter().skip(1).step_by(2).copied().collect();
+    if even.is_empty() || odd.is_empty() {
+        return 0.0;
+    }
+    min_overhead_pct(&even, &odd).abs()
+}
+
+/// Pull `"events_per_sec"` for the `audit_off` mode out of a PR 5 JSON
+/// report without a JSON dependency: find the mode entry by name, then the
+/// first `events_per_sec` number after it. Returns `None` (gate skipped)
+/// on any shape mismatch.
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let mode_pos = json.find("\"audit_off\"")?;
+    let tail = &json[mode_pos..];
+    let field = "\"events_per_sec\":";
+    let v_pos = tail.find(field)? + field.len();
+    let num: String = tail[v_pos..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr6.json");
+    let mut baseline_path = String::from("BENCH_pr5.json");
+    let mut steps: u64 = 96;
+    let mut samples: usize = 9;
+    let mut max_regression: f64 = 1.0;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--steps=") {
+            steps = v.parse().expect("--steps=<u64>");
+        } else if let Some(v) = a.strip_prefix("--samples=") {
+            samples = v.parse::<usize>().expect("--samples=<usize>").max(1);
+        } else if let Some(v) = a.strip_prefix("--max-regression=") {
+            max_regression = v.parse().expect("--max-regression=<f64>");
+        } else {
+            eprintln!(
+                "flags: --out=<path> --baseline=<path> --steps=<u64> \
+                 --samples=<usize> --max-regression=<f64>"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let ckpt_dir = std::env::temp_dir().join(format!("pdes-bench-pr6-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(N, steps).with_injectors(LOAD));
+    let base = EngineConfig::new(model.end_time())
+        .with_seed(SEED)
+        .with_pes(PES)
+        .with_kps(64)
+        .with_lookahead(model.natural_lookahead())
+        .with_obs(ObsConfig::disabled());
+
+    // Correctness gate first: both modes must commit output bit-identical to
+    // the sequential oracle. A snapshot mechanism that perturbed the run it
+    // is checkpointing could never restore it faithfully either.
+    let oracle = simulate_sequential(&model, &base).expect("oracle failed");
+
+    let mut modes: Vec<Mode> = [
+        ("ckpt_off", base.clone()),
+        (
+            "ckpt_every_round",
+            base.clone()
+                .with_checkpoint_every(1)
+                .with_checkpoint_dir(&ckpt_dir),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| Mode {
+        name,
+        cfg,
+        walls: Vec::new(),
+        events_committed: 0,
+        checkpoints_written: 0,
+        checkpoint_bytes: 0,
+    })
+    .collect();
+
+    // Oracle check + warm-up, once per mode.
+    for m in &mut modes {
+        let r = simulate_parallel(&model, &m.cfg).expect("parallel run failed");
+        assert_eq!(
+            r.output, oracle.output,
+            "{}: committed output diverged from the sequential oracle",
+            m.name
+        );
+        m.events_committed = r.stats.events_committed;
+        m.checkpoints_written = r.stats.checkpoints_written;
+        m.checkpoint_bytes = r.stats.checkpoint_bytes;
+    }
+
+    for _ in 0..samples {
+        for m in &mut modes {
+            let t0 = Instant::now();
+            let r = simulate_parallel(&model, &m.cfg).expect("parallel run failed");
+            m.walls.push(t0.elapsed());
+            std::hint::black_box(r.output);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    for m in &modes {
+        println!(
+            "timewarp_{PES}pe_{N}x{N}_{:<16} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({samples} samples)",
+            m.name,
+            median_wall(&m.walls),
+            m.walls.iter().min().unwrap(),
+            m.walls.iter().max().unwrap(),
+        );
+    }
+
+    let off = &modes[0];
+    let on = &modes[1];
+    let overhead_ckpt = min_overhead_pct(&off.walls, &on.walls);
+    let noise = noise_floor_pct(&off.walls);
+    let off_eps = off.events_committed as f64 / off.walls.iter().min().unwrap().as_secs_f64();
+
+    // Baseline gate: ckpt-off vs the PR 5 dark mode, same machine.
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .as_deref()
+        .and_then(baseline_events_per_sec);
+    let (regression_pct, within_budget) = match baseline {
+        Some(base_eps) => {
+            let reg = (1.0 - off_eps / base_eps) * 100.0;
+            (reg, reg <= max_regression + noise)
+        }
+        None => {
+            eprintln!("warning: no usable baseline at {baseline_path}; regression gate skipped");
+            (0.0, true)
+        }
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pr6_ckpt_overhead\",");
+    let _ = writeln!(json, "  \"torus\": \"{N}x{N}\",");
+    let _ = writeln!(json, "  \"pes\": {PES},");
+    let _ = writeln!(json, "  \"load\": {LOAD},");
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    json.push_str("  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        let med = median_wall(&m.walls).as_secs_f64();
+        let _ = writeln!(
+            json,
+            "    {{ \"mode\": \"{}\", \"events_per_sec\": {:.1}, \"events_committed\": {}, \
+             \"checkpoints_written\": {}, \"checkpoint_bytes\": {}, \"median_wall_s\": {:.4} }}{}",
+            m.name,
+            m.events_committed as f64 / med,
+            m.events_committed,
+            m.checkpoints_written,
+            m.checkpoint_bytes,
+            med,
+            if i + 1 < modes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"overhead_pct_ckpt_every_round\": {overhead_ckpt:.2},"
+    );
+    let _ = writeln!(json, "  \"noise_floor_pct\": {noise:.2},");
+    let _ = writeln!(
+        json,
+        "  \"baseline_events_per_sec\": {},",
+        baseline.map_or("null".to_string(), |b| format!("{b:.1}"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"regression_pct_vs_baseline\": {regression_pct:.2},"
+    );
+    let _ = writeln!(json, "  \"max_regression_pct\": {max_regression},");
+    let _ = writeln!(json, "  \"within_budget\": {within_budget}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+    print!("{json}");
+
+    if !within_budget {
+        eprintln!(
+            "ckpt-off throughput regressed {regression_pct:.2}% vs the PR 5 baseline, \
+             over the {max_regression}% budget (+{noise:.2}% measured noise floor)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -60,5 +60,8 @@ pub use msg::Msg;
 pub use packet::{Packet, PacketId, Priority};
 pub use policy::{PolicyKind, RouteDecision};
 pub use router::RouterState;
-pub use run::{simulate, simulate_parallel, simulate_parallel_state_saving, simulate_sequential};
+pub use run::{
+    simulate, simulate_parallel, simulate_parallel_state_saving, simulate_resumed,
+    simulate_sequential, simulate_supervised,
+};
 pub use stats::{NetStats, RouterStats};

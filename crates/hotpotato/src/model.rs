@@ -26,6 +26,7 @@
 //! home-run link — the same practical approximation the paper's simulation
 //! makes.
 
+use pdes::ckpt::{CkptError, CkptReader, CkptWriter};
 use pdes::model::{EventCtx, InitCtx, ReverseCtx};
 use pdes::prelude::*;
 use pdes::rng::ReversibleRng;
@@ -600,6 +601,179 @@ impl<T: Topology> Model for HotPotatoModel<T> {
         h.write_u64(s.heartbeats);
         h.write_u64(s.stalls);
     }
+
+    // ---- checkpoint serialization (see [`pdes::ckpt`]) --------------------
+    //
+    // All-integer state, encoded field by field in `audit_state` order so a
+    // decoded state necessarily reproduces the captured audit fingerprint.
+
+    fn save_state(
+        &self,
+        _lp: LpId,
+        state: &RouterState,
+        w: &mut CkptWriter,
+    ) -> Result<(), CkptError> {
+        w.u64(state.cur_step);
+        w.u8(state.links);
+        w.bool(state.is_injector);
+        w.u64(state.pending_since_step);
+        w.u32(state.next_seq);
+        let s = &state.stats;
+        w.u64(s.delivered);
+        w.u64(s.transit_steps_sum);
+        w.u64(s.distance_sum);
+        w.u64(s.delivered_deflections_sum);
+        w.u64(s.injected);
+        w.u64(s.wait_steps_sum);
+        w.u64(s.max_wait_steps);
+        w.u64(s.inject_attempts);
+        w.u64(s.inject_failures);
+        w.u64(s.routes);
+        for r in s.routes_by_priority {
+            w.u64(r);
+        }
+        w.u64(s.deflections);
+        w.u64(s.promotions);
+        w.u64(s.demotions);
+        w.u64(s.heartbeats);
+        w.u64(s.stalls);
+        Ok(())
+    }
+
+    fn load_state(&self, lp: LpId, r: &mut CkptReader<'_>) -> Result<RouterState, CkptError> {
+        let mut state = RouterState {
+            cur_step: r.u64()?,
+            links: r.u8()?,
+            is_injector: r.bool()?,
+            pending_since_step: r.u64()?,
+            next_seq: r.u32()?,
+            ..RouterState::default()
+        };
+        if state.links & !0b1111 != 0 {
+            return Err(CkptError::Corrupt(format!(
+                "router {lp}: link mask {:#x} sets nonexistent links",
+                state.links
+            )));
+        }
+        let s = &mut state.stats;
+        s.delivered = r.u64()?;
+        s.transit_steps_sum = r.u64()?;
+        s.distance_sum = r.u64()?;
+        s.delivered_deflections_sum = r.u64()?;
+        s.injected = r.u64()?;
+        s.wait_steps_sum = r.u64()?;
+        s.max_wait_steps = r.u64()?;
+        s.inject_attempts = r.u64()?;
+        s.inject_failures = r.u64()?;
+        s.routes = r.u64()?;
+        for slot in s.routes_by_priority.iter_mut() {
+            *slot = r.u64()?;
+        }
+        s.deflections = r.u64()?;
+        s.promotions = r.u64()?;
+        s.demotions = r.u64()?;
+        s.heartbeats = r.u64()?;
+        s.stalls = r.u64()?;
+        Ok(state)
+    }
+
+    fn save_payload(&self, payload: &Msg, w: &mut CkptWriter) -> Result<(), CkptError> {
+        match payload {
+            Msg::Arrive { packet } => {
+                w.u8(0);
+                save_packet(packet, w);
+            }
+            Msg::Route { packet, saved } => {
+                w.u8(1);
+                save_packet(packet, w);
+                w.u8(saved.old_links);
+                w.u64(saved.old_cur_step);
+                w.u8(saved.chosen);
+            }
+            Msg::Inject { saved } => {
+                w.u8(2);
+                w.u8(saved.old_links);
+                w.u64(saved.old_cur_step);
+                w.u8(saved.chosen);
+                w.u64(saved.old_pending_since);
+                w.u64(saved.old_max_wait);
+                w.u64(saved.wait_steps);
+            }
+            Msg::Heartbeat => w.u8(3),
+        }
+        Ok(())
+    }
+
+    fn load_payload(&self, r: &mut CkptReader<'_>) -> Result<Msg, CkptError> {
+        match r.u8()? {
+            0 => Ok(Msg::Arrive {
+                packet: load_packet(r)?,
+            }),
+            1 => Ok(Msg::Route {
+                packet: load_packet(r)?,
+                saved: SavedRoute {
+                    old_links: r.u8()?,
+                    old_cur_step: r.u64()?,
+                    chosen: r.u8()?,
+                },
+            }),
+            2 => Ok(Msg::Inject {
+                saved: SavedInject {
+                    old_links: r.u8()?,
+                    old_cur_step: r.u64()?,
+                    chosen: r.u8()?,
+                    old_pending_since: r.u64()?,
+                    old_max_wait: r.u64()?,
+                    wait_steps: r.u64()?,
+                },
+            }),
+            3 => Ok(Msg::Heartbeat),
+            tag => Err(CkptError::Corrupt(format!("unknown Msg tag {tag}"))),
+        }
+    }
+}
+
+/// Encode a [`Packet`] field by field (declaration order).
+fn save_packet(p: &Packet, w: &mut CkptWriter) {
+    w.u64(p.id.0);
+    w.u32(p.dst);
+    w.u32(p.src);
+    w.u8(p.priority.rank());
+    w.u64(p.injected_step);
+    w.u64(p.jitter);
+    // 0 = no last link; else `Direction` index + 1.
+    w.u8(p.last_dir.map_or(0, |d| d.index() as u8 + 1));
+    w.u32(p.deflections);
+}
+
+/// Inverse of [`save_packet`], rejecting out-of-range enums.
+fn load_packet(r: &mut CkptReader<'_>) -> Result<Packet, CkptError> {
+    let id = PacketId(r.u64()?);
+    let dst = r.u32()?;
+    let src = r.u32()?;
+    let rank = r.u8()?;
+    if rank > 3 {
+        return Err(CkptError::Corrupt(format!("packet priority rank {rank}")));
+    }
+    let priority = Priority::from_rank(rank);
+    let injected_step = r.u64()?;
+    let jitter = r.u64()?;
+    let last_dir = match r.u8()? {
+        0 => None,
+        d if d <= 4 => Some(Direction::from_index(d as usize - 1)),
+        d => return Err(CkptError::Corrupt(format!("packet direction code {d}"))),
+    };
+    let deflections = r.u32()?;
+    Ok(Packet {
+        id,
+        dst,
+        src,
+        priority,
+        injected_step,
+        jitter,
+        last_dir,
+        deflections,
+    })
 }
 
 #[cfg(test)]

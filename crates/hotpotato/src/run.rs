@@ -46,6 +46,35 @@ pub fn simulate_parallel_state_saving<T: Topology>(
     pdes::run_parallel_mapped_state_saving(model, &cfg, &mapping)
 }
 
+/// Resume an interrupted parallel run from a checkpoint snapshot, keeping
+/// the paper's block LP→KP→PE mapping. The continuation commits exactly the
+/// events an uninterrupted run would have committed past the snapshot GVT.
+pub fn simulate_resumed<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+    snap: &Snapshot,
+) -> Result<RunResult<NetStats>, RunError> {
+    let mut cfg = engine.clone();
+    cfg.end_time = model.end_time();
+    cfg.validate()?;
+    let mapping = BlockMapping::new(model.config().n, cfg.n_kps, cfg.n_pes);
+    pdes::parallel::run_resumed_mapped(model, &cfg, &mapping, snap)
+}
+
+/// Run under the crash-recovery supervisor ([`pdes::ckpt::supervise`]):
+/// on a PE crash the newest intact snapshot in
+/// [`EngineConfig::checkpoint_dir`] is validated and resumed, falling back
+/// to older snapshots (or a cold restart) when files are corrupt.
+pub fn simulate_supervised<T: Topology>(
+    model: &HotPotatoModel<T>,
+    engine: &EngineConfig,
+    policy: &SupervisorPolicy,
+) -> Result<(RunResult<NetStats>, pdes::ckpt::RecoveryReport), RunError> {
+    let mut cfg = engine.clone();
+    cfg.end_time = model.end_time();
+    supervise(model, &cfg, policy)
+}
+
 /// Run on either kernel, selected at runtime (bench harness convenience).
 pub fn simulate<T: Topology>(
     model: &HotPotatoModel<T>,

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::error::RunError;
@@ -76,6 +77,19 @@ pub struct EngineConfig {
     /// `audit` and is rejected by [`validate`](Self::validate) otherwise.
     #[doc(hidden)]
     pub audit_drop_anti: Option<u64>,
+    /// Checkpointing (see [`ckpt`](crate::ckpt)): write a snapshot of the
+    /// committed machine state every N GVT rounds (sequential kernel: every
+    /// N telemetry rounds). `None` disables checkpointing. Requires the
+    /// model to implement the `Model::save_state`/`load_state` hooks.
+    /// [`EngineConfig::new`] seeds this from the `PDES_CKPT` env variable
+    /// (`PDES_CKPT=N`, `0` = off); override with
+    /// [`with_checkpoint_every`](Self::with_checkpoint_every).
+    pub checkpoint_every: Option<u64>,
+    /// Directory snapshots are written to (created on first write; the
+    /// newest two are kept). Seeded from `PDES_CKPT_DIR`, default
+    /// `pdes-ckpt`; override with
+    /// [`with_checkpoint_dir`](Self::with_checkpoint_dir).
+    pub checkpoint_dir: PathBuf,
 }
 
 impl EngineConfig {
@@ -99,6 +113,8 @@ impl EngineConfig {
             obs: ObsConfig::from_env(),
             audit: crate::obs::audit_env_default(),
             audit_drop_anti: None,
+            checkpoint_every: crate::obs::ckpt_env_default(),
+            checkpoint_dir: crate::obs::ckpt_dir_env_default(),
         }
     }
 
@@ -198,6 +214,27 @@ impl EngineConfig {
         self
     }
 
+    /// Checkpoint every `n` GVT rounds (see
+    /// [`checkpoint_every`](Self::checkpoint_every)), overriding `PDES_CKPT`.
+    pub fn with_checkpoint_every(mut self, n: u64) -> Self {
+        assert!(n >= 1, "checkpoint interval must be >= 1 round");
+        self.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Disable checkpointing, overriding `PDES_CKPT`.
+    pub fn without_checkpoints(mut self) -> Self {
+        self.checkpoint_every = None;
+        self
+    }
+
+    /// Set the snapshot directory (see
+    /// [`checkpoint_dir`](Self::checkpoint_dir)).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = dir.into();
+        self
+    }
+
     /// Check the configuration is self-consistent; both kernels call this
     /// before touching the model.
     pub fn validate(&self) -> Result<(), RunError> {
@@ -248,6 +285,11 @@ impl EngineConfig {
         if self.audit_drop_anti.is_some() && !self.audit {
             return Err(RunError::config(
                 "audit_drop_anti is an auditor fault injection; it requires audit = true",
+            ));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(RunError::config(
+                "checkpoint_every must be >= 1 (or None to disable)",
             ));
         }
         Ok(())
@@ -313,6 +355,20 @@ mod tests {
         assert!(c.clone().with_comm_batch(Some(0)).validate().is_err());
         assert!(c.clone().with_comm_batch(Some(1)).validate().is_ok());
         assert!(c.with_comm_batch(None).validate().is_ok());
+    }
+
+    #[test]
+    fn checkpoint_builders_and_validation() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1))
+            .with_checkpoint_every(4)
+            .with_checkpoint_dir("/tmp/snaps");
+        assert_eq!(c.checkpoint_every, Some(4));
+        assert_eq!(c.checkpoint_dir, PathBuf::from("/tmp/snaps"));
+        assert!(c.validate().is_ok());
+        assert!(c.clone().without_checkpoints().checkpoint_every.is_none());
+        let mut bad = c;
+        bad.checkpoint_every = Some(0);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

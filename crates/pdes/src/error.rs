@@ -64,6 +64,14 @@ pub enum RunError {
         /// The PE whose report slot was empty.
         pe: PeId,
     },
+    /// A checkpoint operation failed: the snapshot could not be written
+    /// (I/O), a model does not implement the serialization hooks, or a
+    /// snapshot handed to a resume entry point was corrupt or belongs to a
+    /// different run (see [`ckpt`](crate::ckpt)).
+    Checkpoint {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
     /// The runtime auditor (see [`crate::audit`]) caught a reversibility,
     /// anti-message-conservation, or scheduler-integrity violation. The run
     /// was stopped at the first violation; all sibling PEs were unwound
@@ -91,7 +99,9 @@ impl RunError {
             RunError::PePanic { diagnostics, .. } => Some(diagnostics),
             RunError::GvtStalled { diagnostics, .. } => Some(diagnostics),
             RunError::AuditFailed { diagnostics, .. } => Some(diagnostics),
-            RunError::ConfigInvalid { .. } | RunError::WorkerLost { .. } => None,
+            RunError::ConfigInvalid { .. }
+            | RunError::WorkerLost { .. }
+            | RunError::Checkpoint { .. } => None,
         }
     }
 
@@ -127,6 +137,7 @@ impl fmt::Display for RunError {
                 )
             }
             RunError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
+            RunError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
             RunError::WorkerLost { pe } => {
                 write!(f, "PE {pe} worker thread terminated without reporting")
             }
@@ -251,6 +262,9 @@ pub(crate) enum FailureCause {
     Audit {
         violation: AuditViolation,
     },
+    Ckpt {
+        reason: String,
+    },
 }
 
 impl FailureCause {
@@ -281,6 +295,7 @@ impl FailureCause {
                 violation: Box::new(violation),
                 diagnostics,
             },
+            FailureCause::Ckpt { reason } => RunError::Checkpoint { reason },
         }
     }
 }

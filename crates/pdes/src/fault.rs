@@ -59,6 +59,18 @@ pub struct FaultPlan {
     pub duplicate: f64,
     /// Probability a drained batch is shuffled.
     pub reorder: f64,
+    /// Crash injection: panic this PE (simulating a worker death the
+    /// supervisor must recover from) once it has executed
+    /// [`kill_after`](Self::kill_after) events. One-shot by design —
+    /// recovery strips it via [`without_crashes`](Self::without_crashes).
+    pub kill_pe: Option<u32>,
+    /// Event count at which [`kill_pe`](Self::kill_pe) fires (≥ 1; the
+    /// panic raises after that many events have executed on the PE).
+    pub kill_after: u64,
+    /// Crash injection: tear the nth (0-based) snapshot write of the run
+    /// mid-file, as a crash during a checkpoint would, so recovery must
+    /// detect the corruption and fall back to the previous snapshot.
+    pub poison_ckpt: Option<u64>,
 }
 
 impl FaultPlan {
@@ -69,6 +81,9 @@ impl FaultPlan {
             delay: 0.0,
             duplicate: 0.0,
             reorder: 0.0,
+            kill_pe: None,
+            kill_after: 0,
+            poison_ckpt: None,
         }
     }
 
@@ -90,8 +105,34 @@ impl FaultPlan {
         self
     }
 
-    /// True if no fault can ever fire — the kernel then skips the chaos
-    /// path entirely.
+    /// Panic PE `pe` after it has executed `after` events (see
+    /// [`kill_pe`](Self::kill_pe)).
+    pub fn with_kill(mut self, pe: u32, after: u64) -> Self {
+        self.kill_pe = Some(pe);
+        self.kill_after = after;
+        self
+    }
+
+    /// Tear the nth (0-based) snapshot write mid-file (see
+    /// [`poison_ckpt`](Self::poison_ckpt)).
+    pub fn with_poison_ckpt(mut self, nth: u64) -> Self {
+        self.poison_ckpt = Some(nth);
+        self
+    }
+
+    /// This plan with all crash injection (kill + snapshot poison) removed;
+    /// comm-level chaos rates are kept. The supervisor retries with this so
+    /// a one-shot injected crash cannot re-fire on every recovery attempt.
+    pub fn without_crashes(mut self) -> Self {
+        self.kill_pe = None;
+        self.kill_after = 0;
+        self.poison_ckpt = None;
+        self
+    }
+
+    /// True if no *comm-level* fault (delay/duplicate/reorder) can ever
+    /// fire — the kernel then skips the inbox chaos path entirely. Crash
+    /// injection is independent of this: it is checked on its own paths.
     pub fn is_noop(&self) -> bool {
         self.delay == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
     }
@@ -108,6 +149,11 @@ impl FaultPlan {
                     "fault {name} rate {p} is not a probability in [0, 1]"
                 ));
             }
+        }
+        if self.kill_pe.is_some() && self.kill_after == 0 {
+            return Err("kill_after must be >= 1 when kill_pe is set (use \
+                        FaultPlan::with_kill)"
+                .into());
         }
         Ok(())
     }
@@ -266,6 +312,29 @@ mod tests {
             "clones account for every extra delivery"
         );
         assert!(stats.injected_delays > 0 && stats.injected_reorders > 0);
+    }
+
+    #[test]
+    fn crash_injection_builders_and_stripping() {
+        let plan = FaultPlan::new(5)
+            .with_delay(0.1)
+            .with_kill(2, 300)
+            .with_poison_ckpt(1);
+        assert_eq!(plan.kill_pe, Some(2));
+        assert_eq!(plan.kill_after, 300);
+        assert_eq!(plan.poison_ckpt, Some(1));
+        assert!(plan.validate().is_ok());
+        // Comm-level noop is independent of crash injection.
+        assert!(FaultPlan::new(0).with_kill(0, 1).is_noop());
+
+        let stripped = plan.without_crashes();
+        assert_eq!(stripped.kill_pe, None);
+        assert_eq!(stripped.poison_ckpt, None);
+        assert_eq!(stripped.delay, 0.1, "comm chaos survives the strip");
+
+        let mut bad = FaultPlan::new(0);
+        bad.kill_pe = Some(0);
+        assert!(bad.validate().is_err(), "kill with kill_after=0 rejected");
     }
 
     #[test]

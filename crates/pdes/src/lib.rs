@@ -92,6 +92,7 @@
 #![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod audit;
+pub mod ckpt;
 mod comm;
 pub mod config;
 pub mod error;
@@ -113,6 +114,10 @@ pub mod time;
 /// One-stop imports for writing and running models.
 pub mod prelude {
     pub use crate::audit::{AuditCheck, AuditHasher, AuditViolation};
+    pub use crate::ckpt::{
+        list_snapshots, read_snapshot, supervise, CkptError, CkptReader, CkptWriter,
+        RecoveryReport, Snapshot, SupervisorPolicy,
+    };
     pub use crate::config::EngineConfig;
     pub use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
     pub use crate::event::{Bitfield, KpId, LpId, PeId};
@@ -127,11 +132,11 @@ pub mod prelude {
     };
     pub use crate::parallel::{
         run_parallel, run_parallel_mapped, run_parallel_mapped_state_saving,
-        run_parallel_state_saving,
+        run_parallel_state_saving, run_resumed,
     };
     pub use crate::rng::ReversibleRng;
     pub use crate::scheduler::SchedulerKind;
-    pub use crate::sequential::run_sequential;
+    pub use crate::sequential::{run_sequential, run_sequential_resumed};
     pub use crate::stats::{EngineStats, RunResult};
     pub use crate::time::VirtualTime;
 }

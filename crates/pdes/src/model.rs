@@ -321,6 +321,56 @@ pub trait Model: Send + Sync + 'static {
     /// reversibility checking of model state.
     fn audit_state(&self, _lp: LpId, _state: &Self::State, _h: &mut crate::audit::AuditHasher) {}
 
+    /// Serialize one LP's complete state for a checkpoint (see
+    /// [`pdes::ckpt`](crate::ckpt)). Must write every field that
+    /// [`audit_state`](Self::audit_state) digests — restore re-verifies the
+    /// audit fingerprint of the reloaded state, so a field serialized
+    /// differently than it hashes will be rejected as corruption. The
+    /// default returns [`CkptError::Unsupported`](crate::ckpt::CkptError);
+    /// checkpointing then fails cleanly for models that never implement it.
+    fn save_state(
+        &self,
+        _lp: LpId,
+        _state: &Self::State,
+        _w: &mut crate::ckpt::CkptWriter,
+    ) -> Result<(), crate::ckpt::CkptError> {
+        Err(crate::ckpt::CkptError::unsupported("Model::save_state"))
+    }
+
+    /// Rebuild one LP's state from bytes written by
+    /// [`save_state`](Self::save_state). Must consume the record exactly;
+    /// restore treats leftover bytes as corruption.
+    fn load_state(
+        &self,
+        _lp: LpId,
+        _r: &mut crate::ckpt::CkptReader<'_>,
+    ) -> Result<Self::State, crate::ckpt::CkptError> {
+        Err(crate::ckpt::CkptError::unsupported("Model::load_state"))
+    }
+
+    /// Serialize one pending event's payload for a checkpoint. Saved-state
+    /// fields stashed inside the payload for reverse computation do not need
+    /// round-tripping faithfully — only frontier (never-executed) events are
+    /// snapshotted, and a payload's saved fields are overwritten on
+    /// execution — but serializing them verbatim is the simplest correct
+    /// implementation.
+    fn save_payload(
+        &self,
+        _payload: &Self::Payload,
+        _w: &mut crate::ckpt::CkptWriter,
+    ) -> Result<(), crate::ckpt::CkptError> {
+        Err(crate::ckpt::CkptError::unsupported("Model::save_payload"))
+    }
+
+    /// Rebuild one event payload from bytes written by
+    /// [`save_payload`](Self::save_payload).
+    fn load_payload(
+        &self,
+        _r: &mut crate::ckpt::CkptReader<'_>,
+    ) -> Result<Self::Payload, crate::ckpt::CkptError> {
+        Err(crate::ckpt::CkptError::unsupported("Model::load_payload"))
+    }
+
     /// End-of-run statistics collection for one LP (the paper's statistics
     /// collection function).
     fn finish(&self, lp: LpId, state: &Self::State, out: &mut Self::Output);

@@ -178,6 +178,13 @@ pub enum ObsKind {
     /// misbehaving, and the full structured report travels on
     /// [`RunError::AuditFailed`](crate::error::RunError::AuditFailed).
     AuditViolation,
+    /// A snapshot was written at a GVT commit boundary (`arg` = snapshot
+    /// bytes). Filed under [`ObsCategory::Gvt`]: checkpoints are pinned to
+    /// GVT rounds.
+    Checkpoint,
+    /// The run was resumed from a snapshot (`arg` = the snapshot's GVT
+    /// round). Recorded once at the start of a resumed run.
+    Recovery,
     /// A model-level note (`arg` = model-defined value; the record's `key.tie`
     /// carries the model's note code).
     ModelNote,
@@ -196,7 +203,7 @@ impl ObsKind {
             PrimaryRollback | RollbackPop | Requeue => ObsCategory::Rollback,
             AntiSent | CancelPending | CancelMiss | Annihilate | AnnihilateEarly | DeferAnti
             | DropDuplicate => ObsCategory::Cancel,
-            GvtAdvance => ObsCategory::Gvt,
+            GvtAdvance | Checkpoint | Recovery => ObsCategory::Gvt,
             CommFlush | CommOverflow => ObsCategory::Comm,
             PoolHit | PoolMiss => ObsCategory::Pool,
             FaultInjected | AuditViolation => ObsCategory::Fault,
@@ -210,9 +217,9 @@ impl ObsKind {
         match self {
             Enqueue | Execute | Emit | Fossil | Requeue | PoolHit | PoolMiss => ObsSeverity::Debug,
             RollbackPop | CancelPending | Annihilate | AntiSent | GvtAdvance | CommFlush
-            | ModelNote => ObsSeverity::Info,
+            | Checkpoint | ModelNote => ObsSeverity::Info,
             PrimaryRollback | CancelMiss | AnnihilateEarly | DeferAnti | DropDuplicate
-            | CommOverflow | FaultInjected | AuditViolation => ObsSeverity::Warn,
+            | CommOverflow | FaultInjected | AuditViolation | Recovery => ObsSeverity::Warn,
         }
     }
 
@@ -240,6 +247,8 @@ impl ObsKind {
             PoolMiss,
             FaultInjected,
             AuditViolation,
+            Checkpoint,
+            Recovery,
             ModelNote,
         ]
     }
@@ -485,6 +494,11 @@ pub struct RoundSnapshot {
     /// Cumulative estimated nanoseconds per kernel phase (indexed by
     /// [`prof::Phase`] discriminant; all zero when the profiler is off).
     pub phase_ns: [u64; prof::N_PHASES],
+    /// Cumulative snapshots written by this PE (only PE 0 writes; zero on
+    /// the rest and when checkpointing is off).
+    pub checkpoints_written: u64,
+    /// Cumulative snapshot bytes written by this PE.
+    pub checkpoint_bytes: u64,
 }
 
 impl RoundSnapshot {
@@ -929,34 +943,81 @@ struct EnvOverrides {
     prof_shift: Option<u32>,
     packet_trace: Option<usize>,
     audit: Option<bool>,
+    ckpt: Option<u64>,
+    ckpt_dir: Option<std::path::PathBuf>,
+}
+
+/// One stderr warning for a malformed `PDES_*` value. A typo'd toggle used
+/// to be silently ignored (or worse, silently treated as "on"); now the
+/// operator hears about it exactly once per process and the default applies.
+fn warn_env(name: &str, val: &str, expected: &str) {
+    eprintln!(
+        "pdes: warning: ignoring invalid {name}={val:?} (expected {expected}); using the default"
+    );
+}
+
+/// Strict boolean env value: `1`/`true`/`0`/`false`. Anything else warns
+/// and yields `None` (caller falls back to its default).
+fn parse_env_bool(name: &str, val: &str) -> Option<bool> {
+    match val {
+        "1" | "true" => Some(true),
+        "0" | "false" => Some(false),
+        _ => {
+            warn_env(name, val, "1/true/0/false");
+            None
+        }
+    }
+}
+
+/// Unsigned integer env value; warns and yields `None` on anything else.
+fn parse_env_u64(name: &str, val: &str) -> Option<u64> {
+    match val.parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_env(name, val, "an unsigned integer");
+            None
+        }
+    }
+}
+
+/// `PDES_OBS_PACKET_TRACE` value: `1`/`true` picks the default capacity, a
+/// number is an explicit hop cap (`0` = off), anything else warns.
+fn parse_env_packet_trace(name: &str, val: &str) -> Option<usize> {
+    match val {
+        "true" => Some(DEFAULT_PACKET_TRACE_CAPACITY),
+        "1" => Some(DEFAULT_PACKET_TRACE_CAPACITY),
+        _ => match val.parse::<usize>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                warn_env(name, val, "a hop capacity, or 1/true for the default");
+                None
+            }
+        },
+    }
 }
 
 fn env_overrides() -> &'static EnvOverrides {
     static ENV: std::sync::OnceLock<EnvOverrides> = std::sync::OnceLock::new();
     ENV.get_or_init(|| {
-        let trace = matches!(std::env::var("PDES_TRACE").as_deref(), Ok("1") | Ok("true"));
-        let progress = std::env::var("PDES_OBS_PROGRESS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
+        let var = |name: &str| std::env::var(name).ok();
+        let trace = var("PDES_TRACE")
+            .and_then(|v| parse_env_bool("PDES_TRACE", &v))
+            .unwrap_or(false);
+        let progress = var("PDES_OBS_PROGRESS")
+            .and_then(|v| parse_env_u64("PDES_OBS_PROGRESS", &v))
             .filter(|&k| k > 0);
-        let prof = match std::env::var("PDES_OBS_PROF").as_deref() {
-            Ok("0") | Ok("false") => Some(false),
-            Ok(_) => Some(true),
-            Err(_) => None,
-        };
-        let prof_shift = std::env::var("PDES_OBS_PROF_SHIFT")
-            .ok()
-            .and_then(|v| v.parse::<u32>().ok());
-        let packet_trace = match std::env::var("PDES_OBS_PACKET_TRACE").as_deref() {
-            Ok("1") | Ok("true") => Some(DEFAULT_PACKET_TRACE_CAPACITY),
-            Ok(v) => v.parse::<usize>().ok(),
-            Err(_) => None,
-        };
-        let audit = match std::env::var("PDES_AUDIT").as_deref() {
-            Ok("0") | Ok("false") => Some(false),
-            Ok(_) => Some(true),
-            Err(_) => None,
-        };
+        let prof = var("PDES_OBS_PROF").and_then(|v| parse_env_bool("PDES_OBS_PROF", &v));
+        let prof_shift = var("PDES_OBS_PROF_SHIFT")
+            .and_then(|v| parse_env_u64("PDES_OBS_PROF_SHIFT", &v))
+            .map(|v| v.min(u32::MAX as u64) as u32);
+        let packet_trace = var("PDES_OBS_PACKET_TRACE")
+            .and_then(|v| parse_env_packet_trace("PDES_OBS_PACKET_TRACE", &v));
+        let audit = var("PDES_AUDIT").and_then(|v| parse_env_bool("PDES_AUDIT", &v));
+        // PDES_CKPT=N checkpoints every N GVT rounds; 0 = off (the default).
+        let ckpt = var("PDES_CKPT")
+            .and_then(|v| parse_env_u64("PDES_CKPT", &v))
+            .filter(|&n| n > 0);
+        let ckpt_dir = var("PDES_CKPT_DIR").map(std::path::PathBuf::from);
         EnvOverrides {
             trace,
             progress,
@@ -964,6 +1025,8 @@ fn env_overrides() -> &'static EnvOverrides {
             prof_shift,
             packet_trace,
             audit,
+            ckpt,
+            ckpt_dir,
         }
     })
 }
@@ -973,6 +1036,23 @@ fn env_overrides() -> &'static EnvOverrides {
 /// `PDES_*` lookups), otherwise on in debug builds and off in release.
 pub(crate) fn audit_env_default() -> bool {
     env_overrides().audit.unwrap_or(cfg!(debug_assertions))
+}
+
+/// The default for
+/// [`EngineConfig::checkpoint_every`](crate::config::EngineConfig::checkpoint_every):
+/// `PDES_CKPT=N` when set to a positive integer, otherwise off.
+pub(crate) fn ckpt_env_default() -> Option<u64> {
+    env_overrides().ckpt
+}
+
+/// The default for
+/// [`EngineConfig::checkpoint_dir`](crate::config::EngineConfig::checkpoint_dir):
+/// `PDES_CKPT_DIR` when set, otherwise `pdes-ckpt`.
+pub(crate) fn ckpt_dir_env_default() -> std::path::PathBuf {
+    env_overrides()
+        .ckpt_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("pdes-ckpt"))
 }
 
 // ---------------------------------------------------------------------------
@@ -1236,6 +1316,46 @@ mod tests {
         let (mean, max) = t.roughness(0).unwrap();
         assert_eq!(max, 5);
         assert!((mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_parsers_accept_strict_values_and_reject_garbage() {
+        // Booleans: strict 1/true/0/false; anything else falls back (None).
+        assert_eq!(parse_env_bool("PDES_AUDIT", "1"), Some(true));
+        assert_eq!(parse_env_bool("PDES_AUDIT", "true"), Some(true));
+        assert_eq!(parse_env_bool("PDES_AUDIT", "0"), Some(false));
+        assert_eq!(parse_env_bool("PDES_AUDIT", "false"), Some(false));
+        assert_eq!(parse_env_bool("PDES_AUDIT", "yes"), None);
+        assert_eq!(parse_env_bool("PDES_OBS_PROF", "TRUE"), None);
+        assert_eq!(parse_env_bool("PDES_OBS_PROF", ""), None);
+
+        // Integers: digits only.
+        assert_eq!(parse_env_u64("PDES_CKPT", "8"), Some(8));
+        assert_eq!(parse_env_u64("PDES_CKPT", "0"), Some(0));
+        assert_eq!(parse_env_u64("PDES_CKPT", "often"), None);
+        assert_eq!(parse_env_u64("PDES_CKPT", "-1"), None);
+
+        // Packet trace: 1/true = default capacity, numbers literal.
+        assert_eq!(
+            parse_env_packet_trace("PDES_OBS_PACKET_TRACE", "true"),
+            Some(DEFAULT_PACKET_TRACE_CAPACITY)
+        );
+        assert_eq!(
+            parse_env_packet_trace("PDES_OBS_PACKET_TRACE", "1"),
+            Some(DEFAULT_PACKET_TRACE_CAPACITY)
+        );
+        assert_eq!(
+            parse_env_packet_trace("PDES_OBS_PACKET_TRACE", "512"),
+            Some(512)
+        );
+        assert_eq!(
+            parse_env_packet_trace("PDES_OBS_PACKET_TRACE", "0"),
+            Some(0)
+        );
+        assert_eq!(
+            parse_env_packet_trace("PDES_OBS_PACKET_TRACE", "lots"),
+            None
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
             "\"queue_depth\":{},\"uncommitted\":{},\"inbox_depth\":{},",
             "\"ring_full_stalls\":{},\"events_committed\":{},",
             "\"events_processed\":{},\"events_rolled_back\":{},\"rollbacks\":{},",
-            "\"pool_hits\":{},\"pool_misses\":{},\"phase_ns\":{}}}"
+            "\"pool_hits\":{},\"pool_misses\":{},\"phase_ns\":{},",
+            "\"checkpoints_written\":{},\"checkpoint_bytes\":{}}}"
         ),
         s.round,
         s.pe,
@@ -38,6 +39,8 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
         s.pool_hits,
         s.pool_misses,
         phase_ns_json(&s.phase_ns),
+        s.checkpoints_written,
+        s.checkpoint_bytes,
     )
 }
 
@@ -335,6 +338,8 @@ mod tests {
             pool_hits: 90,
             pool_misses: 10,
             phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            checkpoints_written: 2,
+            checkpoint_bytes: 4096,
         };
         let line = snapshot_json(&snap);
         validate(&line).unwrap();
@@ -342,6 +347,8 @@ mod tests {
         assert!(line.contains("\"lvt\":6000000"));
         assert!(line.contains("\"pool_misses\":10"));
         assert!(line.contains("\"phase_ns\":[1,2,3,4,5,6,7,8,9]"));
+        assert!(line.contains("\"checkpoints_written\":2"));
+        assert!(line.contains("\"checkpoint_bytes\":4096"));
         assert!(!line.contains('\n'));
     }
 

@@ -111,6 +111,7 @@ use std::time::Instant;
 use crate::audit::{
     event_fingerprint, lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation,
 };
+use crate::ckpt::{CkptPart, CkptWriter, EventRecord, LpRecord, RestoredRun, Snapshot};
 use crate::comm::{Batch, CommFabric};
 use crate::config::EngineConfig;
 use crate::error::{decode_payload, FailureCause, PeDiagnostics, RunDiagnostics, RunError};
@@ -199,6 +200,10 @@ struct Shared<P> {
     committed: AtomicU64,
     processed: AtomicU64,
     rolled_back: AtomicU64,
+    /// Per-PE capture parts deposited during a checkpoint round; PE 0 takes
+    /// all of them to assemble and write the snapshot. Touched only inside
+    /// the barriered checkpoint protocol, never on the hot path.
+    ckpt_parts: Mutex<Vec<Option<CkptPart>>>,
 }
 
 impl<P> Shared<P> {
@@ -306,6 +311,18 @@ struct PeRuntime<'a, M: Model> {
     /// consecutive rounds it has failed to advance.
     prev_gvt: u64,
     stall_rounds: u64,
+    /// GVT rounds completed by *this machine incarnation's protocol*, in
+    /// lockstep on every PE. Drives the checkpoint-due predicate and round
+    /// labels; distinct from `stats.gvt_rounds`, which on a resumed run is
+    /// seeded with the snapshot's merged totals on PE 0 only and therefore
+    /// diverges across PEs.
+    round: u64,
+    /// GVT (ticks) of the last checkpoint taken (or resumed from) —
+    /// identical on every PE, so the due-predicate stays lockstep.
+    last_ckpt_gvt: u64,
+    /// Snapshot files written by this PE this incarnation (PE 0 only);
+    /// indexes [`FaultPlan::poison_ckpt`](crate::fault::FaultPlan).
+    ckpt_writes: u64,
 }
 
 impl<'a, M: Model> PeRuntime<'a, M> {
@@ -942,6 +959,23 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         });
         self.stats.events_processed += 1;
         self.since_gvt += 1;
+
+        // Crash injection: a real panic on the chosen PE, contained by the
+        // same `catch_unwind` as any model panic — so supervised recovery is
+        // exercised through the production failure path, not a simulation of
+        // it. Checked on the plan directly (not `FaultState`): a kill-only
+        // plan injects no message chaos.
+        if let Some(plan) = self.config.fault_plan.as_ref() {
+            if plan.kill_pe == Some(self.id as u32)
+                && plan.kill_after > 0
+                && self.stats.events_processed >= plan.kill_after
+            {
+                panic!(
+                    "injected PE kill: PE {} crashed after {} processed events",
+                    self.id, self.stats.events_processed
+                );
+            }
+        }
     }
 
     /// One GVT reduction round. All PEs execute this in lockstep; returns
@@ -1048,13 +1082,171 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             }
         }
         self.stats.gvt_rounds += 1;
+        self.round += 1;
         let t0 = self.profiler.begin(Phase::Fossil);
         self.fossil_collect(VirtualTime(gvt));
         self.profiler.end(Phase::Fossil, t0);
+        // Checkpoint boundary: every input to this predicate (round counter,
+        // GVT, last-checkpoint GVT, config) is identical on every PE, so all
+        // PEs enter — or skip — the barriered capture protocol together.
+        if self
+            .config
+            .checkpoint_every
+            .is_some_and(|n| n != 0 && self.round.is_multiple_of(n))
+            && gvt > self.last_ckpt_gvt
+            && gvt < self.config.end_time.0
+        {
+            self.checkpoint_round(gvt)?;
+        }
         self.sample_round(gvt);
         self.bwait_timed()?; // B5: flag cleared, fossils reclaimed, round sampled.
         self.progress_line(gvt);
         Ok(gvt >= self.config.end_time.0)
+    }
+
+    /// Capture one snapshot of the committed machine state at `gvt`, in
+    /// lockstep on every PE.
+    ///
+    /// Fossil collection has just removed every processed event strictly
+    /// below GVT, so rolling every KP back to the GVT *horizon key* (the
+    /// smallest [`EventKey`] at `gvt`) undoes exactly the speculative
+    /// suffix: undone local events return to the pending queue and
+    /// anti-messages chase every remote child. Each anti's target is
+    /// necessarily *pending* on its destination (the destination rolled back
+    /// to the same horizon before the first barrier, and a child of an
+    /// undone event always has key ≥ horizon), so annihilation never creates
+    /// new messages and the settle loop converges. The result is the
+    /// *sequential frame*: every PE's queue holds exactly its slice of the
+    /// global frontier — independent of PE count, scheduler, or timing —
+    /// which is what makes snapshots portable across kernels and PE counts.
+    fn checkpoint_round(&mut self, gvt: u64) -> Result<(), Halt> {
+        let horizon = EventKey {
+            recv_time: VirtualTime(gvt),
+            dst: 0,
+            tie: 0,
+            src: 0,
+            send_time: VirtualTime::ZERO,
+        };
+        for ki in 0..self.kps.len() {
+            if self.kps[ki].last_key().is_some_and(|k| k >= horizon) {
+                self.rollback(ki, horizon, None);
+            }
+        }
+        self.flush_out_bufs();
+        self.bwait()?; // C1: every PE has unwound to the horizon.
+
+        // Settle the cancellation cascade until globally quiescent again
+        // (same two-barrier agreement as the GVT reduction).
+        loop {
+            self.flush_out_bufs();
+            self.drain_inbox(false);
+            self.bwait()?; // C2a: one flush+drain pass everywhere.
+            let quiet = self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
+            self.bwait()?; // C2b: counters sampled consistently.
+            if quiet {
+                break;
+            }
+        }
+        assert!(
+            self.early_antis.is_empty(),
+            "PE {}: capture rollback left {} unmatched anti-message(s)",
+            self.id,
+            self.early_antis.len(),
+        );
+
+        match self.capture_part() {
+            Ok(part) => lock(&self.shared.ckpt_parts)[self.id] = Some(part),
+            Err(e) => {
+                self.shared.fail(FailureCause::Ckpt {
+                    reason: e.to_string(),
+                });
+                return Err(Halt);
+            }
+        }
+        self.bwait()?; // C3: every PE's part deposited.
+
+        if self.id == 0 {
+            let parts: Vec<CkptPart> = lock(&self.shared.ckpt_parts)
+                .iter_mut()
+                .map(|slot| slot.take().expect("every PE deposited a capture part"))
+                .collect();
+            let snap = Snapshot::assemble(
+                self.config.seed,
+                self.config.end_time,
+                self.model.n_lps(),
+                gvt,
+                self.round,
+                parts,
+            );
+            match crate::ckpt::write_snapshot(&snap, &self.config.checkpoint_dir) {
+                Ok((path, bytes)) => {
+                    if self
+                        .config
+                        .fault_plan
+                        .as_ref()
+                        .is_some_and(|p| p.poison_ckpt == Some(self.ckpt_writes))
+                    {
+                        // Tear the file as a crashed writer would; readers
+                        // must reject it by checksum.
+                        let _ = crate::ckpt::poison_file(&path);
+                    }
+                    self.ckpt_writes += 1;
+                    self.stats.checkpoints_written += 1;
+                    self.stats.checkpoint_bytes += bytes;
+                    if self.recorder.wants(ObsKind::Checkpoint) {
+                        self.recorder
+                            .record(ObsRecord::kernel(ObsKind::Checkpoint, bytes));
+                    }
+                }
+                Err(e) => {
+                    self.shared.fail(FailureCause::Ckpt {
+                        reason: e.to_string(),
+                    });
+                    return Err(Halt);
+                }
+            }
+        }
+        self.bwait()?; // C4: snapshot durable (or the failure aborted us all).
+        self.last_ckpt_gvt = gvt;
+        Ok(())
+    }
+
+    /// Serialize this PE's slice of the sequential frame: every owned LP's
+    /// model state, RNG position, and audit fingerprint, plus the whole
+    /// pending queue (drained and re-pushed — content unchanged, so the
+    /// auditor's scheduler mirror needs no toggles).
+    fn capture_part(&mut self) -> Result<CkptPart, crate::ckpt::CkptError> {
+        let mut lps = Vec::with_capacity(self.my_lps.len());
+        for (li, &lp) in self.my_lps.iter().enumerate() {
+            let slot = &self.slots[li];
+            let mut w = CkptWriter::new();
+            self.model.save_state(lp, &slot.state, &mut w)?;
+            let mut h = AuditHasher::new();
+            self.model.audit_state(lp, &slot.state, &mut h);
+            lps.push(LpRecord {
+                lp,
+                rng_s: slot.rng.state(),
+                rng_count: slot.rng.call_count(),
+                fingerprint: lp_fingerprint(h.finish(), &slot.rng),
+                state: w.into_bytes(),
+            });
+        }
+        let mut events = Vec::with_capacity(self.queue.len());
+        let mut scratch = Vec::with_capacity(self.queue.len());
+        while let Some(e) = self.queue.pop() {
+            let mut w = CkptWriter::new();
+            self.model.save_payload(&e.payload, &mut w)?;
+            events.push(EventRecord::from_key(&e.key, w.into_bytes()));
+            scratch.push(e);
+        }
+        for e in scratch {
+            self.queue.push(e);
+        }
+        Ok(CkptPart {
+            lps,
+            events,
+            stats: self.stats.clone(),
+        })
     }
 
     /// Per-round observability hook, run between fossil collection and the
@@ -1087,7 +1279,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             return;
         }
         let snap = RoundSnapshot {
-            round: self.stats.gvt_rounds,
+            round: self.round,
             pe: self.id,
             wall_us: self.start_time.elapsed().as_micros() as u64,
             gvt,
@@ -1104,6 +1296,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             pool_hits: self.msg_pool.hits + self.child_pool.hits,
             pool_misses: self.msg_pool.misses + self.child_pool.misses,
             phase_ns: self.profiler.cumulative_ns(),
+            checkpoints_written: self.stats.checkpoints_written,
+            checkpoint_bytes: self.stats.checkpoint_bytes,
         };
         self.series.push(snap);
         if let Some(sink) = &self.config.obs.sink {
@@ -1119,7 +1313,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let Some(every) = self.config.obs.progress_every else {
             return;
         };
-        if self.id != 0 || !self.stats.gvt_rounds.is_multiple_of(every) {
+        if self.id != 0 || !self.round.is_multiple_of(every) {
             return;
         }
         let committed = self.shared.committed.load(SeqCst);
@@ -1292,6 +1486,7 @@ where
         config,
         &mapping,
         Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)),
+        None,
     )
 }
 
@@ -1310,6 +1505,7 @@ where
         config,
         mapping,
         Some(|s: &M::State, r: &Clcg4| (s.clone(), *r)),
+        None,
     )
 }
 
@@ -1320,7 +1516,44 @@ pub fn run_parallel_mapped<M: Model>(
     config: &EngineConfig,
     mapping: &dyn Mapping,
 ) -> Result<RunResult<M::Output>, RunError> {
-    run_parallel_inner(model, config, mapping, None)
+    run_parallel_inner(model, config, mapping, None, None)
+}
+
+/// Resume a parallel run from a checkpoint [`Snapshot`] with the default
+/// contiguous [`LinearMapping`].
+///
+/// The snapshot is validated against `model` and `config` (seed, horizon, LP
+/// count, and every LP's audit fingerprint must match — see
+/// [`ckpt`](crate::ckpt)); the machine is then rebuilt from the captured
+/// frame and execution continues. The committed suffix — and therefore the
+/// final model output — is bit-identical to an uninterrupted run, for any
+/// scheduler and PE count (the frame is PE-count-independent, so a snapshot
+/// captured on 4 PEs resumes on 1 or 2, or on the sequential kernel via
+/// [`run_sequential_resumed`](crate::sequential::run_sequential_resumed)).
+/// Uses reverse computation; there is no state-saving resume variant.
+pub fn run_resumed<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    snap: &Snapshot,
+) -> Result<RunResult<M::Output>, RunError> {
+    config.validate()?;
+    if model.n_lps() == 0 {
+        return Err(RunError::config("model has no LPs"));
+    }
+    let mapping = LinearMapping::new(model.n_lps(), config.n_kps, config.n_pes);
+    run_resumed_mapped(model, config, &mapping, snap)
+}
+
+/// [`run_resumed`] with an explicit LP→KP→PE mapping.
+pub fn run_resumed_mapped<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    mapping: &dyn Mapping,
+    snap: &Snapshot,
+) -> Result<RunResult<M::Output>, RunError> {
+    config.validate()?;
+    let restored = crate::ckpt::restore(model, config, snap)?;
+    run_parallel_inner(model, config, mapping, None, Some(restored))
 }
 
 fn run_parallel_inner<M: Model>(
@@ -1328,6 +1561,7 @@ fn run_parallel_inner<M: Model>(
     config: &EngineConfig,
     mapping: &dyn Mapping,
     snapshot_fn: SnapshotFn<M>,
+    resume: Option<RestoredRun<M>>,
 ) -> Result<RunResult<M::Output>, RunError> {
     config.validate()?;
     let n_lps = model.n_lps();
@@ -1351,40 +1585,68 @@ fn run_parallel_inner<M: Model>(
     }
 
     // ---- Sequential setup phase (like ROSS's startup function). ----
-    let mut rngs: Vec<Clcg4> = (0..n_lps)
-        .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
-        .collect();
-    let mut states: Vec<Option<M::State>> = Vec::with_capacity(n_lps as usize);
+    // `(gvt, round)` the machine starts from — zero for a fresh run.
+    let resume_meta = resume.as_ref().map(|r| (r.gvt, r.round));
+    let mut rngs: Vec<Clcg4>;
+    let mut states: Vec<Option<M::State>>;
     let mut init_events: Vec<Event<M::Payload>> = Vec::new();
-    let mut emits: Vec<Emit<M::Payload>> = Vec::new();
+    let mut base_stats = EngineStats::default();
     let mut init_seq: u64 = 0;
-    for lp in 0..n_lps {
-        let mut ctx = InitCtx {
-            lp,
-            rng: &mut rngs[lp as usize],
-            out: &mut emits,
-        };
-        states.push(Some(model.init(lp, &mut ctx)));
-        for emit in emits.drain(..) {
-            assert!(
-                emit.dst < n_lps,
-                "init event to nonexistent LP {}",
-                emit.dst
-            );
-            // Init events come from a dedicated id space (origin pe = n_pes).
-            let id = EventId::new(n_pes, init_seq);
-            init_seq += 1;
-            init_events.push(Event {
-                id,
-                key: EventKey {
-                    recv_time: emit.recv_time,
-                    dst: emit.dst,
-                    tie: emit.tie,
-                    src: lp,
-                    send_time: VirtualTime::ZERO,
-                },
-                payload: emit.payload,
-            });
+    match resume {
+        None => {
+            rngs = (0..n_lps)
+                .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
+                .collect();
+            states = Vec::with_capacity(n_lps as usize);
+            let mut emits: Vec<Emit<M::Payload>> = Vec::new();
+            for lp in 0..n_lps {
+                let mut ctx = InitCtx {
+                    lp,
+                    rng: &mut rngs[lp as usize],
+                    out: &mut emits,
+                };
+                states.push(Some(model.init(lp, &mut ctx)));
+                for emit in emits.drain(..) {
+                    assert!(
+                        emit.dst < n_lps,
+                        "init event to nonexistent LP {}",
+                        emit.dst
+                    );
+                    // Init events come from a dedicated id space (origin pe = n_pes).
+                    let id = EventId::new(n_pes, init_seq);
+                    init_seq += 1;
+                    init_events.push(Event {
+                        id,
+                        key: EventKey {
+                            recv_time: emit.recv_time,
+                            dst: emit.dst,
+                            tie: emit.tie,
+                            src: lp,
+                            send_time: VirtualTime::ZERO,
+                        },
+                        payload: emit.payload,
+                    });
+                }
+            }
+        }
+        Some(restored) => {
+            // Restored frame: LP states and RNG positions come straight from
+            // the snapshot. The frontier events get *fresh* ids from the
+            // init id space — ids never influence committed order, and no
+            // anti-message can target a restored event (everything below the
+            // frame is committed), so the original ids are irrelevant.
+            rngs = Vec::with_capacity(n_lps as usize);
+            states = Vec::with_capacity(n_lps as usize);
+            for (_lp, state, rng) in restored.lps {
+                states.push(Some(state));
+                rngs.push(rng);
+            }
+            for (key, payload) in restored.events {
+                let id = EventId::new(n_pes, init_seq);
+                init_seq += 1;
+                init_events.push(Event { id, key, payload });
+            }
+            base_stats = restored.base_stats;
         }
     }
 
@@ -1404,18 +1666,20 @@ fn run_parallel_inner<M: Model>(
         }
     }
 
+    let (resume_gvt, resume_round) = resume_meta.unwrap_or((0, 0));
     let shared = Shared::<M::Payload> {
         fabric: CommFabric::new(n_pes),
         sent: AtomicU64::new(0),
         received: AtomicU64::new(0),
         gvt_flag: AtomicBool::new(false),
-        gvt: AtomicU64::new(0),
+        gvt: AtomicU64::new(resume_gvt),
         local_mins: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
         barrier: AbortableBarrier::new(n_pes),
         failure: Mutex::new(None),
         committed: AtomicU64::new(0),
         processed: AtomicU64::new(0),
         rolled_back: AtomicU64::new(0),
+        ckpt_parts: Mutex::new((0..n_pes).map(|_| None).collect()),
     };
 
     // Build each PE's runtime ingredients.
@@ -1466,6 +1730,7 @@ fn run_parallel_inner<M: Model>(
             let kp_local = &kp_local;
             let results = &results;
             let init_xors = &init_xors;
+            let base_stats = &base_stats;
             scope.spawn(move || {
                 let mut rt = PeRuntime {
                     id: pe,
@@ -1482,7 +1747,13 @@ fn run_parallel_inner<M: Model>(
                     next_seq: 0,
                     emit_buf: Vec::new(),
                     bf: Bitfield::default(),
-                    stats: EngineStats::default(),
+                    // The snapshot's accumulated counters ride on PE 0, so
+                    // the end-of-run merge describes the whole logical run.
+                    stats: if pe == 0 {
+                        base_stats.clone()
+                    } else {
+                        EngineStats::default()
+                    },
                     since_gvt: 0,
                     idle_polls: 0,
                     recorder: config.obs.build_recorder(),
@@ -1509,10 +1780,17 @@ fn run_parallel_inner<M: Model>(
                     start_time: start,
                     prev_gvt: u64::MAX,
                     stall_rounds: 0,
+                    round: resume_round,
+                    last_ckpt_gvt: resume_gvt,
+                    ckpt_writes: 0,
                     profiler: config.obs.build_profiler(),
                     tracer: config.obs.build_tracer(seed.n_kps),
                     hop_buf: Vec::new(),
                 };
+                if pe == 0 && resume_meta.is_some() && rt.recorder.wants(ObsKind::Recovery) {
+                    rt.recorder
+                        .record(ObsRecord::kernel(ObsKind::Recovery, resume_round));
+                }
                 // Contain panics from model handlers and kernel invariants:
                 // record the failure, abort the barrier so every sibling
                 // unwinds, and still report diagnostics for this PE.

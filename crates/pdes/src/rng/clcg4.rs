@@ -95,6 +95,19 @@ impl Clcg4 {
         self.s
     }
 
+    /// Rebuild a stream from raw component states and a call count (the
+    /// inverse of [`state`](Self::state) + `call_count` — used by
+    /// checkpoint restore). Returns `None` if any component state is outside
+    /// the valid range `[1, m_i - 1]`, which marks a corrupted snapshot.
+    pub fn from_raw(s: [u64; 4], count: u64) -> Option<Self> {
+        for i in 0..4 {
+            if s[i] < 1 || s[i] >= M[i] {
+                return None;
+            }
+        }
+        Some(Clcg4 { s, count })
+    }
+
     /// Jump the stream forward by `n` steps in O(log n) via modular
     /// exponentiation of the multipliers — ROSS uses the same technique to
     /// space per-LP streams so far apart they can never overlap.

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use crate::audit::{lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation};
+use crate::ckpt::{CkptPart, CkptWriter, EventRecord, LpRecord, RestoredRun, Snapshot};
 use crate::config::EngineConfig;
 use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
 use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
@@ -21,15 +22,43 @@ use crate::stats::{EngineStats, RunResult};
 
 /// Run `model` to completion on the sequential kernel.
 ///
-/// Only `end_time`, `seed` and `scheduler` are consulted from the config;
-/// PE/KP/GVT settings are meaningless without optimism, and a configured
-/// [`fault_plan`](crate::config::EngineConfig::fault_plan) is ignored (there
-/// is no inter-PE boundary to inject faults at). An empty model or an
-/// invalid configuration is rejected as
+/// Only `end_time`, `seed`, `scheduler` and the checkpoint knobs are
+/// consulted from the config; PE/KP/GVT settings are meaningless without
+/// optimism, and the communication faults of a configured
+/// [`fault_plan`](crate::config::EngineConfig::fault_plan) are ignored
+/// (there is no inter-PE boundary to inject them at — only
+/// [`poison_ckpt`](crate::fault::FaultPlan::poison_ckpt) applies here). An
+/// empty model or an invalid configuration is rejected as
 /// [`RunError::ConfigInvalid`](crate::error::RunError::ConfigInvalid).
 pub fn run_sequential<M: Model>(
     model: &M,
     config: &EngineConfig,
+) -> Result<RunResult<M::Output>, RunError> {
+    run_sequential_inner(model, config, None)
+}
+
+/// Resume a sequential run from a checkpoint [`Snapshot`].
+///
+/// The snapshot is validated against `model` and `config` (seed, horizon,
+/// LP count, and per-LP audit fingerprints must all match); execution then
+/// continues from the captured frontier and the committed suffix is
+/// bit-identical to the same span of an uninterrupted run. Snapshots are
+/// kernel-portable: a frame captured by the parallel kernel resumes here
+/// and vice versa.
+pub fn run_sequential_resumed<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    snap: &Snapshot,
+) -> Result<RunResult<M::Output>, RunError> {
+    config.validate()?;
+    let restored = crate::ckpt::restore(model, config, snap)?;
+    run_sequential_inner(model, config, Some(restored))
+}
+
+fn run_sequential_inner<M: Model>(
+    model: &M,
+    config: &EngineConfig,
+    resume: Option<RestoredRun<M>>,
 ) -> Result<RunResult<M::Output>, RunError> {
     config.validate()?;
     let n_lps = model.n_lps();
@@ -37,10 +66,8 @@ pub fn run_sequential<M: Model>(
         return Err(RunError::config("model has no LPs"));
     }
 
-    let mut rngs: Vec<Clcg4> = (0..n_lps)
-        .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
-        .collect();
-    let mut states: Vec<M::State> = Vec::with_capacity(n_lps as usize);
+    let mut rngs: Vec<Clcg4>;
+    let mut states: Vec<M::State>;
     let mut queue = config.scheduler.build::<M::Payload>();
     let mut seq: u64 = 0;
     let mut emits: Vec<Emit<M::Payload>> = Vec::new();
@@ -52,25 +79,62 @@ pub fn run_sequential<M: Model>(
     let mut audit = config.audit.then(|| AuditState::new(None));
     let mut probe_buf: Vec<Emit<M::Payload>> = Vec::new();
 
-    // Initialize every LP and enqueue its bootstrap events.
-    for lp in 0..n_lps {
-        let mut ctx = InitCtx {
-            lp,
-            rng: &mut rngs[lp as usize],
-            out: &mut emits,
-        };
-        states.push(model.init(lp, &mut ctx));
-        for emit in emits.drain(..) {
-            let e = materialize(emit, lp, &mut seq);
-            if let Some(a) = audit.as_mut() {
-                a.toggle_sched(e.id, &e.key);
+    let mut stats = EngineStats::default();
+    let mut round: u64 = 0;
+    let mut last_ckpt_gvt: u64 = 0;
+    let mut ckpt_writes: u64 = 0;
+    let resumed_from = resume.as_ref().map(|r| r.round);
+
+    match resume {
+        None => {
+            rngs = (0..n_lps)
+                .map(|lp| Clcg4::new(stream_seed(config.seed, lp as u64)))
+                .collect();
+            states = Vec::with_capacity(n_lps as usize);
+            // Initialize every LP and enqueue its bootstrap events.
+            for lp in 0..n_lps {
+                let mut ctx = InitCtx {
+                    lp,
+                    rng: &mut rngs[lp as usize],
+                    out: &mut emits,
+                };
+                states.push(model.init(lp, &mut ctx));
+                for emit in emits.drain(..) {
+                    let e = materialize(emit, lp, &mut seq);
+                    if let Some(a) = audit.as_mut() {
+                        a.toggle_sched(e.id, &e.key);
+                    }
+                    queue.push(e);
+                }
             }
-            queue.push(e);
+        }
+        Some(restored) => {
+            // Restored frame: LP states and RNG positions come straight from
+            // the snapshot; pending events get *fresh* ids (ids never
+            // influence committed order and no anti-message can target a
+            // restored event — everything below the frame is committed).
+            rngs = Vec::with_capacity(n_lps as usize);
+            states = Vec::with_capacity(n_lps as usize);
+            for (_lp, state, rng) in restored.lps {
+                states.push(state);
+                rngs.push(rng);
+            }
+            for (key, payload) in restored.events {
+                let id = EventId::new(0, seq);
+                seq += 1;
+                let e = Event { id, key, payload };
+                if let Some(a) = audit.as_mut() {
+                    a.toggle_sched(e.id, &e.key);
+                }
+                queue.push(e);
+            }
+            stats = restored.base_stats;
+            round = restored.round;
+            last_ckpt_gvt = restored.gvt;
         }
     }
 
     let start = Instant::now();
-    let mut stats = EngineStats::default();
     let mut bf = Bitfield::default();
     let mut last_key: Option<EventKey> = None;
 
@@ -83,8 +147,13 @@ pub fn run_sequential<M: Model>(
     let mut profiler = config.obs.build_profiler();
     let mut tracer = config.obs.build_tracer(1);
     let mut hop_buf: Vec<crate::obs::trace::HopEmit> = Vec::new();
-    let mut round: u64 = 0;
     let mut since_sample: u64 = 0;
+
+    if let Some(from) = resumed_from {
+        if recorder.wants(ObsKind::Recovery) {
+            recorder.record(ObsRecord::kernel(ObsKind::Recovery, from));
+        }
+    }
 
     loop {
         // Events at or beyond the horizon are never executed; the queue is
@@ -200,6 +269,39 @@ pub fn run_sequential<M: Model>(
                 }
             }
             let now_ticks = ev.key.recv_time.0;
+            // Checkpoint: the interval boundary is the sequential analogue of
+            // a committed GVT round — everything executed so far is final, so
+            // (states, rngs, pending queue) is a complete frame.
+            if config
+                .checkpoint_every
+                .is_some_and(|n| n != 0 && round.is_multiple_of(n))
+                && now_ticks > last_ckpt_gvt
+            {
+                let part = capture_part(model, &states, &rngs, queue.as_mut(), &stats)?;
+                let frame = Snapshot::assemble(
+                    config.seed,
+                    config.end_time,
+                    n_lps,
+                    now_ticks,
+                    round,
+                    vec![part],
+                );
+                let (path, bytes) = crate::ckpt::write_snapshot(&frame, &config.checkpoint_dir)?;
+                if config
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.poison_ckpt == Some(ckpt_writes))
+                {
+                    crate::ckpt::poison_file(&path)?;
+                }
+                ckpt_writes += 1;
+                stats.checkpoints_written += 1;
+                stats.checkpoint_bytes += bytes;
+                last_ckpt_gvt = now_ticks;
+                if recorder.wants(ObsKind::Checkpoint) {
+                    recorder.record(ObsRecord::kernel(ObsKind::Checkpoint, bytes));
+                }
+            }
             let snap = RoundSnapshot {
                 round,
                 pe: 0,
@@ -210,6 +312,8 @@ pub fn run_sequential<M: Model>(
                 events_committed: stats.events_committed,
                 events_processed: stats.events_processed,
                 phase_ns: profiler.cumulative_ns(),
+                checkpoints_written: stats.checkpoints_written,
+                checkpoint_bytes: stats.checkpoint_bytes,
                 ..Default::default()
             };
             series.push(snap);
@@ -336,6 +440,51 @@ fn audit_failed(
             }],
         },
     }
+}
+
+/// Serialize one complete committed frame: every LP's model state (via
+/// [`Model::save_state`]), RNG position, and audit fingerprint, plus the
+/// whole pending queue. The queue is drained and re-pushed — content is
+/// unchanged, so the auditor's scheduler mirror stays consistent without
+/// any toggles.
+fn capture_part<M: Model>(
+    model: &M,
+    states: &[M::State],
+    rngs: &[Clcg4],
+    queue: &mut dyn crate::scheduler::EventQueue<M::Payload>,
+    stats: &EngineStats,
+) -> Result<CkptPart, crate::ckpt::CkptError> {
+    let mut lps = Vec::with_capacity(states.len());
+    for (lp, (state, rng)) in states.iter().zip(rngs).enumerate() {
+        let lp = lp as LpId;
+        let mut w = CkptWriter::new();
+        model.save_state(lp, state, &mut w)?;
+        let mut h = AuditHasher::new();
+        model.audit_state(lp, state, &mut h);
+        lps.push(LpRecord {
+            lp,
+            rng_s: rng.state(),
+            rng_count: rng.call_count(),
+            fingerprint: lp_fingerprint(h.finish(), rng),
+            state: w.into_bytes(),
+        });
+    }
+    let mut events = Vec::with_capacity(queue.len());
+    let mut scratch = Vec::with_capacity(queue.len());
+    while let Some(e) = queue.pop() {
+        let mut w = CkptWriter::new();
+        model.save_payload(&e.payload, &mut w)?;
+        events.push(EventRecord::from_key(&e.key, w.into_bytes()));
+        scratch.push(e);
+    }
+    for e in scratch {
+        queue.push(e);
+    }
+    Ok(CkptPart {
+        lps,
+        events,
+        stats: stats.clone(),
+    })
 }
 
 /// Turn an [`Emit`] into a full event. The sequential kernel allocates all

@@ -59,6 +59,18 @@ pub struct EngineStats {
     pub antis_deferred: u64,
     /// Positives annihilated on arrival by a parked anti-message.
     pub early_annihilations: u64,
+    /// Snapshots written by the checkpoint subsystem (see
+    /// [`ckpt`](crate::ckpt)).
+    pub checkpoints_written: u64,
+    /// Total bytes of snapshot data written.
+    pub checkpoint_bytes: u64,
+    /// Snapshot files the supervisor tried to restore from (including ones
+    /// later rejected as corrupt).
+    pub restores_attempted: u64,
+    /// Restores that validated and produced a resumed run.
+    pub restores_succeeded: u64,
+    /// Recovery retries the supervisor consumed absorbing failures.
+    pub recovery_retries: u64,
     /// Wall-clock run time (only set on the merged total).
     pub wall_time: Duration,
     /// Per-phase wall-clock profile (empty when the profiler is disabled;
@@ -97,6 +109,11 @@ impl EngineStats {
         self.duplicates_dropped += other.duplicates_dropped;
         self.antis_deferred += other.antis_deferred;
         self.early_annihilations += other.early_annihilations;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.restores_attempted += other.restores_attempted;
+        self.restores_succeeded += other.restores_succeeded;
+        self.recovery_retries += other.recovery_retries;
         self.wall_time = self.wall_time.max(other.wall_time);
         self.prof.merge(&other.prof);
     }
@@ -227,6 +244,18 @@ impl fmt::Display for EngineStats {
                 f,
                 "faults absorbed      : {} dup-drops, {} deferred antis, {} early annihilations",
                 self.duplicates_dropped, self.antis_deferred, self.early_annihilations
+            )?;
+        }
+        if self.checkpoints_written + self.restores_attempted + self.recovery_retries > 0 {
+            writeln!(
+                f,
+                "checkpoints          : {} written ({} bytes)",
+                self.checkpoints_written, self.checkpoint_bytes
+            )?;
+            writeln!(
+                f,
+                "recovery             : {} restores attempted, {} succeeded, {} retries",
+                self.restores_attempted, self.restores_succeeded, self.recovery_retries
             )?;
         }
         writeln!(
@@ -384,6 +413,34 @@ mod tests {
         s.record_rollback_length(255); // bucket 7 (open-ended)
         s.record_rollback_length(1 << 20); // bucket 7 (clamped)
         assert_eq!(s.rollback_lengths, [1, 2, 0, 0, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn checkpoint_counters_merge_and_display() {
+        let mut a = EngineStats {
+            checkpoints_written: 2,
+            checkpoint_bytes: 1024,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            checkpoints_written: 1,
+            checkpoint_bytes: 512,
+            restores_attempted: 2,
+            restores_succeeded: 1,
+            recovery_retries: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.checkpoints_written, 3);
+        assert_eq!(a.checkpoint_bytes, 1536);
+        assert_eq!(a.restores_attempted, 2);
+        assert_eq!(a.restores_succeeded, 1);
+        assert_eq!(a.recovery_retries, 1);
+        let text = a.to_string();
+        assert!(text.contains("checkpoints"));
+        assert!(text.contains("restores attempted"));
+        // A run that never checkpointed keeps its summary clean.
+        assert!(!EngineStats::default().to_string().contains("checkpoints"));
     }
 
     #[test]

@@ -158,4 +158,34 @@ print(f"BENCH_pr5.json: audit-off regression {b['regression_pct_vs_baseline']}% 
 EOF
 fi
 
+echo "== chaos: kill-and-resume recovery matrix (tests/checkpoint.rs) =="
+# Release-mode rerun of the crash-recovery matrix: killed parallel runs are
+# resumed from the newest intact snapshot and must commit bit-identical
+# output to the uninterrupted sequential oracle across {heap,splay,calendar}
+# schedulers x {1,2,4} PEs; torn snapshots must be rejected with fallback.
+cargo test --release -q --test checkpoint
+
+echo "== bench smoke: checkpoint overhead (BENCH_pr6.json) =="
+# Gates the ckpt-OFF configuration at <1% committed-events/sec regression
+# vs the PR 5 dark baseline just regenerated above (same machine, same
+# session); snapshot-every-GVT-round cost is informational. Both modes
+# re-assert bit-identical committed output vs the sequential oracle.
+./target/release/bench_pr6 --baseline=BENCH_pr5.json --out=BENCH_pr6.json
+cp BENCH_pr6.json artifacts/
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_pr6.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], \
+    f"ckpt-off regression {b['regression_pct_vs_baseline']}% over budget"
+modes = {m["mode"]: m for m in b["modes"]}
+assert modes["ckpt_off"]["events_committed"] == modes["ckpt_every_round"]["events_committed"]
+assert modes["ckpt_every_round"]["checkpoints_written"] > 0
+print(f"BENCH_pr6.json: ckpt-off regression {b['regression_pct_vs_baseline']}% "
+      f"vs PR5 baseline; every-round snapshots "
+      f"{b['overhead_pct_ckpt_every_round']}% (informational)")
+EOF
+fi
+
 echo "CI gate passed."

@@ -1,0 +1,255 @@
+//! Checkpoint/restore and crash-recovery matrix: a run that is killed
+//! mid-flight and resumed from its last intact snapshot must commit output
+//! **bit-identical** to an uninterrupted run, across every scheduler
+//! backend and PE count — and corrupted snapshots must be detected and
+//! skipped, falling back to an older snapshot or a cold restart.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hotpotato::{
+    simulate_parallel, simulate_resumed, simulate_sequential, simulate_supervised, HotPotatoConfig,
+    HotPotatoModel,
+};
+use pdes::{
+    list_snapshots, read_snapshot, EngineConfig, FaultPlan, SchedulerKind, SupervisorPolicy,
+};
+
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Heap,
+    SchedulerKind::Splay,
+    SchedulerKind::Calendar,
+];
+
+fn model(n: u32, steps: u64) -> HotPotatoModel<topo::Torus> {
+    HotPotatoModel::torus(HotPotatoConfig::new(n, steps))
+}
+
+fn engine(seed: u64, dir: &std::path::Path) -> EngineConfig {
+    // Horizon is overwritten by the simulate_* wrappers from the model.
+    EngineConfig::new(pdes::VirtualTime::from_steps(1))
+        .with_seed(seed)
+        .with_gvt_interval(48)
+        .with_batch(4)
+        .with_checkpoint_every(2)
+        .with_checkpoint_dir(dir)
+}
+
+/// Fresh private snapshot directory per test case (process-unique +
+/// call-unique so parallel test threads never share state).
+fn ckpt_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pdes-ckpt-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Clean resume: interrupt nothing, just re-load the newest snapshot and run
+/// the tail — the stitched run must commit the oracle output on every
+/// scheduler × PE combination.
+#[test]
+fn clean_resume_matches_oracle_across_matrix() {
+    let m = model(8, 26);
+    for sched in SCHEDULERS {
+        let dir = ckpt_dir("clean");
+        let cfg = engine(7, &dir).with_scheduler(sched);
+        let oracle = simulate_sequential(&m, &cfg).unwrap();
+
+        for pes in [1usize, 2, 4] {
+            let dir = ckpt_dir("clean");
+            let cfg = engine(7, &dir)
+                .with_scheduler(sched)
+                .with_pes(pes)
+                .with_kps(16);
+            let full = simulate_parallel(&m, &cfg).unwrap();
+            assert_eq!(full.output, oracle.output, "{sched:?} pes={pes} full run");
+            assert!(
+                full.stats.checkpoints_written > 0,
+                "{sched:?} pes={pes}: no snapshots written"
+            );
+
+            let snaps = list_snapshots(&dir);
+            assert!(!snaps.is_empty(), "{sched:?} pes={pes}: no snapshot files");
+            let snap = read_snapshot(&snaps[0]).unwrap();
+            let resumed = simulate_resumed(&m, &cfg, &snap).unwrap();
+            assert_eq!(
+                resumed.output, oracle.output,
+                "{sched:?} pes={pes}: resumed tail diverged from oracle"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A snapshot taken by a *sequential* run resumes on the *parallel* kernel
+/// (and vice versa): the snapshot format is kernel-portable.
+#[test]
+fn snapshots_are_kernel_portable() {
+    let m = model(8, 24);
+    let dir = ckpt_dir("portable");
+    let cfg = engine(13, &dir);
+    let oracle = simulate_sequential(&m, &cfg).unwrap();
+    assert!(oracle.stats.checkpoints_written > 0);
+
+    let snap = read_snapshot(&list_snapshots(&dir)[0]).unwrap();
+    let par_cfg = cfg.clone().with_pes(2).with_kps(16);
+    let par = simulate_resumed(&m, &par_cfg, &snap).unwrap();
+    assert_eq!(par.output, oracle.output, "seq snapshot → parallel resume");
+
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.end_time = m.end_time();
+    let seq = pdes::run_sequential_resumed(&m, &seq_cfg, &snap).unwrap();
+    assert_eq!(seq.output, oracle.output, "seq snapshot → seq resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mid-run PE kill: the supervisor restarts from the newest intact snapshot
+/// and the recovered run is bit-identical to the uninterrupted oracle, on
+/// every scheduler × PE-count combination.
+#[test]
+fn killed_run_recovers_bit_identical() {
+    let m = model(8, 26);
+    for sched in SCHEDULERS {
+        let oracle = simulate_sequential(&m, &engine(23, &ckpt_dir("oracle"))).unwrap();
+        for pes in [1usize, 2, 4] {
+            let dir = ckpt_dir("kill");
+            let plan = FaultPlan::new(1).with_kill(pes as u32 - 1, 900);
+            let cfg = engine(23, &dir)
+                .with_scheduler(sched)
+                .with_pes(pes)
+                .with_kps(16)
+                .with_faults(plan);
+            let (result, report) =
+                simulate_supervised(&m, &cfg, &SupervisorPolicy::default()).unwrap();
+            assert_eq!(
+                result.output, oracle.output,
+                "{sched:?} pes={pes}: recovered output diverged"
+            );
+            assert_eq!(report.crashes, 1, "{sched:?} pes={pes}: kill did not fire");
+            assert_eq!(
+                report.resumed_rounds.len() + report.cold_restarts as usize,
+                1,
+                "{sched:?} pes={pes}: exactly one recovery expected"
+            );
+            assert_eq!(result.stats.recovery_retries, 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Poisoned snapshot: the newest file on disk is torn mid-write, so recovery
+/// must reject it (checksum) and fall back to the older intact snapshot.
+/// The snapshot set is staged by a clean run (checkpointing is off during
+/// the crashing run) so the scan outcome is fully deterministic.
+#[test]
+fn poisoned_snapshot_falls_back_to_older() {
+    let m = model(8, 26);
+    let dir = ckpt_dir("poison");
+    let oracle = simulate_sequential(&m, &engine(31, &ckpt_dir("poracle"))).unwrap();
+
+    // Stage: a clean run leaves its two newest snapshots behind; tear the
+    // newest one mid-file.
+    simulate_parallel(&m, &engine(31, &dir).with_pes(2).with_kps(16)).unwrap();
+    let snaps = list_snapshots(&dir);
+    assert!(snaps.len() >= 2, "need two snapshots to prove fallback");
+    pdes::ckpt::poison_file(&snaps[0]).unwrap();
+    let older_round = read_snapshot(&snaps[1]).unwrap().round();
+
+    // Crash run: same seed, checkpointing off so the staged files survive.
+    let mut cfg = engine(31, &dir).with_pes(2).with_kps(16);
+    cfg.checkpoint_every = None;
+    cfg.fault_plan = Some(FaultPlan::new(1).with_kill(1, 50));
+    let (result, report) = simulate_supervised(&m, &cfg, &SupervisorPolicy::default()).unwrap();
+    assert_eq!(result.output, oracle.output, "fallback resume diverged");
+    assert_eq!(report.crashes, 1);
+    assert_eq!(
+        report.snapshots_rejected, 1,
+        "poisoned snapshot was not rejected: {report:?}"
+    );
+    assert_eq!(
+        report.resumed_rounds,
+        vec![older_round],
+        "expected fallback resume from the older snapshot: {report:?}"
+    );
+    assert_eq!(report.cold_restarts, 0, "{report:?}");
+    assert_eq!(result.stats.restores_attempted, 2);
+    assert_eq!(result.stats.restores_succeeded, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every snapshot corrupt (first write poisoned, then the PE killed before a
+/// second write): the supervisor detects it and cold-restarts, still
+/// converging to the oracle output.
+#[test]
+fn all_snapshots_corrupt_forces_cold_restart() {
+    let m = model(6, 20);
+    let dir = ckpt_dir("cold");
+    // Poison the very first snapshot and kill shortly after it lands, so
+    // (usually) no intact snapshot exists when the supervisor scans.
+    let plan = FaultPlan::new(1).with_kill(0, 120).with_poison_ckpt(0);
+    let cfg = engine(37, &dir).with_pes(2).with_kps(12).with_faults(plan);
+    let oracle = simulate_sequential(&m, &engine(37, &ckpt_dir("coracle"))).unwrap();
+
+    let (result, report) = simulate_supervised(&m, &cfg, &SupervisorPolicy::default()).unwrap();
+    assert_eq!(result.output, oracle.output, "cold restart diverged");
+    assert_eq!(report.crashes, 1);
+    if report.cold_restarts == 1 {
+        assert!(report.snapshots_rejected >= 1, "{report:?}");
+        assert!(report.resumed_rounds.is_empty(), "{report:?}");
+    } else {
+        // Timing let a second (intact) snapshot land before the kill — the
+        // fallback path is then equivalent to `poisoned_snapshot_falls_back`.
+        assert_eq!(report.resumed_rounds.len(), 1, "{report:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshot self-description is validated on restore: resuming under a
+/// different seed or a different model size is refused loudly instead of
+/// silently producing garbage.
+#[test]
+fn mismatched_resume_is_refused() {
+    let m = model(6, 20);
+    let dir = ckpt_dir("mismatch");
+    let cfg = engine(41, &dir).with_pes(2).with_kps(12);
+    simulate_parallel(&m, &cfg).unwrap();
+    let snap = read_snapshot(&list_snapshots(&dir)[0]).unwrap();
+
+    let wrong_seed = engine(42, &dir).with_pes(2).with_kps(12);
+    assert!(
+        simulate_resumed(&m, &wrong_seed, &snap).is_err(),
+        "seed mismatch accepted"
+    );
+    let bigger = model(8, 20);
+    let wrong_cfg = engine(41, &dir).with_pes(2).with_kps(16);
+    assert!(
+        simulate_resumed(&bigger, &wrong_cfg, &snap).is_err(),
+        "LP-count mismatch accepted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing itself must not perturb the committed result: with
+/// snapshots on, the run (parallel, 4 PEs) still matches the oracle and the
+/// telemetry counters account for the bytes written.
+#[test]
+fn checkpointing_does_not_perturb_results() {
+    let m = model(8, 26);
+    let dir = ckpt_dir("inert");
+    let base = engine(53, &ckpt_dir("inert-off"));
+    let mut off = base.clone();
+    off.checkpoint_every = None;
+    let without = simulate_parallel(&m, &off.clone().with_pes(4).with_kps(16)).unwrap();
+    let with = simulate_parallel(&m, &engine(53, &dir).with_pes(4).with_kps(16)).unwrap();
+    assert_eq!(with.output, without.output, "snapshots perturbed the run");
+    assert!(with.stats.checkpoints_written > 0);
+    assert!(with.stats.checkpoint_bytes > 0);
+    assert_eq!(without.stats.checkpoints_written, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
