@@ -1,19 +1,21 @@
 //! Ablation E9: pending-set implementations (binary heap with lazy
 //! deletion vs top-down splay tree vs calendar queue) under a hold-model
 //! workload — the access pattern a discrete-event simulator actually
-//! generates.
+//! generates. The queues order arena handles (`QueueEntry`), so the
+//! benchmark fabricates slot tags; payload storage is out of scope here.
 //!
 //! ```sh
 //! cargo bench -p bench --bench scheduler
 //! ```
 
 use bench::bench_time;
-use pdes::event::{Event, EventId, EventKey};
+use pdes::event::{EventId, EventKey, QueueEntry};
+use pdes::prelude::SlotRef;
 use pdes::scheduler::{CalendarQueue, EventQueue, HeapQueue, SplayQueue};
 use pdes::time::VirtualTime;
 
-fn ev(seq: u64, t: u64) -> Event<u64> {
-    Event {
+fn ev(seq: u64, t: u64) -> QueueEntry {
+    QueueEntry {
         id: EventId::new(0, seq),
         key: EventKey {
             recv_time: VirtualTime(t),
@@ -22,13 +24,16 @@ fn ev(seq: u64, t: u64) -> Event<u64> {
             src: 0,
             send_time: VirtualTime::ZERO,
         },
-        payload: seq,
+        slot: SlotRef {
+            idx: seq as u32,
+            gen: 0,
+        },
     }
 }
 
 /// Classic hold model: pop the minimum, push a replacement a random-ish
 /// increment in the future. Steady-state size `n`.
-fn hold<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
+fn hold<Q: EventQueue>(q: &mut Q, n: u64, ops: u64) -> u64 {
     let mut seq = 0;
     for i in 0..n {
         q.push(ev(seq, i * 7919 % 100_000));
@@ -37,7 +42,7 @@ fn hold<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
     let mut acc = 0;
     for _ in 0..ops {
         let e = q.pop().expect("steady state");
-        acc ^= e.payload;
+        acc ^= e.slot.idx as u64;
         q.push(ev(seq, e.key.recv_time.0 + 1 + (seq * 2654435761) % 10_000));
         seq += 1;
     }
@@ -46,7 +51,7 @@ fn hold<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
 }
 
 /// Hold model with interleaved cancellations (anti-message pattern).
-fn hold_with_cancels<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
+fn hold_with_cancels<Q: EventQueue>(q: &mut Q, n: u64, ops: u64) -> u64 {
     let mut seq = 0;
     let mut live: Vec<(EventId, EventKey)> = Vec::new();
     for i in 0..n {
@@ -60,14 +65,14 @@ fn hold_with_cancels<Q: EventQueue<u64>>(q: &mut Q, n: u64, ops: u64) -> u64 {
         if i % 8 == 0 && live.len() > 2 {
             // Cancel a "random" pending event.
             let victim = live.swap_remove((i as usize * 31) % live.len());
-            if q.remove(victim.0, victim.1) {
+            if q.remove(victim.0, victim.1).is_some() {
                 acc += 1;
             }
             continue;
         }
         if let Some(e) = q.pop() {
             live.retain(|(id, _)| *id != e.id);
-            acc ^= e.payload;
+            acc ^= e.slot.idx as u64;
         }
         let e = ev(seq, (i + 1) * 13 % 100_000 + i);
         live.push((e.id, e.key));

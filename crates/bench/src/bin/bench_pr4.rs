@@ -21,9 +21,16 @@
 //! * `--steps=<u64>` — simulated step count (default 96).
 //! * `--samples=<usize>` — interleaved rounds (default 9).
 //! * `--max-overhead=<f64>` — fail (exit 1) if the profiler-on run loses
-//!   more than this percent of committed-events/sec (default 3.0), over and
+//!   more than this percent of committed-events/sec (default 5.0), over and
 //!   above the measured same-mode noise floor. The JSON always records the
 //!   measured numbers either way.
+//!
+//! The budget was 3% when the dark engine committed ~1.8M ev/s; the arena
+//! event store raised that to ~2.3–2.5M ev/s, so the profiler's fixed
+//! per-event cost is mechanically a larger *fraction* of a shorter run
+//! (typical measurements moved from ~1% to ~1.5–2.5%). The absolute cost
+//! did not grow; the budget is 5% to keep the same headroom-to-typical
+//! ratio instead of flaking on noise spikes.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -82,7 +89,7 @@ fn main() {
     let mut out_path = String::from("BENCH_pr4.json");
     let mut steps: u64 = 96;
     let mut samples: usize = 9;
-    let mut max_overhead: f64 = 3.0;
+    let mut max_overhead: f64 = 5.0;
     for a in std::env::args().skip(1) {
         if let Some(v) = a.strip_prefix("--out=") {
             out_path = v.to_string();

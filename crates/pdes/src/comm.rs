@@ -293,6 +293,61 @@ impl<P: Send> CommFabric<P> {
         total
     }
 
+    /// Zero-copy drain: move every pending *batch* (the `Vec` headers, not
+    /// their contents) targeting PE `to` into `into`, per-sender FIFO order
+    /// preserved. Returns the number of messages moved. The caller applies
+    /// each message straight out of the batch — landing payloads directly in
+    /// its event arena — and recycles the emptied vectors itself, which
+    /// eliminates the per-message copy [`drain_to`](Self::drain_to) performs
+    /// into its staging vector.
+    ///
+    /// Contract: only the thread running PE `to` may call this.
+    pub(crate) fn drain_batches(&self, to: PeId, into: &mut Vec<Batch<P>>) -> u64 {
+        let mut total = 0u64;
+        for from in 0..self.n_pes {
+            if from == to {
+                continue;
+            }
+            let ch = self.channel(from, to);
+            let mut msgs = 0u64;
+            // SAFETY: per the contract, this thread is the unique consumer
+            // for channel (from → to).
+            unsafe {
+                ch.ring.consume(|batch| {
+                    msgs += batch.len() as u64;
+                    into.push(batch);
+                });
+            }
+            // Same overflow discipline as drain_to: re-consume the ring
+            // under the overflow lock so a concurrent refill cannot reorder
+            // ahead of spilled batches.
+            if ch.spilled.load(Ordering::Acquire) > 0 {
+                let mut of = lock(&ch.overflow);
+                // SAFETY: same unique-consumer contract as the first consume
+                // above; taking the overflow lock does not admit a second
+                // consumer thread.
+                unsafe {
+                    ch.ring.consume(|batch| {
+                        msgs += batch.len() as u64;
+                        into.push(batch);
+                    });
+                }
+                ch.spilled.store(0, Ordering::Release);
+                let spilled = std::mem::take(&mut *of);
+                drop(of);
+                for batch in spilled {
+                    msgs += batch.len() as u64;
+                    into.push(batch);
+                }
+            }
+            if msgs > 0 {
+                ch.in_flight.fetch_sub(msgs, Ordering::Relaxed);
+                total += msgs;
+            }
+        }
+        total
+    }
+
     /// Messages currently in flight toward PE `to` (diagnostics; callable
     /// from any thread once the run has quiesced or unwound).
     pub(crate) fn inbox_depth(&self, to: PeId) -> u64 {
@@ -394,6 +449,22 @@ mod tests {
         assert_eq!(fabric.drain_to(1, &mut into, &mut pool), 3);
         assert_eq!(pool.free_len(), 2, "both batch vectors must be recycled");
         assert_eq!(seqs(&into), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_batches_moves_headers_and_preserves_order() {
+        let fabric: CommFabric<()> = CommFabric::new(2);
+        // Overfill so both the ring and the overflow are exercised.
+        for i in 0..(RING_SLOTS as u64 + 20) {
+            fabric.push_batch(0, 1, vec![anti(2 * i), anti(2 * i + 1)]);
+        }
+        let mut batches = Vec::new();
+        let n = fabric.drain_batches(1, &mut batches);
+        assert_eq!(n, 2 * (RING_SLOTS as u64 + 20));
+        assert_eq!(batches.len(), RING_SLOTS + 20);
+        let flat: Vec<u64> = batches.iter().flat_map(|b| seqs(b)).collect();
+        assert_eq!(flat, (0..n).collect::<Vec<_>>());
+        assert_eq!(fabric.inbox_depth(1), 0);
     }
 
     #[test]

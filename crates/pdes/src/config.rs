@@ -9,6 +9,27 @@ use crate::obs::ObsConfig;
 use crate::scheduler::SchedulerKind;
 use crate::time::VirtualTime;
 
+/// How the parallel kernel computes GVT.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GvtMode {
+    /// Incremental (barrier-light) unless the run checkpoints — snapshot
+    /// frames need the barriered round's sequential-frame quiescence, so
+    /// checkpointing runs fall back to [`Barrier`](GvtMode::Barrier). This
+    /// is the default; `PDES_GVT=barrier|incremental` overrides it.
+    #[default]
+    Auto,
+    /// Classic Fujimoto-style barriered reduction: every round, all PEs
+    /// rendezvous, settle in-flight messages to quiescence, and publish
+    /// minima. Required for checkpoint frames.
+    Barrier,
+    /// Mattern-style two-cut incremental reduction: PE 0 opens an epoch,
+    /// each PE asynchronously flushes, drains, and publishes
+    /// `min(queue, held, sent-window)`; PE 0 folds the reports wait-free.
+    /// No barrier, no settle loop. Incompatible with checkpointing
+    /// (rejected by [`EngineConfig::validate`]).
+    Incremental,
+}
+
 /// Tunables shared by both kernels. Construct with [`EngineConfig::new`] and
 /// chain the `with_*` builders.
 #[derive(Clone, Debug)]
@@ -71,6 +92,13 @@ pub struct EngineConfig {
     /// `PDES_AUDIT=1`/`0` overrides the default, and
     /// [`with_audit`](Self::with_audit) overrides both.
     pub audit: bool,
+    /// Whether the auditor's *reverse-replay probe* (scratch-execute
+    /// `handle` + `reverse` after every event and compare state
+    /// fingerprints) runs. `PDES_AUDIT=fast` turns the auditor on with the
+    /// probe off — the hash/conservation/scheduler checks remain, at a
+    /// fraction of the overhead. Ignored when [`audit`](Self::audit) is
+    /// off. Default true.
+    pub audit_probe: bool,
     /// Test-only audit fault injection: swallow the nth (0-based)
     /// child-cancellation instead of dispatching it, per PE, to prove the
     /// conservation check detects a dropped anti-message. `Some(_)` requires
@@ -90,6 +118,15 @@ pub struct EngineConfig {
     /// `pdes-ckpt`; override with
     /// [`with_checkpoint_dir`](Self::with_checkpoint_dir).
     pub checkpoint_dir: PathBuf,
+    /// GVT protocol selection (see [`GvtMode`]). Seeded from `PDES_GVT`
+    /// (`barrier`, `incremental`, or `auto`); override with
+    /// [`with_gvt_mode`](Self::with_gvt_mode).
+    pub gvt_mode: GvtMode,
+    /// Per-PE event-arena capacity in slots (`None` =
+    /// [`EventArena::DEFAULT_SLOTS`](crate::arena::EventArena::DEFAULT_SLOTS)).
+    /// Exhaustion surfaces as
+    /// [`RunError::ArenaExhausted`](crate::error::RunError::ArenaExhausted).
+    pub arena_slots: Option<u32>,
 }
 
 impl EngineConfig {
@@ -112,9 +149,12 @@ impl EngineConfig {
             deadline: None,
             obs: ObsConfig::from_env(),
             audit: crate::obs::audit_env_default(),
+            audit_probe: crate::obs::audit_probe_env_default(),
             audit_drop_anti: None,
             checkpoint_every: crate::obs::ckpt_env_default(),
             checkpoint_dir: crate::obs::ckpt_dir_env_default(),
+            gvt_mode: crate::obs::gvt_mode_env_default(),
+            arena_slots: None,
         }
     }
 
@@ -206,6 +246,28 @@ impl EngineConfig {
         self
     }
 
+    /// Enable or disable the auditor's reverse-replay probe (see
+    /// [`audit_probe`](Self::audit_probe)), overriding `PDES_AUDIT=fast`.
+    pub fn with_audit_probe(mut self, on: bool) -> Self {
+        self.audit_probe = on;
+        self
+    }
+
+    /// Select the GVT protocol (see [`gvt_mode`](Self::gvt_mode)),
+    /// overriding `PDES_GVT`.
+    pub fn with_gvt_mode(mut self, mode: GvtMode) -> Self {
+        self.gvt_mode = mode;
+        self
+    }
+
+    /// Cap each PE's event arena at `slots` payloads (see
+    /// [`arena_slots`](Self::arena_slots)).
+    pub fn with_arena_slots(mut self, slots: u32) -> Self {
+        assert!(slots >= 1, "arena needs at least one slot");
+        self.arena_slots = Some(slots);
+        self
+    }
+
     /// Test-only: swallow the nth child-cancellation on each PE (see
     /// [`audit_drop_anti`](Self::audit_drop_anti)).
     #[doc(hidden)]
@@ -292,7 +354,28 @@ impl EngineConfig {
                 "checkpoint_every must be >= 1 (or None to disable)",
             ));
         }
+        if self.gvt_mode == GvtMode::Incremental && self.checkpoint_every.is_some() {
+            return Err(RunError::config(
+                "incremental GVT has no quiescent frames to checkpoint from; \
+                 use GvtMode::Auto or Barrier with checkpointing",
+            ));
+        }
+        if self.arena_slots == Some(0) {
+            return Err(RunError::config(
+                "arena_slots must be >= 1 (or None for the default)",
+            ));
+        }
         Ok(())
+    }
+
+    /// Whether the parallel kernel should run the barriered GVT protocol
+    /// (vs the incremental one) under this configuration.
+    pub(crate) fn barriered_gvt(&self) -> bool {
+        match self.gvt_mode {
+            GvtMode::Barrier => true,
+            GvtMode::Incremental => false,
+            GvtMode::Auto => self.checkpoint_every.is_some(),
+        }
     }
 }
 
@@ -368,6 +451,39 @@ mod tests {
         assert!(c.clone().without_checkpoints().checkpoint_every.is_none());
         let mut bad = c;
         bad.checkpoint_every = Some(0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn gvt_mode_resolution_and_validation() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1)).with_gvt_mode(GvtMode::Auto);
+        assert!(!c.clone().without_checkpoints().barriered_gvt());
+        assert!(c.clone().with_checkpoint_every(4).barriered_gvt());
+        assert!(c
+            .clone()
+            .with_gvt_mode(GvtMode::Barrier)
+            .without_checkpoints()
+            .barriered_gvt());
+        let inc = c
+            .clone()
+            .without_checkpoints()
+            .with_gvt_mode(GvtMode::Incremental);
+        assert!(!inc.barriered_gvt());
+        assert!(inc.validate().is_ok());
+        // Explicit incremental + checkpointing is contradictory.
+        let bad = c
+            .with_gvt_mode(GvtMode::Incremental)
+            .with_checkpoint_every(4);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn arena_slots_builder_and_validation() {
+        let c = EngineConfig::new(VirtualTime::from_steps(1)).with_arena_slots(128);
+        assert_eq!(c.arena_slots, Some(128));
+        assert!(c.validate().is_ok());
+        let mut bad = c;
+        bad.arena_slots = Some(0);
         assert!(bad.validate().is_err());
     }
 

@@ -72,6 +72,20 @@ pub enum RunError {
         /// Human-readable description of the failure.
         reason: String,
     },
+    /// A PE's event arena ran out of slots: more events were simultaneously
+    /// live (pending + processed-but-uncommitted) than the configured
+    /// capacity (see
+    /// [`EngineConfig::arena_slots`](crate::config::EngineConfig::arena_slots)).
+    /// All sibling PEs were unwound cleanly before this was returned; raise
+    /// the capacity or lower the GVT interval (commits free slots).
+    ArenaExhausted {
+        /// The PE whose arena filled up.
+        pe: PeId,
+        /// The arena capacity that was exhausted, in slots.
+        capacity: u32,
+        /// Post-mortem snapshot of the whole machine.
+        diagnostics: RunDiagnostics,
+    },
     /// The runtime auditor (see [`crate::audit`]) caught a reversibility,
     /// anti-message-conservation, or scheduler-integrity violation. The run
     /// was stopped at the first violation; all sibling PEs were unwound
@@ -99,6 +113,7 @@ impl RunError {
             RunError::PePanic { diagnostics, .. } => Some(diagnostics),
             RunError::GvtStalled { diagnostics, .. } => Some(diagnostics),
             RunError::AuditFailed { diagnostics, .. } => Some(diagnostics),
+            RunError::ArenaExhausted { diagnostics, .. } => Some(diagnostics),
             RunError::ConfigInvalid { .. }
             | RunError::WorkerLost { .. }
             | RunError::Checkpoint { .. } => None,
@@ -146,6 +161,17 @@ impl fmt::Display for RunError {
                 diagnostics,
             } => {
                 write!(f, "{violation}\n{diagnostics}")
+            }
+            RunError::ArenaExhausted {
+                pe,
+                capacity,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "PE {pe} event arena exhausted ({capacity} slots live); raise \
+                     arena_slots or lower gvt_interval\n{diagnostics}"
+                )
             }
         }
     }
@@ -265,6 +291,10 @@ pub(crate) enum FailureCause {
     Ckpt {
         reason: String,
     },
+    ArenaExhausted {
+        pe: PeId,
+        capacity: u32,
+    },
 }
 
 impl FailureCause {
@@ -296,6 +326,11 @@ impl FailureCause {
                 diagnostics,
             },
             FailureCause::Ckpt { reason } => RunError::Checkpoint { reason },
+            FailureCause::ArenaExhausted { pe, capacity } => RunError::ArenaExhausted {
+                pe,
+                capacity,
+                diagnostics,
+            },
         }
     }
 }

@@ -8,6 +8,7 @@
 //! is what makes sequential and optimistic-parallel executions commit the
 //! exact same order (the paper's repeatability result, Section 4.2.1).
 
+use crate::arena::SlotRef;
 use crate::time::VirtualTime;
 
 /// Global logical-process number, `0 .. n_lps`.
@@ -116,6 +117,26 @@ impl<P> Event<P> {
     pub fn dst(&self) -> LpId {
         self.key.dst
     }
+}
+
+/// What actually travels through a scheduler: the frozen ordering data of
+/// one pending event plus the arena slot holding its payload.
+///
+/// The key and id are *copies*, deliberately frozen at push time rather than
+/// read through the arena on every comparison. The heap scheduler's lazy
+/// deletion keeps tombstoned entries in its storage long after annihilation
+/// has freed (and possibly reused) their slots; comparing through the arena
+/// would then order a tombstone by some *other* event's key and corrupt the
+/// heap. Sixteen bytes of key riding along is the price of that safety — the
+/// payload itself never moves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueueEntry {
+    /// Processing-order key (frozen copy).
+    pub key: EventKey,
+    /// Kernel identity (frozen copy; annihilation target).
+    pub id: EventId,
+    /// Where the payload lives until commit or annihilation.
+    pub slot: SlotRef,
 }
 
 /// Reference to a child event sent by a processed event — everything a

@@ -9,18 +9,25 @@
 
 use std::collections::VecDeque;
 
-use crate::event::{Bitfield, ChildRef, Event, EventKey};
+use crate::arena::SlotRef;
+use crate::event::{Bitfield, ChildRef, EventId, EventKey};
 
-/// A processed event retained for possible rollback: the event itself (whose
-/// payload may hold the handler's saved state), the bitfield the forward
-/// handler recorded, the number of RNG draws it made, the children it
-/// scheduled, and — in state-saving mode — a pre-execution snapshot of the
-/// LP state and RNG (the Georgia Tech Time Warp approach the paper's
-/// Section 3.2.1 contrasts with reverse computation).
+/// A processed event retained for possible rollback: its frozen ordering
+/// data, the arena slot holding its payload (which may carry the handler's
+/// saved fields for reverse computation), the bitfield the forward handler
+/// recorded, the number of RNG draws it made, the children it scheduled,
+/// and — in state-saving mode — a pre-execution snapshot of the LP state
+/// and RNG (the Georgia Tech Time Warp approach the paper's Section 3.2.1
+/// contrasts with reverse computation). The payload itself stays in the
+/// arena; recording an execution moves no model bytes.
 #[derive(Debug)]
-pub struct Processed<P, S> {
-    /// The executed event (payload may carry saved fields for reverse).
-    pub ev: Event<P>,
+pub struct Processed<S> {
+    /// Ordering key of the executed event.
+    pub key: EventKey,
+    /// Kernel identity of the executed event (annihilation target).
+    pub id: EventId,
+    /// Arena slot holding the payload until commit or rollback-annihilate.
+    pub slot: SlotRef,
     /// Bitfield as the forward handler left it.
     pub bf: Bitfield,
     /// RNG draws made by the forward handler (auto-reversed on rollback).
@@ -43,14 +50,14 @@ pub struct Processed<P, S> {
 /// a KP is also [`EventKey`] order (the PE always executes its globally
 /// minimal pending event, and stragglers roll the KP back first).
 #[derive(Debug)]
-pub struct Kp<P, S> {
+pub struct Kp<S> {
     /// Processed-but-uncommitted events, oldest first.
-    pub processed: VecDeque<Processed<P, S>>,
+    pub processed: VecDeque<Processed<S>>,
     /// Total events this KP has rolled back (for Figure 7 reporting).
     pub rolled_back: u64,
 }
 
-impl<P, S> Kp<P, S> {
+impl<S> Kp<S> {
     /// Fresh, empty KP.
     pub fn new() -> Self {
         Kp {
@@ -63,16 +70,16 @@ impl<P, S> Kp<P, S> {
     /// Incoming events at or before this key are stragglers.
     #[inline]
     pub fn last_key(&self) -> Option<EventKey> {
-        self.processed.back().map(|p| p.ev.key)
+        self.processed.back().map(|p| p.key)
     }
 
     /// Append a freshly executed event. Non-strict ordering: a transient
     /// stale twin (same key, different id) may execute adjacent to its
     /// replacement; see the parallel-kernel docs on transient duplicates.
     #[inline]
-    pub fn record(&mut self, p: Processed<P, S>) {
+    pub fn record(&mut self, p: Processed<S>) {
         debug_assert!(
-            self.last_key().is_none_or(|k| k <= p.ev.key),
+            self.last_key().is_none_or(|k| k <= p.key),
             "KP processed list out of order"
         );
         self.processed.push_back(p);
@@ -83,19 +90,19 @@ impl<P, S> Kp<P, S> {
     /// rollback would touch, newest first. Used by the anti-message path to
     /// distinguish "target already executed" (roll back) from "target never
     /// arrived" (defer the anti under fault injection).
-    pub fn contains_at_or_after(&self, id: crate::event::EventId, bound: EventKey) -> bool {
+    pub fn contains_at_or_after(&self, id: EventId, bound: EventKey) -> bool {
         self.processed
             .iter()
             .rev()
-            .take_while(|p| p.ev.key >= bound)
-            .any(|p| p.ev.id == id)
+            .take_while(|p| p.key >= bound)
+            .any(|p| p.id == id)
     }
 
     /// Pop the newest processed event if its key is `>= bound`.
     /// Rollback drivers call this repeatedly, undoing each returned event.
     #[inline]
-    pub fn pop_if_at_or_after(&mut self, bound: EventKey) -> Option<Processed<P, S>> {
-        if self.processed.back()?.ev.key >= bound {
+    pub fn pop_if_at_or_after(&mut self, bound: EventKey) -> Option<Processed<S>> {
+        if self.processed.back()?.key >= bound {
             self.rolled_back += 1;
             self.processed.pop_back()
         } else {
@@ -103,23 +110,26 @@ impl<P, S> Kp<P, S> {
         }
     }
 
-    /// Drop (commit) all processed events strictly older than `gvt_key`,
-    /// returning them oldest-first for commit hooks. This is fossil
-    /// collection at the KP level.
-    pub fn fossil_collect(&mut self, horizon: crate::time::VirtualTime) -> Vec<Processed<P, S>> {
-        let mut committed = Vec::new();
+    /// Move (commit) all processed events strictly older than `horizon`
+    /// into `out`, oldest-first, for commit hooks. This is fossil collection
+    /// at the KP level; appending into a caller-owned scratch vector lets
+    /// the kernel batch a whole run per KP with zero per-round allocation.
+    pub fn fossil_collect_into(
+        &mut self,
+        horizon: crate::time::VirtualTime,
+        out: &mut Vec<Processed<S>>,
+    ) {
         while let Some(front) = self.processed.front() {
-            if front.ev.key.recv_time < horizon {
-                committed.push(self.processed.pop_front().unwrap());
+            if front.key.recv_time < horizon {
+                out.push(self.processed.pop_front().expect("front checked"));
             } else {
                 break;
             }
         }
-        committed
     }
 }
 
-impl<P, S> Default for Kp<P, S> {
+impl<S> Default for Kp<S> {
     fn default() -> Self {
         Self::new()
     }
@@ -128,22 +138,19 @@ impl<P, S> Default for Kp<P, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::EventId;
     use crate::time::VirtualTime;
 
-    fn processed(t: u64) -> Processed<(), ()> {
+    fn processed(t: u64) -> Processed<()> {
         Processed {
-            ev: Event {
-                id: EventId::new(0, t),
-                key: EventKey {
-                    recv_time: VirtualTime(t),
-                    dst: 0,
-                    tie: 0,
-                    src: 0,
-                    send_time: VirtualTime::ZERO,
-                },
-                payload: (),
+            id: EventId::new(0, t),
+            key: EventKey {
+                recv_time: VirtualTime(t),
+                dst: 0,
+                tie: 0,
+                src: 0,
+                send_time: VirtualTime::ZERO,
             },
+            slot: SlotRef::DANGLING,
             bf: Bitfield::default(),
             rng_calls: 0,
             children: Vec::new(),
@@ -155,7 +162,7 @@ mod tests {
 
     #[test]
     fn last_key_tracks_tail() {
-        let mut kp = Kp::<(), ()>::new();
+        let mut kp = Kp::<()>::new();
         assert_eq!(kp.last_key(), None);
         kp.record(processed(1));
         kp.record(processed(5));
@@ -164,14 +171,14 @@ mod tests {
 
     #[test]
     fn rollback_pops_newest_first_down_to_bound() {
-        let mut kp = Kp::<(), ()>::new();
+        let mut kp = Kp::<()>::new();
         for t in [1, 3, 5, 7, 9] {
             kp.record(processed(t));
         }
-        let bound = processed(5).ev.key;
+        let bound = processed(5).key;
         let mut popped = Vec::new();
         while let Some(p) = kp.pop_if_at_or_after(bound) {
-            popped.push(p.ev.key.recv_time.0);
+            popped.push(p.key.recv_time.0);
         }
         assert_eq!(popped, vec![9, 7, 5]);
         assert_eq!(kp.last_key().unwrap().recv_time, VirtualTime(3));
@@ -180,11 +187,11 @@ mod tests {
 
     #[test]
     fn contains_checks_only_the_rollback_suffix() {
-        let mut kp = Kp::<(), ()>::new();
+        let mut kp = Kp::<()>::new();
         for t in [1, 3, 5, 7] {
             kp.record(processed(t));
         }
-        let bound = processed(5).ev.key;
+        let bound = processed(5).key;
         assert!(kp.contains_at_or_after(EventId::new(0, 5), bound));
         assert!(kp.contains_at_or_after(EventId::new(0, 7), bound));
         // Event 3 was processed before the bound: a rollback to `bound`
@@ -195,16 +202,19 @@ mod tests {
 
     #[test]
     fn fossil_collect_commits_prefix_only() {
-        let mut kp = Kp::<(), ()>::new();
+        let mut kp = Kp::<()>::new();
         for t in [1, 3, 5, 7] {
             kp.record(processed(t));
         }
-        let committed = kp.fossil_collect(VirtualTime(5));
-        let times: Vec<u64> = committed.iter().map(|p| p.ev.key.recv_time.0).collect();
+        let mut committed = Vec::new();
+        kp.fossil_collect_into(VirtualTime(5), &mut committed);
+        let times: Vec<u64> = committed.iter().map(|p| p.key.recv_time.0).collect();
         assert_eq!(times, vec![1, 3]);
         assert_eq!(kp.processed.len(), 2);
-        // Collect the rest with an infinite horizon.
-        assert_eq!(kp.fossil_collect(VirtualTime::INFINITY).len(), 2);
+        // Collect the rest with an infinite horizon; the scratch vector
+        // accumulates across calls (the kernel drains it per KP).
+        kp.fossil_collect_into(VirtualTime::INFINITY, &mut committed);
+        assert_eq!(committed.len(), 4);
         assert!(kp.processed.is_empty());
     }
 }

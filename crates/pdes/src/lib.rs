@@ -91,6 +91,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(clippy::undocumented_unsafe_blocks)]
 
+pub mod arena;
 pub mod audit;
 pub mod ckpt;
 mod comm;
@@ -98,6 +99,7 @@ pub mod config;
 pub mod error;
 pub mod event;
 pub mod fault;
+mod hash;
 pub mod kp;
 pub mod mapping;
 pub mod model;
@@ -113,12 +115,13 @@ pub mod time;
 
 /// One-stop imports for writing and running models.
 pub mod prelude {
+    pub use crate::arena::{EventArena, SlotRef};
     pub use crate::audit::{AuditCheck, AuditHasher, AuditViolation};
     pub use crate::ckpt::{
         list_snapshots, read_snapshot, supervise, CkptError, CkptReader, CkptWriter,
         RecoveryReport, Snapshot, SupervisorPolicy,
     };
-    pub use crate::config::EngineConfig;
+    pub use crate::config::{EngineConfig, GvtMode};
     pub use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
     pub use crate::event::{Bitfield, KpId, LpId, PeId};
     pub use crate::fault::FaultPlan;

@@ -943,6 +943,8 @@ struct EnvOverrides {
     prof_shift: Option<u32>,
     packet_trace: Option<usize>,
     audit: Option<bool>,
+    audit_probe: Option<bool>,
+    gvt: Option<crate::config::GvtMode>,
     ckpt: Option<u64>,
     ckpt_dir: Option<std::path::PathBuf>,
 }
@@ -964,6 +966,36 @@ fn parse_env_bool(name: &str, val: &str) -> Option<bool> {
         "0" | "false" => Some(false),
         _ => {
             warn_env(name, val, "1/true/0/false");
+            None
+        }
+    }
+}
+
+/// `PDES_AUDIT` value: the strict booleans plus `fast`, which enables the
+/// auditor but skips the reverse-replay probe. Returns
+/// `(audit, audit_probe)`; anything else warns and yields `None`.
+fn parse_env_audit(name: &str, val: &str) -> Option<(bool, bool)> {
+    match val {
+        "1" | "true" => Some((true, true)),
+        "0" | "false" => Some((false, true)),
+        "fast" => Some((true, false)),
+        _ => {
+            warn_env(name, val, "1/true/0/false/fast");
+            None
+        }
+    }
+}
+
+/// `PDES_GVT` value: `auto`, `barrier`, or `incremental`. Anything else
+/// warns and yields `None` (caller falls back to `Auto`).
+fn parse_env_gvt(name: &str, val: &str) -> Option<crate::config::GvtMode> {
+    use crate::config::GvtMode;
+    match val {
+        "auto" => Some(GvtMode::Auto),
+        "barrier" => Some(GvtMode::Barrier),
+        "incremental" => Some(GvtMode::Incremental),
+        _ => {
+            warn_env(name, val, "auto/barrier/incremental");
             None
         }
     }
@@ -1012,7 +1044,10 @@ fn env_overrides() -> &'static EnvOverrides {
             .map(|v| v.min(u32::MAX as u64) as u32);
         let packet_trace = var("PDES_OBS_PACKET_TRACE")
             .and_then(|v| parse_env_packet_trace("PDES_OBS_PACKET_TRACE", &v));
-        let audit = var("PDES_AUDIT").and_then(|v| parse_env_bool("PDES_AUDIT", &v));
+        let audit_pair = var("PDES_AUDIT").and_then(|v| parse_env_audit("PDES_AUDIT", &v));
+        let audit = audit_pair.map(|(on, _)| on);
+        let audit_probe = audit_pair.map(|(_, probe)| probe);
+        let gvt = var("PDES_GVT").and_then(|v| parse_env_gvt("PDES_GVT", &v));
         // PDES_CKPT=N checkpoints every N GVT rounds; 0 = off (the default).
         let ckpt = var("PDES_CKPT")
             .and_then(|v| parse_env_u64("PDES_CKPT", &v))
@@ -1025,6 +1060,8 @@ fn env_overrides() -> &'static EnvOverrides {
             prof_shift,
             packet_trace,
             audit,
+            audit_probe,
+            gvt,
             ckpt,
             ckpt_dir,
         }
@@ -1036,6 +1073,20 @@ fn env_overrides() -> &'static EnvOverrides {
 /// `PDES_*` lookups), otherwise on in debug builds and off in release.
 pub(crate) fn audit_env_default() -> bool {
     env_overrides().audit.unwrap_or(cfg!(debug_assertions))
+}
+
+/// The default for
+/// [`EngineConfig::audit_probe`](crate::config::EngineConfig::audit_probe):
+/// off when `PDES_AUDIT=fast`, otherwise on.
+pub(crate) fn audit_probe_env_default() -> bool {
+    env_overrides().audit_probe.unwrap_or(true)
+}
+
+/// The default for
+/// [`EngineConfig::gvt_mode`](crate::config::EngineConfig::gvt_mode):
+/// `PDES_GVT=auto|barrier|incremental` when set, otherwise `Auto`.
+pub(crate) fn gvt_mode_env_default() -> crate::config::GvtMode {
+    env_overrides().gvt.unwrap_or_default()
 }
 
 /// The default for
@@ -1328,6 +1379,24 @@ mod tests {
         assert_eq!(parse_env_bool("PDES_AUDIT", "yes"), None);
         assert_eq!(parse_env_bool("PDES_OBS_PROF", "TRUE"), None);
         assert_eq!(parse_env_bool("PDES_OBS_PROF", ""), None);
+
+        // PDES_AUDIT is tri-state: booleans plus "fast" (audit on, probe off).
+        assert_eq!(parse_env_audit("PDES_AUDIT", "1"), Some((true, true)));
+        assert_eq!(parse_env_audit("PDES_AUDIT", "false"), Some((false, true)));
+        assert_eq!(parse_env_audit("PDES_AUDIT", "fast"), Some((true, false)));
+        assert_eq!(parse_env_audit("PDES_AUDIT", "quick"), None);
+
+        // PDES_GVT: protocol names only.
+        {
+            use crate::config::GvtMode;
+            assert_eq!(parse_env_gvt("PDES_GVT", "auto"), Some(GvtMode::Auto));
+            assert_eq!(parse_env_gvt("PDES_GVT", "barrier"), Some(GvtMode::Barrier));
+            assert_eq!(
+                parse_env_gvt("PDES_GVT", "incremental"),
+                Some(GvtMode::Incremental)
+            );
+            assert_eq!(parse_env_gvt("PDES_GVT", "Incremental"), None);
+        }
 
         // Integers: digits only.
         assert_eq!(parse_env_u64("PDES_CKPT", "8"), Some(8));

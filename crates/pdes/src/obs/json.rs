@@ -337,7 +337,7 @@ mod tests {
             rollbacks: 5,
             pool_hits: 90,
             pool_misses: 10,
-            phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
             checkpoints_written: 2,
             checkpoint_bytes: 4096,
         };
@@ -346,7 +346,7 @@ mod tests {
         assert!(line.contains("\"round\":7"));
         assert!(line.contains("\"lvt\":6000000"));
         assert!(line.contains("\"pool_misses\":10"));
-        assert!(line.contains("\"phase_ns\":[1,2,3,4,5,6,7,8,9]"));
+        assert!(line.contains("\"phase_ns\":[1,2,3,4,5,6,7,8,9,10]"));
         assert!(line.contains("\"checkpoints_written\":2"));
         assert!(line.contains("\"checkpoint_bytes\":4096"));
         assert!(!line.contains('\n'));

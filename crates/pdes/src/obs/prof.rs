@@ -54,10 +54,13 @@ pub enum Phase {
     GvtWait,
     /// One fossil-collection sweep (commit + reclaim below GVT).
     Fossil,
+    /// One incremental-GVT participation: flush, full drain, publish the
+    /// local minimum (no barrier; see the parallel-kernel docs).
+    GvtReduce,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = Phase::Fossil as usize + 1;
+pub const N_PHASES: usize = Phase::GvtReduce as usize + 1;
 
 /// Log2 duration buckets per histogram; bucket 39 holds everything at or
 /// above `2^39` ns (~9 minutes).
@@ -75,6 +78,7 @@ impl Phase {
         Phase::CommDrain,
         Phase::GvtWait,
         Phase::Fossil,
+        Phase::GvtReduce,
     ];
 
     /// Stable snake_case name (used by the exporters and the JSON summary).
@@ -89,13 +93,14 @@ impl Phase {
             Phase::CommDrain => "comm_drain",
             Phase::GvtWait => "gvt_wait",
             Phase::Fossil => "fossil",
+            Phase::GvtReduce => "gvt_reduce",
         }
     }
 
     /// Hot phases fire per event (or per message) and are stride-sampled;
     /// cold phases fire per GVT round and are always timed.
     pub fn is_hot(self) -> bool {
-        !matches!(self, Phase::GvtWait | Phase::Fossil)
+        !matches!(self, Phase::GvtWait | Phase::Fossil | Phase::GvtReduce)
     }
 }
 

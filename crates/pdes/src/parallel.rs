@@ -102,12 +102,13 @@
 //! when the progress line is on), so enabling it never perturbs committed
 //! output — the determinism suites run at maximum verbosity.
 
-use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use crate::arena::{EventArena, SlotRef};
 use crate::audit::{
     event_fingerprint, lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation,
 };
@@ -115,8 +116,11 @@ use crate::ckpt::{CkptPart, CkptWriter, EventRecord, LpRecord, RestoredRun, Snap
 use crate::comm::{Batch, CommFabric};
 use crate::config::EngineConfig;
 use crate::error::{decode_payload, FailureCause, PeDiagnostics, RunDiagnostics, RunError};
-use crate::event::{Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, Remote};
+use crate::event::{
+    Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, QueueEntry, Remote,
+};
 use crate::fault::FaultState;
+use crate::hash::{FastMap, FastSet};
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
@@ -127,7 +131,7 @@ use crate::pool::VecPool;
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::scheduler::EventQueue;
 use crate::stats::{EngineStats, RunResult};
-use crate::sync::AbortableBarrier;
+use crate::sync::{AbortableBarrier, CachePadded};
 use crate::time::VirtualTime;
 
 /// Consecutive idle polls before an idle PE forces a GVT round (drives
@@ -204,6 +208,17 @@ struct Shared<P> {
     /// all of them to assemble and write the snapshot. Touched only inside
     /// the barriered checkpoint protocol, never on the hot path.
     ckpt_parts: Mutex<Vec<Option<CkptPart>>>,
+    /// Incremental-GVT epoch counter, bumped by PE 0 to open a reduction
+    /// round (Mattern-style two-cut). A PE observing `epoch` past its own
+    /// `inc_round` participates asynchronously — no barrier.
+    epoch: AtomicU64,
+    /// Per-PE published minimum for the open incremental epoch (ticks):
+    /// `min(pending queue, fault-held messages, sends since last report)`.
+    inc_reports: Vec<CachePadded<AtomicU64>>,
+    /// Epoch each PE's report corresponds to; PE 0 closes the round once
+    /// every slot reaches the current epoch (release/acquire pairs with the
+    /// report store).
+    inc_report_rounds: Vec<CachePadded<AtomicU64>>,
 }
 
 impl<P> Shared<P> {
@@ -245,8 +260,12 @@ struct PeRuntime<'a, M: Model> {
     /// Global ids of owned LPs.
     my_lps: Vec<LpId>,
     /// Owned KPs.
-    kps: Vec<Kp<M::Payload, M::State>>,
-    queue: Box<dyn EventQueue<M::Payload>>,
+    kps: Vec<Kp<M::State>>,
+    queue: Box<dyn EventQueue>,
+    /// Arena holding every live event payload on this PE (pending or
+    /// processed-but-uncommitted); the scheduler and KP lists carry only
+    /// [`QueueEntry`]/[`SlotRef`] handles into it.
+    arena: EventArena<M::Payload>,
     next_seq: u64,
     emit_buf: Vec<Emit<M::Payload>>,
     bf: Bitfield,
@@ -289,17 +308,38 @@ struct PeRuntime<'a, M: Model> {
     /// Recycles the per-event `children` vectors across
     /// commit/fossil-collection and rollback.
     child_pool: VecPool<ChildRef>,
-    /// Scratch buffer reused by `drain_inbox`.
+    /// Scratch buffer reused by the fault-filtered drain path.
     pending_buf: Vec<Remote<M::Payload>>,
+    /// Scratch batch headers reused by the zero-copy drain path (whole
+    /// batches land here straight from the rings; messages are applied in
+    /// place and the emptied vectors recycle through `msg_pool`).
+    batch_bufs: Vec<Batch<M::Payload>>,
+    /// Scratch vectors reused by batched fossil collection (committed
+    /// events per KP, and their arena slots freed in one run).
+    fossil_scratch: Vec<Processed<M::State>>,
+    fossil_slots: Vec<SlotRef>,
+    /// Minimum receive time (ticks) over every remote message sent since
+    /// this PE's last incremental-GVT report — the "messages possibly still
+    /// in flight" half of the two-cut reduction. Reset to `u64::MAX` at
+    /// each report. Maintained unconditionally (one branchless `min` per
+    /// remote send); only the incremental protocol reads it.
+    send_min: u64,
+    /// Last incremental epoch this PE participated in.
+    inc_round: u64,
+    /// PE 0 only: whether an incremental reduction round is currently open.
+    inc_open: bool,
+    /// Resolved GVT protocol for this run (see
+    /// [`EngineConfig::gvt_mode`](crate::config::EngineConfig::gvt_mode)).
+    use_barrier_gvt: bool,
     /// Ids of remote positives/antis already delivered once — consulted only
     /// under fault injection, where the chaos layer can deliver twice.
     /// Cleared at every GVT quiescence (no copy can be outstanding then).
-    seen_pos: HashSet<EventId>,
-    seen_anti: HashSet<EventId>,
+    seen_pos: FastSet<EventId>,
+    seen_anti: FastSet<EventId>,
     /// Anti-messages that arrived before their positive (possible only under
     /// fault-injected reordering/delay), keyed by target id. The positive is
     /// annihilated on arrival. Must be empty at every GVT quiescence.
-    early_antis: HashMap<EventId, ChildRef>,
+    early_antis: FastMap<EventId, ChildRef>,
     /// Reversibility auditor (see [`audit`](crate::audit)); `None` = off.
     audit: Option<AuditState>,
     /// Scratch emission buffer for the auditor's reverse-replay probe (the
@@ -400,7 +440,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         &mut self,
         li: usize,
         lp: LpId,
-        ev: &mut Event<M::Payload>,
+        entry: &QueueEntry,
         before: u64,
     ) -> Result<(), AuditViolation> {
         let mut probe_out = std::mem::take(&mut self.probe_buf);
@@ -409,29 +449,32 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let rng_before = self.slots[li].rng.call_count();
         {
             let slot = &mut self.slots[li];
+            let payload = self.arena.get_mut(entry.slot);
             let mut ctx = EventCtx {
                 lp,
-                src: ev.key.src,
-                now: ev.key.recv_time,
-                send_time: ev.key.send_time,
+                src: entry.key.src,
+                now: entry.key.recv_time,
+                send_time: entry.key.send_time,
                 bf: &mut bf,
                 rng: &mut slot.rng,
                 out: &mut probe_out,
                 obs: None,
                 trace: None,
             };
-            self.model
-                .handle(&mut slot.state, &mut ev.payload, &mut ctx);
+            self.model.handle(&mut slot.state, payload, &mut ctx);
         }
         probe_out.clear();
         let rng_calls = self.slots[li].rng.call_count() - rng_before;
         let rctx = ReverseCtx {
             lp,
-            now: ev.key.recv_time,
+            now: entry.key.recv_time,
             bf,
         };
-        self.model
-            .reverse(&mut self.slots[li].state, &mut ev.payload, &rctx);
+        {
+            let slot = &mut self.slots[li];
+            let payload = self.arena.get_mut(entry.slot);
+            self.model.reverse(&mut slot.state, payload, &rctx);
+        }
         self.slots[li].rng.reverse_n(rng_calls);
         self.probe_buf = probe_out;
         let after = self.audit_lp_fingerprint(li, lp);
@@ -439,8 +482,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             return Err(AuditViolation {
                 pe: self.id,
                 lp: Some(lp),
-                id: Some(ev.id),
-                key: Some(ev.key),
+                id: Some(entry.id),
+                key: Some(entry.key),
                 check: AuditCheck::ReverseReplay,
                 detail: format!(
                     "handle+reverse left LP fingerprint {after:#018x}, expected {before:#018x} \
@@ -451,14 +494,43 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         Ok(())
     }
 
+    /// Move one payload into the arena, surfacing exhaustion as the
+    /// structured run failure (first failure wins, barrier aborted) instead
+    /// of a panic.
+    #[inline]
+    fn insert_arena(&mut self, payload: M::Payload) -> Result<SlotRef, Halt> {
+        match self.arena.insert(payload) {
+            Ok(slot) => Ok(slot),
+            Err(full) => {
+                self.shared.fail(FailureCause::ArenaExhausted {
+                    pe: self.id,
+                    capacity: full.capacity,
+                });
+                Err(Halt)
+            }
+        }
+    }
+
     /// Main optimistic loop. Returns `Ok` when GVT passes the horizon, `Err`
-    /// when the run was aborted by a failure on any PE.
+    /// when the run was aborted by a failure on any PE. Dispatches to the
+    /// barriered or incremental GVT protocol resolved at startup; both
+    /// commit the identical event order.
     fn run(&mut self) -> Result<(), Halt> {
+        if self.use_barrier_gvt {
+            self.run_barriered()
+        } else {
+            self.run_incremental()
+        }
+    }
+
+    /// Main loop under the classic barriered GVT protocol (required for
+    /// checkpoint frames; see [`gvt_round`](Self::gvt_round)).
+    fn run_barriered(&mut self) -> Result<(), Halt> {
         loop {
             if self.shared.barrier.is_aborted() {
                 return Err(Halt);
             }
-            self.drain_inbox(true);
+            self.drain_inbox(true)?;
             // Draining can roll back and buffer anti-messages; publish them
             // (and any leftovers from the previous execute batch) now.
             self.flush_out_bufs();
@@ -488,27 +560,215 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 continue;
             }
             self.idle_polls = 0;
-            for _ in 0..self.config.batch {
-                if !self.has_executable() {
-                    break;
-                }
-                let t0 = self.profiler.begin(Phase::SchedPop);
-                let ev = self.queue.pop().expect("peeked executable event must pop");
-                self.profiler.end(Phase::SchedPop, t0);
-                if let Some(a) = self.audit.as_mut() {
-                    a.toggle_sched(ev.id, &ev.key);
-                }
-                obs!(self, ObsKind::Execute, ev.id, ev.key);
-                self.execute(ev);
-                // A violation detected mid-batch aborts the barrier; stop
-                // executing promptly instead of finishing the batch.
-                if self.audit.is_some() && self.shared.barrier.is_aborted() {
-                    return Err(Halt);
-                }
-            }
+            self.execute_batch()?;
             // End-of-batch boundary: everything buffered becomes visible.
             self.flush_out_bufs();
         }
+    }
+
+    /// Pop and execute up to one batch of locally minimal events.
+    fn execute_batch(&mut self) -> Result<(), Halt> {
+        for _ in 0..self.config.batch {
+            if !self.has_executable() {
+                break;
+            }
+            let t0 = self.profiler.begin(Phase::SchedPop);
+            let entry = self.queue.pop().expect("peeked executable event must pop");
+            self.profiler.end(Phase::SchedPop, t0);
+            if let Some(a) = self.audit.as_mut() {
+                a.toggle_sched(entry.id, &entry.key);
+            }
+            obs!(self, ObsKind::Execute, entry.id, entry.key);
+            self.execute(entry)?;
+            // A violation detected mid-batch aborts the barrier; stop
+            // executing promptly instead of finishing the batch.
+            if self.audit.is_some() && self.shared.barrier.is_aborted() {
+                return Err(Halt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Main loop under the barrier-light incremental GVT protocol.
+    ///
+    /// Rounds are *epochs*: PE 0 opens one by bumping [`Shared::epoch`];
+    /// every PE participates asynchronously at its next loop boundary
+    /// ([`inc_participate`](Self::inc_participate)) and keeps executing —
+    /// nobody rendezvouses, nobody settles the machine to quiescence. PE 0
+    /// closes the round once every report has landed and publishes the new
+    /// GVT as the min of the reports.
+    ///
+    /// Correctness is the Mattern two-cut argument: a PE's report
+    /// lower-bounds (a) everything it will execute (its queue minimum after
+    /// a full inbox drain), (b) every fault-held message, and (c) every
+    /// message it sent since its *previous* report (`send_min`). Any message
+    /// in flight when the round closes was sent either before the sender's
+    /// report — then it was drained before some receiver's report, or is
+    /// covered by (c) — or after it, in which case its receive time is
+    /// bounded below by the sender's own report. The min over all reports
+    /// therefore lower-bounds every live or in-flight event, so committing
+    /// and fossil-collecting below it is safe.
+    fn run_incremental(&mut self) -> Result<(), Halt> {
+        loop {
+            if self.shared.barrier.is_aborted() {
+                return Err(Halt);
+            }
+            self.drain_inbox(true)?;
+            self.flush_out_bufs();
+            if self.id == 0 {
+                self.inc_lead()?;
+            }
+            let epoch = self.shared.epoch.load(Acquire);
+            if epoch > self.inc_round {
+                self.inc_participate(epoch)?;
+            }
+            let gvt = self.shared.gvt.load(SeqCst);
+            if gvt >= self.config.end_time.0 {
+                return self.finish_incremental(gvt);
+            }
+            if self.since_gvt >= self.config.gvt_interval
+                || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER)
+            {
+                // Ask PE 0 to open the next epoch (idempotent).
+                self.shared.gvt_flag.store(true, SeqCst);
+            }
+            if !self.has_executable() {
+                self.idle_polls += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            self.idle_polls = 0;
+            self.execute_batch()?;
+            self.flush_out_bufs();
+        }
+    }
+
+    /// PE 0's incremental-GVT bookkeeping, run once per loop iteration:
+    /// close the open round if every report landed (publishing the new GVT,
+    /// monotone under `max`), else open a round if one was requested.
+    fn inc_lead(&mut self) -> Result<(), Halt> {
+        if self.inc_open {
+            let epoch = self.shared.epoch.load(Acquire);
+            let all_in = self
+                .shared
+                .inc_report_rounds
+                .iter()
+                .all(|r| r.0.load(Acquire) == epoch);
+            if all_in {
+                let m = self
+                    .shared
+                    .inc_reports
+                    .iter()
+                    .map(|r| r.0.load(Relaxed))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                // `max`: a report can be conservative (stale send_min), and
+                // published GVT must never move backwards.
+                let gvt = self.shared.gvt.load(SeqCst).max(m);
+                self.shared.gvt.store(gvt, SeqCst);
+                self.inc_open = false;
+                self.shared.gvt_flag.store(false, SeqCst);
+                if gvt < self.config.end_time.0 {
+                    self.watchdog(gvt)?;
+                }
+                self.progress_line(gvt);
+            } else if let Some(deadline) = self.config.deadline {
+                // The round-count watchdog only runs on close; keep the
+                // wall-clock deadline armed while a round is pending.
+                let elapsed = self.start_time.elapsed();
+                if elapsed >= deadline {
+                    self.shared.fail(FailureCause::DeadlineExpired {
+                        gvt: self.shared.gvt.load(SeqCst),
+                        rounds: self.stall_rounds,
+                        elapsed,
+                    });
+                    return Err(Halt);
+                }
+            }
+        } else if self.shared.gvt_flag.load(SeqCst) {
+            self.shared.epoch.fetch_add(1, Release);
+            self.inc_open = true;
+        }
+        Ok(())
+    }
+
+    /// One incremental-GVT participation: flush, drain the inbox dry, flush
+    /// the resulting cancellations, then publish
+    /// `min(queue head, fault-held messages, sends since last report)` for
+    /// `epoch` — and piggy-back the per-round maintenance (fossil collection
+    /// at the currently published GVT, scheduler audit, telemetry sample)
+    /// that the barriered protocol does inside its round.
+    fn inc_participate(&mut self, epoch: u64) -> Result<(), Halt> {
+        let t0 = self.profiler.begin(Phase::GvtReduce);
+        self.flush_out_bufs();
+        self.drain_inbox(true)?;
+        self.flush_out_bufs();
+        let queue_min = self.queue.peek_key().map_or(u64::MAX, |k| k.recv_time.0);
+        let held_min = self.faults.as_ref().map_or(u64::MAX, |f| f.held_min());
+        let report = queue_min.min(held_min).min(self.send_min);
+        self.send_min = u64::MAX;
+        // Telemetry surface: `lvt` in RoundSnapshot reads local_mins.
+        self.shared.local_mins[self.id].store(report, SeqCst);
+        self.shared.inc_reports[self.id].0.store(report, Relaxed);
+        // Release-pairs with PE 0's acquire load in `inc_lead`: everything
+        // this PE sent before the report is in a ring (or counted in the
+        // report) by the time PE 0 sees the round as complete.
+        self.shared.inc_report_rounds[self.id]
+            .0
+            .store(epoch, Release);
+        self.profiler.end(Phase::GvtReduce, t0);
+        self.stats.gvt_rounds += 1;
+        self.round += 1;
+
+        let gvt = self.shared.gvt.load(SeqCst);
+        let t0 = self.profiler.begin(Phase::Fossil);
+        self.fossil_collect(VirtualTime(gvt));
+        self.profiler.end(Phase::Fossil, t0);
+        // Scheduler-integrity audit: queue contents vs the push/pop mirror.
+        // (Unlike the barriered round the machine is not quiescent, but the
+        // mirror is PE-local and the queue is stable between events.)
+        let sched_check = self.audit.as_ref().map(|a| {
+            a.check_scheduler(
+                self.id,
+                self.queue.audit_digest(),
+                self.queue.check_invariants(),
+            )
+        });
+        if let Some(Err(v)) = sched_check {
+            self.audit_violation(v);
+            return Err(Halt);
+        }
+        self.sample_round(gvt);
+        self.since_gvt = 0;
+        self.idle_polls = 0;
+        self.inc_round = epoch;
+        Ok(())
+    }
+
+    /// Termination path of the incremental protocol: GVT passed the
+    /// horizon, so commit everything still uncommitted, absorb any
+    /// straggling early anti-messages (possible only under fault-injected
+    /// delay), and run the end-of-run conservation audit.
+    fn finish_incremental(&mut self, gvt: u64) -> Result<(), Halt> {
+        let t0 = self.profiler.begin(Phase::Fossil);
+        self.fossil_collect(VirtualTime(gvt));
+        self.profiler.end(Phase::Fossil, t0);
+        // Under chaos the positive matching a parked anti can still be in a
+        // ring or held back; drain verbatim until the pair annihilates.
+        while !self.early_antis.is_empty() {
+            if self.shared.barrier.is_aborted() {
+                return Err(Halt);
+            }
+            self.flush_out_bufs();
+            self.drain_inbox(false)?;
+            std::thread::yield_now();
+        }
+        let end_check = self.audit.as_ref().map(|a| a.finish(self.id));
+        if let Some(Err(v)) = end_check {
+            self.audit_violation(v);
+            return Err(Halt);
+        }
+        Ok(())
     }
 
     /// Queue one message for a remote PE: count it as sent (GVT's in-flight
@@ -517,6 +777,14 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// flush the buffer if it reached the batching threshold.
     #[inline]
     fn send_remote(&mut self, pe: PeId, msg: Remote<M::Payload>) {
+        // Two-cut accounting for the incremental GVT protocol: this send may
+        // still be in flight at the next report, so fold its receive time
+        // into the window minimum.
+        let recv = match &msg {
+            Remote::Positive(ev) => ev.key.recv_time.0,
+            Remote::Anti(c) => c.key.recv_time.0,
+        };
+        self.send_min = self.send_min.min(recv);
         self.shared.sent.fetch_add(1, SeqCst);
         let buf = &mut self.out_bufs[pe];
         buf.push(msg);
@@ -574,9 +842,62 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// layer's held-back messages — is delivered verbatim, so quiescence
     /// always sees a fully flushed machine and GVT can never pass a delayed
     /// message.
-    fn drain_inbox(&mut self, chaos: bool) {
+    ///
+    /// Fault-free runs take the zero-copy path: whole batches move from the
+    /// rings as `Vec` headers and messages are applied straight out of them
+    /// — no intermediate copy into a flat scratch buffer.
+    fn drain_inbox(&mut self, chaos: bool) -> Result<(), Halt> {
+        if self.faults.is_some() {
+            self.drain_inbox_filtered(chaos)
+        } else {
+            self.drain_inbox_batches()
+        }
+    }
+
+    /// Zero-copy drain: land whole batches, apply each message in place,
+    /// recycle the emptied vectors through the message pool.
+    fn drain_inbox_batches(&mut self) -> Result<(), Halt> {
+        let mut batches = std::mem::take(&mut self.batch_bufs);
+        debug_assert!(batches.is_empty());
+        let mut outcome = Ok(());
+        'drain: loop {
+            let t0 = self.profiler.begin(Phase::CommDrain);
+            let n = self.shared.fabric.drain_batches(self.id, &mut batches);
+            self.profiler.end(Phase::CommDrain, t0);
+            if n > 0 {
+                self.shared.received.fetch_add(n, SeqCst);
+            }
+            if batches.is_empty() {
+                break;
+            }
+            for mut batch in batches.drain(..) {
+                for msg in batch.drain(..) {
+                    if outcome.is_ok() {
+                        outcome = self.apply_remote(msg);
+                    }
+                }
+                self.msg_pool.put(batch);
+                if outcome.is_err() {
+                    break 'drain;
+                }
+            }
+            // Rollbacks triggered above may have buffered anti-messages;
+            // publish them before the next pass so cancellation cascades
+            // propagate one drain per hop.
+            self.flush_out_bufs();
+        }
+        batches.clear();
+        self.batch_bufs = batches;
+        outcome
+    }
+
+    /// Fault-filtered drain (chaos runs only): messages are flattened into
+    /// a scratch buffer so the filter can hold back, duplicate, and shuffle
+    /// across batch boundaries.
+    fn drain_inbox_filtered(&mut self, chaos: bool) -> Result<(), Halt> {
         let mut pending = std::mem::take(&mut self.pending_buf);
         debug_assert!(pending.is_empty());
+        let mut outcome = Ok(());
         if let Some(faults) = self.faults.as_mut() {
             faults.take_holdback(&mut pending);
         }
@@ -613,73 +934,86 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             };
             pending = self.msg_pool.get();
             for msg in deliver.drain(..) {
-                self.apply_remote(msg);
+                if outcome.is_ok() {
+                    outcome = self.apply_remote(msg);
+                }
             }
             self.msg_pool.put(deliver);
-            // Rollbacks triggered above may have buffered anti-messages;
-            // publish them before the next pass so cancellation cascades
-            // propagate one drain per hop (the GVT quiescence loop's
-            // convergence speed depends on this).
+            if outcome.is_err() {
+                break;
+            }
+            // Publish buffered anti-messages between passes (cascade
+            // propagation; the GVT settle loop's convergence depends on it).
             self.flush_out_bufs();
         }
+        pending.clear();
         self.pending_buf = pending;
+        outcome
     }
 
-    /// Apply one message from the inter-PE boundary.
-    fn apply_remote(&mut self, msg: Remote<M::Payload>) {
+    /// Apply one message from the inter-PE boundary. Positives land their
+    /// payload in the arena (the only copy the kernel ever makes of a
+    /// delivered payload); fails only on arena exhaustion.
+    fn apply_remote(&mut self, msg: Remote<M::Payload>) -> Result<(), Halt> {
         match msg {
             Remote::Positive(ev) => {
                 if self.faults.is_some() && !self.seen_pos.insert(ev.id) {
                     // Chaos-injected duplicate delivery: absorb by id.
                     self.stats.duplicates_dropped += 1;
                     obs!(self, ObsKind::DropDuplicate, ev.id, ev.key);
-                    return;
+                    return Ok(());
                 }
                 if self.early_antis.remove(&ev.id).is_some() {
                     // Its anti-message got here first: they annihilate.
                     self.stats.early_annihilations += 1;
                     obs!(self, ObsKind::AnnihilateEarly, ev.id, ev.key);
-                    return;
+                    return Ok(());
                 }
-                self.enqueue_positive(ev);
+                let slot = self.insert_arena(ev.payload)?;
+                self.enqueue_positive(QueueEntry {
+                    key: ev.key,
+                    id: ev.id,
+                    slot,
+                });
             }
             Remote::Anti(child) => {
                 if self.faults.is_some() && !self.seen_anti.insert(child.id) {
                     self.stats.duplicates_dropped += 1;
                     obs!(self, ObsKind::DropDuplicate, child.id, child.key);
-                    return;
+                    return Ok(());
                 }
                 self.cancel_local(child);
             }
         }
+        Ok(())
     }
 
-    /// Insert a positive event, rolling its KP back first if it is a
-    /// straggler (primary rollback).
-    fn enqueue_positive(&mut self, ev: Event<M::Payload>) {
-        let kp_idx = self.local_kp_idx(ev.dst());
-        obs!(self, ObsKind::Enqueue, ev.id, ev.key);
+    /// Insert a positive event (payload already in the arena), rolling its
+    /// KP back first if it is a straggler (primary rollback).
+    fn enqueue_positive(&mut self, entry: QueueEntry) {
+        let kp_idx = self.local_kp_idx(entry.key.dst);
+        obs!(self, ObsKind::Enqueue, entry.id, entry.key);
         if let Some(last) = self.kps[kp_idx].last_key() {
             // Equality is possible: a not-yet-cancelled stale twin of this
             // event may already be processed (see module docs on transient
             // duplicates); only a strictly earlier key is a straggler.
-            if ev.key < last {
+            if entry.key < last {
                 self.stats.primary_rollbacks += 1;
                 obs!(
                     self,
                     ObsKind::PrimaryRollback,
-                    ev.id,
-                    ev.key,
-                    ev.key.recv_time.0
+                    entry.id,
+                    entry.key,
+                    entry.key.recv_time.0
                 );
-                self.rollback(kp_idx, ev.key, None);
+                self.rollback(kp_idx, entry.key, None);
             }
         }
         if let Some(a) = self.audit.as_mut() {
-            a.toggle_sched(ev.id, &ev.key);
+            a.toggle_sched(entry.id, &entry.key);
         }
         let t0 = self.profiler.begin(Phase::SchedPush);
-        self.queue.push(ev);
+        self.queue.push(entry);
         self.profiler.end(Phase::SchedPush, t0);
     }
 
@@ -688,7 +1022,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// been delivered yet, which only fault-injected reordering/delay can
     /// arrange — park the anti to annihilate the positive on arrival.
     fn cancel_local(&mut self, child: ChildRef) {
-        if self.queue.remove(child.id, child.key) {
+        if let Some(slot) = self.queue.remove(child.id, child.key) {
+            let _ = self.arena.free(slot);
             if let Some(a) = self.audit.as_mut() {
                 a.toggle_sched(child.id, &child.key);
             }
@@ -720,7 +1055,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // the tracer's unwind must mirror the pop order exactly.
             self.tracer.unwind(kp_idx, p.n_trace);
             // Cancel everything this execution scheduled.
-            obs!(self, ObsKind::RollbackPop, p.ev.id, p.ev.key);
+            obs!(self, ObsKind::RollbackPop, p.id, p.key);
             let mut children = std::mem::take(&mut p.children);
             for child in children.drain(..) {
                 self.cancel(child);
@@ -728,8 +1063,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.child_pool.put(children);
             // Undo the execution: restore the pre-event snapshot (state
             // saving) or reverse-execute and un-step the RNG (reverse
-            // computation).
-            let lp = p.ev.dst();
+            // computation). The payload stays in its arena slot throughout.
+            let lp = p.key.dst;
             let li = self.local_lp_idx(lp);
             let t0 = self.profiler.begin(Phase::Reverse);
             if let Some((state, rng)) = p.snapshot.take() {
@@ -738,11 +1073,12 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             } else {
                 let rctx = ReverseCtx {
                     lp,
-                    now: p.ev.recv_time(),
+                    now: p.key.recv_time,
                     bf: p.bf,
                 };
-                self.model
-                    .reverse(&mut self.slots[li].state, &mut p.ev.payload, &rctx);
+                let slot = &mut self.slots[li];
+                let payload = self.arena.get_mut(p.slot);
+                self.model.reverse(&mut slot.state, payload, &rctx);
                 self.slots[li].rng.reverse_n(p.rng_calls);
             }
             self.profiler.end(Phase::Reverse, t0);
@@ -754,8 +1090,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                     self.audit_violation(AuditViolation {
                         pe: self.id,
                         lp: Some(lp),
-                        id: Some(p.ev.id),
-                        key: Some(p.ev.key),
+                        id: Some(p.id),
+                        key: Some(p.key),
                         check: AuditCheck::RollbackHash,
                         detail: format!(
                             "rollback restored LP fingerprint {h:#018x}, expected {:#018x} \
@@ -771,17 +1107,22 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // The annihilation target is identified by id, not key — a
             // transient stale twin may share the key and must be requeued,
             // not dropped.
-            if annihilate == Some(p.ev.id) {
-                obs!(self, ObsKind::Annihilate, p.ev.id, p.ev.key);
+            if annihilate == Some(p.id) {
+                obs!(self, ObsKind::Annihilate, p.id, p.key);
+                let _ = self.arena.free(p.slot);
                 target_found = true;
                 break;
             }
-            obs!(self, ObsKind::Requeue, p.ev.id, p.ev.key);
+            obs!(self, ObsKind::Requeue, p.id, p.key);
             if let Some(a) = self.audit.as_mut() {
-                a.toggle_sched(p.ev.id, &p.ev.key);
+                a.toggle_sched(p.id, &p.key);
             }
             let t0 = self.profiler.begin(Phase::SchedPush);
-            self.queue.push(p.ev);
+            self.queue.push(QueueEntry {
+                key: p.key,
+                id: p.id,
+                slot: p.slot,
+            });
             self.profiler.end(Phase::SchedPush, t0);
         }
         // `cancel_local` only rolls back after locating the target, so a
@@ -845,26 +1186,29 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         id
     }
 
-    /// Forward-execute one event and record it for possible rollback.
-    fn execute(&mut self, mut ev: Event<M::Payload>) {
-        let lp = ev.dst();
+    /// Forward-execute one event and record it for possible rollback. The
+    /// payload is borrowed in place from the arena — executing moves no
+    /// model bytes. Fails only on arena exhaustion while landing children.
+    fn execute(&mut self, entry: QueueEntry) -> Result<(), Halt> {
+        let lp = entry.key.dst;
         let kp_idx = self.local_kp_idx(lp);
         debug_assert!(
-            self.kps[kp_idx].last_key().is_none_or(|k| k <= ev.key),
+            self.kps[kp_idx].last_key().is_none_or(|k| k <= entry.key),
             "executing into a KP's past without rollback: kp_idx={kp_idx} last={:?} ev={:?} id={:?}",
             self.kps[kp_idx].last_key(),
-            ev.key,
-            ev.id,
+            entry.key,
+            entry.id,
         );
         let li = self.local_lp_idx(lp);
 
         // Auditor: fingerprint the LP before execution. Under reverse
         // computation also replay handle+reverse once to prove exact
-        // inversion *before* the real execution commits to anything.
+        // inversion *before* the real execution commits to anything —
+        // unless the probe is disabled (`PDES_AUDIT=fast`).
         let audit_hash = if self.audit.is_some() {
             let before = self.audit_lp_fingerprint(li, lp);
-            if self.snapshot_fn.is_none() {
-                if let Err(v) = self.probe_reverse(li, lp, &mut ev, before) {
+            if self.snapshot_fn.is_none() && self.config.audit_probe {
+                if let Err(v) = self.probe_reverse(li, lp, &entry, before) {
                     self.audit_violation(v);
                 }
             }
@@ -885,19 +1229,19 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let t0 = self.profiler.begin(Phase::Execute);
         {
             let slot = &mut self.slots[li];
+            let payload = self.arena.get_mut(entry.slot);
             let mut ctx = EventCtx {
                 lp,
-                src: ev.key.src,
-                now: ev.key.recv_time,
-                send_time: ev.key.send_time,
+                src: entry.key.src,
+                now: entry.key.recv_time,
+                send_time: entry.key.send_time,
                 bf: &mut self.bf,
                 rng: &mut slot.rng,
                 out: &mut emits,
                 obs: Some(&mut self.recorder),
                 trace: tracing.then_some(&mut self.hop_buf),
             };
-            self.model
-                .handle(&mut slot.state, &mut ev.payload, &mut ctx);
+            self.model.handle(&mut slot.state, payload, &mut ctx);
         }
         self.profiler.end(Phase::Execute, t0);
         let rng_calls = self.slots[li].rng.call_count() - rng_before;
@@ -909,15 +1253,19 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         } else {
             ObsKind::PoolHit
         };
-        obs!(self, pool_kind, ev.id, ev.key);
+        obs!(self, pool_kind, entry.id, entry.key);
+        let mut halted = Ok(());
         for emit in emits.drain(..) {
+            if halted.is_err() {
+                break;
+            }
             let id = self.alloc_event_id();
             let key = EventKey {
                 recv_time: emit.recv_time,
                 dst: emit.dst,
                 tie: emit.tie,
                 src: lp,
-                send_time: ev.key.recv_time,
+                send_time: entry.key.recv_time,
             };
             let child = ChildRef { id, key };
             children.push(child);
@@ -928,17 +1276,22 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 a.on_send(&child, lp);
             }
             obs!(self, ObsKind::Emit, id, key, emit.dst);
-            let child_ev = Event {
-                id,
-                key,
-                payload: emit.payload,
-            };
             let pe = self.flat.pe_of_lp[emit.dst as usize];
             if pe == self.id {
-                self.enqueue_positive(child_ev);
+                match self.insert_arena(emit.payload) {
+                    Ok(slot) => self.enqueue_positive(QueueEntry { key, id, slot }),
+                    Err(h) => halted = Err(h),
+                }
             } else {
                 self.stats.remote_events += 1;
-                self.send_remote(pe, Remote::Positive(child_ev));
+                self.send_remote(
+                    pe,
+                    Remote::Positive(Event {
+                        id,
+                        key,
+                        payload: emit.payload,
+                    }),
+                );
             }
         }
         self.emit_buf = emits;
@@ -947,9 +1300,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         // recurse into a rollback of this very KP (via a secondary
         // cancellation), and the tracer's deque must contain exactly the
         // hops of *recorded* processed events when that unwind runs.
-        let n_trace = self.tracer.record_exec(kp_idx, &ev.key, &mut self.hop_buf);
+        let n_trace = self
+            .tracer
+            .record_exec(kp_idx, &entry.key, &mut self.hop_buf);
         self.kps[kp_idx].record(Processed {
-            ev,
+            key: entry.key,
+            id: entry.id,
+            slot: entry.slot,
             bf: self.bf,
             rng_calls,
             children,
@@ -959,6 +1316,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         });
         self.stats.events_processed += 1;
         self.since_gvt += 1;
+        halted?;
 
         // Crash injection: a real panic on the chosen PE, contained by the
         // same `catch_unwind` as any model panic — so supervised recovery is
@@ -976,6 +1334,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 );
             }
         }
+        Ok(())
     }
 
     /// One GVT reduction round. All PEs execute this in lockstep; returns
@@ -999,7 +1358,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             let mut idle = 0u32;
             loop {
                 self.flush_out_bufs();
-                self.drain_inbox(false);
+                self.drain_inbox(false)?;
                 let now = (
                     self.shared.sent.load(SeqCst),
                     self.shared.received.load(SeqCst),
@@ -1139,7 +1498,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         // (same two-barrier agreement as the GVT reduction).
         loop {
             self.flush_out_bufs();
-            self.drain_inbox(false);
+            self.drain_inbox(false)?;
             self.bwait()?; // C2a: one flush+drain pass everywhere.
             let quiet = self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
             self.bwait()?; // C2b: counters sampled consistently.
@@ -1216,10 +1575,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// pending queue (drained and re-pushed — content unchanged, so the
     /// auditor's scheduler mirror needs no toggles).
     fn capture_part(&mut self) -> Result<CkptPart, crate::ckpt::CkptError> {
+        // One scratch writer for every record: each LP state / payload is
+        // serialized into the reused buffer, then copied out exactly-sized.
+        let mut w = CkptWriter::new();
         let mut lps = Vec::with_capacity(self.my_lps.len());
         for (li, &lp) in self.my_lps.iter().enumerate() {
             let slot = &self.slots[li];
-            let mut w = CkptWriter::new();
+            w.clear();
             self.model.save_state(lp, &slot.state, &mut w)?;
             let mut h = AuditHasher::new();
             self.model.audit_state(lp, &slot.state, &mut h);
@@ -1228,15 +1590,15 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 rng_s: slot.rng.state(),
                 rng_count: slot.rng.call_count(),
                 fingerprint: lp_fingerprint(h.finish(), &slot.rng),
-                state: w.into_bytes(),
+                state: w.as_slice().to_vec(),
             });
         }
         let mut events = Vec::with_capacity(self.queue.len());
         let mut scratch = Vec::with_capacity(self.queue.len());
         while let Some(e) = self.queue.pop() {
-            let mut w = CkptWriter::new();
-            self.model.save_payload(&e.payload, &mut w)?;
-            events.push(EventRecord::from_key(&e.key, w.into_bytes()));
+            w.clear();
+            self.model.save_payload(self.arena.get(e.slot), &mut w)?;
+            events.push(EventRecord::from_key(&e.key, w.as_slice().to_vec()));
             scratch.push(e);
         }
         for e in scratch {
@@ -1371,16 +1733,23 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         Ok(())
     }
 
-    /// Commit and reclaim all processed events older than `horizon`. The
-    /// committed events' child vectors go back to the pool instead of the
-    /// allocator — the other half of the recycling loop started in
-    /// [`execute`](Self::execute).
+    /// Commit and reclaim all processed events older than `horizon`,
+    /// batched per KP: each KP's committed run is moved into a scratch
+    /// vector in one pass and its arena slots are freed in one run —
+    /// per-round cost, not per-event. The committed events' child vectors
+    /// go back to the pool instead of the allocator — the other half of the
+    /// recycling loop started in [`execute`](Self::execute).
     fn fossil_collect(&mut self, horizon: VirtualTime) {
+        let mut batch = std::mem::take(&mut self.fossil_scratch);
+        let mut slots = std::mem::take(&mut self.fossil_slots);
         for ki in 0..self.kps.len() {
-            for p in self.kps[ki].fossil_collect(horizon) {
-                obs!(self, ObsKind::Fossil, p.ev.id, p.ev.key);
+            debug_assert!(batch.is_empty() && slots.is_empty());
+            self.kps[ki].fossil_collect_into(horizon, &mut batch);
+            for p in batch.drain(..) {
+                obs!(self, ObsKind::Fossil, p.id, p.key);
                 self.model
-                    .commit(&p.ev.payload, p.ev.dst(), p.ev.recv_time());
+                    .commit(self.arena.get(p.slot), p.key.dst, p.key.recv_time);
+                slots.push(p.slot);
                 // Fossil collection pops oldest-first, mirroring the
                 // tracer's per-KP deque: publish this event's hops to the
                 // committed lineage.
@@ -1403,7 +1772,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 }
                 self.child_pool.put(p.children);
             }
+            self.arena.free_batch(&mut slots);
         }
+        self.fossil_scratch = batch;
+        self.fossil_slots = slots;
     }
 
     /// End-of-run statistics collection over this PE's LPs.
@@ -1422,6 +1794,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     fn diagnostics(&mut self) -> PeDiagnostics {
         self.stats.pool_hits = self.msg_pool.hits + self.child_pool.hits;
         self.stats.pool_misses = self.msg_pool.misses + self.child_pool.misses;
+        self.stats.arena_peak_slots = self.arena.peak() as u64;
         self.stats.prof = self.profiler.profile().clone();
         PeDiagnostics {
             pe: self.id,
@@ -1680,6 +2053,11 @@ fn run_parallel_inner<M: Model>(
         processed: AtomicU64::new(0),
         rolled_back: AtomicU64::new(0),
         ckpt_parts: Mutex::new((0..n_pes).map(|_| None).collect()),
+        epoch: AtomicU64::new(0),
+        inc_reports: (0..n_pes)
+            .map(|_| CachePadded(AtomicU64::new(u64::MAX)))
+            .collect(),
+        inc_report_rounds: (0..n_pes).map(|_| CachePadded(AtomicU64::new(0))).collect(),
     };
 
     // Build each PE's runtime ingredients.
@@ -1687,7 +2065,10 @@ fn run_parallel_inner<M: Model>(
         slots: Vec<LpSlot<M>>,
         my_lps: Vec<LpId>,
         n_kps: usize,
-        queue: Box<dyn EventQueue<M::Payload>>,
+        queue: Box<dyn EventQueue>,
+        /// Init/frontier events owned by this PE; their payloads enter the
+        /// PE's arena on its own thread (the arena is thread-local).
+        init: Vec<Event<M::Payload>>,
     }
     let mut seeds: Vec<PeSeed<M>> = Vec::with_capacity(n_pes);
     for pe in 0..n_pes {
@@ -1703,18 +2084,19 @@ fn run_parallel_inner<M: Model>(
             slots,
             my_lps,
             n_kps: per_pe_kps[pe].len(),
-            queue: config.scheduler.build::<M::Payload>(),
+            queue: config.scheduler.build(),
+            init: Vec::new(),
         });
     }
-    // Seed each PE's queue, folding the init events into the auditor's
-    // scheduler mirror so it starts consistent with the queue contents.
+    // Partition the init events, folding them into the auditor's scheduler
+    // mirror so it starts consistent with the queue contents.
     let mut init_xors = vec![0u64; n_pes];
     for ev in init_events {
-        let pe = flat.pe_of_lp[ev.dst() as usize];
+        let pe = flat.pe_of_lp[ev.key.dst as usize];
         if config.audit {
             init_xors[pe] ^= event_fingerprint(ev.id, &ev.key);
         }
-        seeds[pe].queue.push(ev);
+        seeds[pe].init.push(ev);
     }
 
     // ---- Parallel phase. ----
@@ -1722,8 +2104,12 @@ fn run_parallel_inner<M: Model>(
     let results: Mutex<Vec<Option<PeReport<M::Output>>>> =
         Mutex::new((0..n_pes).map(|_| None).collect());
 
+    let use_barrier_gvt = config.barriered_gvt();
+    let arena_capacity = config
+        .arena_slots
+        .unwrap_or(EventArena::<M::Payload>::DEFAULT_SLOTS);
     std::thread::scope(|scope| {
-        for (pe, seed) in seeds.into_iter().enumerate() {
+        for (pe, mut seed) in seeds.into_iter().enumerate() {
             let shared = &shared;
             let flat = &flat;
             let lp_local = &lp_local;
@@ -1732,6 +2118,7 @@ fn run_parallel_inner<M: Model>(
             let init_xors = &init_xors;
             let base_stats = &base_stats;
             scope.spawn(move || {
+                let init = std::mem::take(&mut seed.init);
                 let mut rt = PeRuntime {
                     id: pe,
                     model,
@@ -1744,6 +2131,7 @@ fn run_parallel_inner<M: Model>(
                     my_lps: seed.my_lps,
                     kps: (0..seed.n_kps).map(|_| Kp::new()).collect(),
                     queue: seed.queue,
+                    arena: EventArena::new(arena_capacity),
                     next_seq: 0,
                     emit_buf: Vec::new(),
                     bf: Bitfield::default(),
@@ -1766,17 +2154,31 @@ fn run_parallel_inner<M: Model>(
                     out_bufs: (0..n_pes).map(|_| Vec::new()).collect(),
                     comm_flush: config.comm_batch.unwrap_or(usize::MAX),
                     msg_pool: VecPool::new(),
-                    child_pool: VecPool::new(),
+                    // One children vec is live per processed-uncommitted
+                    // event, so the whole optimistic window's worth comes
+                    // back in a burst at each fossil round. The default
+                    // 256-buffer cap dropped most of that burst and turned
+                    // ~40% of child-vec gets into fresh allocations; retain
+                    // the full window instead (vecs are 1-4 ChildRefs, so
+                    // even 8k of them is ~100s of KB per PE).
+                    child_pool: VecPool::with_max_retained(8192),
                     pending_buf: Vec::new(),
+                    batch_bufs: Vec::new(),
+                    fossil_scratch: Vec::new(),
+                    fossil_slots: Vec::new(),
+                    send_min: u64::MAX,
+                    inc_round: 0,
+                    inc_open: false,
+                    use_barrier_gvt,
                     audit: config.audit.then(|| {
                         let mut a = AuditState::new(config.audit_drop_anti);
                         a.sched_xor = init_xors[pe];
                         a
                     }),
                     probe_buf: Vec::new(),
-                    seen_pos: HashSet::new(),
-                    seen_anti: HashSet::new(),
-                    early_antis: HashMap::new(),
+                    seen_pos: FastSet::default(),
+                    seen_anti: FastSet::default(),
+                    early_antis: FastMap::default(),
                     start_time: start,
                     prev_gvt: u64::MAX,
                     stall_rounds: 0,
@@ -1795,6 +2197,17 @@ fn run_parallel_inner<M: Model>(
                 // record the failure, abort the barrier so every sibling
                 // unwinds, and still report diagnostics for this PE.
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<M::Output, Halt> {
+                    // Land the init/frontier payloads in this PE's arena.
+                    // No auditor toggles: the mirror was pre-seeded with
+                    // `init_xors` above.
+                    for ev in init {
+                        let slot = rt.insert_arena(ev.payload)?;
+                        rt.queue.push(QueueEntry {
+                            key: ev.key,
+                            id: ev.id,
+                            slot,
+                        });
+                    }
                     rt.run()?;
                     Ok(rt.finish())
                 }));

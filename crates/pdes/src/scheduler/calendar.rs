@@ -13,19 +13,20 @@
 //! are few when the width is right).
 
 use super::EventQueue;
-use crate::event::{Event, EventId, EventKey};
+use crate::arena::SlotRef;
+use crate::event::{EventId, EventKey, QueueEntry};
 
 /// Composite sort key (logical key + id; ids order transient duplicates).
 #[inline]
-fn ckey<P>(ev: &Event<P>) -> (EventKey, EventId) {
-    (ev.key, ev.id)
+fn ckey(e: &QueueEntry) -> (EventKey, EventId) {
+    (e.key, e.id)
 }
 
 /// Calendar-queue implementation of [`EventQueue`].
-pub struct CalendarQueue<P> {
-    /// `buckets[i]` holds events with `recv_time / width ≡ i (mod days)`,
+pub struct CalendarQueue {
+    /// `buckets[i]` holds entries with `recv_time / width ≡ i (mod days)`,
     /// each kept sorted by composite key (ascending).
-    buckets: Vec<Vec<Event<P>>>,
+    buckets: Vec<Vec<QueueEntry>>,
     /// Bucket width in ticks.
     width: u64,
     /// Total live events.
@@ -39,7 +40,7 @@ pub struct CalendarQueue<P> {
 const INITIAL_DAYS: usize = 16;
 const INITIAL_WIDTH: u64 = crate::time::VirtualTime::STEP / 4;
 
-impl<P> CalendarQueue<P> {
+impl CalendarQueue {
     /// New empty queue.
     pub fn new() -> Self {
         CalendarQueue {
@@ -57,11 +58,11 @@ impl<P> CalendarQueue<P> {
     }
 
     /// Insert keeping the bucket sorted.
-    fn place(&mut self, ev: Event<P>) {
-        let b = self.bucket_of(ev.key.recv_time.0);
+    fn place(&mut self, e: QueueEntry) {
+        let b = self.bucket_of(e.key.recv_time.0);
         let bucket = &mut self.buckets[b];
-        let pos = bucket.partition_point(|e| ckey(e) < ckey(&ev));
-        bucket.insert(pos, ev);
+        let pos = bucket.partition_point(|x| ckey(x) < ckey(&e));
+        bucket.insert(pos, e);
     }
 
     /// Reset the cursor to the day containing the earliest event.
@@ -83,7 +84,7 @@ impl<P> CalendarQueue<P> {
 
     /// Rebuild with a new day count and width sampled from current content.
     fn resize(&mut self, days: usize) {
-        let mut all: Vec<Event<P>> = Vec::with_capacity(self.len);
+        let mut all: Vec<QueueEntry> = Vec::with_capacity(self.len);
         for b in &mut self.buckets {
             all.append(b);
         }
@@ -96,8 +97,8 @@ impl<P> CalendarQueue<P> {
             self.width = (mean_gap * 3).max(1);
         }
         self.buckets = (0..days).map(|_| Vec::new()).collect();
-        for ev in all {
-            self.place(ev);
+        for e in all {
+            self.place(e);
         }
         self.resync_cursor();
     }
@@ -151,16 +152,16 @@ impl<P> CalendarQueue<P> {
     }
 }
 
-impl<P> Default for CalendarQueue<P> {
+impl Default for CalendarQueue {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<P: Send> EventQueue<P> for CalendarQueue<P> {
-    fn push(&mut self, ev: Event<P>) {
-        let t = ev.key.recv_time.0;
-        self.place(ev);
+impl EventQueue for CalendarQueue {
+    fn push(&mut self, e: QueueEntry) {
+        let t = e.key.recv_time.0;
+        self.place(e);
         self.len += 1;
         // A new global minimum must pull the cursor back.
         if t < self.cursor_start {
@@ -169,12 +170,12 @@ impl<P: Send> EventQueue<P> for CalendarQueue<P> {
         self.maybe_resize();
     }
 
-    fn pop(&mut self) -> Option<Event<P>> {
+    fn pop(&mut self) -> Option<QueueEntry> {
         let (b, i) = self.find_min()?;
-        let ev = self.buckets[b].remove(i);
+        let e = self.buckets[b].remove(i);
         self.len -= 1;
         self.maybe_resize();
-        Some(ev)
+        Some(e)
     }
 
     fn peek_key(&mut self) -> Option<EventKey> {
@@ -182,7 +183,7 @@ impl<P: Send> EventQueue<P> for CalendarQueue<P> {
         Some(self.buckets[b][i].key)
     }
 
-    fn remove(&mut self, id: EventId, key: EventKey) -> bool {
+    fn remove(&mut self, id: EventId, key: EventKey) -> Option<SlotRef> {
         let b = self.bucket_of(key.recv_time.0);
         let bucket = &mut self.buckets[b];
         // Several events can share the logical key (transient duplicates);
@@ -191,13 +192,13 @@ impl<P: Send> EventQueue<P> for CalendarQueue<P> {
         let mut i = start;
         while i < bucket.len() && bucket[i].key == key {
             if bucket[i].id == id {
-                bucket.remove(i);
+                let e = bucket.remove(i);
                 self.len -= 1;
-                return true;
+                return Some(e.slot);
             }
             i += 1;
         }
-        false
+        None
     }
 
     fn len(&self) -> usize {
@@ -307,11 +308,11 @@ mod tests {
         // Same logical key, different id (transient-duplicate pattern).
         let mut b = ev(42, 1, 7);
         b.id = crate::event::EventId::new(1, 99);
-        q.push(a.clone());
-        q.push(b.clone());
+        q.push(a);
+        q.push(b);
         assert_eq!(q.len(), 2);
-        assert!(q.remove(b.id, b.key));
-        assert!(!q.remove(b.id, b.key));
+        assert_eq!(q.remove(b.id, b.key), Some(b.slot));
+        assert_eq!(q.remove(b.id, b.key), None);
         let survivor = q.pop().unwrap();
         assert_eq!(survivor.id, a.id);
     }

@@ -5,33 +5,42 @@
 //! the top. `len` counts live events only. This trades O(log n) exact
 //! deletion for O(1) amortized deletion plus a little floating garbage —
 //! the classic engineering trade against the splay tree (ablation E9).
+//!
+//! Lazy deletion is *the* reason queue entries carry frozen keys rather
+//! than reading them through the arena: a tombstone can sit in the heap
+//! long after its payload slot was freed and reused by a different event.
+//! The pending map records each live entry's [`SlotRef`] so `remove` can
+//! hand the slot back for release even though the heap entry itself stays
+//! buried until it surfaces.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use super::EventQueue;
-use crate::event::{Event, EventId, EventKey};
+use crate::arena::SlotRef;
+use crate::event::{EventId, EventKey, QueueEntry};
+use crate::hash::{FastMap, FastSet};
 
 /// Min-heap entry; ordering reversed so `BinaryHeap` (a max-heap) pops the
 /// smallest [`EventKey`] first, breaking *transient-duplicate* key ties by
-/// id (see the parallel-kernel docs). Payloads are opaque.
-struct Entry<P>(Event<P>);
+/// id (see the parallel-kernel docs).
+struct Entry(QueueEntry);
 
-impl<P> PartialEq for Entry<P> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.0.key == other.0.key && self.0.id == other.0.id
     }
 }
 
-impl<P> Eq for Entry<P> {}
+impl Eq for Entry {}
 
-impl<P> PartialOrd for Entry<P> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<P> Ord for Entry<P> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for min-heap; break exact key ties by id so Ord is total.
         other
@@ -43,24 +52,26 @@ impl<P> Ord for Entry<P> {
 }
 
 /// Binary-heap implementation of [`EventQueue`].
-pub struct HeapQueue<P> {
-    heap: BinaryHeap<Entry<P>>,
-    /// Ids currently pending (live, not tombstoned). Needed because
+pub struct HeapQueue {
+    heap: BinaryHeap<Entry>,
+    /// Live (not tombstoned) ids and their payload slots. Needed because
     /// `remove` must report whether its target is actually pending — the
     /// Time Warp kernel uses that answer to distinguish "annihilate a
-    /// pending event" from "roll back a processed one".
-    pending: HashSet<EventId>,
+    /// pending event" from "roll back a processed one" — and must return
+    /// the slot so the kernel can free the payload immediately, without
+    /// waiting for the tombstone to surface.
+    pending: FastMap<EventId, SlotRef>,
     /// Ids cancelled while still pending (lazy deletion tombstones).
-    cancelled: HashSet<EventId>,
+    cancelled: FastSet<EventId>,
 }
 
-impl<P> HeapQueue<P> {
+impl HeapQueue {
     /// New empty queue.
     pub fn new() -> Self {
         HeapQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            pending: FastMap::default(),
+            cancelled: FastSet::default(),
         }
     }
 
@@ -76,24 +87,28 @@ impl<P> HeapQueue<P> {
     }
 }
 
-impl<P> Default for HeapQueue<P> {
+impl Default for HeapQueue {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<P: Send> EventQueue<P> for HeapQueue<P> {
-    fn push(&mut self, ev: Event<P>) {
-        let fresh = self.pending.insert(ev.id);
-        debug_assert!(fresh, "HeapQueue::push: duplicate EventId {:?}", ev.id);
-        self.heap.push(Entry(ev));
+impl EventQueue for HeapQueue {
+    fn push(&mut self, e: QueueEntry) {
+        let prev = self.pending.insert(e.id, e.slot);
+        debug_assert!(
+            prev.is_none(),
+            "HeapQueue::push: duplicate EventId {:?}",
+            e.id
+        );
+        self.heap.push(Entry(e));
     }
 
-    fn pop(&mut self) -> Option<Event<P>> {
+    fn pop(&mut self) -> Option<QueueEntry> {
         self.settle();
-        let ev = self.heap.pop()?.0;
-        self.pending.remove(&ev.id);
-        Some(ev)
+        let e = self.heap.pop()?.0;
+        self.pending.remove(&e.id);
+        Some(e)
     }
 
     fn peek_key(&mut self) -> Option<EventKey> {
@@ -101,12 +116,10 @@ impl<P: Send> EventQueue<P> for HeapQueue<P> {
         self.heap.peek().map(|e| e.0.key)
     }
 
-    fn remove(&mut self, id: EventId, _key: EventKey) -> bool {
-        if !self.pending.remove(&id) {
-            return false;
-        }
+    fn remove(&mut self, id: EventId, _key: EventKey) -> Option<SlotRef> {
+        let slot = self.pending.remove(&id)?;
         self.cancelled.insert(id);
-        true
+        Some(slot)
     }
 
     fn len(&self) -> usize {
@@ -128,7 +141,7 @@ impl<P: Send> EventQueue<P> for HeapQueue<P> {
         let mut dead = 0usize;
         for e in self.heap.iter() {
             match (
-                self.pending.contains(&e.0.id),
+                self.pending.contains_key(&e.0.id),
                 self.cancelled.contains(&e.0.id),
             ) {
                 (true, false) => live += 1,
@@ -161,7 +174,7 @@ impl<P: Send> EventQueue<P> for HeapQueue<P> {
         Some(
             self.heap
                 .iter()
-                .filter(|e| self.pending.contains(&e.0.id))
+                .filter(|e| self.pending.contains_key(&e.0.id))
                 .fold(0u64, |acc, e| {
                     acc ^ crate::audit::event_fingerprint(e.0.id, &e.0.key)
                 }),
@@ -180,11 +193,11 @@ mod tests {
         let mut q = HeapQueue::new();
         let events: Vec<_> = (0..100).map(|i| ev(i, 0, 0)).collect();
         for e in &events {
-            q.push(e.clone());
+            q.push(*e);
         }
-        // Cancel every other event.
+        // Cancel every other event; each remove yields the victim's slot.
         for e in events.iter().step_by(2) {
-            assert!(q.remove(e.id, e.key));
+            assert_eq!(q.remove(e.id, e.key), Some(e.slot));
         }
         assert_eq!(q.len(), 50);
         let mut popped = 0;
@@ -199,7 +212,7 @@ mod tests {
     fn peek_does_not_remove() {
         let mut q = HeapQueue::new();
         let a = ev(4, 1, 2);
-        q.push(a.clone());
+        q.push(a);
         assert_eq!(q.peek_key(), Some(a.key));
         assert_eq!(q.peek_key(), Some(a.key));
         assert_eq!(q.len(), 1);

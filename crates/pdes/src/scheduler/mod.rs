@@ -9,9 +9,16 @@
 //! * [`SplayQueue`] — top-down splay tree (what ROSS ships); exact deletion.
 //! * [`CalendarQueue`] — Brown's calendar queue; amortized O(1) when tuned.
 //!
-//! All commit the identical event order (the total [`EventKey`] order with
-//! id tie-break), so kernel determinism is scheduler-independent — asserted
-//! by the property tests at the bottom and benchmarked as ablation E9.
+//! Since the arena split (`pdes::arena`), schedulers order small
+//! [`QueueEntry`] records — a frozen `(EventKey, EventId)` plus the arena
+//! [`SlotRef`](crate::arena::SlotRef) holding the payload — instead of
+//! owning whole events. Splay rotations and calendar-bucket shifts move 40
+//! bytes of plain-old-data; payloads stay put in the arena.
+//!
+//! All implementations commit the identical event order (the total
+//! [`EventKey`] order with id tie-break), so kernel determinism is
+//! scheduler-independent — asserted by the property tests at the bottom and
+//! benchmarked as ablation E9.
 
 mod calendar;
 mod heap;
@@ -21,20 +28,22 @@ pub use calendar::CalendarQueue;
 pub use heap::HeapQueue;
 pub use splay::SplayQueue;
 
-use crate::event::{Event, EventId, EventKey};
+use crate::arena::SlotRef;
+use crate::event::{EventId, EventKey, QueueEntry};
 
 /// A pending-event set ordered by [`EventKey`].
-pub trait EventQueue<P>: Send {
-    /// Insert a pending event.
-    fn push(&mut self, ev: Event<P>);
-    /// Remove and return the minimum-key event.
-    fn pop(&mut self) -> Option<Event<P>>;
+pub trait EventQueue: Send {
+    /// Insert a pending entry.
+    fn push(&mut self, e: QueueEntry);
+    /// Remove and return the minimum-key entry.
+    fn pop(&mut self) -> Option<QueueEntry>;
     /// The minimum pending key, if any.
     fn peek_key(&mut self) -> Option<EventKey>;
-    /// Remove the pending event with this exact id (located via `key`).
-    /// Returns `true` if it was pending and has been removed.
-    fn remove(&mut self, id: EventId, key: EventKey) -> bool;
-    /// Number of live pending events.
+    /// Remove the pending entry with this exact id (located via `key`),
+    /// returning its payload slot so the caller can release it. `None`
+    /// means no such event was pending.
+    fn remove(&mut self, id: EventId, key: EventKey) -> Option<SlotRef>;
+    /// Number of live pending entries.
     fn len(&self) -> usize;
     /// Whether the set is empty.
     fn is_empty(&self) -> bool {
@@ -50,7 +59,7 @@ pub trait EventQueue<P>: Send {
         Ok(())
     }
     /// XOR-fold of [`event_fingerprint`](crate::audit::event_fingerprint)
-    /// over every *live* pending event, recomputed from scratch. The
+    /// over every *live* pending entry, recomputed from scratch. The
     /// auditor compares it against the kernel's incrementally maintained
     /// mirror to catch events lost, duplicated, or mutated inside the
     /// queue. `None` (the default) means "unsupported — skip the check".
@@ -73,7 +82,7 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// Construct an empty queue of this kind.
-    pub fn build<P: Send + 'static>(self) -> Box<dyn EventQueue<P>> {
+    pub fn build(self) -> Box<dyn EventQueue> {
         match self {
             SchedulerKind::Heap => Box::new(HeapQueue::new()),
             SchedulerKind::Splay => Box::new(SplayQueue::new()),
@@ -87,13 +96,16 @@ pub(crate) mod testutil {
     use super::*;
     use crate::time::VirtualTime;
 
-    /// Build a test event with a key derived from `(t, dst, tie)`.
-    pub fn ev(t: u64, dst: u32, tie: u64) -> Event<u64> {
-        Event {
-            id: EventId::new(
-                0,
-                (tie ^ (t << 20) ^ ((dst as u64) << 40)) & ((1 << 48) - 1),
-            ),
+    /// Build a test entry with a key derived from `(t, dst, tie)` and a
+    /// synthetic slot that encodes the id (so drains can check payload
+    /// identity travelled with the entry).
+    pub fn ev(t: u64, dst: u32, tie: u64) -> QueueEntry {
+        let id = EventId::new(
+            0,
+            (tie ^ (t << 20) ^ ((dst as u64) << 40)) & ((1 << 48) - 1),
+        );
+        QueueEntry {
+            id,
             key: EventKey {
                 recv_time: VirtualTime(t),
                 dst,
@@ -101,7 +113,10 @@ pub(crate) mod testutil {
                 src: 0,
                 send_time: VirtualTime::ZERO,
             },
-            payload: tie,
+            slot: SlotRef {
+                idx: id.seq() as u32,
+                gen: (id.seq() >> 32) as u32,
+            },
         }
     }
 }
@@ -112,7 +127,7 @@ mod tests {
     use super::*;
     use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 
-    fn drain<P>(q: &mut dyn EventQueue<P>) -> Vec<EventKey> {
+    fn drain(q: &mut dyn EventQueue) -> Vec<EventKey> {
         let mut keys = Vec::new();
         while let Some(e) = q.pop() {
             keys.push(e.key);
@@ -120,7 +135,7 @@ mod tests {
         keys
     }
 
-    fn both() -> Vec<Box<dyn EventQueue<u64>>> {
+    fn both() -> Vec<Box<dyn EventQueue>> {
         vec![
             SchedulerKind::Heap.build(),
             SchedulerKind::Splay.build(),
@@ -143,16 +158,16 @@ mod tests {
     }
 
     #[test]
-    fn remove_pending_event() {
+    fn remove_pending_event_returns_its_slot() {
         for mut q in both() {
             let a = ev(1, 0, 0);
             let b = ev(2, 0, 0);
             let c = ev(3, 0, 0);
-            q.push(a.clone());
-            q.push(b.clone());
-            q.push(c.clone());
-            assert!(q.remove(b.id, b.key));
-            assert!(!q.remove(b.id, b.key), "double remove must fail");
+            q.push(a);
+            q.push(b);
+            q.push(c);
+            assert_eq!(q.remove(b.id, b.key), Some(b.slot));
+            assert_eq!(q.remove(b.id, b.key), None, "double remove must fail");
             assert_eq!(q.len(), 2);
             let keys = drain(q.as_mut());
             assert_eq!(keys, vec![a.key, c.key]);
@@ -164,9 +179,9 @@ mod tests {
         for mut q in both() {
             let a = ev(1, 0, 0);
             let b = ev(2, 0, 0);
-            q.push(a.clone());
-            q.push(b.clone());
-            assert!(q.remove(a.id, a.key));
+            q.push(a);
+            q.push(b);
+            assert_eq!(q.remove(a.id, a.key), Some(a.slot));
             assert_eq!(q.peek_key(), Some(b.key));
         }
     }
@@ -178,7 +193,7 @@ mod tests {
             assert_eq!(q.pop().map(|e| e.key), None);
             assert_eq!(q.peek_key(), None);
             let a = ev(1, 0, 0);
-            assert!(!q.remove(a.id, a.key));
+            assert_eq!(q.remove(a.id, a.key), None);
         }
     }
 
@@ -190,10 +205,10 @@ mod tests {
         for case in 0..64u64 {
             let mut rng = Clcg4::new(stream_seed(0x5C4E_D01E, case));
             let n_ops = rng.integer(1, 199) as usize;
-            let mut heap = HeapQueue::<u64>::new();
-            let mut splay = SplayQueue::<u64>::new();
-            let mut cal = CalendarQueue::<u64>::new();
-            let mut oracle: Vec<Event<u64>> = Vec::new();
+            let mut heap = HeapQueue::new();
+            let mut splay = SplayQueue::new();
+            let mut cal = CalendarQueue::new();
+            let mut oracle: Vec<QueueEntry> = Vec::new();
             let mut seq_id: u64 = 1_000_000; // distinct ids even on key clashes
 
             for _ in 0..n_ops {
@@ -207,10 +222,14 @@ mod tests {
                         // Duplicate logical keys are legal transients in the
                         // optimistic kernel; give each push a unique id.
                         e.id = EventId::new(0, seq_id);
+                        e.slot = SlotRef {
+                            idx: seq_id as u32,
+                            gen: 0,
+                        };
                         seq_id += 1;
-                        heap.push(e.clone());
-                        splay.push(e.clone());
-                        cal.push(e.clone());
+                        heap.push(e);
+                        splay.push(e);
+                        cal.push(e);
                         oracle.push(e);
                     }
                     1 => {
@@ -220,10 +239,10 @@ mod tests {
                         } else {
                             Some(oracle.remove(0))
                         };
-                        let want_k = want.as_ref().map(|e| (e.key, e.id));
-                        assert_eq!(heap.pop().map(|e| (e.key, e.id)), want_k);
-                        assert_eq!(splay.pop().map(|e| (e.key, e.id)), want_k);
-                        assert_eq!(cal.pop().map(|e| (e.key, e.id)), want_k);
+                        let want_k = want.map(|e| (e.key, e.id, e.slot));
+                        assert_eq!(heap.pop().map(|e| (e.key, e.id, e.slot)), want_k);
+                        assert_eq!(splay.pop().map(|e| (e.key, e.id, e.slot)), want_k);
+                        assert_eq!(cal.pop().map(|e| (e.key, e.id, e.slot)), want_k);
                     }
                     _ => {
                         // Remove a pseudo-randomly chosen live event, if any.
@@ -231,9 +250,9 @@ mod tests {
                             continue;
                         }
                         let victim = oracle.remove((t as usize) % oracle.len());
-                        assert!(heap.remove(victim.id, victim.key));
-                        assert!(splay.remove(victim.id, victim.key));
-                        assert!(cal.remove(victim.id, victim.key));
+                        assert_eq!(heap.remove(victim.id, victim.key), Some(victim.slot));
+                        assert_eq!(splay.remove(victim.id, victim.key), Some(victim.slot));
+                        assert_eq!(cal.remove(victim.id, victim.key), Some(victim.slot));
                     }
                 }
                 assert_eq!(heap.len(), oracle.len());

@@ -10,7 +10,8 @@
 //! no `unsafe`, no recursive destructors, cache-friendly.
 
 use super::EventQueue;
-use crate::event::{Event, EventId, EventKey};
+use crate::arena::SlotRef;
+use crate::event::{EventId, EventKey, QueueEntry};
 use crate::time::VirtualTime;
 
 /// Sentinel "null" index.
@@ -45,21 +46,21 @@ const KEY_MAX: CKey = (
     EventId(u64::MAX),
 );
 
-struct Node<P> {
-    ev: Event<P>,
+struct Node {
+    e: QueueEntry,
     left: u32,
     right: u32,
 }
 
 /// Splay-tree implementation of [`EventQueue`].
-pub struct SplayQueue<P> {
-    slab: Vec<Option<Node<P>>>,
+pub struct SplayQueue {
+    slab: Vec<Option<Node>>,
     free: Vec<u32>,
     root: u32,
     len: usize,
 }
 
-impl<P> SplayQueue<P> {
+impl SplayQueue {
     /// New empty queue.
     pub fn new() -> Self {
         SplayQueue {
@@ -72,8 +73,8 @@ impl<P> SplayQueue<P> {
 
     #[inline]
     fn key(&self, idx: u32) -> CKey {
-        let ev = &self.slab[idx as usize].as_ref().unwrap().ev;
-        (ev.key, ev.id)
+        let e = &self.slab[idx as usize].as_ref().unwrap().e;
+        (e.key, e.id)
     }
 
     #[inline]
@@ -96,9 +97,9 @@ impl<P> SplayQueue<P> {
         self.slab[idx as usize].as_mut().unwrap().right = v;
     }
 
-    fn alloc(&mut self, ev: Event<P>) -> u32 {
+    fn alloc(&mut self, e: QueueEntry) -> u32 {
         let node = Node {
-            ev,
+            e,
             left: NIL,
             right: NIL,
         };
@@ -111,10 +112,10 @@ impl<P> SplayQueue<P> {
         }
     }
 
-    fn dealloc(&mut self, idx: u32) -> Event<P> {
+    fn dealloc(&mut self, idx: u32) -> QueueEntry {
         let node = self.slab[idx as usize].take().unwrap();
         self.free.push(idx);
-        node.ev
+        node.e
     }
 
     /// Sleator's top-down splay: restructure the subtree rooted at `t` so
@@ -218,16 +219,16 @@ impl<P> SplayQueue<P> {
     }
 }
 
-impl<P> Default for SplayQueue<P> {
+impl Default for SplayQueue {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<P: Send> EventQueue<P> for SplayQueue<P> {
-    fn push(&mut self, ev: Event<P>) {
-        let key = (ev.key, ev.id);
-        let idx = self.alloc(ev);
+impl EventQueue for SplayQueue {
+    fn push(&mut self, e: QueueEntry) {
+        let key = (e.key, e.id);
+        let idx = self.alloc(e);
         self.len += 1;
         if self.root == NIL {
             self.root = idx;
@@ -248,7 +249,7 @@ impl<P: Send> EventQueue<P> for SplayQueue<P> {
         self.root = idx;
     }
 
-    fn pop(&mut self) -> Option<Event<P>> {
+    fn pop(&mut self) -> Option<QueueEntry> {
         let min = self.detach_min();
         if min == NIL {
             return None;
@@ -265,15 +266,15 @@ impl<P: Send> EventQueue<P> for SplayQueue<P> {
         Some(self.key(self.root).0)
     }
 
-    fn remove(&mut self, id: EventId, key: EventKey) -> bool {
+    fn remove(&mut self, id: EventId, key: EventKey) -> Option<SlotRef> {
         if self.root == NIL {
-            return false;
+            return None;
         }
         self.root = self.splay(self.root, &(key, id));
         {
             let root_node = self.slab[self.root as usize].as_ref().unwrap();
-            if root_node.ev.key != key || root_node.ev.id != id {
-                return false;
+            if root_node.e.key != key || root_node.e.id != id {
+                return None;
             }
         }
         let old = self.root;
@@ -288,9 +289,9 @@ impl<P: Send> EventQueue<P> for SplayQueue<P> {
             self.set_right(new_root, r);
             new_root
         };
-        self.dealloc(old);
+        let e = self.dealloc(old);
         self.len -= 1;
-        true
+        Some(e.slot)
     }
 
     fn len(&self) -> usize {
@@ -363,7 +364,7 @@ impl<P: Send> EventQueue<P> for SplayQueue<P> {
 
     fn audit_digest(&self) -> Option<u64> {
         Some(self.slab.iter().flatten().fold(0u64, |acc, n| {
-            acc ^ crate::audit::event_fingerprint(n.ev.id, &n.ev.key)
+            acc ^ crate::audit::event_fingerprint(n.e.id, &n.e.key)
         }))
     }
 }
@@ -407,11 +408,11 @@ mod tests {
         let mut q = SplayQueue::new();
         let events: Vec<_> = (0..20).map(|t| ev(t, 0, 0)).collect();
         for e in &events {
-            q.push(e.clone());
+            q.push(*e);
         }
         // Remove in a scrambled order.
         for &i in &[10usize, 0, 19, 5, 6, 7, 1, 18] {
-            assert!(q.remove(events[i].id, events[i].key));
+            assert_eq!(q.remove(events[i].id, events[i].key), Some(events[i].slot));
         }
         assert_eq!(q.len(), 12);
         let survivors: Vec<u64> = std::iter::from_fn(|| q.pop())
@@ -424,9 +425,9 @@ mod tests {
     fn remove_with_wrong_id_fails() {
         let mut q = SplayQueue::new();
         let a = ev(5, 1, 1);
-        q.push(a.clone());
+        q.push(a);
         let bogus = EventId::new(7, 7);
-        assert!(!q.remove(bogus, a.key));
+        assert!(q.remove(bogus, a.key).is_none());
         assert_eq!(q.len(), 1);
     }
 

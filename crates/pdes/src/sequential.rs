@@ -9,11 +9,12 @@
 
 use std::time::Instant;
 
+use crate::arena::{EventArena, SlotRef};
 use crate::audit::{lp_fingerprint, AuditCheck, AuditHasher, AuditState, AuditViolation};
 use crate::ckpt::{CkptPart, CkptWriter, EventRecord, LpRecord, RestoredRun, Snapshot};
 use crate::config::EngineConfig;
 use crate::error::{PeDiagnostics, RunDiagnostics, RunError};
-use crate::event::{Bitfield, Event, EventId, EventKey, LpId};
+use crate::event::{Bitfield, Event, EventId, EventKey, LpId, QueueEntry};
 use crate::model::{Emit, EventCtx, InitCtx, Model, ReverseCtx};
 use crate::obs::prof::Phase;
 use crate::obs::{FlightRecorder, ObsKind, ObsRecord, RoundSnapshot, Telemetry};
@@ -22,8 +23,8 @@ use crate::stats::{EngineStats, RunResult};
 
 /// Run `model` to completion on the sequential kernel.
 ///
-/// Only `end_time`, `seed`, `scheduler` and the checkpoint knobs are
-/// consulted from the config; PE/KP/GVT settings are meaningless without
+/// Only `end_time`, `seed`, `scheduler`, `arena_slots` and the checkpoint
+/// knobs are consulted from the config; PE/KP/GVT settings are meaningless without
 /// optimism, and the communication faults of a configured
 /// [`fault_plan`](crate::config::EngineConfig::fault_plan) are ignored
 /// (there is no inter-PE boundary to inject them at — only
@@ -68,7 +69,14 @@ fn run_sequential_inner<M: Model>(
 
     let mut rngs: Vec<Clcg4>;
     let mut states: Vec<M::State>;
-    let mut queue = config.scheduler.build::<M::Payload>();
+    let mut queue = config.scheduler.build();
+    // Pending payloads live in the arena; the queue orders lightweight
+    // handles (same storage split as the parallel kernel).
+    let mut arena: EventArena<M::Payload> = EventArena::new(
+        config
+            .arena_slots
+            .unwrap_or(EventArena::<M::Payload>::DEFAULT_SLOTS),
+    );
     let mut seq: u64 = 0;
     let mut emits: Vec<Emit<M::Payload>> = Vec::new();
 
@@ -85,6 +93,17 @@ fn run_sequential_inner<M: Model>(
     let mut ckpt_writes: u64 = 0;
     let resumed_from = resume.as_ref().map(|r| r.round);
 
+    // Observability: same surface as the parallel kernel, adapted to one
+    // thread with no rollback. The "GVT" of a sequential run is simply the
+    // current event's time (everything commits immediately), so a snapshot
+    // is sampled every `gvt_interval` committed events with gvt == lvt.
+    let mut recorder = config.obs.build_recorder();
+    let mut series = config.obs.build_series();
+    let mut profiler = config.obs.build_profiler();
+    let mut tracer = config.obs.build_tracer(1);
+    let mut hop_buf: Vec<crate::obs::trace::HopEmit> = Vec::new();
+    let mut since_sample: u64 = 0;
+
     match resume {
         None => {
             rngs = (0..n_lps)
@@ -100,11 +119,12 @@ fn run_sequential_inner<M: Model>(
                 };
                 states.push(model.init(lp, &mut ctx));
                 for emit in emits.drain(..) {
-                    let e = materialize(emit, lp, &mut seq);
+                    let Event { id, key, payload } = materialize(emit, lp, &mut seq);
                     if let Some(a) = audit.as_mut() {
-                        a.toggle_sched(e.id, &e.key);
+                        a.toggle_sched(id, &key);
                     }
-                    queue.push(e);
+                    let slot = insert_slot(&mut arena, payload, 0, queue.len(), &stats, &recorder)?;
+                    queue.push(QueueEntry { key, id, slot });
                 }
             }
         }
@@ -122,11 +142,11 @@ fn run_sequential_inner<M: Model>(
             for (key, payload) in restored.events {
                 let id = EventId::new(0, seq);
                 seq += 1;
-                let e = Event { id, key, payload };
                 if let Some(a) = audit.as_mut() {
-                    a.toggle_sched(e.id, &e.key);
+                    a.toggle_sched(id, &key);
                 }
-                queue.push(e);
+                let slot = insert_slot(&mut arena, payload, 0, queue.len(), &stats, &recorder)?;
+                queue.push(QueueEntry { key, id, slot });
             }
             stats = restored.base_stats;
             round = restored.round;
@@ -137,17 +157,6 @@ fn run_sequential_inner<M: Model>(
     let start = Instant::now();
     let mut bf = Bitfield::default();
     let mut last_key: Option<EventKey> = None;
-
-    // Observability: same surface as the parallel kernel, adapted to one
-    // thread with no rollback. The "GVT" of a sequential run is simply the
-    // current event's time (everything commits immediately), so a snapshot
-    // is sampled every `gvt_interval` committed events with gvt == lvt.
-    let mut recorder = config.obs.build_recorder();
-    let mut series = config.obs.build_series();
-    let mut profiler = config.obs.build_profiler();
-    let mut tracer = config.obs.build_tracer(1);
-    let mut hop_buf: Vec<crate::obs::trace::HopEmit> = Vec::new();
-    let mut since_sample: u64 = 0;
 
     if let Some(from) = resumed_from {
         if recorder.wants(ObsKind::Recovery) {
@@ -163,43 +172,47 @@ fn run_sequential_inner<M: Model>(
             break;
         }
         let t0 = profiler.begin(Phase::SchedPop);
-        let mut ev = queue.pop().expect("peeked key must pop");
+        let entry = queue.pop().expect("peeked key must pop");
         profiler.end(Phase::SchedPop, t0);
         if let Some(a) = audit.as_mut() {
-            a.toggle_sched(ev.id, &ev.key);
+            a.toggle_sched(entry.id, &entry.key);
         }
         debug_assert!(
-            last_key.is_none_or(|lk| lk < ev.key),
+            last_key.is_none_or(|lk| lk < entry.key),
             "event keys must be strictly increasing (duplicate key?): {last_key:?} then {:?}",
-            ev.key
+            entry.key
         );
-        last_key = Some(ev.key);
+        last_key = Some(entry.key);
 
-        let lp = ev.key.dst;
+        let lp = entry.key.dst;
         assert!(lp < n_lps, "event addressed to nonexistent LP {lp}");
 
         // Auditor: replay handle+reverse once before the real execution and
         // require the LP fingerprint to return to its starting value.
-        if audit.is_some() {
+        // `PDES_AUDIT=fast` (audit_probe = false) skips the double execution
+        // and keeps only the hash-mirror checks.
+        if audit.is_some() && config.audit_probe {
+            let payload = arena.get_mut(entry.slot);
             if let Err(v) = probe_reverse(
                 model,
                 lp,
                 &mut states[lp as usize],
                 &mut rngs[lp as usize],
-                &mut ev,
+                &entry,
+                payload,
                 &mut probe_buf,
             ) {
                 if recorder.wants(ObsKind::AuditViolation) {
                     recorder.record(ObsRecord::event(
                         ObsKind::AuditViolation,
-                        ev.id,
-                        ev.key,
+                        entry.id,
+                        entry.key,
                         v.check as u64,
                     ));
                 }
                 return Err(audit_failed(
                     v,
-                    ev.key.recv_time.0,
+                    entry.key.recv_time.0,
                     queue.len(),
                     &stats,
                     &recorder,
@@ -209,44 +222,60 @@ fn run_sequential_inner<M: Model>(
 
         bf.clear();
         if recorder.wants(ObsKind::Execute) {
-            recorder.record(ObsRecord::event(ObsKind::Execute, ev.id, ev.key, 0));
+            recorder.record(ObsRecord::event(ObsKind::Execute, entry.id, entry.key, 0));
         }
         let tracing = tracer.enabled();
         {
             let t0 = profiler.begin(Phase::Execute);
+            let payload = arena.get_mut(entry.slot);
             let mut ctx = EventCtx {
                 lp,
-                src: ev.key.src,
-                now: ev.key.recv_time,
-                send_time: ev.key.send_time,
+                src: entry.key.src,
+                now: entry.key.recv_time,
+                send_time: entry.key.send_time,
                 bf: &mut bf,
                 rng: &mut rngs[lp as usize],
                 out: &mut emits,
                 obs: Some(&mut recorder),
                 trace: tracing.then_some(&mut hop_buf),
             };
-            model.handle(&mut states[lp as usize], &mut ev.payload, &mut ctx);
+            model.handle(&mut states[lp as usize], payload, &mut ctx);
             profiler.end(Phase::Execute, t0);
         }
         // Sequential execution commits immediately — hops go straight to the
         // committed log; no speculation to stage.
-        tracer.commit_direct(&ev.key, &mut hop_buf);
-        model.commit(&ev.payload, lp, ev.key.recv_time);
+        tracer.commit_direct(&entry.key, &mut hop_buf);
+        model.commit(arena.get(entry.slot), lp, entry.key.recv_time);
         let t0 = profiler.begin(Phase::SchedPush);
         for emit in emits.drain(..) {
             debug_assert!(emit.dst < n_lps, "scheduled to nonexistent LP {}", emit.dst);
             let src = lp;
-            let mut e = materialize(emit, src, &mut seq);
-            e.key.send_time = ev.key.recv_time;
+            let Event {
+                id,
+                mut key,
+                payload,
+            } = materialize(emit, src, &mut seq);
+            key.send_time = entry.key.recv_time;
             if recorder.wants(ObsKind::Enqueue) {
-                recorder.record(ObsRecord::event(ObsKind::Enqueue, e.id, e.key, 0));
+                recorder.record(ObsRecord::event(ObsKind::Enqueue, id, key, 0));
             }
             if let Some(a) = audit.as_mut() {
-                a.toggle_sched(e.id, &e.key);
+                a.toggle_sched(id, &key);
             }
-            queue.push(e);
+            let slot = insert_slot(
+                &mut arena,
+                payload,
+                entry.key.recv_time.0,
+                queue.len(),
+                &stats,
+                &recorder,
+            )?;
+            queue.push(QueueEntry { key, id, slot });
         }
         profiler.end(Phase::SchedPush, t0);
+        // Committed and its children materialized — the slot is dead; recycle
+        // it so steady-state execution never grows the arena.
+        let _ = arena.free(entry.slot);
         stats.events_processed += 1;
         stats.events_committed += 1;
         since_sample += 1;
@@ -261,14 +290,14 @@ fn run_sequential_inner<M: Model>(
                 {
                     return Err(audit_failed(
                         v,
-                        ev.key.recv_time.0,
+                        entry.key.recv_time.0,
                         queue.len(),
                         &stats,
                         &recorder,
                     ));
                 }
             }
-            let now_ticks = ev.key.recv_time.0;
+            let now_ticks = entry.key.recv_time.0;
             // Checkpoint: the interval boundary is the sequential analogue of
             // a committed GVT round — everything executed so far is final, so
             // (states, rngs, pending queue) is a complete frame.
@@ -277,7 +306,7 @@ fn run_sequential_inner<M: Model>(
                 .is_some_and(|n| n != 0 && round.is_multiple_of(n))
                 && now_ticks > last_ckpt_gvt
             {
-                let part = capture_part(model, &states, &rngs, queue.as_mut(), &stats)?;
+                let part = capture_part(model, &states, &rngs, queue.as_mut(), &arena, &stats)?;
                 let frame = Snapshot::assemble(
                     config.seed,
                     config.end_time,
@@ -331,6 +360,7 @@ fn run_sequential_inner<M: Model>(
         }
     }
 
+    stats.arena_peak_slots = arena.peak() as u64;
     stats.wall_time = start.elapsed();
     stats.prof = profiler.profile().clone();
 
@@ -369,7 +399,8 @@ fn probe_reverse<M: Model>(
     lp: LpId,
     state: &mut M::State,
     rng: &mut Clcg4,
-    ev: &mut Event<M::Payload>,
+    entry: &QueueEntry,
+    payload: &mut M::Payload,
     probe_out: &mut Vec<Emit<M::Payload>>,
 ) -> Result<(), AuditViolation> {
     let before = audit_fingerprint(model, lp, state, rng);
@@ -378,33 +409,33 @@ fn probe_reverse<M: Model>(
     {
         let mut ctx = EventCtx {
             lp,
-            src: ev.key.src,
-            now: ev.key.recv_time,
-            send_time: ev.key.send_time,
+            src: entry.key.src,
+            now: entry.key.recv_time,
+            send_time: entry.key.send_time,
             bf: &mut bf,
             rng,
             out: probe_out,
             obs: None,
             trace: None,
         };
-        model.handle(state, &mut ev.payload, &mut ctx);
+        model.handle(state, payload, &mut ctx);
     }
     probe_out.clear();
     let rng_calls = rng.call_count() - rng_before;
     let rctx = ReverseCtx {
         lp,
-        now: ev.key.recv_time,
+        now: entry.key.recv_time,
         bf,
     };
-    model.reverse(state, &mut ev.payload, &rctx);
+    model.reverse(state, payload, &rctx);
     rng.reverse_n(rng_calls);
     let after = audit_fingerprint(model, lp, state, rng);
     if after != before {
         return Err(AuditViolation {
             pe: 0,
             lp: Some(lp),
-            id: Some(ev.id),
-            key: Some(ev.key),
+            id: Some(entry.id),
+            key: Some(entry.key),
             check: AuditCheck::ReverseReplay,
             detail: format!(
                 "handle+reverse left LP fingerprint {after:#018x}, expected {before:#018x} \
@@ -413,6 +444,37 @@ fn probe_reverse<M: Model>(
         });
     }
     Ok(())
+}
+
+/// Land a payload in the arena, converting exhaustion into a structured
+/// [`RunError::ArenaExhausted`] with a one-PE diagnostics snapshot.
+fn insert_slot<P>(
+    arena: &mut EventArena<P>,
+    payload: P,
+    gvt: u64,
+    queue_depth: usize,
+    stats: &EngineStats,
+    recorder: &FlightRecorder,
+) -> Result<SlotRef, RunError> {
+    arena
+        .insert(payload)
+        .map_err(|full| RunError::ArenaExhausted {
+            pe: 0,
+            capacity: full.capacity,
+            diagnostics: RunDiagnostics {
+                gvt,
+                sent: 0,
+                received: 0,
+                pes: vec![PeDiagnostics {
+                    pe: 0,
+                    queue_depth,
+                    stats: stats.clone(),
+                    trace: recorder.decode_last(64),
+                    recorder: recorder.summary(0),
+                    ..Default::default()
+                }],
+            },
+        })
 }
 
 /// Package an audit violation as [`RunError::AuditFailed`] with a one-PE
@@ -451,13 +513,17 @@ fn capture_part<M: Model>(
     model: &M,
     states: &[M::State],
     rngs: &[Clcg4],
-    queue: &mut dyn crate::scheduler::EventQueue<M::Payload>,
+    queue: &mut dyn crate::scheduler::EventQueue,
+    arena: &EventArena<M::Payload>,
     stats: &EngineStats,
 ) -> Result<CkptPart, crate::ckpt::CkptError> {
+    // One scratch writer for every record: each LP state / payload is
+    // serialized into the reused buffer, then copied out exactly-sized.
+    let mut w = CkptWriter::new();
     let mut lps = Vec::with_capacity(states.len());
     for (lp, (state, rng)) in states.iter().zip(rngs).enumerate() {
         let lp = lp as LpId;
-        let mut w = CkptWriter::new();
+        w.clear();
         model.save_state(lp, state, &mut w)?;
         let mut h = AuditHasher::new();
         model.audit_state(lp, state, &mut h);
@@ -466,15 +532,15 @@ fn capture_part<M: Model>(
             rng_s: rng.state(),
             rng_count: rng.call_count(),
             fingerprint: lp_fingerprint(h.finish(), rng),
-            state: w.into_bytes(),
+            state: w.as_slice().to_vec(),
         });
     }
     let mut events = Vec::with_capacity(queue.len());
-    let mut scratch = Vec::with_capacity(queue.len());
+    let mut scratch: Vec<QueueEntry> = Vec::with_capacity(queue.len());
     while let Some(e) = queue.pop() {
-        let mut w = CkptWriter::new();
-        model.save_payload(&e.payload, &mut w)?;
-        events.push(EventRecord::from_key(&e.key, w.into_bytes()));
+        w.clear();
+        model.save_payload(arena.get(e.slot), &mut w)?;
+        events.push(EventRecord::from_key(&e.key, w.as_slice().to_vec()));
         scratch.push(e);
     }
     for e in scratch {

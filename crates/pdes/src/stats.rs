@@ -71,6 +71,11 @@ pub struct EngineStats {
     pub restores_succeeded: u64,
     /// Recovery retries the supervisor consumed absorbing failures.
     pub recovery_retries: u64,
+    /// High-water mark of live slots in the per-PE event arenas (max across
+    /// PEs after a merge). Compare against
+    /// [`EngineConfig::with_arena_slots`](crate::config::EngineConfig::with_arena_slots)
+    /// to size the arena for a workload.
+    pub arena_peak_slots: u64,
     /// Wall-clock run time (only set on the merged total).
     pub wall_time: Duration,
     /// Per-phase wall-clock profile (empty when the profiler is disabled;
@@ -114,6 +119,7 @@ impl EngineStats {
         self.restores_attempted += other.restores_attempted;
         self.restores_succeeded += other.restores_succeeded;
         self.recovery_retries += other.recovery_retries;
+        self.arena_peak_slots = self.arena_peak_slots.max(other.arena_peak_slots);
         self.wall_time = self.wall_time.max(other.wall_time);
         self.prof.merge(&other.prof);
     }

@@ -165,12 +165,13 @@ fn parallel_with_more_kps_than_lps_is_clamped_by_mapping() {
 #[test]
 fn scheduler_audit_contract_under_random_scripts() {
     use pdes::audit::event_fingerprint;
-    use pdes::event::{Event, EventId, EventKey};
+    use pdes::event::{EventId, EventKey, QueueEntry};
+    use pdes::prelude::SlotRef;
     use pdes::rng::{stream_seed, Clcg4};
     use pdes::scheduler::{CalendarQueue, EventQueue, HeapQueue, SplayQueue};
 
-    fn make(t: u64, dst: u32, tie: u64, seq: u64) -> Event<u64> {
-        Event {
+    fn make(t: u64, dst: u32, tie: u64, seq: u64) -> QueueEntry {
+        QueueEntry {
             id: EventId::new(0, seq),
             key: EventKey {
                 recv_time: VirtualTime(t),
@@ -179,14 +180,18 @@ fn scheduler_audit_contract_under_random_scripts() {
                 src: 0,
                 send_time: VirtualTime::ZERO,
             },
-            payload: tie,
+            // Payloads live outside the queues; any unique tag works here.
+            slot: SlotRef {
+                idx: seq as u32,
+                gen: 0,
+            },
         }
     }
 
     for case in 0..48u64 {
         let mut rng = Clcg4::new(stream_seed(0xAD17_C0DE, case));
         let n_ops = rng.integer(20, 250) as usize;
-        let mut queues: Vec<Box<dyn EventQueue<u64>>> = vec![
+        let mut queues: Vec<Box<dyn EventQueue>> = vec![
             Box::new(HeapQueue::new()),
             Box::new(SplayQueue::new()),
             Box::new(CalendarQueue::new()),
@@ -207,7 +212,7 @@ fn scheduler_audit_contract_under_random_scripts() {
                     mirror ^= event_fingerprint(e.id, &e.key);
                     live.push((e.id, e.key));
                     for q in &mut queues {
-                        q.push(e.clone());
+                        q.push(e);
                     }
                 }
                 2 => {
@@ -230,7 +235,7 @@ fn scheduler_audit_contract_under_random_scripts() {
                     let (id, key) = live.remove((t as usize) % live.len());
                     mirror ^= event_fingerprint(id, &key);
                     for q in &mut queues {
-                        assert!(q.remove(id, key), "live event missing from queue");
+                        assert!(q.remove(id, key).is_some(), "live event missing from queue");
                     }
                 }
             }

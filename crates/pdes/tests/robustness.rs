@@ -198,11 +198,16 @@ impl Model for SameTimeBurst {
 #[test]
 fn gvt_stall_watchdog_aborts_with_diagnostics() {
     let model = SameTimeBurst { n_events: 200 };
+    // Pinned to the barriered protocol: its reduction rounds are in lockstep
+    // with execution, so the same-time burst holds GVT flat for the 5-round
+    // budget. Incremental rounds are decoupled from execution and drain the
+    // burst between two reductions — no stall to observe.
     let cfg = EngineConfig::new(VirtualTime::from_steps(5))
         .with_pes(2)
         .with_kps(2)
         .with_gvt_interval(1)
         .with_batch(1)
+        .with_gvt_mode(GvtMode::Barrier)
         .with_gvt_stall_rounds(Some(5));
 
     let err = run_parallel(&model, &cfg).expect_err("watchdog must trip");

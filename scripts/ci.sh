@@ -188,4 +188,35 @@ print(f"BENCH_pr6.json: ckpt-off regression {b['regression_pct_vs_baseline']}% "
 EOF
 fi
 
+echo "== alloc smoke: ~0 allocations per committed event =="
+# Counting global allocator over a warm 4-PE run: total allocations
+# (including per-run setup) divided by committed events must stay under the
+# 0.2 budget — one leaked allocation per event would be ~5x over.
+./target/release/alloc_smoke
+
+echo "== bench gate: arena/zero-copy speedup (BENCH_pr7.json) =="
+# Paired-sample gate vs the frozen PR 6 ckpt-off baseline (embedded in the
+# binary): committed-events/sec on the 4-PE 16x16 torus must be >= 1.3x.
+# Asserts committed output bit-identical to the sequential oracle AND to
+# the pre-arena golden Debug string before timing anything. Audit-fast and
+# streaming-checkpoint costs are recorded informationally.
+./target/release/bench_pr7 --out=BENCH_pr7.json
+cp BENCH_pr7.json artifacts/
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_pr7.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["pass"], f"arena speedup {b['speedup_best']}x below {b['min_speedup']}x gate"
+modes = {m["mode"]: m for m in b["modes"]}
+assert modes["arena"]["arena_peak_slots"] > 0
+assert modes["ckpt_every_round"]["checkpoint_bytes"] > 0
+print(f"BENCH_pr7.json: arena speedup {b['speedup_best']}x best / "
+      f"{b['speedup_median']}x median vs PR6 baseline "
+      f"(noise floor {b['noise_floor_pct']}%); audit_fast "
+      f"{b['overhead_pct_audit_fast']}% vs audit_full "
+      f"{b['overhead_pct_audit_full']}% (informational)")
+EOF
+fi
+
 echo "CI gate passed."
