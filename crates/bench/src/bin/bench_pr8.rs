@@ -1,0 +1,246 @@
+//! PR 8 fleet-telemetry overhead gate: the run registry (manifest write),
+//! JSONL metric streaming, and heartbeat emission must keep default-on
+//! observability within the existing <5% budget.
+//!
+//! Three modes ride one interleaved paired-sample schedule over the
+//! canonical workload (4-PE 16×16 torus, 96 steps — the same event history
+//! every BENCH gate since PR 3 has pinned):
+//!
+//! * `hub_off` — `ObsConfig::default()`: recorder + series on, no sink, no
+//!   registry. The dark side of the pair.
+//! * `jsonl_only` — an explicit [`JsonlSink`], heartbeats off: the pure
+//!   streaming cost, reported for attribution (not gated).
+//! * `hub_on` — `with_metrics_path(...)`: the full PR 8 surface — manifest
+//!   written, JSONL sink installed, heartbeats interleaved. **Gated**: its
+//!   best-wall overhead over `hub_off` must stay under `--max-overhead-pct`
+//!   plus the measured same-mode noise floor (the bench_pr3/pr4 gate shape).
+//!
+//! Correctness gates before speed: every mode's committed output must match
+//! the sequential oracle byte-for-byte, and `hub_on`'s manifest must parse
+//! back through [`RunManifest::parse`] (a registry entry the hub cannot
+//! read is worse than none).
+//!
+//! Best (min) wall is the estimator for the same reason as `bench_pr7`: on
+//! the oversubscribed CI container co-tenant noise is strictly additive, so
+//! the fastest sample is the least-biased cost estimate; the even/odd-split
+//! noise floor is reported alongside.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr8 -- --out=artifacts/BENCH_pr8.json
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{best_wall, median_of, noise_floor_pct, overhead_pct_best};
+use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
+use pdes::{EngineConfig, JsonlSink, ObsConfig, RunManifest};
+
+const N: u32 = 16;
+const LOAD: f64 = 0.4;
+const SEED: u64 = 0xBE9C_0702;
+const PES: usize = 4;
+
+struct Mode {
+    name: &'static str,
+    walls: Vec<Duration>,
+    events_committed: u64,
+}
+
+/// Engine config for one sample of one mode. Built fresh per sample so the
+/// instrumented modes re-pay their full setup cost (manifest write, sink
+/// file truncation) every run — that setup *is* part of the overhead under
+/// measurement.
+fn config_for(mode: &str, base: &EngineConfig, run_dir: &Path) -> EngineConfig {
+    match mode {
+        "hub_off" => base.clone().with_obs(ObsConfig::default()),
+        "jsonl_only" => base.clone().with_obs(
+            ObsConfig::default()
+                .with_heartbeat_every(0)
+                .with_sink(Arc::new(
+                    JsonlSink::create(run_dir.join("jsonl_only.jsonl")).expect("create jsonl sink"),
+                )),
+        ),
+        "hub_on" => base.clone().with_obs(
+            ObsConfig::default()
+                .with_metrics_path(run_dir.join("metrics.jsonl"))
+                .with_run_id("bench_pr8")
+                .with_model_label(format!("hotpotato-{N}x{N}")),
+        ),
+        other => unreachable!("unknown mode {other}"),
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_pr8.json");
+    let mut steps: u64 = 96;
+    let mut samples: usize = 11;
+    let mut max_overhead_pct: f64 = 5.0;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--steps=") {
+            steps = v.parse().expect("--steps=<u64>");
+        } else if let Some(v) = a.strip_prefix("--samples=") {
+            samples = v.parse::<usize>().expect("--samples=<usize>").max(1);
+        } else if let Some(v) = a.strip_prefix("--max-overhead-pct=") {
+            max_overhead_pct = v.parse().expect("--max-overhead-pct=<f64>");
+        } else {
+            eprintln!(
+                "flags: --out=<path> --steps=<u64> --samples=<usize> --max-overhead-pct=<f64>"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let run_dir: PathBuf =
+        std::env::temp_dir().join(format!("pdes-bench-pr8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    std::fs::create_dir_all(&run_dir).expect("create bench scratch dir");
+
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(N, steps).with_injectors(LOAD));
+    let base = EngineConfig::new(model.end_time())
+        .with_seed(SEED)
+        .with_pes(PES)
+        .with_kps(64)
+        .with_lookahead(model.natural_lookahead());
+
+    let oracle =
+        simulate_sequential(&model, &base.clone().with_obs(ObsConfig::disabled())).expect("oracle");
+
+    let mut modes: Vec<Mode> = ["hub_off", "jsonl_only", "hub_on"]
+        .into_iter()
+        .map(|name| Mode {
+            name,
+            walls: Vec::new(),
+            events_committed: 0,
+        })
+        .collect();
+
+    // Warm-up + correctness gate, once per mode.
+    for m in &mut modes {
+        let cfg = config_for(m.name, &base, &run_dir);
+        let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+        assert_eq!(
+            r.output, oracle.output,
+            "{}: committed output diverged from the sequential oracle",
+            m.name
+        );
+        assert_eq!(r.stats.events_committed, oracle.stats.events_committed);
+        m.events_committed = r.stats.events_committed;
+    }
+
+    // The registry round-trip gate on the warmed-up hub_on artifacts.
+    let manifest = RunManifest::load(&run_dir).expect("hub_on manifest must parse back");
+    assert_eq!(manifest.run_id, "bench_pr8");
+    assert_eq!(manifest.n_pes, PES as u64);
+    let metrics = std::fs::read_to_string(run_dir.join("metrics.jsonl")).expect("read metrics");
+    let heartbeats = metrics.lines().filter(|l| l.contains("\"hb\":1")).count();
+    assert!(
+        heartbeats >= 2,
+        "expected start + end heartbeats at minimum"
+    );
+    assert!(
+        metrics
+            .lines()
+            .last()
+            .is_some_and(|l| l.contains("\"state\":\"end\"")),
+        "instrumented run must close its stream with an end heartbeat"
+    );
+    let manifest_bytes = std::fs::metadata(run_dir.join(pdes::obs::agg::MANIFEST_FILE))
+        .expect("manifest stat")
+        .len();
+
+    for _ in 0..samples {
+        for m in &mut modes {
+            let cfg = config_for(m.name, &base, &run_dir);
+            let t0 = Instant::now();
+            let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+            m.walls.push(t0.elapsed());
+            std::hint::black_box(r.output);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    for m in &modes {
+        println!(
+            "timewarp_{PES}pe_{N}x{N}_{:<12} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({samples} samples)",
+            m.name,
+            median_of(&m.walls),
+            best_wall(&m.walls),
+            m.walls.iter().max().unwrap(),
+        );
+    }
+
+    let dark = &modes[0];
+    let overhead_jsonl = overhead_pct_best(&dark.walls, &modes[1].walls);
+    let overhead_hub = overhead_pct_best(&dark.walls, &modes[2].walls);
+    let noise = noise_floor_pct(&dark.walls);
+    // Same gate shape as bench_pr3/pr4: the budget applies above the
+    // measured same-mode noise floor, so a co-tenant burst on the shared
+    // container widens the allowance instead of flaking the gate.
+    let within_budget = overhead_hub <= max_overhead_pct + noise;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pr8_fleet_telemetry_overhead\",");
+    let _ = writeln!(json, "  \"torus\": \"{N}x{N}\",");
+    let _ = writeln!(json, "  \"pes\": {PES},");
+    let _ = writeln!(json, "  \"load\": {LOAD},");
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    json.push_str("  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        let best = best_wall(&m.walls).as_secs_f64();
+        let med = median_of(&m.walls).as_secs_f64();
+        let _ = writeln!(
+            json,
+            "    {{ \"mode\": \"{}\", \"events_per_sec_best\": {:.1}, \
+             \"events_per_sec_median\": {:.1}, \"events_committed\": {}, \
+             \"best_wall_s\": {:.4}, \"median_wall_s\": {:.4} }}{}",
+            m.name,
+            m.events_committed as f64 / best,
+            m.events_committed as f64 / med,
+            m.events_committed,
+            best,
+            med,
+            if i + 1 < modes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"heartbeat_lines\": {heartbeats},");
+    let _ = writeln!(json, "  \"manifest_bytes\": {manifest_bytes},");
+    let _ = writeln!(json, "  \"overhead_pct_jsonl_only\": {overhead_jsonl:.2},");
+    let _ = writeln!(json, "  \"overhead_pct_hub_on\": {overhead_hub:.2},");
+    let _ = writeln!(json, "  \"noise_floor_pct\": {noise:.2},");
+    let _ = writeln!(json, "  \"max_overhead_pct\": {max_overhead_pct},");
+    let _ = writeln!(json, "  \"within_budget\": {within_budget}");
+    json.push_str("}\n");
+
+    pdes::obs::json::validate(&json).expect("BENCH_pr8.json failed self-validation");
+    if let Some(parent) = Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create out dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+    print!("{json}");
+
+    if !within_budget {
+        eprintln!(
+            "fleet telemetry overhead {overhead_hub:.2}% (best-wall) exceeds the \
+             {max_overhead_pct}% budget (+{noise:.2}% measured noise floor; \
+             jsonl-only {overhead_jsonl:.2}%)"
+        );
+        std::process::exit(1);
+    }
+}

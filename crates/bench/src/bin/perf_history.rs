@@ -1,0 +1,267 @@
+//! Regression observatory: fold every `artifacts/BENCH_pr*.json` into one
+//! normalized perf timeline and gate on it.
+//!
+//! Each BENCH file froze one PR's paired-sample measurement of the same
+//! canonical workload (4-PE 16×16 torus, 96 steps — every file's primary
+//! mode commits the identical event history). This binary parses them with
+//! the in-tree JSON parser, extracts each PR's *primary* throughput (the
+//! uninstrumented/baseline mode that PR was gating against), and recomputes
+//! the PR-over-PR deltas.
+//!
+//! Two gates, both machine-checked where prose used to be:
+//!
+//! 1. **Self-gate**: every file's own verdict field (`within_budget` /
+//!    `pass`) must be true — a BENCH artifact that failed its gate at
+//!    generation time must not sit silently in the registry.
+//! 2. **Trajectory gate**: the primary throughput must not drop more than
+//!    `--max-drop-pct` between consecutive PRs. The budget is loose by
+//!    design: the stored numbers were measured in different sessions on an
+//!    oversubscribed container (each file's `noise_floor_pct` is carried
+//!    into the timeline for context), so this catches collapses, not noise.
+//!
+//! Writes the normalized timeline to `--out` (validated with the in-tree
+//! validator before it lands) and exits nonzero on any violation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_history -- --dir=artifacts
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use pdes::obs::json::{self, JsonValue};
+
+/// Primary mode per PR: the mode each gate used as its *baseline* (dark /
+/// uninstrumented) side, i.e. the engine's raw throughput that PR.
+fn primary_mode(pr: u64) -> Option<&'static str> {
+    match pr {
+        3 => Some("obs_off"),
+        4 => Some("prof_off"),
+        5 => Some("audit_off"),
+        6 => Some("ckpt_off"),
+        7 => Some("arena"),
+        8 => Some("hub_off"),
+        _ => None,
+    }
+}
+
+struct Entry {
+    pr: u64,
+    bench: String,
+    mode: String,
+    /// Primary committed events/sec (best-wall estimator when the file
+    /// recorded one, else the median-wall figure).
+    events_per_sec: f64,
+    estimator: &'static str,
+    /// The file's own gate verdict (`None` for pre-gate files like pr2).
+    gate: Option<bool>,
+    noise_floor_pct: f64,
+}
+
+/// Extract one file's primary-throughput entry; None if the schema has no
+/// recognizable throughput (which is itself reported as a violation).
+fn extract(pr: u64, v: &JsonValue) -> Option<Entry> {
+    let bench = v.str_field("bench").unwrap_or("unknown").to_string();
+    let gate = v
+        .get("within_budget")
+        .and_then(JsonValue::as_bool)
+        .or_else(|| v.get("pass").and_then(JsonValue::as_bool));
+    let noise = v
+        .get("noise_floor_pct")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    // Modern schema: a "modes" array with a known primary.
+    if let Some(modes) = v.get("modes").and_then(JsonValue::as_arr) {
+        let want = primary_mode(pr);
+        let m = modes
+            .iter()
+            .find(|m| want.is_some_and(|w| m.str_field("mode") == Some(w)))
+            .or_else(|| modes.first())?;
+        let (eps, estimator) = match m.get("events_per_sec_best").and_then(JsonValue::as_f64) {
+            Some(best) => (best, "best"),
+            None => (
+                m.get("events_per_sec").and_then(JsonValue::as_f64)?,
+                "median",
+            ),
+        };
+        return Some(Entry {
+            pr,
+            bench,
+            mode: m.str_field("mode").unwrap_or("?").to_string(),
+            events_per_sec: eps,
+            estimator,
+            gate,
+            noise_floor_pct: noise,
+        });
+    }
+    // pr2 schema: a "points" array keyed by PE count; take the widest.
+    if let Some(points) = v.get("points").and_then(JsonValue::as_arr) {
+        let p = points
+            .iter()
+            .max_by_key(|p| p.u64_field("pes").unwrap_or(0))?;
+        return Some(Entry {
+            pr,
+            bench,
+            mode: format!("{}pe", p.u64_field("pes").unwrap_or(0)),
+            events_per_sec: p.get("events_per_sec").and_then(JsonValue::as_f64)?,
+            estimator: "median",
+            gate,
+            noise_floor_pct: noise,
+        });
+    }
+    None
+}
+
+fn main() {
+    let mut dir = PathBuf::from("artifacts");
+    let mut out_path: Option<PathBuf> = None;
+    let mut max_drop_pct: f64 = 25.0;
+    let mut quiet = false;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--dir=") {
+            dir = PathBuf::from(v);
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out_path = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--max-drop-pct=") {
+            max_drop_pct = v.parse().expect("--max-drop-pct=<f64>");
+        } else if a == "--quiet" {
+            quiet = true;
+        } else {
+            eprintln!("flags: --dir=<path> --out=<path> --max-drop-pct=<f64> --quiet");
+            std::process::exit(2);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| dir.join("perf_history.json"));
+
+    // Collect BENCH_pr<N>.json sorted by PR number.
+    let mut files: Vec<(u64, PathBuf)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        })
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let pr: u64 = name
+                .strip_prefix("BENCH_pr")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((pr, path))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no BENCH_pr*.json under {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    for (pr, path) in &files {
+        let text = std::fs::read_to_string(path).expect("read BENCH file");
+        let v = match json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                violations.push(format!("pr{pr}: {} is not valid JSON: {e}", path.display()));
+                continue;
+            }
+        };
+        match extract(*pr, &v) {
+            Some(e) => {
+                if e.gate == Some(false) {
+                    violations.push(format!(
+                        "pr{pr}: {} recorded a failed gate (within_budget/pass = false)",
+                        path.display()
+                    ));
+                }
+                entries.push(e);
+            }
+            None => violations.push(format!(
+                "pr{pr}: {} has no recognizable throughput schema",
+                path.display()
+            )),
+        }
+    }
+
+    // Trajectory gate: consecutive primary-throughput deltas.
+    let deltas: Vec<Option<f64>> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            (i > 0).then(|| (e.events_per_sec / entries[i - 1].events_per_sec - 1.0) * 100.0)
+        })
+        .collect();
+    for (e, delta) in entries.iter().zip(&deltas) {
+        if let Some(d) = delta {
+            if *d < -max_drop_pct {
+                violations.push(format!(
+                    "pr{}: primary throughput dropped {:.1}% vs previous PR (budget {:.1}%)",
+                    e.pr, -d, max_drop_pct
+                ));
+            }
+        }
+    }
+
+    if !quiet {
+        println!(
+            "{:>4}  {:<32} {:<18} {:>14}  {:>6}  {:>8}  {:>6}",
+            "pr", "bench", "primary", "events/sec", "est", "delta%", "noise%"
+        );
+        for (e, delta) in entries.iter().zip(&deltas) {
+            println!(
+                "{:>4}  {:<32} {:<18} {:>14.1}  {:>6}  {:>8}  {:>6.2}",
+                e.pr,
+                e.bench,
+                e.mode,
+                e.events_per_sec,
+                e.estimator,
+                delta.map_or_else(|| "-".to_string(), |d| format!("{d:+.1}")),
+                e.noise_floor_pct,
+            );
+        }
+    }
+
+    let pass = violations.is_empty();
+    let mut jout = String::new();
+    jout.push_str("{\n  \"perf_history_version\": 1,\n");
+    let _ = writeln!(jout, "  \"max_drop_pct\": {max_drop_pct},");
+    jout.push_str("  \"entries\": [\n");
+    for (i, (e, delta)) in entries.iter().zip(&deltas).enumerate() {
+        let _ = writeln!(
+            jout,
+            "    {{ \"pr\": {}, \"bench\": \"{}\", \"mode\": \"{}\", \
+             \"events_per_sec\": {:.1}, \"estimator\": \"{}\", \"gate\": {}, \
+             \"noise_floor_pct\": {:.2}, \"delta_pct\": {} }}{}",
+            e.pr,
+            e.bench,
+            e.mode,
+            e.events_per_sec,
+            e.estimator,
+            e.gate.map_or_else(|| "null".to_string(), |g| g.to_string()),
+            e.noise_floor_pct,
+            delta.map_or_else(|| "null".to_string(), |d| format!("{d:.2}")),
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    jout.push_str("  ],\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        let sep = if i + 1 < violations.len() { "," } else { "" };
+        let escaped: String = v.chars().map(|c| if c == '"' { '\'' } else { c }).collect();
+        let _ = write!(jout, "\n    \"{escaped}\"{sep}");
+    }
+    if !violations.is_empty() {
+        jout.push_str("\n  ");
+    }
+    let _ = writeln!(jout, "],\n  \"pass\": {pass}\n}}");
+    json::validate(&jout).expect("perf_history.json failed self-validation");
+    std::fs::write(&out_path, &jout).expect("write perf_history.json");
+    println!("wrote {}", out_path.display());
+
+    if !pass {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}

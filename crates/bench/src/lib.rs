@@ -286,3 +286,43 @@ pub fn median_wall<F: FnMut() -> EngineStats>(mut run: F) -> (EngineStats, Durat
     let wall = mid.wall_time;
     (mid, wall)
 }
+
+// ---------------------------------------------------------------------------
+// Paired-sample statistics — shared by the BENCH gate binaries
+// (`bench_pr8`, `perf_history`; earlier gates carry local copies that
+// predate this module).
+// ---------------------------------------------------------------------------
+
+/// Median wall over one mode's interleaved samples.
+pub fn median_of(walls: &[Duration]) -> Duration {
+    let mut sorted = walls.to_vec();
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
+/// Best (minimum) wall. On an oversubscribed CI container co-tenant noise
+/// is strictly additive — it only makes a sample *slower* — so the fastest
+/// sample is the least-biased estimator of the machine's actual cost.
+pub fn best_wall(walls: &[Duration]) -> Duration {
+    *walls.iter().min().expect("best_wall of empty sample set")
+}
+
+/// Best-wall overhead of `instrumented` over `dark`, in percent. Negative
+/// means the instrumented mode measured faster (i.e. below the noise floor).
+pub fn overhead_pct_best(dark: &[Duration], instrumented: &[Duration]) -> f64 {
+    let d = best_wall(dark).as_secs_f64();
+    let i = best_wall(instrumented).as_secs_f64();
+    (i / d - 1.0) * 100.0
+}
+
+/// Same-mode noise floor: the apparent "overhead" between the even- and
+/// odd-indexed halves of one mode's interleaved samples. Any measured
+/// cross-mode overhead below this is indistinguishable from scheduler noise.
+pub fn noise_floor_pct(dark: &[Duration]) -> f64 {
+    let even: Vec<Duration> = dark.iter().step_by(2).copied().collect();
+    let odd: Vec<Duration> = dark.iter().skip(1).step_by(2).copied().collect();
+    if even.is_empty() || odd.is_empty() {
+        return 0.0;
+    }
+    overhead_pct_best(&even, &odd).abs()
+}

@@ -97,12 +97,28 @@ pub enum RunError {
         /// Post-mortem snapshot of the whole machine.
         diagnostics: RunDiagnostics,
     },
+    /// Run-registry instrumentation failed before any event executed: the
+    /// run directory, manifest, or metrics stream could not be created (see
+    /// [`obs::agg`](crate::obs::agg)). An instrumented run that cannot
+    /// register would be a silent gap in the fleet registry, so this is an
+    /// error, not a warning.
+    Obs {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl RunError {
     /// Shorthand constructor for [`RunError::ConfigInvalid`].
     pub fn config(reason: impl Into<String>) -> Self {
         RunError::ConfigInvalid {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`RunError::Obs`].
+    pub fn obs(reason: impl Into<String>) -> Self {
+        RunError::Obs {
             reason: reason.into(),
         }
     }
@@ -116,7 +132,8 @@ impl RunError {
             RunError::ArenaExhausted { diagnostics, .. } => Some(diagnostics),
             RunError::ConfigInvalid { .. }
             | RunError::WorkerLost { .. }
-            | RunError::Checkpoint { .. } => None,
+            | RunError::Checkpoint { .. }
+            | RunError::Obs { .. } => None,
         }
     }
 
@@ -153,6 +170,7 @@ impl fmt::Display for RunError {
             }
             RunError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
             RunError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
+            RunError::Obs { reason } => write!(f, "run instrumentation failure: {reason}"),
             RunError::WorkerLost { pe } => {
                 write!(f, "PE {pe} worker thread terminated without reporting")
             }

@@ -36,6 +36,7 @@
 //! bit-identical to the sequential oracle with everything at maximum
 //! verbosity.
 
+pub mod agg;
 pub mod chrome;
 pub mod json;
 pub mod prof;
@@ -44,7 +45,7 @@ pub mod trace;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::event::{EventId, EventKey, PeId};
@@ -610,6 +611,11 @@ impl RoundSeries {
 pub trait MetricsSink: Send + Sync {
     /// Consume one snapshot.
     fn record(&self, snap: &RoundSnapshot);
+    /// Consume one liveness pulse (see [`agg::Heartbeat`]): PE 0 emits one
+    /// at run start, every [`ObsConfig::heartbeat_every`] GVT rounds, and
+    /// once at termination. Default no-op so snapshot-only sinks need not
+    /// care.
+    fn heartbeat(&self, _hb: &agg::Heartbeat) {}
     /// Flush buffered output (called once when the run ends).
     fn flush(&self) {}
 }
@@ -627,6 +633,7 @@ impl MetricsSink for NullSink {
 #[derive(Debug)]
 pub struct MemorySink {
     snaps: Mutex<std::collections::VecDeque<RoundSnapshot>>,
+    hbs: Mutex<Vec<agg::Heartbeat>>,
     capacity: usize,
     seen: std::sync::atomic::AtomicU64,
 }
@@ -636,6 +643,7 @@ impl MemorySink {
     pub fn new(capacity: usize) -> MemorySink {
         MemorySink {
             snaps: Mutex::new(std::collections::VecDeque::new()),
+            hbs: Mutex::new(Vec::new()),
             capacity,
             seen: std::sync::atomic::AtomicU64::new(0),
         }
@@ -644,6 +652,11 @@ impl MemorySink {
     /// Copy out the retained snapshots, oldest first.
     pub fn snapshots(&self) -> Vec<RoundSnapshot> {
         lock(&self.snaps).iter().copied().collect()
+    }
+
+    /// Copy out the heartbeats received, in arrival order.
+    pub fn heartbeats(&self) -> Vec<agg::Heartbeat> {
+        lock(&self.hbs).clone()
     }
 
     /// Total snapshots ever offered (≥ retained).
@@ -663,6 +676,10 @@ impl MetricsSink for MemorySink {
             q.pop_front();
         }
         q.push_back(*snap);
+    }
+
+    fn heartbeat(&self, hb: &agg::Heartbeat) {
+        lock(&self.hbs).push(*hb);
     }
 }
 
@@ -691,7 +708,25 @@ impl MetricsSink for JsonlSink {
         let _ = writeln!(out, "{line}");
     }
 
+    fn heartbeat(&self, hb: &agg::Heartbeat) {
+        let mut out = lock(&self.out);
+        let _ = writeln!(out, "{}", hb.json());
+        // Heartbeats are the liveness channel a fleet monitor distinguishes
+        // "quiet" from "wedged" by; a pulse parked in the buffer until the
+        // next snapshot burst would defeat that, so push it to the file now.
+        let _ = out.flush();
+    }
+
     fn flush(&self) {
+        let _ = lock(&self.out).flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    /// Last-chance flush: the kernels flush explicitly at run teardown, but
+    /// a sink dropped on an early-error path (or by a caller that never ran)
+    /// must not strand buffered lines.
+    fn drop(&mut self) {
         let _ = lock(&self.out).flush();
     }
 }
@@ -734,6 +769,23 @@ pub struct ObsConfig {
     /// disables causal packet tracing (the default — a traced run buys exact
     /// per-packet lineage for memory proportional to committed hops).
     pub packet_trace_capacity: usize,
+    /// Register this run with the fleet telemetry hub ([`agg`]): write a
+    /// [`RunManifest`](agg::RunManifest) next to this path and stream the
+    /// full-resolution snapshot + heartbeat JSONL into it. `None` (the
+    /// default) = not instrumented. When a [`sink`](Self::sink) is also set
+    /// explicitly, the manifest is still written but the explicit sink wins
+    /// (no file is created). Env override: `PDES_OBS_METRICS=<path>`.
+    pub metrics_path: Option<PathBuf>,
+    /// Emit a [`Heartbeat`](agg::Heartbeat) line into the sink every `K`
+    /// GVT rounds (`0` = only the start/end pulses; heartbeats require a
+    /// sink). Env override: `PDES_OBS_HB=<K>`.
+    pub heartbeat_every: u64,
+    /// Fleet-unique run identifier stamped into the manifest (`None` =
+    /// derived from the metrics path's parent directory name).
+    pub run_id: Option<String>,
+    /// Human-readable model/workload label for the manifest (`None` =
+    /// `"unlabeled"`).
+    pub model_label: Option<String>,
 }
 
 /// Recorder capacity used when the legacy `PDES_TRACE` env toggle (or
@@ -747,6 +799,11 @@ pub const DEFAULT_SERIES_CAPACITY: usize = 1_024;
 /// packet tracing on without an explicit cap.
 pub const DEFAULT_PACKET_TRACE_CAPACITY: usize = 1 << 20;
 
+/// Heartbeat cadence (GVT rounds) used by [`ObsConfig::default`]: frequent
+/// enough that a fleet monitor notices a wedged run within a few polls,
+/// sparse enough to stay invisible in the overhead benches.
+pub const DEFAULT_HEARTBEAT_EVERY: u64 = 16;
+
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
@@ -759,6 +816,10 @@ impl Default for ObsConfig {
             prof_enabled: true,
             prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
             packet_trace_capacity: 0,
+            metrics_path: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            run_id: None,
+            model_label: None,
         }
     }
 }
@@ -777,6 +838,10 @@ impl ObsConfig {
             prof_enabled: false,
             prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
             packet_trace_capacity: 0,
+            metrics_path: None,
+            heartbeat_every: 0,
+            run_id: None,
+            model_label: None,
         }
     }
 
@@ -795,6 +860,10 @@ impl ObsConfig {
             prof_enabled: true,
             prof_sample_shift: prof::DEFAULT_SAMPLE_SHIFT,
             packet_trace_capacity: 0,
+            metrics_path: None,
+            heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
+            run_id: None,
+            model_label: None,
         }
     }
 
@@ -812,6 +881,11 @@ impl ObsConfig {
     /// * `PDES_OBS_PACKET_TRACE=<N>` enables per-packet causal tracing with
     ///   a committed-hop cap of `N` per PE (`1`/`true` picks
     ///   [`DEFAULT_PACKET_TRACE_CAPACITY`]; `0` leaves it off).
+    /// * `PDES_OBS_METRICS=<path>` instruments the run: manifest + JSONL
+    ///   metrics stream at `path` (see [`metrics_path`](Self::metrics_path)).
+    ///   An empty value warns and is ignored.
+    /// * `PDES_OBS_HB=<K>` sets the heartbeat cadence in GVT rounds (`0` =
+    ///   only start/end pulses).
     ///
     /// The lookups happen once per process (cached in a `OnceLock`), never
     /// on a hot path.
@@ -830,6 +904,10 @@ impl ObsConfig {
         }
         if let Some(cap) = env.packet_trace {
             cfg.packet_trace_capacity = cap;
+        }
+        cfg.metrics_path = env.metrics.clone();
+        if let Some(every) = env.heartbeat {
+            cfg.heartbeat_every = every;
         }
         cfg
     }
@@ -898,6 +976,36 @@ impl ObsConfig {
         self
     }
 
+    /// Instrument the run: manifest + full-resolution JSONL stream at
+    /// `path` (see [`metrics_path`](Self::metrics_path)).
+    #[must_use]
+    pub fn with_metrics_path(mut self, path: impl Into<PathBuf>) -> ObsConfig {
+        self.metrics_path = Some(path.into());
+        self
+    }
+
+    /// Set the heartbeat cadence in GVT rounds (`0` = only the start/end
+    /// pulses).
+    #[must_use]
+    pub fn with_heartbeat_every(mut self, rounds: u64) -> ObsConfig {
+        self.heartbeat_every = rounds;
+        self
+    }
+
+    /// Stamp an explicit run id into the manifest.
+    #[must_use]
+    pub fn with_run_id(mut self, id: impl Into<String>) -> ObsConfig {
+        self.run_id = Some(id.into());
+        self
+    }
+
+    /// Stamp a model/workload label into the manifest.
+    #[must_use]
+    pub fn with_model_label(mut self, label: impl Into<String>) -> ObsConfig {
+        self.model_label = Some(label.into());
+        self
+    }
+
     /// Build a recorder per this configuration.
     pub(crate) fn build_recorder(&self) -> FlightRecorder {
         FlightRecorder::new(self.recorder_capacity, self.categories, self.min_severity)
@@ -931,6 +1039,10 @@ impl fmt::Debug for ObsConfig {
             .field("prof_enabled", &self.prof_enabled)
             .field("prof_sample_shift", &self.prof_sample_shift)
             .field("packet_trace_capacity", &self.packet_trace_capacity)
+            .field("metrics_path", &self.metrics_path)
+            .field("heartbeat_every", &self.heartbeat_every)
+            .field("run_id", &self.run_id)
+            .field("model_label", &self.model_label)
             .finish()
     }
 }
@@ -947,6 +1059,8 @@ struct EnvOverrides {
     gvt: Option<crate::config::GvtMode>,
     ckpt: Option<u64>,
     ckpt_dir: Option<std::path::PathBuf>,
+    metrics: Option<PathBuf>,
+    heartbeat: Option<u64>,
 }
 
 /// One stderr warning for a malformed `PDES_*` value. A typo'd toggle used
@@ -1053,6 +1167,18 @@ fn env_overrides() -> &'static EnvOverrides {
             .and_then(|v| parse_env_u64("PDES_CKPT", &v))
             .filter(|&n| n > 0);
         let ckpt_dir = var("PDES_CKPT_DIR").map(std::path::PathBuf::from);
+        // PDES_OBS_METRICS=<path> instruments every run in the process; an
+        // empty value is almost certainly a broken shell expansion — warn
+        // (strict-knob policy) rather than create a file named "".
+        let metrics = var("PDES_OBS_METRICS").and_then(|v| {
+            if v.is_empty() {
+                warn_env("PDES_OBS_METRICS", &v, "a file path");
+                None
+            } else {
+                Some(PathBuf::from(v))
+            }
+        });
+        let heartbeat = var("PDES_OBS_HB").and_then(|v| parse_env_u64("PDES_OBS_HB", &v));
         EnvOverrides {
             trace,
             progress,
@@ -1064,6 +1190,8 @@ fn env_overrides() -> &'static EnvOverrides {
             gvt,
             ckpt,
             ckpt_dir,
+            metrics,
+            heartbeat,
         }
     })
 }
@@ -1473,5 +1601,131 @@ mod tests {
         assert!(cfg.build_tracer(4).enabled());
         let dbg = format!("{cfg:?}");
         assert!(dbg.contains("packet_trace_capacity: 512"), "got: {dbg}");
+    }
+
+    #[test]
+    fn obs_config_fleet_knobs() {
+        let cfg = ObsConfig::default();
+        assert_eq!(cfg.metrics_path, None, "instrumentation is opt-in");
+        assert_eq!(cfg.heartbeat_every, DEFAULT_HEARTBEAT_EVERY);
+        assert_eq!(ObsConfig::disabled().heartbeat_every, 0);
+
+        let cfg = ObsConfig::default()
+            .with_metrics_path("farm/run-00/metrics.jsonl")
+            .with_heartbeat_every(4)
+            .with_run_id("run-00")
+            .with_model_label("hotpotato/torus16");
+        assert_eq!(
+            cfg.metrics_path.as_deref(),
+            Some(Path::new("farm/run-00/metrics.jsonl"))
+        );
+        assert_eq!(cfg.heartbeat_every, 4);
+        assert_eq!(cfg.run_id.as_deref(), Some("run-00"));
+        assert_eq!(cfg.model_label.as_deref(), Some("hotpotato/torus16"));
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("heartbeat_every: 4"), "got: {dbg}");
+    }
+
+    #[test]
+    fn series_single_capacity_always_keeps_a_snapshot() {
+        // capacity 1 is the tightest legal series: it must never hold more
+        // than one snapshot, and decimation must not strand it empty
+        // forever — stride-multiple rounds keep landing.
+        let mut s = RoundSeries::new(1);
+        let mut retained_rounds = Vec::new();
+        for round in 1..=64 {
+            s.push(snap(round, 0));
+            assert!(s.snapshots().len() <= 1, "capacity 1 exceeded");
+            if let Some(kept) = s.snapshots().first() {
+                retained_rounds.push(kept.round);
+            }
+        }
+        assert!(s.stride() > 1, "capacity 1 must decimate");
+        assert!(
+            retained_rounds.iter().any(|&r| r >= 32),
+            "a late stride-multiple round must be retained: {retained_rounds:?}"
+        );
+        // Everything offered is either held or accounted as dropped.
+        assert_eq!(s.snapshots().len() as u64 + s.dropped(), 64);
+    }
+
+    #[test]
+    fn series_exact_stride_boundary_rounds_are_kept() {
+        let mut s = RoundSeries::new(4);
+        for round in 1..=32 {
+            s.push(snap(round, 0));
+        }
+        let stride = s.stride();
+        assert!(stride > 1);
+        for kept in s.snapshots() {
+            assert_eq!(
+                kept.round % stride,
+                0,
+                "retained round {} off the stride {stride}",
+                kept.round
+            );
+        }
+        // Offering a non-multiple after decimation drops it...
+        let before = s.dropped();
+        s.push(snap(33 * stride + 1, 0));
+        assert_eq!(s.dropped(), before + 1);
+        // ...while an exact multiple is retained.
+        let len = s.snapshots().len();
+        s.push(snap(34 * stride, 0));
+        assert!(
+            s.snapshots().len() == len + 1 || s.stride() > stride,
+            "stride multiple neither retained nor re-decimated"
+        );
+    }
+
+    #[test]
+    fn series_dropped_accounting_is_exhaustive() {
+        // Whatever the decimation history, every offer is either retained
+        // or counted dropped — the invariant operators reconcile
+        // `rounds_dropped` against.
+        for capacity in [1usize, 2, 3, 8, 100] {
+            let mut s = RoundSeries::new(capacity);
+            let offered = 257u64;
+            for round in 1..=offered {
+                s.push(snap(round, 0));
+            }
+            assert_eq!(
+                s.snapshots().len() as u64 + s.dropped(),
+                offered,
+                "capacity {capacity}: retained + dropped != offered"
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_summary_edge_cases() {
+        // Capacity 0: all-zero summary, wants() nothing.
+        let r = FlightRecorder::new(0, CategoryMask::ALL, ObsSeverity::Debug);
+        assert_eq!(
+            r.summary(2),
+            RecorderSummary {
+                pe: 2,
+                ..Default::default()
+            }
+        );
+
+        // Capacity 1: the ring holds exactly the newest record and the
+        // overwrite accounting matches recorded - len.
+        let mut r = FlightRecorder::new(1, CategoryMask::ALL, ObsSeverity::Debug);
+        for seq in 0..5 {
+            r.record(rec(ObsKind::Execute, seq));
+        }
+        let s = r.summary(0);
+        assert_eq!((s.capacity, s.len, s.recorded, s.overwritten), (1, 1, 5, 4));
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!(r.iter().next().unwrap().id.seq(), 4, "newest survives");
+
+        // Exactly-full ring (no wrap yet): nothing overwritten.
+        let mut r = FlightRecorder::new(3, CategoryMask::ALL, ObsSeverity::Debug);
+        for seq in 0..3 {
+            r.record(rec(ObsKind::Execute, seq));
+        }
+        let s = r.summary(1);
+        assert_eq!((s.len, s.recorded, s.overwritten), (3, 3, 0));
     }
 }

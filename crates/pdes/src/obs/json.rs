@@ -1,11 +1,17 @@
-//! JSONL metrics export and a dependency-free JSON validator.
+//! JSONL metrics export, a dependency-free JSON validator, and a minimal
+//! JSON value parser.
 //!
 //! The emitter side is deliberately trivial: every [`RoundSnapshot`] field
 //! is an unsigned integer, so one `format!` per line produces valid JSON
 //! with no escaping concerns. The validator side is a minimal
 //! recursive-descent checker (not a parser — it builds nothing) used by the
 //! unit tests, `obs_report`, and CI to prove exported files are well-formed
-//! without pulling in a JSON crate.
+//! without pulling in a JSON crate. The parser side ([`parse`] /
+//! [`JsonValue`]) is the read path the multi-run aggregator
+//! ([`agg`](super::agg)) and the `perf_history` gate use to consume the
+//! files this repo itself emits — same RFC 8259 grammar, but it builds a
+//! value tree. Integers are kept exact up to the full `u64`/`i64` range
+//! (`lvt` is `u64::MAX` on idle PEs; an f64 round-trip would corrupt it).
 
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -315,6 +321,273 @@ impl Validator<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Value parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Numbers that are written as integers and fit `i128` are kept exact in
+/// [`Int`](JsonValue::Int) (covering the full `u64` range — snapshot fields
+/// like an idle PE's `lvt = u64::MAX` survive the round trip); everything
+/// else lands in [`Float`](JsonValue::Float). Object members preserve their
+/// source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no fraction, no exponent) in `i128` range.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, members in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative in-range integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert; may round beyond 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: `self.get(key).and_then(JsonValue::as_u64)`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(JsonValue::as_u64)
+    }
+
+    /// Shorthand: `self.get(key).and_then(JsonValue::as_str)`.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// Parse `text` as exactly one JSON value (same grammar and limits as
+/// [`validate`], including the [`MAX_DEPTH`] recursion bound and the
+/// trailing-garbage rejection).
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        v: Validator {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        },
+    };
+    p.v.skip_ws();
+    let value = p.value()?;
+    p.v.skip_ws();
+    if p.v.pos != p.v.bytes.len() {
+        return Err(p.v.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent value builder layered over the validator's cursor
+/// (same error offsets/messages, one extra allocation per node).
+struct Parser<'a> {
+    v: Validator<'a>,
+}
+
+impl Parser<'_> {
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.v.depth >= MAX_DEPTH {
+            return Err(self.v.err("nesting too deep"));
+        }
+        match self.v.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.v.literal(b"true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.v.literal(b"false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.v.literal(b"null").map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.v.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.v.depth += 1;
+        self.v.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.v.skip_ws();
+        if self.v.peek() == Some(b'}') {
+            self.v.pos += 1;
+            self.v.depth -= 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.v.skip_ws();
+            let key = match self.string()? {
+                JsonValue::Str(s) => s,
+                _ => unreachable!("string() returns Str"),
+            };
+            self.v.skip_ws();
+            self.v.eat(b':', "expected ':' after object key")?;
+            self.v.skip_ws();
+            members.push((key, self.value()?));
+            self.v.skip_ws();
+            match self.v.peek() {
+                Some(b',') => self.v.pos += 1,
+                Some(b'}') => {
+                    self.v.pos += 1;
+                    self.v.depth -= 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.v.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.v.depth += 1;
+        self.v.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.v.skip_ws();
+        if self.v.peek() == Some(b']') {
+            self.v.pos += 1;
+            self.v.depth -= 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.v.skip_ws();
+            items.push(self.value()?);
+            self.v.skip_ws();
+            match self.v.peek() {
+                Some(b',') => self.v.pos += 1,
+                Some(b']') => {
+                    self.v.pos += 1;
+                    self.v.depth -= 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.v.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.v.pos;
+        self.v.string()?;
+        // Validated span including quotes; decode the escapes.
+        let raw = &self.v.bytes[start + 1..self.v.pos - 1];
+        let mut out = String::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            if raw[i] != b'\\' {
+                // Multi-byte UTF-8 passes through untouched; the input was a
+                // &str so the bytes are valid UTF-8.
+                let s = std::str::from_utf8(&raw[i..]).expect("validated UTF-8");
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                i += ch.len_utf8();
+                continue;
+            }
+            i += 1;
+            match raw[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = |b: &[u8]| {
+                        u32::from_str_radix(std::str::from_utf8(b).expect("hex digits"), 16)
+                            .expect("validated hex")
+                    };
+                    let mut code = hex(&raw[i + 1..i + 5]);
+                    i += 4;
+                    // Surrogate pair: a high surrogate followed by an escaped
+                    // low surrogate combines; anything unpaired degrades to
+                    // U+FFFD rather than failing the whole document.
+                    if (0xD800..0xDC00).contains(&code)
+                        && raw.get(i + 1..i + 3) == Some(b"\\u")
+                        && raw.len() >= i + 7
+                    {
+                        let low = hex(&raw[i + 3..i + 7]);
+                        if (0xDC00..0xE000).contains(&low) {
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            i += 6;
+                        }
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => unreachable!("validator rejects unknown escapes"),
+            }
+            i += 1;
+        }
+        Ok(JsonValue::Str(out))
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.v.pos;
+        self.v.number()?;
+        let text = std::str::from_utf8(&self.v.bytes[start..self.v.pos]).expect("ASCII number");
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonError {
+                offset: start,
+                line: None,
+                message: "number out of range",
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +676,58 @@ mod tests {
         assert_eq!(validate_jsonl("{\"a\":1}\n\n{\"b\":2}\n").unwrap(), 2);
         let err = validate_jsonl("{\"a\":1}\nnot json\n").unwrap_err();
         assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn parser_builds_values_and_keeps_u64_exact() {
+        let v = parse(&format!(
+            "{{\"lvt\":{},\"neg\":-3,\"f\":1.5,\"s\":\"a\\nb\",\"arr\":[1,true,null]}}",
+            u64::MAX
+        ))
+        .unwrap();
+        assert_eq!(v.u64_field("lvt"), Some(u64::MAX));
+        assert_eq!(v.get("neg"), Some(&JsonValue::Int(-3)));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.str_field("s"), Some("a\nb"));
+        let arr = v.get("arr").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_bool(), Some(true));
+        assert_eq!(arr[2], JsonValue::Null);
+        // Exponent / fraction forms land in Float even when integral.
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Float(1000.0));
+        assert_eq!(parse("2.0").unwrap(), JsonValue::Float(2.0));
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\u00e9 \\uD83D\\uDE00 \\\\ \\\" \\u0041\"").unwrap(),
+            JsonValue::Str("é 😀 \\ \" A".to_string())
+        );
+        // Unpaired surrogate degrades to U+FFFD instead of erroring.
+        assert_eq!(
+            parse("\"\\uD800x\"").unwrap(),
+            JsonValue::Str("\u{FFFD}x".to_string())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_what_the_validator_rejects() {
+        for bad in ["", "{", "[1, 2,]", "1.", "[1] trailing", "{\"a\" 1}"] {
+            assert!(parse(bad).is_err(), "parsed invalid JSON: {bad}");
+        }
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert_eq!(parse(&deep).unwrap_err().message, "nesting too deep");
+        // Every snapshot line the emitter writes parses back.
+        let snap = RoundSnapshot {
+            round: 3,
+            pe: 1,
+            lvt: u64::MAX,
+            ..Default::default()
+        };
+        let v = parse(&snapshot_json(&snap)).unwrap();
+        assert_eq!(v.u64_field("round"), Some(3));
+        assert_eq!(v.u64_field("lvt"), Some(u64::MAX));
     }
 
     #[test]

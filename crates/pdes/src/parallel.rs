@@ -1664,6 +1664,20 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         self.series.push(snap);
         if let Some(sink) = &self.config.obs.sink {
             sink.record(&snap);
+            // Liveness pulse for the fleet monitor: PE 0 only, every
+            // heartbeat_every rounds. Committed count is PE-local (the run
+            // total lands on the final `end` heartbeat).
+            let every = self.config.obs.heartbeat_every;
+            if self.id == 0 && every > 0 && self.round.is_multiple_of(every) {
+                sink.heartbeat(&crate::obs::agg::Heartbeat {
+                    pe: 0,
+                    wall_us: snap.wall_us,
+                    round: self.round,
+                    gvt,
+                    committed: self.stats.events_committed,
+                    phase: crate::obs::agg::RunPhase::Run,
+                });
+            }
         }
     }
 
@@ -1957,6 +1971,19 @@ fn run_parallel_inner<M: Model>(
         )));
     }
 
+    // Fleet registry: an obs.metrics_path turns into a run manifest + a
+    // JSONL sink before any event executes (see obs::agg). The returned
+    // config (metrics_path consumed, sink installed) replaces the caller's
+    // for the rest of the run.
+    let instrumented;
+    let config = match crate::obs::agg::instrument(config, n_lps as u64, "parallel")? {
+        Some(cfg) => {
+            instrumented = cfg;
+            &instrumented
+        }
+        None => config,
+    };
+
     // ---- Sequential setup phase (like ROSS's startup function). ----
     // `(gvt, round)` the machine starts from — zero for a fresh run.
     let resume_meta = resume.as_ref().map(|r| (r.gvt, r.round));
@@ -2101,6 +2128,18 @@ fn run_parallel_inner<M: Model>(
 
     // ---- Parallel phase. ----
     let start = Instant::now();
+    if config.obs.heartbeat_every > 0 {
+        if let Some(sink) = &config.obs.sink {
+            sink.heartbeat(&crate::obs::agg::Heartbeat {
+                pe: 0,
+                wall_us: 0,
+                round: resume_round,
+                gvt: resume_gvt,
+                committed: base_stats.events_committed,
+                phase: crate::obs::agg::RunPhase::Run,
+            });
+        }
+    }
     let results: Mutex<Vec<Option<PeReport<M::Output>>>> =
         Mutex::new((0..n_pes).map(|_| None).collect());
 
@@ -2267,6 +2306,24 @@ fn run_parallel_inner<M: Model>(
                 },
             });
         }
+        if config.obs.heartbeat_every > 0 {
+            if let Some(sink) = &config.obs.sink {
+                let committed: u64 = diagnostics
+                    .pes
+                    .iter()
+                    .map(|d| d.stats.events_committed)
+                    .sum();
+                sink.heartbeat(&crate::obs::agg::Heartbeat {
+                    pe: 0,
+                    wall_us: wall.as_micros() as u64,
+                    round: 0,
+                    gvt: diagnostics.gvt,
+                    committed,
+                    phase: crate::obs::agg::RunPhase::Fail,
+                });
+                sink.flush();
+            }
+        }
         return Err(cause.into_error(diagnostics));
     }
 
@@ -2291,6 +2348,19 @@ fn run_parallel_inner<M: Model>(
     }
     telemetry.seal();
     stats.wall_time = wall;
+    if config.obs.heartbeat_every > 0 {
+        if let Some(sink) = &config.obs.sink {
+            sink.heartbeat(&crate::obs::agg::Heartbeat {
+                pe: 0,
+                wall_us: wall.as_micros() as u64,
+                round: 0,
+                gvt: shared.gvt.load(SeqCst),
+                committed: stats.events_committed,
+                phase: crate::obs::agg::RunPhase::End,
+            });
+            sink.flush();
+        }
+    }
     Ok(RunResult {
         output,
         stats,

@@ -66,6 +66,16 @@ fn run_sequential_inner<M: Model>(
     if n_lps == 0 {
         return Err(RunError::config("model has no LPs"));
     }
+    // Run registry: a configured `metrics_path` turns into a run directory
+    // with a manifest plus a JSONL sink (see [`obs::agg`](crate::obs::agg)).
+    let instrumented;
+    let config = match crate::obs::agg::instrument(config, n_lps as u64, "sequential")? {
+        Some(cfg) => {
+            instrumented = cfg;
+            &instrumented
+        }
+        None => config,
+    };
 
     let mut rngs: Vec<Clcg4>;
     let mut states: Vec<M::State>;
@@ -155,6 +165,18 @@ fn run_sequential_inner<M: Model>(
     }
 
     let start = Instant::now();
+    if config.obs.heartbeat_every > 0 {
+        if let Some(sink) = &config.obs.sink {
+            sink.heartbeat(&crate::obs::agg::Heartbeat {
+                pe: 0,
+                wall_us: 0,
+                round,
+                gvt: last_ckpt_gvt,
+                committed: stats.events_committed,
+                phase: crate::obs::agg::RunPhase::Run,
+            });
+        }
+    }
     let mut bf = Bitfield::default();
     let mut last_key: Option<EventKey> = None;
 
@@ -348,6 +370,17 @@ fn run_sequential_inner<M: Model>(
             series.push(snap);
             if let Some(sink) = &config.obs.sink {
                 sink.record(&snap);
+                let every = config.obs.heartbeat_every;
+                if every > 0 && round.is_multiple_of(every) {
+                    sink.heartbeat(&crate::obs::agg::Heartbeat {
+                        pe: 0,
+                        wall_us: snap.wall_us,
+                        round,
+                        gvt: now_ticks,
+                        committed: stats.events_committed,
+                        phase: crate::obs::agg::RunPhase::Run,
+                    });
+                }
             }
         }
     }
@@ -373,6 +406,16 @@ fn run_sequential_inner<M: Model>(
     telemetry.absorb_trace(tracer.finish(true));
     telemetry.seal();
     if let Some(sink) = &config.obs.sink {
+        if config.obs.heartbeat_every > 0 {
+            sink.heartbeat(&crate::obs::agg::Heartbeat {
+                pe: 0,
+                wall_us: stats.wall_time.as_micros() as u64,
+                round,
+                gvt: last_key.map_or(last_ckpt_gvt, |k| k.recv_time.0),
+                committed: stats.events_committed,
+                phase: crate::obs::agg::RunPhase::End,
+            });
+        }
         sink.flush();
     }
     Ok(RunResult {

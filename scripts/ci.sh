@@ -61,16 +61,18 @@ echo "== bench smoke: 16x16 torus at 1 and 4 PEs (BENCH_pr2.json) =="
 # Perf-trajectory smoke: asserts parallel output == sequential oracle at
 # both PE counts, then records committed-events/sec. Not a pass/fail gate
 # on throughput (CI machines vary); the JSON is the artifact to eyeball.
+# All BENCH artifacts land in artifacts/ only — the single source of truth
+# the perf_history gate below reads.
 cargo build --release -p bench
+mkdir -p artifacts
 # --baseline is the pre-comm-fabric (mutex inbox) 4-PE throughput measured on
 # the 1-core reference box; keeps the speedup field in the regenerated JSON.
-./target/release/bench_pr2 --out=BENCH_pr2.json --baseline=845529
-cat BENCH_pr2.json
+./target/release/bench_pr2 --out=artifacts/BENCH_pr2.json --baseline=845529
+cat artifacts/BENCH_pr2.json
 
 echo "== instrumented smoke: trace + metrics export (artifacts/) =="
 # Full-verbosity run with both exporters on; obs_report itself re-validates
 # everything it writes with the in-tree JSON validator before exiting 0.
-mkdir -p artifacts
 ./target/release/obs_report \
     --steps=48 --progress=16 \
     --trace=artifacts/trace.json --metrics=artifacts/metrics.jsonl \
@@ -113,18 +115,16 @@ echo "== bench smoke: observability overhead (BENCH_pr3.json) =="
 # Gates the *default* always-on telemetry (GVT-round series + sink) at
 # <3% committed-events/sec vs a dark run, using interleaved paired samples;
 # full-verbosity overhead is recorded in the JSON informationally.
-./target/release/bench_pr3 --out=BENCH_pr3.json
-cp BENCH_pr3.json artifacts/
+./target/release/bench_pr3 --out=artifacts/BENCH_pr3.json
 
 echo "== bench smoke: profiler + packet-trace overhead (BENCH_pr4.json) =="
 # Gates the default-on phase profiler at <3% committed-events/sec vs a dark
 # run (paired interleaved samples); full packet tracing is recorded
 # informationally. Also re-asserts committed output and committed lineage
 # are bit-identical to the sequential oracle before timing anything.
-./target/release/bench_pr4 --out=BENCH_pr4.json
-cp BENCH_pr4.json artifacts/
+./target/release/bench_pr4 --out=artifacts/BENCH_pr4.json
 if command -v python3 >/dev/null 2>&1; then
-    python3 - BENCH_pr4.json <<'EOF'
+    python3 - artifacts/BENCH_pr4.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     b = json.load(f)
@@ -142,10 +142,9 @@ echo "== bench smoke: runtime-auditor overhead (BENCH_pr5.json) =="
 # vs the PR 4 dark baseline just regenerated above (same machine, same
 # session); audit-ON overhead (probe re-execution) is informational. Both
 # modes re-assert bit-identical committed output vs the sequential oracle.
-./target/release/bench_pr5 --baseline=BENCH_pr4.json --out=BENCH_pr5.json
-cp BENCH_pr5.json artifacts/
+./target/release/bench_pr5 --baseline=artifacts/BENCH_pr4.json --out=artifacts/BENCH_pr5.json
 if command -v python3 >/dev/null 2>&1; then
-    python3 - BENCH_pr5.json <<'EOF'
+    python3 - artifacts/BENCH_pr5.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     b = json.load(f)
@@ -170,10 +169,9 @@ echo "== bench smoke: checkpoint overhead (BENCH_pr6.json) =="
 # vs the PR 5 dark baseline just regenerated above (same machine, same
 # session); snapshot-every-GVT-round cost is informational. Both modes
 # re-assert bit-identical committed output vs the sequential oracle.
-./target/release/bench_pr6 --baseline=BENCH_pr5.json --out=BENCH_pr6.json
-cp BENCH_pr6.json artifacts/
+./target/release/bench_pr6 --baseline=artifacts/BENCH_pr5.json --out=artifacts/BENCH_pr6.json
 if command -v python3 >/dev/null 2>&1; then
-    python3 - BENCH_pr6.json <<'EOF'
+    python3 - artifacts/BENCH_pr6.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     b = json.load(f)
@@ -200,10 +198,9 @@ echo "== bench gate: arena/zero-copy speedup (BENCH_pr7.json) =="
 # Asserts committed output bit-identical to the sequential oracle AND to
 # the pre-arena golden Debug string before timing anything. Audit-fast and
 # streaming-checkpoint costs are recorded informationally.
-./target/release/bench_pr7 --out=BENCH_pr7.json
-cp BENCH_pr7.json artifacts/
+./target/release/bench_pr7 --out=artifacts/BENCH_pr7.json
 if command -v python3 >/dev/null 2>&1; then
-    python3 - BENCH_pr7.json <<'EOF'
+    python3 - artifacts/BENCH_pr7.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     b = json.load(f)
@@ -218,5 +215,66 @@ print(f"BENCH_pr7.json: arena speedup {b['speedup_best']}x best / "
       f"{b['overhead_pct_audit_full']}% (informational)")
 EOF
 fi
+
+echo "== bench gate: fleet-telemetry overhead (BENCH_pr8.json) =="
+# Paired-sample gate on the PR 8 surface: run-manifest write + JSONL metric
+# streaming + heartbeat emission must cost <5% committed-events/sec vs
+# default-on observability without a sink. Also round-trips the manifest
+# through the in-tree parser and requires start/end heartbeats to bracket
+# the stream before timing anything.
+./target/release/bench_pr8 --out=artifacts/BENCH_pr8.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - artifacts/BENCH_pr8.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], \
+    f"fleet telemetry overhead {b['overhead_pct_hub_on']}% over budget"
+modes = {m["mode"]: m for m in b["modes"]}
+assert modes["hub_off"]["events_committed"] == modes["hub_on"]["events_committed"]
+assert b["heartbeat_lines"] >= 2 and b["manifest_bytes"] > 0
+print(f"BENCH_pr8.json: hub_on {b['overhead_pct_hub_on']}% "
+      f"(jsonl-only {b['overhead_pct_jsonl_only']}%, "
+      f"noise floor {b['noise_floor_pct']}%), "
+      f"{b['heartbeat_lines']} heartbeats, {b['manifest_bytes']} manifest bytes")
+EOF
+fi
+
+echo "== obs_hub: injected-fault selftest + mini-farm smoke =="
+# Fault selftest: a synthesized GVT-stalled stream and a silent stream must
+# each produce the matching structured HealthEvent (exit 1 otherwise).
+./target/release/obs_hub selftest-faults --quiet
+# Mini-farm: 3 short concurrent instrumented runs into a temp farm dir,
+# live-monitored to completion; obs_hub validates health.jsonl/rollup.json
+# with the in-tree validator before writing them.
+farm_dir="$(mktemp -d "${TMPDIR:-/tmp}/pdes-ci-farm.XXXXXX")"
+trap 'rm -rf "$farm_dir"' EXIT
+./target/release/obs_hub farm --dir="$farm_dir" --runs=3 --n=8 --steps=48 --pes=2 --quiet
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$farm_dir" <<'EOF'
+import json, os, sys
+farm = sys.argv[1]
+with open(os.path.join(farm, "rollup.json")) as f:
+    r = json.load(f)
+assert r["runs"] == 3 and r["ended"] == 3 and r["failed"] == 0, r
+assert r["committed"] > 0
+with open(os.path.join(farm, "health.jsonl")) as f:
+    health = [json.loads(line) for line in f if line.strip()]
+for run in sorted(os.listdir(farm)):
+    mdir = os.path.join(farm, run)
+    if os.path.isdir(mdir):
+        with open(os.path.join(mdir, "run-manifest.json")) as f:
+            m = json.load(f)
+        assert m["manifest_version"] == 1 and m["metrics"] == "metrics.jsonl", m
+print(f"mini-farm: {r['runs']} runs ended, {r['committed']} committed, "
+      f"{len(health)} health events")
+EOF
+fi
+
+echo "== perf_history: BENCH trajectory gate over artifacts/ =="
+# Folds every artifacts/BENCH_pr*.json (all regenerated above, same machine,
+# same session) into one normalized timeline: each file's own gate verdict
+# must hold, and the primary throughput must not collapse >25% PR-over-PR.
+./target/release/perf_history --dir=artifacts --max-drop-pct=25
 
 echo "CI gate passed."
