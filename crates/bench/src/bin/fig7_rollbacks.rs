@@ -37,9 +37,21 @@ fn main() {
             // are scheduling-sensitive, so take the median of five runs.
             let mut counts: Vec<u64> = (0..5)
                 .map(|_| {
-                    run_point_timewarp(&model, args.seed, 2, kps, 512)
-                        .stats
-                        .events_rolled_back
+                    let stats = run_point_timewarp(&model, args.seed, 2, kps, 512).stats;
+                    // The series is re-derived from the blame-cascade
+                    // ledger; any drift from the legacy counter means the
+                    // two rollback accounting paths disagree.
+                    assert_eq!(
+                        stats.blame.events_undone, stats.events_rolled_back,
+                        "blame ledger diverged from EngineStats \
+                         (n={n} kps={kps}; is PDES_OBS_BLAME=0 set?)"
+                    );
+                    assert_eq!(
+                        stats.blame.cascades_straggler, stats.primary_rollbacks,
+                        "cascade roots diverged from primary_rollbacks \
+                         (n={n} kps={kps})"
+                    );
+                    stats.blame.events_undone
                 })
                 .collect();
             counts.sort_unstable();

@@ -41,6 +41,7 @@ fn primary_mode(pr: u64) -> Option<&'static str> {
         6 => Some("ckpt_off"),
         7 => Some("arena"),
         8 => Some("hub_off"),
+        9 => Some("blame_off"),
         _ => None,
     }
 }

@@ -365,22 +365,25 @@ mod tests {
     use crate::time::VirtualTime;
 
     fn anti(seq: u64) -> Remote<()> {
-        Remote::Anti(ChildRef {
-            id: EventId::new(0, seq),
-            key: EventKey {
-                recv_time: VirtualTime(seq + 1),
-                dst: 0,
-                tie: seq,
-                src: 0,
-                send_time: VirtualTime::ZERO,
+        Remote::Anti(
+            ChildRef {
+                id: EventId::new(0, seq),
+                key: EventKey {
+                    recv_time: VirtualTime(seq + 1),
+                    dst: 0,
+                    tie: seq,
+                    src: 0,
+                    send_time: VirtualTime::ZERO,
+                },
             },
-        })
+            crate::obs::blame::CascadeTag::NONE,
+        )
     }
 
     fn seqs(msgs: &[Remote<()>]) -> Vec<u64> {
         msgs.iter()
             .map(|m| match m {
-                Remote::Anti(c) => c.id.seq(),
+                Remote::Anti(c, _) => c.id.seq(),
                 Remote::Positive(e) => e.id.seq(),
             })
             .collect()

@@ -9,6 +9,7 @@
 //! exact same order (the paper's repeatability result, Section 4.2.1).
 
 use crate::arena::SlotRef;
+use crate::obs::blame::CascadeTag;
 use crate::time::VirtualTime;
 
 /// Global logical-process number, `0 .. n_lps`.
@@ -189,8 +190,11 @@ pub enum Remote<P> {
     /// straggler).
     Positive(Event<P>),
     /// Cancel the event with this id/key (annihilate it, rolling back if it
-    /// was already processed).
-    Anti(ChildRef),
+    /// was already processed). The [`CascadeTag`] links any secondary
+    /// rollback this triggers into the sender's blame cascade
+    /// ([`CascadeTag::NONE`] when forensics are off) — antis only exist on
+    /// rollback paths, so the positive-event wire cost is unchanged.
+    Anti(ChildRef, CascadeTag),
 }
 
 #[cfg(test)]

@@ -190,7 +190,7 @@ impl<P: Clone> FaultState<P> {
             .iter()
             .map(|m| match m {
                 Remote::Positive(e) => e.key.recv_time.0,
-                Remote::Anti(c) => c.key.recv_time.0,
+                Remote::Anti(c, _) => c.key.recv_time.0,
             })
             .min()
             .unwrap_or(u64::MAX)
@@ -247,23 +247,26 @@ mod tests {
     use crate::time::VirtualTime;
 
     fn anti(seq: u64) -> Remote<()> {
-        Remote::Anti(ChildRef {
-            id: EventId::new(0, seq),
-            key: EventKey {
-                recv_time: VirtualTime(seq + 1),
-                dst: 0,
-                tie: seq,
-                src: 0,
-                send_time: VirtualTime::ZERO,
+        Remote::Anti(
+            ChildRef {
+                id: EventId::new(0, seq),
+                key: EventKey {
+                    recv_time: VirtualTime(seq + 1),
+                    dst: 0,
+                    tie: seq,
+                    src: 0,
+                    send_time: VirtualTime::ZERO,
+                },
             },
-        })
+            crate::obs::blame::CascadeTag::NONE,
+        )
     }
 
     fn ids(batch: &[Remote<()>]) -> Vec<u64> {
         batch
             .iter()
             .map(|m| match m {
-                Remote::Anti(c) => c.id.seq(),
+                Remote::Anti(c, _) => c.id.seq(),
                 Remote::Positive(e) => e.id.seq(),
             })
             .collect()

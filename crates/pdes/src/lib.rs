@@ -131,6 +131,7 @@ pub mod prelude {
         FleetMonitor, HealthDetector, HealthEvent, HealthPolicy, Heartbeat, RunIngest, RunManifest,
         RunPhase, RunState, StreamTail,
     };
+    pub use crate::obs::blame::{BlameCell, BlameReport, CascadeCause, CascadeRec, CascadeTag};
     pub use crate::obs::prof::{Phase, PhaseProfile, PhaseStats};
     pub use crate::obs::trace::{HopEmit, HopRecord, PacketTrace, TRACE_UNBOUNDED};
     pub use crate::obs::{

@@ -37,6 +37,7 @@
 //! verbosity.
 
 pub mod agg;
+pub mod blame;
 pub mod chrome;
 pub mod json;
 pub mod prof;
@@ -500,6 +501,14 @@ pub struct RoundSnapshot {
     pub checkpoints_written: u64,
     /// Cumulative snapshot bytes written by this PE.
     pub checkpoint_bytes: u64,
+    /// Cumulative blame cascades opened on this PE (straggler + capture
+    /// roots; zero when the blame layer is off).
+    pub cascades: u64,
+    /// Cumulative events undone under cascade attribution (tracks
+    /// `events_rolled_back` exactly when blame is on).
+    pub cascade_undone: u64,
+    /// Cumulative undone events that were forward-executed again.
+    pub cascade_reexec: u64,
 }
 
 impl RoundSnapshot {
@@ -786,6 +795,11 @@ pub struct ObsConfig {
     /// Human-readable model/workload label for the manifest (`None` =
     /// `"unlabeled"`).
     pub model_label: Option<String>,
+    /// Rollback forensics ([`blame`]): cascade attribution, the blame
+    /// matrix, and the wasted-work ledger. On by default — it only runs on
+    /// rollback paths, which are already the slow path. Env override:
+    /// `PDES_OBS_BLAME=0`.
+    pub blame_enabled: bool,
 }
 
 /// Recorder capacity used when the legacy `PDES_TRACE` env toggle (or
@@ -820,13 +834,14 @@ impl Default for ObsConfig {
             heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
             run_id: None,
             model_label: None,
+            blame_enabled: true,
         }
     }
 }
 
 impl ObsConfig {
     /// Everything off: no recorder, no series, no progress, no sink, no
-    /// profiler, no packet trace.
+    /// profiler, no packet trace, no blame.
     pub fn disabled() -> ObsConfig {
         ObsConfig {
             recorder_capacity: 0,
@@ -842,6 +857,7 @@ impl ObsConfig {
             heartbeat_every: 0,
             run_id: None,
             model_label: None,
+            blame_enabled: false,
         }
     }
 
@@ -864,6 +880,7 @@ impl ObsConfig {
             heartbeat_every: DEFAULT_HEARTBEAT_EVERY,
             run_id: None,
             model_label: None,
+            blame_enabled: true,
         }
     }
 
@@ -886,6 +903,8 @@ impl ObsConfig {
     ///   An empty value warns and is ignored.
     /// * `PDES_OBS_HB=<K>` sets the heartbeat cadence in GVT rounds (`0` =
     ///   only start/end pulses).
+    /// * `PDES_OBS_BLAME=0` (or `false`) turns rollback forensics off;
+    ///   anything else leaves it at the default (on).
     ///
     /// The lookups happen once per process (cached in a `OnceLock`), never
     /// on a hot path.
@@ -908,6 +927,9 @@ impl ObsConfig {
         cfg.metrics_path = env.metrics.clone();
         if let Some(every) = env.heartbeat {
             cfg.heartbeat_every = every;
+        }
+        if let Some(on) = env.blame {
+            cfg.blame_enabled = on;
         }
         cfg
     }
@@ -1006,6 +1028,13 @@ impl ObsConfig {
         self
     }
 
+    /// Turn rollback forensics ([`blame`]) on or off.
+    #[must_use]
+    pub fn with_blame(mut self, enabled: bool) -> ObsConfig {
+        self.blame_enabled = enabled;
+        self
+    }
+
     /// Build a recorder per this configuration.
     pub(crate) fn build_recorder(&self) -> FlightRecorder {
         FlightRecorder::new(self.recorder_capacity, self.categories, self.min_severity)
@@ -1025,6 +1054,11 @@ impl ObsConfig {
     pub(crate) fn build_tracer(&self, n_kps: usize) -> trace::PacketTracer {
         trace::PacketTracer::new(self.packet_trace_capacity, n_kps)
     }
+
+    /// Build a rollback-forensics tracker per this configuration.
+    pub(crate) fn build_blame(&self, pe: PeId) -> blame::BlameTracker {
+        blame::BlameTracker::new(self.blame_enabled, pe)
+    }
 }
 
 impl fmt::Debug for ObsConfig {
@@ -1043,6 +1077,7 @@ impl fmt::Debug for ObsConfig {
             .field("heartbeat_every", &self.heartbeat_every)
             .field("run_id", &self.run_id)
             .field("model_label", &self.model_label)
+            .field("blame_enabled", &self.blame_enabled)
             .finish()
     }
 }
@@ -1061,6 +1096,7 @@ struct EnvOverrides {
     ckpt_dir: Option<std::path::PathBuf>,
     metrics: Option<PathBuf>,
     heartbeat: Option<u64>,
+    blame: Option<bool>,
 }
 
 /// One stderr warning for a malformed `PDES_*` value. A typo'd toggle used
@@ -1179,6 +1215,7 @@ fn env_overrides() -> &'static EnvOverrides {
             }
         });
         let heartbeat = var("PDES_OBS_HB").and_then(|v| parse_env_u64("PDES_OBS_HB", &v));
+        let blame = var("PDES_OBS_BLAME").and_then(|v| parse_env_bool("PDES_OBS_BLAME", &v));
         EnvOverrides {
             trace,
             progress,
@@ -1192,6 +1229,7 @@ fn env_overrides() -> &'static EnvOverrides {
             ckpt_dir,
             metrics,
             heartbeat,
+            blame,
         }
     })
 }

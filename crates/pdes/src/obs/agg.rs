@@ -466,6 +466,9 @@ pub fn snapshot_from_json(v: &JsonValue) -> Option<RoundSnapshot> {
         pool_misses: v.u64_field("pool_misses").unwrap_or(0),
         checkpoints_written: v.u64_field("checkpoints_written").unwrap_or(0),
         checkpoint_bytes: v.u64_field("checkpoint_bytes").unwrap_or(0),
+        cascades: v.u64_field("cascades").unwrap_or(0),
+        cascade_undone: v.u64_field("cascade_undone").unwrap_or(0),
+        cascade_reexec: v.u64_field("cascade_reexec").unwrap_or(0),
         ..RoundSnapshot::default()
     };
     if let Some(phases) = v.get("phase_ns").and_then(JsonValue::as_arr) {
@@ -1061,7 +1064,8 @@ impl RunIngest {
                 "{{\"run\":{},\"model\":{},\"kernel\":{},\"state\":\"{}\",",
                 "\"seed\":{},\"pes\":{},\"rounds\":{},\"gvt\":{},",
                 "\"committed\":{},\"processed\":{},\"rolled_back\":{},",
-                "\"rollbacks\":{},\"committed_per_sec\":{:.1},",
+                "\"rollbacks\":{},\"cascades\":{},\"cascade_undone\":{},",
+                "\"cascade_reexec\":{},\"committed_per_sec\":{:.1},",
                 "\"rollback_ratio\":{:.6},",
                 "\"roughness\":{{\"n\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
                 "\"queue_depth\":{},\"uncommitted\":{},\"checkpoint_bytes\":{},",
@@ -1080,6 +1084,9 @@ impl RunIngest {
             processed,
             rolled_back,
             self.sum_latest(|s| s.rollbacks),
+            self.sum_latest(|s| s.cascades),
+            self.sum_latest(|s| s.cascade_undone),
+            self.sum_latest(|s| s.cascade_reexec),
             committed_per_sec,
             rollback_ratio,
             self.rough_n,

@@ -31,6 +31,7 @@
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+use super::blame::BlameReport;
 use super::prof::Phase;
 use super::trace::PacketTrace;
 use super::{RoundSnapshot, Telemetry};
@@ -244,6 +245,87 @@ pub fn write_packet_flow_to<W: Write>(trace: &PacketTrace, out: &mut W) -> std::
     writeln!(out, "\n]}}")
 }
 
+/// Write a [`BlameReport`]'s cascades to `path` as a Chrome trace on the
+/// **virtual**-time axis: one track per victim KP, a 1 µs slice per cascade
+/// at its root rollback's virtual time (args carry the full per-cascade
+/// accounting), and — for every cascade whose linkage spans beyond its root
+/// — a flow arrow (`"s"` → `"f"`, `id` = the cascade id) from the root's
+/// (KP, vt) to the deepest link's, so following the arrows walks the
+/// straggler's damage across KPs and PEs.
+pub fn write_blame_flow(report: &BlameReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    write_blame_flow_to(report, &mut out)?;
+    out.flush()
+}
+
+/// Like [`write_blame_flow`], into any writer.
+pub fn write_blame_flow_to<W: Write>(report: &BlameReport, out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |out: &mut W, ev: String| -> std::io::Result<()> {
+        if first {
+            first = false;
+            write!(out, "{ev}")
+        } else {
+            write!(out, ",\n{ev}")
+        }
+    };
+    emit(
+        out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"rollback cascades (virtual time)\"}}"
+            .into(),
+    )?;
+    for (id, rec) in &report.cascades {
+        // Sentinel origin LP (capture cascades) renders as -1 rather than
+        // u32::MAX noise.
+        let lp = if rec.origin_lp == super::blame::CAPTURE_LP {
+            -1i64
+        } else {
+            rec.origin_lp as i64
+        };
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":1,\
+                 \"name\":\"cascade {}\",\"args\":{{\"id\":{id},\"origin_lp\":{lp},\
+                 \"depth\":{},\"width\":{},\"rollbacks\":{},\"undone\":{},\
+                 \"reexec\":{},\"antis_remote\":{}}}}}",
+                rec.origin_kp,
+                rec.root_vt,
+                rec.cause.name(),
+                rec.depth,
+                rec.width,
+                rec.rollbacks,
+                rec.events_undone,
+                rec.events_reexec,
+                rec.antis_remote,
+            ),
+        )?;
+        // Root-only cascades draw no arrow (nothing to connect).
+        if rec.depth == 0 && rec.last_kp == rec.origin_kp {
+            continue;
+        }
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"s\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"cascade\",\"cat\":\"cascade\",\"id\":{id}}}",
+                rec.origin_kp, rec.root_vt
+            ),
+        )?;
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"f\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"cascade\",\"cat\":\"cascade\",\"id\":{id},\"bp\":\"e\"}}",
+                rec.last_kp, rec.last_vt
+            ),
+        )?;
+    }
+    writeln!(out, "\n]}}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::json::validate;
@@ -366,6 +448,62 @@ mod tests {
         );
         // Slices land on the executing LP's track at virtual time.
         assert!(text.contains("\"tid\":2,\"ts\":3"));
+    }
+
+    #[test]
+    fn blame_flow_draws_arrows_for_deep_cascades_only() {
+        use crate::obs::blame::{CascadeCause, CascadeRec};
+        let mut report = BlameReport::default();
+        // Deep cascade: root on KP 1 at vt 500, deepest link on KP 4 at 450.
+        report.cascades.insert(
+            1u64,
+            CascadeRec {
+                cause: CascadeCause::Straggler,
+                origin_lp: 7,
+                origin_kp: 1,
+                root_vt: 500,
+                depth: 2,
+                rollbacks: 3,
+                width: 2,
+                events_undone: 9,
+                last_kp: 4,
+                last_vt: 450,
+                ..CascadeRec::default()
+            },
+        );
+        // Shallow cascade: no arrow.
+        report.cascades.insert(
+            2u64,
+            CascadeRec {
+                cause: CascadeCause::Straggler,
+                origin_lp: 3,
+                origin_kp: 2,
+                root_vt: 600,
+                last_kp: 2,
+                last_vt: 600,
+                ..CascadeRec::default()
+            },
+        );
+        let mut buf = Vec::new();
+        write_blame_flow_to(&report, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{text}"));
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 2, "one slice each");
+        assert_eq!(text.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(text.matches("\"ph\":\"f\"").count(), 1);
+        // Arrow endpoints land on (KP track, virtual time).
+        assert!(text.contains("\"tid\":1,\"ts\":500"));
+        assert!(text.contains("\"tid\":4,\"ts\":450"));
+        assert!(text.contains("cascade straggler"));
+    }
+
+    #[test]
+    fn empty_blame_flow_is_valid_json() {
+        let mut buf = Vec::new();
+        write_blame_flow_to(&BlameReport::default(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        validate(&text).unwrap();
+        assert!(text.contains("rollback cascades"));
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
             "\"ring_full_stalls\":{},\"events_committed\":{},",
             "\"events_processed\":{},\"events_rolled_back\":{},\"rollbacks\":{},",
             "\"pool_hits\":{},\"pool_misses\":{},\"phase_ns\":{},",
-            "\"checkpoints_written\":{},\"checkpoint_bytes\":{}}}"
+            "\"checkpoints_written\":{},\"checkpoint_bytes\":{},",
+            "\"cascades\":{},\"cascade_undone\":{},\"cascade_reexec\":{}}}"
         ),
         s.round,
         s.pe,
@@ -47,6 +48,9 @@ pub fn snapshot_json(s: &RoundSnapshot) -> String {
         phase_ns_json(&s.phase_ns),
         s.checkpoints_written,
         s.checkpoint_bytes,
+        s.cascades,
+        s.cascade_undone,
+        s.cascade_reexec,
     )
 }
 
@@ -613,6 +617,9 @@ mod tests {
             phase_ns: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
             checkpoints_written: 2,
             checkpoint_bytes: 4096,
+            cascades: 6,
+            cascade_undone: 48,
+            cascade_reexec: 33,
         };
         let line = snapshot_json(&snap);
         validate(&line).unwrap();
@@ -622,6 +629,9 @@ mod tests {
         assert!(line.contains("\"phase_ns\":[1,2,3,4,5,6,7,8,9,10]"));
         assert!(line.contains("\"checkpoints_written\":2"));
         assert!(line.contains("\"checkpoint_bytes\":4096"));
+        assert!(line.contains("\"cascades\":6"));
+        assert!(line.contains("\"cascade_undone\":48"));
+        assert!(line.contains("\"cascade_reexec\":33"));
         assert!(!line.contains('\n'));
     }
 

@@ -124,6 +124,7 @@ use crate::hash::{FastMap, FastSet};
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
 use crate::model::{Emit, EventCtx, InitCtx, Merge, Model, ReverseCtx};
+use crate::obs::blame::{BlameTracker, CascadeTag};
 use crate::obs::prof::{Phase, PhaseProfiler};
 use crate::obs::trace::{HopEmit, PacketTrace, PacketTracer};
 use crate::obs::{FlightRecorder, ObsKind, ObsRecord, RoundSeries, RoundSnapshot, Telemetry};
@@ -288,6 +289,11 @@ struct PeRuntime<'a, M: Model> {
     /// Scratch buffer the model's `trace_hop` calls fill during one forward
     /// execution; drained into the tracer with the event's key.
     hop_buf: Vec<HopEmit>,
+    /// Rollback-forensics tracker (see [`blame`](crate::obs::blame)):
+    /// cascade attribution, the blame matrix, and the wasted-work ledger.
+    /// Only touched on rollback/cancellation paths plus one emptiness check
+    /// per forward execution.
+    blame: BlameTracker,
     /// Totals already published to the shared progress counters (the next
     /// round publishes only the delta).
     progress_published: (u64, u64, u64),
@@ -782,7 +788,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         // into the window minimum.
         let recv = match &msg {
             Remote::Positive(ev) => ev.key.recv_time.0,
-            Remote::Anti(c) => c.key.recv_time.0,
+            Remote::Anti(c, _) => c.key.recv_time.0,
         };
         self.send_min = self.send_min.min(recv);
         self.shared.sent.fetch_add(1, SeqCst);
@@ -976,13 +982,13 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                     slot,
                 });
             }
-            Remote::Anti(child) => {
+            Remote::Anti(child, tag) => {
                 if self.faults.is_some() && !self.seen_anti.insert(child.id) {
                     self.stats.duplicates_dropped += 1;
                     obs!(self, ObsKind::DropDuplicate, child.id, child.key);
                     return Ok(());
                 }
-                self.cancel_local(child);
+                self.cancel_local(child, tag);
             }
         }
         Ok(())
@@ -1006,7 +1012,16 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                     entry.key,
                     entry.key.recv_time.0
                 );
+                // Blame the sender: the straggler's send-time lag behind the
+                // victim KP's LVT measures how stale the damage was.
+                self.blame.begin_straggler(
+                    entry.key.src,
+                    self.flat.kp_of_lp[entry.key.dst as usize],
+                    last.recv_time.0.saturating_sub(entry.key.send_time.0),
+                    entry.key.recv_time.0,
+                );
                 self.rollback(kp_idx, entry.key, None);
+                self.blame.end();
             }
         }
         if let Some(a) = self.audit.as_mut() {
@@ -1021,20 +1036,34 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// KP back past it (secondary rollback), or — if the positive has not
     /// been delivered yet, which only fault-injected reordering/delay can
     /// arrange — park the anti to annihilate the positive on arrival.
-    fn cancel_local(&mut self, child: ChildRef) {
+    fn cancel_local(&mut self, child: ChildRef, tag: CascadeTag) {
         if let Some(slot) = self.queue.remove(child.id, child.key) {
             let _ = self.arena.free(slot);
             if let Some(a) = self.audit.as_mut() {
                 a.toggle_sched(child.id, &child.key);
             }
             obs!(self, ObsKind::CancelPending, child.id, child.key);
+            // Cancelled while pending: if a cascade had requeued it, the
+            // re-execution it was waiting for will never happen.
+            self.blame.on_annihilate(child.id);
             return;
         }
         let kp_idx = self.local_kp_idx(child.key.dst);
         if self.kps[kp_idx].contains_at_or_after(child.id, child.key) {
             obs!(self, ObsKind::CancelMiss, child.id, child.key);
             self.stats.secondary_rollbacks += 1;
+            // Link this secondary rollback into the sender's cascade. The
+            // victim's LVT exists (`contains_at_or_after` proved the KP has
+            // processed work at or after the cancelled event).
+            let lvt = self.kps[kp_idx].last_key().map_or(0, |k| k.recv_time.0);
+            self.blame.begin_secondary(
+                tag,
+                self.flat.kp_of_lp[child.key.dst as usize],
+                lvt.saturating_sub(child.key.send_time.0),
+                child.key.recv_time.0,
+            );
             self.rollback(kp_idx, child.key, Some(child.id));
+            self.blame.end();
         } else {
             obs!(self, ObsKind::DeferAnti, child.id, child.key);
             self.stats.antis_deferred += 1;
@@ -1103,6 +1132,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             }
             self.stats.events_rolled_back += 1;
             undone += 1;
+            self.blame.on_undone();
 
             // The annihilation target is identified by id, not key — a
             // transient stale twin may share the key and must be requeued,
@@ -1114,6 +1144,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 break;
             }
             obs!(self, ObsKind::Requeue, p.id, p.key);
+            self.blame.on_requeue(p.id);
             if let Some(a) = self.audit.as_mut() {
                 a.toggle_sched(p.id, &p.key);
             }
@@ -1156,13 +1187,17 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         self.stats.anti_messages += 1;
         let pe = self.flat.pe_of_lp[child.key.dst as usize];
         obs!(self, ObsKind::AntiSent, child.id, child.key, pe);
+        // Children of the rollback currently unwinding link one cascade
+        // level deeper, on this PE or across the wire.
+        let tag = self.blame.child_tag();
         if pe == self.id {
             // Local cancellation's cost lands in the rollback phases it
             // triggers (Reverse / SchedPush), not here.
-            self.cancel_local(child);
+            self.cancel_local(child, tag);
         } else {
+            self.blame.on_remote_anti();
             let t0 = self.profiler.begin(Phase::AntiSend);
-            self.send_remote(pe, Remote::Anti(child));
+            self.send_remote(pe, Remote::Anti(child, tag));
             self.profiler.end(Phase::AntiSend, t0);
         }
     }
@@ -1315,6 +1350,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             audit_hash,
         });
         self.stats.events_processed += 1;
+        // One emptiness check on the rollback-free hot path; counts the
+        // re-execution if a cascade previously undid this event.
+        self.blame.on_execute(entry.id);
         self.since_gvt += 1;
         halted?;
 
@@ -1487,8 +1525,15 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             send_time: VirtualTime::ZERO,
         };
         for ki in 0..self.kps.len() {
-            if self.kps[ki].last_key().is_some_and(|k| k >= horizon) {
-                self.rollback(ki, horizon, None);
+            if let Some(k) = self.kps[ki].last_key() {
+                if k >= horizon {
+                    // Kernel-initiated cascade: blamed on no LP, but priced
+                    // in the ledger like any other unwind.
+                    self.blame
+                        .begin_capture(self.flat.kp_of_lp[k.dst as usize], gvt);
+                    self.rollback(ki, horizon, None);
+                    self.blame.end();
+                }
             }
         }
         self.flush_out_bufs();
@@ -1640,6 +1685,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         if self.config.obs.series_capacity == 0 && self.config.obs.sink.is_none() {
             return;
         }
+        let (cascades, cascade_undone, cascade_reexec) = self.blame.round_counters();
         let snap = RoundSnapshot {
             round: self.round,
             pe: self.id,
@@ -1660,6 +1706,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             phase_ns: self.profiler.cumulative_ns(),
             checkpoints_written: self.stats.checkpoints_written,
             checkpoint_bytes: self.stats.checkpoint_bytes,
+            cascades,
+            cascade_undone,
+            cascade_reexec,
         };
         self.series.push(snap);
         if let Some(sink) = &self.config.obs.sink {
@@ -1810,6 +1859,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         self.stats.pool_misses = self.msg_pool.misses + self.child_pool.misses;
         self.stats.arena_peak_slots = self.arena.peak() as u64;
         self.stats.prof = self.profiler.profile().clone();
+        self.stats.blame = self.blame.seal();
         PeDiagnostics {
             pe: self.id,
             queue_depth: self.queue.len(),
@@ -2227,6 +2277,7 @@ fn run_parallel_inner<M: Model>(
                     profiler: config.obs.build_profiler(),
                     tracer: config.obs.build_tracer(seed.n_kps),
                     hop_buf: Vec::new(),
+                    blame: config.obs.build_blame(pe),
                 };
                 if pe == 0 && resume_meta.is_some() && rt.recorder.wants(ObsKind::Recovery) {
                     rt.recorder

@@ -396,6 +396,11 @@ fn run_sequential_inner<M: Model>(
     stats.arena_peak_slots = arena.peak() as u64;
     stats.wall_time = start.elapsed();
     stats.prof = profiler.profile().clone();
+    // The sequential kernel never speculates, so its blame report (and the
+    // cascade fields of every RoundSnapshot above, via `..Default`) stays at
+    // the structural zero the forensics suite pins — the surface is
+    // identical to a parallel run's, the content provably empty.
+    debug_assert!(stats.blame.is_empty());
 
     let mut output = M::Output::default();
     for lp in 0..n_lps {

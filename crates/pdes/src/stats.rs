@@ -7,6 +7,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::obs::blame::BlameReport;
 use crate::obs::prof::{Phase, PhaseProfile};
 
 /// Counters collected by one PE (or the sequential kernel) and merged into a
@@ -81,6 +82,11 @@ pub struct EngineStats {
     /// Per-phase wall-clock profile (empty when the profiler is disabled;
     /// see [`ObsConfig::with_profiler`](crate::obs::ObsConfig::with_profiler)).
     pub prof: PhaseProfile,
+    /// Rollback forensics: cascade attribution, the blame matrix, and the
+    /// wasted-work ledger (empty when blame is disabled and always under
+    /// the sequential kernel; see
+    /// [`ObsConfig::with_blame`](crate::obs::ObsConfig::with_blame)).
+    pub blame: BlameReport,
 }
 
 impl EngineStats {
@@ -122,6 +128,7 @@ impl EngineStats {
         self.arena_peak_slots = self.arena_peak_slots.max(other.arena_peak_slots);
         self.wall_time = self.wall_time.max(other.wall_time);
         self.prof.merge(&other.prof);
+        self.blame.merge(&other.blame);
     }
 
     /// Total faults the chaos layer injected.
@@ -206,6 +213,25 @@ impl EngineStats {
         let committed_frac = self.events_committed as f64 / self.events_processed as f64;
         Some(exec * committed_frac / busy as f64)
     }
+
+    /// Wasted-work ledger total: nanoseconds spent undoing speculation,
+    /// priced at the profiler's mean `Reverse`/`AntiSend` scope costs (zero
+    /// when the profiler or blame layer was off). Differs from the
+    /// profiler's own `Reverse + AntiSend` estimate only by per-event
+    /// integer-division rounding — the ledger's documented sampling error.
+    pub fn wasted_ns(&self) -> u64 {
+        self.blame.wasted_ns(&self.prof)
+    }
+
+    /// The ledger total as a fraction of profiled busy time. `None` when
+    /// the profiler was off (no denominator).
+    pub fn wasted_frac_of_busy(&self) -> Option<f64> {
+        let busy = self.prof.busy_ns();
+        if busy == 0 {
+            return None;
+        }
+        Some(self.wasted_ns() as f64 / busy as f64)
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -270,6 +296,17 @@ impl fmt::Display for EngineStats {
             self.wall_time.as_secs_f64()
         )?;
         write!(f, "event rate           : {:.0} ev/s", self.event_rate())?;
+        if !self.blame.is_empty() {
+            write!(
+                f,
+                "\nspeculation          : {} committed / {} undone / {} re-executed",
+                self.events_committed, self.blame.events_undone, self.blame.events_reexecuted
+            )?;
+            if let Some(frac) = self.wasted_frac_of_busy() {
+                write!(f, ", {:.1}% of busy wasted", 100.0 * frac)?;
+            }
+            write!(f, ", worst cascade depth {}", self.blame.worst_depth())?;
+        }
         if !self.prof.is_empty() {
             write!(f, "\n{}", self.prof)?;
             if let Some(eff) = self.optimism_efficiency() {

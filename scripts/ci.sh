@@ -240,6 +240,59 @@ print(f"BENCH_pr8.json: hub_on {b['overhead_pct_hub_on']}% "
 EOF
 fi
 
+echo "== bench gate: rollback-forensics overhead (BENCH_pr9.json) =="
+# Paired-sample gate on the PR 9 surface: cascade attribution + blame matrix
+# + wasted-work ledger must cost <3% committed-events/sec vs blame-off.
+# Before timing it runs the {heap,splay,calendar} x {1,2,4}-PE matrix:
+# committed output pinned to the sequential oracle, blame ledger reconciled
+# exactly with the legacy rollback counters, canonical blame JSON
+# byte-stable, structural zeros at 1 PE, and the ledger's wasted_ns within
+# one rounding per priced scope of the profiler's estimate.
+./target/release/bench_pr9 --out=artifacts/BENCH_pr9.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - artifacts/BENCH_pr9.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], \
+    f"rollback forensics overhead {b['overhead_pct_blame_on']}% over budget"
+modes = {m["mode"]: m for m in b["modes"]}
+assert modes["blame_off"]["events_committed"] == modes["blame_on"]["events_committed"]
+assert b["matrix_points"] == 9, b
+print(f"BENCH_pr9.json: blame_on {b['overhead_pct_blame_on']}% "
+      f"(noise floor {b['noise_floor_pct']}%), {b['matrix_points']} matrix "
+      f"points, {b['warmup_cascades']} cascades, "
+      f"{b['warmup_wasted_ns']} ns wasted on warm-up")
+EOF
+fi
+
+echo "== forensics smoke: rollback_report on the figure-7 regime =="
+# Who-caused-it report on an instrumented tight-GVT run: cross-checks the
+# blame ledger against the legacy counters (aborts on divergence), then
+# writes a validated JSON artifact + a Chrome cascade-flow trace.
+./target/release/rollback_report \
+    --out=artifacts/rollback_report.json \
+    --trace-out=artifacts/cascades.trace.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - artifacts/rollback_report.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+b = r["blame"]
+assert b["events_undone"] == r["events_rolled_back"], r
+assert b["cascades_straggler"] == r["primary_rollbacks"], r
+assert b["secondary_links"] == r["secondary_rollbacks"], r
+assert b["records_dropped"] == 0, b
+undone = sum(c["undone"] for c in b["cascades"])
+assert undone == b["events_undone"], \
+    f"per-cascade undone {undone} != ledger total {b['events_undone']}"
+print(f"rollback_report.json: {b['events_undone']} undone across "
+      f"{len(b['cascades'])} cascades, {len(b['matrix'])} matrix cells, "
+      f"{r['wasted_ns']} ns wasted")
+EOF
+    python3 -m json.tool artifacts/cascades.trace.json >/dev/null
+fi
+
 echo "== obs_hub: injected-fault selftest + mini-farm smoke =="
 # Fault selftest: a synthesized GVT-stalled stream and a silent stream must
 # each produce the matching structured HealthEvent (exit 1 otherwise).
