@@ -1,0 +1,33 @@
+//! Fixture: documented atomic sites and non-atomic lookalikes — none may
+//! fire. Every line the lint could flag mentions `LINT_NEG`, so the
+//! self-test can detect a false positive by its excerpt. Not compiled —
+//! scanned by `lint_atomics --self-test`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static LINT_NEG_HEAD: AtomicU64 = AtomicU64::new(0);
+pub const LINT_NEG_IDX: usize = 1;
+
+pub fn covered_pair() -> u64 {
+    // ORDER: Acquire — fixture: pairs with the Release store below.
+    let v = LINT_NEG_HEAD.load(Ordering::Acquire);
+    // ORDER: Release — fixture: publishes v+1 to the acquire load above.
+    LINT_NEG_HEAD.store(v + 1, Ordering::Release);
+    v
+}
+
+pub fn covered_same_line() -> u64 {
+    LINT_NEG_HEAD.fetch_add(1, Ordering::SeqCst) // ORDER: SeqCst — fixture
+}
+
+pub fn covered_from_above() -> u64 {
+    // ORDER: Relaxed — fixture: a comment up to three lines above the
+    // site still covers it, so one rationale can serve a short cluster
+    // of related operations.
+    LINT_NEG_HEAD.load(Ordering::Relaxed)
+}
+
+pub fn not_an_atomic(xs: &mut [u64]) {
+    // Slice swap takes indices, not orderings: must not be a site.
+    xs.swap(0, LINT_NEG_IDX);
+}

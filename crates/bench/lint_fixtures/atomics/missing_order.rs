@@ -1,0 +1,24 @@
+//! Fixture: atomic operations without `ORDER:` comments (rule
+//! `missing-order`). Not compiled — scanned by `lint_atomics --self-test`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HEAD: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(v: u64) {
+    HEAD.store(v, Ordering::Release);
+}
+
+pub fn poll() -> u64 {
+    HEAD.load(Ordering::Acquire)
+}
+
+pub fn bump() -> u64 {
+    // A plain comment without the required tag does not satisfy the lint.
+    HEAD.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn bare_import_style() -> u64 {
+    use std::sync::atomic::Ordering::SeqCst;
+    HEAD.swap(7, SeqCst)
+}

@@ -1,0 +1,233 @@
+//! PR 10 sync-facade zero-cost gate: the `pdes::sync` atomics facade
+//! (`MAtomicU64` & friends) that routes the comm fabric, incremental GVT,
+//! and barrier protocols through the mcheck model checker under
+//! `--cfg mcheck` must compile to **exactly** the raw `std::sync::atomic`
+//! code in native builds. "Zero-cost" is a claim about generated code, so
+//! this binary measures it: committed-events/sec on the canonical workload
+//! (4-PE 16×16 torus, 96 steps — the same pinned history as every BENCH
+//! gate since PR 3) must not regress against the PR 9 baseline
+//! (`blame_off` in `BENCH_pr9.json`, regenerated on the same machine by
+//! `scripts/ci.sh` minutes earlier) by more than 1% beyond the measured
+//! noise floors — *both* of them: the two numbers come from separate
+//! processes on an oversubscribed container, so this run's floor and the
+//! floor recorded in the baseline file each bound the comparison
+//! (back-to-back pairs measured ±2–5% drift on identical machine code; a
+//! one-sided allowance would blame that drift on the facade). Samples are
+//! taken in two pooled bursts so a transient load spike during one burst
+//! cannot sink the gate alone.
+//!
+//! The mode is named `facade` — it runs the identical engine configuration
+//! as PR 9's `blame_off` side, so the only delta between the two numbers
+//! is this PR's facade indirection. Correctness first: committed output
+//! must stay bit-identical to the sequential oracle before anything is
+//! timed.
+//!
+//! Best (min) wall is the estimator, as in `bench_pr7`/`bench_pr9`: on an
+//! oversubscribed CI container co-tenant noise is strictly additive, so
+//! the fastest sample is the least-biased cost estimate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_pr10 -- \
+//!     --baseline=artifacts/BENCH_pr9.json --out=artifacts/BENCH_pr10.json
+//! ```
+//!
+//! Flags: `--out=<path>`, `--baseline=<path>` (gate skipped with a warning
+//! if missing), `--steps=<u64>`, `--samples=<usize>`,
+//! `--max-regression=<f64>` (percent, default 1.0).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use bench::{best_wall, median_of, noise_floor_pct};
+use hotpotato::{simulate_parallel, simulate_sequential, HotPotatoConfig, HotPotatoModel};
+use pdes::{EngineConfig, ObsConfig};
+
+const N: u32 = 16;
+const LOAD: f64 = 0.4;
+const SEED: u64 = 0xBE9C_0702;
+const PES: usize = 4;
+
+/// Pull a numeric field out of a PR 9 JSON report without a JSON
+/// dependency (the `bench_pr6` technique), searching from `anchor` when
+/// given. Returns `None` on any shape mismatch.
+fn json_f64_after(json: &str, anchor: Option<&str>, field: &str) -> Option<f64> {
+    let start = match anchor {
+        Some(a) => json.find(a)?,
+        None => 0,
+    };
+    let tail = &json[start..];
+    let v_pos = tail.find(field)? + field.len();
+    let num: String = tail[v_pos..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Baseline throughput: `events_per_sec_best` of the `blame_off` mode.
+fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    json_f64_after(json, Some("\"blame_off\""), "\"events_per_sec_best\":")
+}
+
+/// The baseline run's own same-mode noise floor. The two measurements are
+/// separate processes minutes apart on an oversubscribed container, so
+/// BOTH floors bound the comparison — a one-sided allowance silently
+/// blames cross-process drift on the facade.
+fn baseline_noise_floor_pct(json: &str) -> Option<f64> {
+    json_f64_after(json, None, "\"noise_floor_pct\":")
+}
+
+fn main() {
+    let mut out_path = String::from("artifacts/BENCH_pr10.json");
+    let mut baseline_path = String::from("artifacts/BENCH_pr9.json");
+    let mut steps: u64 = 96;
+    let mut samples: usize = 11;
+    let mut max_regression: f64 = 1.0;
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline_path = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--steps=") {
+            steps = v.parse().expect("--steps=<u64>");
+        } else if let Some(v) = a.strip_prefix("--samples=") {
+            samples = v.parse::<usize>().expect("--samples=<usize>").max(1);
+        } else if let Some(v) = a.strip_prefix("--max-regression=") {
+            max_regression = v.parse().expect("--max-regression=<f64>");
+        } else {
+            eprintln!(
+                "flags: --out=<path> --baseline=<path> --steps=<u64> \
+                 --samples=<usize> --max-regression=<f64>"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let model = HotPotatoModel::torus(HotPotatoConfig::new(N, steps).with_injectors(LOAD));
+    // Identical config to bench_pr9's blame_off side: default observability
+    // minus the blame layer. The facade is the only thing PR 10 changed on
+    // this path.
+    let cfg = EngineConfig::new(model.end_time())
+        .with_seed(SEED)
+        .with_pes(PES)
+        .with_kps(64)
+        .with_lookahead(model.natural_lookahead())
+        .with_obs(ObsConfig::default().with_blame(false));
+
+    let oracle = simulate_sequential(&model, &cfg).expect("oracle failed");
+
+    // Warm-up + correctness gate.
+    let warm = simulate_parallel(&model, &cfg).expect("parallel run failed");
+    assert_eq!(
+        warm.output, oracle.output,
+        "facade: committed output diverged from the sequential oracle"
+    );
+    assert_eq!(warm.stats.events_committed, oracle.stats.events_committed);
+    let events_committed = warm.stats.events_committed;
+
+    // Two temporally separated bursts, pooled: co-tenant noise is strictly
+    // additive, so best-over-both is the least-biased cost estimate and a
+    // transient load spike during one burst cannot sink the gate alone.
+    let mut walls: Vec<Duration> = Vec::with_capacity(2 * samples);
+    for burst in 0..2 {
+        if burst > 0 {
+            let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+            assert_eq!(r.output, oracle.output, "facade: output diverged mid-bench");
+        }
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let r = simulate_parallel(&model, &cfg).expect("parallel run failed");
+            walls.push(t0.elapsed());
+            std::hint::black_box(r.output);
+        }
+    }
+    let samples = walls.len();
+
+    println!(
+        "timewarp_{PES}pe_{N}x{N}_facade     median {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({samples} samples)",
+        median_of(&walls),
+        best_wall(&walls),
+        walls.iter().max().unwrap(),
+    );
+
+    let noise = noise_floor_pct(&walls);
+    let best = best_wall(&walls).as_secs_f64();
+    let med = median_of(&walls).as_secs_f64();
+    let eps_best = events_committed as f64 / best;
+    let eps_median = events_committed as f64 / med;
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).ok();
+    let baseline = baseline_text.as_deref().and_then(baseline_events_per_sec);
+    let base_noise = baseline_text
+        .as_deref()
+        .and_then(baseline_noise_floor_pct)
+        .unwrap_or(0.0);
+    let (regression_pct, within_budget) = match baseline {
+        Some(base_eps) => {
+            let reg = (1.0 - eps_best / base_eps) * 100.0;
+            (reg, reg <= max_regression + noise + base_noise)
+        }
+        None => {
+            eprintln!("warning: no usable baseline at {baseline_path}; regression gate skipped");
+            (0.0, true)
+        }
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pr10_sync_facade_zero_cost\",");
+    let _ = writeln!(json, "  \"torus\": \"{N}x{N}\",");
+    let _ = writeln!(json, "  \"pes\": {PES},");
+    let _ = writeln!(json, "  \"load\": {LOAD},");
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    json.push_str("  \"modes\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{ \"mode\": \"facade\", \"events_per_sec_best\": {eps_best:.1}, \
+         \"events_per_sec_median\": {eps_median:.1}, \"events_committed\": {events_committed}, \
+         \"best_wall_s\": {best:.4}, \"median_wall_s\": {med:.4} }}"
+    );
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"noise_floor_pct\": {noise:.2},");
+    let _ = writeln!(json, "  \"baseline_noise_floor_pct\": {base_noise:.2},");
+    let _ = writeln!(
+        json,
+        "  \"baseline_events_per_sec\": {},",
+        baseline.map_or("null".to_string(), |b| format!("{b:.1}"))
+    );
+    let _ = writeln!(
+        json,
+        "  \"regression_pct_vs_baseline\": {regression_pct:.2},"
+    );
+    let _ = writeln!(json, "  \"max_regression_pct\": {max_regression},");
+    let _ = writeln!(json, "  \"within_budget\": {within_budget}");
+    json.push_str("}\n");
+
+    pdes::obs::json::validate(&json).expect("BENCH_pr10.json failed self-validation");
+    if let Some(parent) = Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create out dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {out_path}");
+    print!("{json}");
+
+    if !within_budget {
+        eprintln!(
+            "facade throughput regressed {regression_pct:.2}% vs the PR 9 blame_off \
+             baseline, over the {max_regression}% budget (+{noise:.2}% own + \
+             {base_noise:.2}% baseline noise floor)"
+        );
+        std::process::exit(1);
+    }
+}

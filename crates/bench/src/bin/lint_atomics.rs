@@ -1,0 +1,309 @@
+//! `lint_atomics` — a dependency-free static lint enforcing that every
+//! atomic operation in the `pdes` kernel documents its memory ordering.
+//!
+//! The concurrency model checker (`pdes::mcheck`) proves the orderings on
+//! the *modeled* protocols are sufficient; this lint enforces the human
+//! side of the contract everywhere: each atomic call site must carry an
+//! `// ORDER:` comment stating **why** its ordering is what it is (what it
+//! synchronizes with, or why `Relaxed` is safe). An undocumented ordering
+//! is exactly how the next "harmless" `Relaxed` regression slips in —
+//! the lint turns the convention the mcheck audit established into a CI
+//! gate.
+//!
+//! A *site* is a line containing an atomic method call (`.load(`,
+//! `.store(`, `.fetch_add(`, `.compare_exchange(`, …) with a memory
+//! ordering token (`Ordering::X` or an imported bare `Relaxed` / `Acquire`
+//! / `Release` / `AcqRel` / `SeqCst`) on the same or one of the next two
+//! lines — the ordering-token requirement keeps non-atomic methods that
+//! share a name (e.g. `Vec::swap(i, j)`) out of scope. The site satisfies
+//! the lint if an `ORDER:` comment appears on the same line or anywhere in
+//! the contiguous comment block immediately above it (attribute lines in
+//! between are transparent), so one block may cover a short cluster of
+//! related ops and long rationales are not penalized.
+//!
+//! Usage:
+//!   lint_atomics [--allow FILE] [DIR ...]   # scan (default crates/pdes/src)
+//!   lint_atomics --self-test                # verify the rule fires on the
+//!                                           # fixtures and stays quiet on
+//!                                           # the documented ones
+//!
+//! Findings print as `path:line: [missing-order] excerpt`; exit status is 1
+//! if any finding survives the allowlist (default
+//! `scripts/lint_atomics.allow`, `rule path-substring` lines as in
+//! `lint_reversible`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The kernel crate: the only place raw atomics (or facade atomics) live.
+const DEFAULT_DIRS: &[&str] = &["crates/pdes/src"];
+
+const DEFAULT_ALLOW: &str = "scripts/lint_atomics.allow";
+const FIXTURE_DIR: &str = "crates/bench/lint_fixtures/atomics";
+
+const RULE: &str = "missing-order";
+
+/// Method tokens that take a memory ordering. `.swap(` is included: with
+/// the ordering-token requirement, `Vec::swap(i, j)` never qualifies.
+const ATOMIC_METHODS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_min(",
+    ".fetch_max(",
+    ".fetch_update(",
+];
+
+const ORDERING_WORDS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many lines below the method token the ordering argument may sit
+/// (rustfmt puts long argument lists on following lines).
+const ORDERING_REACH: usize = 2;
+
+struct Finding {
+    path: String,
+    line: usize,
+    excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{RULE}] {}", self.path, self.line, self.excerpt)
+    }
+}
+
+struct Allow {
+    rule: String,
+    frag: String,
+}
+
+impl Allow {
+    fn matches(&self, f: &Finding) -> bool {
+        (self.rule == "*" || self.rule == RULE) && f.path.contains(&self.frag)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut allow_path = PathBuf::from(DEFAULT_ALLOW);
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--allow" => {
+                allow_path = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--allow requires a file argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: lint_atomics [--allow FILE] [DIR ...] | --self-test");
+                return ExitCode::SUCCESS;
+            }
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+
+    if self_test {
+        return run_self_test();
+    }
+
+    if dirs.is_empty() {
+        dirs = DEFAULT_DIRS.iter().map(PathBuf::from).collect();
+    }
+    let allows = load_allowlist(&allow_path);
+    let mut findings = Vec::new();
+    for dir in &dirs {
+        scan_tree(dir, &mut findings);
+    }
+    let (kept, suppressed): (Vec<_>, Vec<_>) = findings
+        .into_iter()
+        .partition(|f| !allows.iter().any(|a| a.matches(f)));
+    for f in &kept {
+        println!("{f}");
+    }
+    if !suppressed.is_empty() {
+        eprintln!("lint_atomics: {} finding(s) allowlisted", suppressed.len());
+    }
+    if kept.is_empty() {
+        eprintln!("lint_atomics: clean ({} dir(s) scanned)", dirs.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint_atomics: {} finding(s)", kept.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The fixtures contain undocumented sites (must fire), documented sites
+/// and non-atomic lookalikes (must not fire — their code mentions the
+/// `LINT_NEG` marker, so a flagged excerpt containing it is a false
+/// positive).
+fn run_self_test() -> ExitCode {
+    let mut findings = Vec::new();
+    scan_tree(Path::new(FIXTURE_DIR), &mut findings);
+    let mut ok = true;
+    let fired = findings.len();
+    if fired == 0 {
+        eprintln!("self-test FAIL: `{RULE}` fired 0 times on {FIXTURE_DIR}");
+        ok = false;
+    } else {
+        eprintln!("self-test: `{RULE}` fired {fired} time(s)");
+    }
+    for f in &findings {
+        if f.excerpt.contains("LINT_NEG") {
+            eprintln!("self-test FAIL: documented/non-atomic site flagged: {f}");
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!("self-test: ok ({fired} findings, all on undocumented sites)");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn load_allowlist(path: &Path) -> Vec<Allow> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (rule, frag) = l.split_once(char::is_whitespace)?;
+            Some(Allow {
+                rule: rule.to_string(),
+                frag: frag.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+fn scan_tree(dir: &Path, findings: &mut Vec<Finding>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            scan_tree(&path, findings);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = fs::read_to_string(&path) {
+                scan_file(&path.display().to_string(), &text, findings);
+            }
+        }
+    }
+}
+
+fn scan_file(path: &str, text: &str, findings: &mut Vec<Finding>) {
+    let raw: Vec<&str> = text.lines().collect();
+    let code: Vec<&str> = raw.iter().map(|l| strip_comment(l)).collect();
+    for i in 0..raw.len() {
+        if !ATOMIC_METHODS.iter().any(|m| code[i].contains(m)) {
+            continue;
+        }
+        // Ordering argument on this or one of the next ORDERING_REACH lines.
+        let has_ordering = (i..=(i + ORDERING_REACH).min(code.len().saturating_sub(1)))
+            .any(|j| has_ordering_token(code[j]));
+        if !has_ordering {
+            continue;
+        }
+        if !is_covered(&raw, i) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: i + 1,
+                excerpt: code[i].trim().chars().take(96).collect(),
+            });
+        }
+    }
+}
+
+/// An `ORDER:` tag on the site line itself, or in the comment block above
+/// the *statement cluster* the site belongs to. Walking upward from the
+/// site, these lines are transparent:
+///
+/// * comment lines (checked for the tag) and attribute lines;
+/// * continuation lines of the same statement (no `;` / `{` / `}`
+///   terminator — rustfmt-wrapped chains like `ch.in_flight\n.fetch_add(`);
+/// * other atomic statements, so one rationale block may cover a
+///   contiguous run of related operations.
+///
+/// A blank line or any other code breaks the walk: the comment must sit
+/// immediately above the cluster it documents.
+fn is_covered(raw: &[&str], site: usize) -> bool {
+    if comment_part(raw[site]).contains("ORDER:") {
+        return true;
+    }
+    for j in (0..site).rev() {
+        let t = raw[j].trim();
+        if t.is_empty() {
+            return false;
+        }
+        if t.starts_with("//") {
+            if t.contains("ORDER:") {
+                return true;
+            }
+            continue;
+        }
+        if t.starts_with('#') && t.contains('[') {
+            continue;
+        }
+        let code = strip_comment(raw[j]).trim_end();
+        let ends_stmt = code.ends_with(';') || code.ends_with('{') || code.ends_with('}');
+        let atomic_stmt = ATOMIC_METHODS.iter().any(|m| code.contains(m));
+        if ends_stmt && !atomic_stmt {
+            return false;
+        }
+    }
+    false
+}
+
+fn has_ordering_token(code: &str) -> bool {
+    code.contains("Ordering::") || ORDERING_WORDS.iter().any(|w| contains_word(code, w))
+}
+
+/// Strip a trailing `//` line comment (see `lint_reversible` for why this
+/// is good enough).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// The comment tail of a line (empty if none).
+fn comment_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[i..],
+        None => "",
+    }
+}
+
+/// `needle` appears in `hay` with non-identifier characters (or the string
+/// boundary) on both sides.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let start = from + rel;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !hay[..start].chars().next_back().is_some_and(is_ident);
+        let right_ok = end == hay.len() || !hay[end..].chars().next().is_some_and(is_ident);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}

@@ -42,6 +42,7 @@ fn primary_mode(pr: u64) -> Option<&'static str> {
         7 => Some("arena"),
         8 => Some("hub_off"),
         9 => Some("blame_off"),
+        10 => Some("facade"),
         _ => None,
     }
 }

@@ -44,15 +44,17 @@
 //! messages arrive in send order — the same guarantee the mutex inboxes
 //! gave, which the kernel's absorption machinery (deferred anti-messages,
 //! duplicate drops) relies on being violated *only* under fault injection.
+//!
+//! The whole module sits on the `M*` atomics facade ([`crate::sync`]), so
+//! the `mcheck` model checker can exhaustively explore these protocols —
+//! see the `ring` and `ring_spill` models in [`crate::mcheck`].
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
 
 use crate::event::{PeId, Remote};
 use crate::pool::VecPool;
-use crate::sync::CachePadded;
+use crate::sync::{CachePadded, MAtomicU64, MAtomicUsize, MCell, MMutex};
 
 /// One flushed group of messages (the unit the rings carry).
 pub(crate) type Batch<P> = Vec<Remote<P>>;
@@ -66,13 +68,13 @@ const RING_SLOTS: usize = 64;
 /// the slot is `index & mask`. The producer owns `head`, the consumer owns
 /// `tail`; each reads the other's counter with `Acquire` and publishes its
 /// own with `Release`.
-struct SpscRing<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+pub(crate) struct SpscRing<T> {
+    slots: Box<[MCell<MaybeUninit<T>>]>,
     mask: usize,
     /// Next write index (producer-owned).
-    head: CachePadded<AtomicUsize>,
+    head: CachePadded<MAtomicUsize>,
     /// Next read index (consumer-owned).
-    tail: CachePadded<AtomicUsize>,
+    tail: CachePadded<MAtomicUsize>,
 }
 
 // SAFETY: the ring hands `T` values across threads (hence `T: Send`); shared
@@ -84,15 +86,22 @@ unsafe impl<T: Send> Sync for SpscRing<T> {}
 unsafe impl<T: Send> Send for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_start_index(capacity, 0)
+    }
+
+    /// Like [`new`](Self::new), but head/tail begin at `start`. Indices are
+    /// monotone and wrap modulo `usize::MAX + 1`; starting near the top lets
+    /// tests and `mcheck` models cover the wraparound arithmetic directly.
+    pub(crate) fn with_start_index(capacity: usize, start: usize) -> Self {
         assert!(capacity.is_power_of_two());
         SpscRing {
             slots: (0..capacity)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .map(|_| MCell::new(MaybeUninit::uninit()))
                 .collect(),
             mask: capacity - 1,
-            head: CachePadded(AtomicUsize::new(0)),
-            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(MAtomicUsize::new(start)),
+            tail: CachePadded(MAtomicUsize::new(start)),
         }
     }
 
@@ -100,16 +109,33 @@ impl<T> SpscRing<T> {
     ///
     /// # Safety
     /// Must only be called by the single producer thread of this ring.
-    unsafe fn try_push(&self, value: T) -> Result<(), T> {
+    pub(crate) unsafe fn try_push(&self, value: T) -> Result<(), T> {
+        // ORDER: Relaxed — `head` is producer-owned; only this thread writes
+        // it, so it reads its own last store.
         let head = self.head.0.load(Ordering::Relaxed);
+        // ORDER: Acquire — pairs with the consumer's Release store of `tail`
+        // (in `consume`): once we observe slot `head` vacated, the
+        // consumer's read of the old occupant happened-before, so our write
+        // below cannot race it.
         let tail = self.tail.0.load(Ordering::Acquire);
         if head.wrapping_sub(tail) == self.slots.len() {
             return Err(value);
         }
         // SAFETY: slot `head` is vacant — the consumer has advanced `tail`
         // past any previous occupant, and only this thread writes slots.
-        unsafe { (*self.slots[head & self.mask].get()).write(value) };
-        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        unsafe { self.slots[head & self.mask].write_with(|p| (*p).write(value)) };
+        #[cfg(mcheck)]
+        let publish = crate::mcheck::mutation::order_or_relaxed(
+            crate::mcheck::mutation::Mutation::RingPublishRelaxed,
+            Ordering::Release,
+        );
+        #[cfg(not(mcheck))]
+        let publish = Ordering::Release;
+        // ORDER: Release — publishes the slot write above to the consumer's
+        // Acquire load of `head`; dropping this to Relaxed is seeded
+        // mutation `RingPublishRelaxed`, which the `ring` model catches as a
+        // data race on the slot cell.
+        self.head.0.store(head.wrapping_add(1), publish);
         Ok(())
     }
 
@@ -120,8 +146,13 @@ impl<T> SpscRing<T> {
     ///
     /// # Safety
     /// Must only be called by the single consumer thread of this ring.
-    unsafe fn consume(&self, mut f: impl FnMut(T)) -> usize {
+    pub(crate) unsafe fn consume(&self, mut f: impl FnMut(T)) -> usize {
+        // ORDER: Relaxed — `tail` is consumer-owned; only this thread writes
+        // it, so it reads its own last store.
         let tail = self.tail.0.load(Ordering::Relaxed);
+        // ORDER: Acquire — pairs with the producer's Release store of `head`
+        // in `try_push`: slots in `tail..head` were fully written before the
+        // index moved.
         let head = self.head.0.load(Ordering::Acquire);
         let n = head.wrapping_sub(tail);
         for i in 0..n {
@@ -129,7 +160,11 @@ impl<T> SpscRing<T> {
             // SAFETY: slots in `tail..head` were initialized by the producer
             // (the Acquire on `head` orders their writes before this read)
             // and are read exactly once before `tail` moves past them.
-            let value = unsafe { (*self.slots[idx & self.mask].get()).assume_init_read() };
+            let value =
+                unsafe { self.slots[idx & self.mask].read_with(|p| (*p).assume_init_read()) };
+            // ORDER: Release — hands the vacated slot back to the producer's
+            // Acquire load of `tail` in `try_push`, ordering our read of the
+            // occupant before any reuse of the slot.
             self.tail.0.store(idx.wrapping_add(1), Ordering::Release);
             f(value);
         }
@@ -140,19 +175,25 @@ impl<T> SpscRing<T> {
 impl<T> Drop for SpscRing<T> {
     fn drop(&mut self) {
         // `&mut self`: no concurrent producer/consumer remain.
-        let tail = self.tail.0.load(Ordering::Relaxed);
-        let head = self.head.0.load(Ordering::Relaxed);
-        for i in tail..head {
+        //
+        // ORDER: Acquire (×2) — `&mut` proves unique *access*, but the
+        // happens-before edge that makes the producer's and consumer's last
+        // stores (indices and slot contents) visible here comes from however
+        // ownership was handed to this thread. `thread::join` and channel
+        // transfer provide it; a raw-pointer or Relaxed-flag hand-off would
+        // not, and the mcheck explorer produces exactly that counterexample
+        // for a Relaxed snapshot (stale `head` → occupied slots leak or a
+        // racy `assume_init_drop`). Acquire here pairs with the Release
+        // index publications and makes the ring's teardown self-contained.
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        let n = head.wrapping_sub(tail);
+        for i in 0..n {
+            let idx = tail.wrapping_add(i);
             // SAFETY: unconsumed slots in `tail..head` are initialized.
-            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+            unsafe { self.slots[idx & self.mask].get_mut().assume_init_drop() };
         }
     }
-}
-
-/// Recover a poisoned guard; comm state stays consistent across a contained
-/// panic (batches are self-contained values).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One sender→receiver channel: the lock-free ring plus the order-preserving
@@ -160,28 +201,33 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 struct Channel<P> {
     ring: SpscRing<Batch<P>>,
     /// Slow path used while the ring is (or recently was) full.
-    overflow: Mutex<Vec<Batch<P>>>,
+    overflow: MMutex<Vec<Batch<P>>>,
     /// Batches currently in `overflow` (maintained under its lock). While
     /// nonzero the producer keeps spilling, so overflow never holds a batch
     /// *older* than one in the ring.
-    spilled: AtomicUsize,
+    spilled: MAtomicUsize,
     /// Messages currently in flight in this channel (diagnostics only).
-    in_flight: AtomicU64,
+    in_flight: MAtomicU64,
 }
 
 impl<P> Channel<P> {
-    fn new() -> Self {
+    fn new(ring_slots: usize) -> Self {
         Channel {
-            ring: SpscRing::new(RING_SLOTS),
-            overflow: Mutex::new(Vec::new()),
-            spilled: AtomicUsize::new(0),
-            in_flight: AtomicU64::new(0),
+            ring: SpscRing::new(ring_slots),
+            overflow: MMutex::new(Vec::new()),
+            spilled: MAtomicUsize::new(0),
+            in_flight: MAtomicU64::new(0),
         }
     }
 
     fn spill(&self, batch: Batch<P>) {
-        let mut of = lock(&self.overflow);
+        let mut of = self.overflow.lock();
         of.push(batch);
+        // ORDER: Release — pairs with the consumer's Acquire load in the
+        // drain paths: a consumer that observes `spilled > 0` takes the
+        // overflow lock, and the lock orders the Vec contents; the Release
+        // here orders the count itself after the push for the *producer's*
+        // next `push_batch` fast-path check.
         self.spilled.store(of.len(), Ordering::Release);
     }
 }
@@ -196,9 +242,18 @@ pub(crate) struct CommFabric<P> {
 
 impl<P: Send> CommFabric<P> {
     pub(crate) fn new(n_pes: usize) -> Self {
+        Self::with_ring_slots(n_pes, RING_SLOTS)
+    }
+
+    /// Like [`new`](Self::new) with a custom per-channel ring capacity.
+    /// Tests and `mcheck` models use tiny rings (1–4 slots) to force the
+    /// overflow path within an explorable number of steps.
+    pub(crate) fn with_ring_slots(n_pes: usize, ring_slots: usize) -> Self {
         CommFabric {
             n_pes,
-            channels: (0..n_pes * n_pes).map(|_| Channel::new()).collect(),
+            channels: (0..n_pes * n_pes)
+                .map(|_| Channel::new(ring_slots))
+                .collect(),
         }
     }
 
@@ -216,8 +271,14 @@ impl<P: Send> CommFabric<P> {
         debug_assert!(!batch.is_empty());
         debug_assert!(from != to, "local events never cross the fabric");
         let ch = self.channel(from, to);
+        // ORDER: Relaxed — diagnostics counter; `inbox_depth` is only read
+        // at quiescence or post-mortem, where joins/barriers order it.
         ch.in_flight
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // ORDER: Acquire — pairs with the drain's Release reset: once the
+        // producer sees 0, the overflow Vec it may lock below has been
+        // emptied, so returning to the ring cannot reorder around spilled
+        // batches.
         if ch.spilled.load(Ordering::Acquire) == 0 {
             // SAFETY: per the contract, this thread is the unique producer
             // for channel (from → to).
@@ -270,22 +331,32 @@ impl<P: Send> CommFabric<P> {
             // under the overflow lock closes that window: while `spilled` is
             // nonzero the producer only appends to the overflow, so whatever
             // this second pass finds predates the overflow's head batch.
+            //
+            // ORDER: Acquire — pairs with the Release in `spill`; observing
+            // a nonzero count means the overflow Vec (guarded by the lock
+            // below) holds at least that batch.
             if ch.spilled.load(Ordering::Acquire) > 0 {
-                let mut of = lock(&ch.overflow);
+                let mut of = ch.overflow.lock();
                 // SAFETY: same unique-consumer contract as the first consume
                 // above; taking the overflow lock does not admit a second
                 // consumer thread.
                 unsafe {
                     ch.ring.consume(|batch| take(&mut msgs, batch));
                 }
+                // ORDER: Release — resets the producer's spill latch; pairs
+                // with the Acquire fast-path check in `push_batch`.
                 ch.spilled.store(0, Ordering::Release);
-                let spilled = std::mem::take(&mut *of);
+                #[cfg_attr(not(mcheck), allow(unused_mut))]
+                let mut spilled = std::mem::take(&mut *of);
                 drop(of);
+                #[cfg(mcheck)]
+                crate::mcheck::mutation::maybe_swallow_spill(&mut spilled);
                 for batch in spilled {
                     take(&mut msgs, batch);
                 }
             }
             if msgs > 0 {
+                // ORDER: Relaxed — diagnostics counter (see `push_batch`).
                 ch.in_flight.fetch_sub(msgs, Ordering::Relaxed);
                 total += msgs;
             }
@@ -321,8 +392,11 @@ impl<P: Send> CommFabric<P> {
             // Same overflow discipline as drain_to: re-consume the ring
             // under the overflow lock so a concurrent refill cannot reorder
             // ahead of spilled batches.
+            //
+            // ORDER: Acquire — pairs with the Release in `spill` (see
+            // `drain_to`).
             if ch.spilled.load(Ordering::Acquire) > 0 {
-                let mut of = lock(&ch.overflow);
+                let mut of = ch.overflow.lock();
                 // SAFETY: same unique-consumer contract as the first consume
                 // above; taking the overflow lock does not admit a second
                 // consumer thread.
@@ -332,15 +406,21 @@ impl<P: Send> CommFabric<P> {
                         into.push(batch);
                     });
                 }
+                // ORDER: Release — resets the producer's spill latch; pairs
+                // with the Acquire fast-path check in `push_batch`.
                 ch.spilled.store(0, Ordering::Release);
-                let spilled = std::mem::take(&mut *of);
+                #[cfg_attr(not(mcheck), allow(unused_mut))]
+                let mut spilled = std::mem::take(&mut *of);
                 drop(of);
+                #[cfg(mcheck)]
+                crate::mcheck::mutation::maybe_swallow_spill(&mut spilled);
                 for batch in spilled {
                     msgs += batch.len() as u64;
                     into.push(batch);
                 }
             }
             if msgs > 0 {
+                // ORDER: Relaxed — diagnostics counter (see `push_batch`).
                 ch.in_flight.fetch_sub(msgs, Ordering::Relaxed);
                 total += msgs;
             }
@@ -353,6 +433,8 @@ impl<P: Send> CommFabric<P> {
     pub(crate) fn inbox_depth(&self, to: PeId) -> u64 {
         (0..self.n_pes)
             .filter(|&from| from != to)
+            // ORDER: Relaxed — diagnostics; the caller synchronizes (join,
+            // barrier, or model-checker finale join) before trusting this.
             .map(|from| self.channel(from, to).in_flight.load(Ordering::Relaxed))
             .sum()
     }
@@ -407,6 +489,53 @@ mod tests {
     }
 
     #[test]
+    fn ring_survives_index_wraparound_at_usize_max() {
+        // Start the monotone indices 3 shy of usize::MAX so pushes cross the
+        // wrap while occupancy spans it: head wraps to small values while
+        // tail is still huge, and `head.wrapping_sub(tail)` must keep
+        // reporting the true occupancy.
+        let ring: SpscRing<u64> = SpscRing::with_start_index(4, usize::MAX - 3);
+        let mut got = Vec::new();
+        for i in 0..4u64 {
+            // SAFETY: this test thread is the ring's only producer.
+            unsafe { ring.try_push(i).unwrap() };
+        }
+        // Full exactly at the wrap boundary.
+        // SAFETY: single-threaded producer.
+        unsafe {
+            assert_eq!(ring.try_push(99), Err(99));
+        }
+        // SAFETY: this test thread is the ring's only consumer.
+        unsafe { ring.consume(|v| got.push(v)) };
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // Keep cycling well past the wrap; order must hold.
+        let mut next = 4u64;
+        for _ in 0..6 {
+            for _ in 0..3 {
+                // SAFETY: single producer.
+                unsafe { ring.try_push(next).unwrap() };
+                next += 1;
+            }
+            // SAFETY: single consumer.
+            unsafe { ring.consume(|v| got.push(v)) };
+        }
+        assert_eq!(got, (0..next).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_drop_releases_unconsumed_values_after_wrap() {
+        // Leave values in the ring across the wrap boundary and drop it;
+        // Drop's wrapping arithmetic must visit exactly the live slots.
+        let ring: SpscRing<String> = SpscRing::with_start_index(2, usize::MAX);
+        // SAFETY: this test thread is the ring's only producer.
+        unsafe {
+            ring.try_push("wrap-a".to_string()).unwrap();
+            ring.try_push("wrap-b".to_string()).unwrap();
+        }
+        drop(ring); // leak checkers (miri) verify both Strings are freed
+    }
+
+    #[test]
     fn ring_reports_full_and_drops_leftovers() {
         let ring: SpscRing<String> = SpscRing::new(2);
         // SAFETY: this test thread is the ring's only producer.
@@ -440,6 +569,25 @@ mod tests {
         assert_eq!(fabric.inbox_depth(1), 0);
         // Sender recovers the fast path once the overflow is drained.
         assert!(!fabric.push_batch(0, 1, vec![anti(999)]));
+    }
+
+    #[test]
+    fn fabric_capacity_boundary_push_then_spill() {
+        // A 1-slot ring: the first batch takes the slot, the second must
+        // spill, and from then on every push spills (order preserved) until
+        // a drain resets the latch.
+        let fabric: CommFabric<()> = CommFabric::with_ring_slots(2, 1);
+        let mut pool = VecPool::new();
+        assert!(!fabric.push_batch(0, 1, vec![anti(0)]), "slot 0 is free");
+        assert!(fabric.push_batch(0, 1, vec![anti(1)]), "ring full: spill");
+        assert!(fabric.push_batch(0, 1, vec![anti(2)]), "latched: spill");
+        assert_eq!(fabric.inbox_depth(1), 3);
+        let mut into = Vec::new();
+        assert_eq!(fabric.drain_to(1, &mut into, &mut pool), 3);
+        assert_eq!(seqs(&into), vec![0, 1, 2]);
+        assert_eq!(fabric.inbox_depth(1), 0);
+        // Latch reset: the ring fast path works again.
+        assert!(!fabric.push_batch(0, 1, vec![anti(3)]));
     }
 
     #[test]

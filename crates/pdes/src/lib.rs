@@ -85,9 +85,11 @@
 //! rollback machinery absorbs them (committed output stays bit-identical to
 //! the sequential run).
 
-// All `unsafe` in this crate lives in `comm` (the lock-free SPSC rings);
-// every block must carry a `// SAFETY:` comment, and unsafe operations
-// inside `unsafe fn` bodies still need their own explicit blocks.
+// All `unsafe` in this crate lives in `comm` (the lock-free SPSC rings) and
+// the `sync` facade's `MCell` accessors they are built on; every block must
+// carry a `// SAFETY:` comment, and unsafe operations inside `unsafe fn`
+// bodies still need their own explicit blocks. Atomic operations carry an
+// analogous `// ORDER:` justification, enforced by `lint_atomics`.
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(clippy::undocumented_unsafe_blocks)]
 
@@ -99,9 +101,12 @@ pub mod config;
 pub mod error;
 pub mod event;
 pub mod fault;
+mod gvt;
 mod hash;
 pub mod kp;
 pub mod mapping;
+#[cfg(mcheck)]
+pub mod mcheck;
 pub mod model;
 pub mod obs;
 pub mod parallel;

@@ -670,12 +670,15 @@ impl MemorySink {
 
     /// Total snapshots ever offered (≥ retained).
     pub fn total_seen(&self) -> u64 {
+        // ORDER: Relaxed — monotone telemetry counter; no other memory is
+        // published through it.
         self.seen.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
 impl MetricsSink for MemorySink {
     fn record(&self, snap: &RoundSnapshot) {
+        // ORDER: Relaxed — monotone telemetry counter (see `total_seen`).
         self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if self.capacity == 0 {
             return;

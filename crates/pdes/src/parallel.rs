@@ -103,8 +103,8 @@
 //! output — the determinism suites run at maximum verbosity.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
-use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::SeqCst;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -120,6 +120,7 @@ use crate::event::{
     Bitfield, ChildRef, Event, EventId, EventKey, KpId, LpId, PeId, QueueEntry, Remote,
 };
 use crate::fault::FaultState;
+use crate::gvt::IncGvt;
 use crate::hash::{FastMap, FastSet};
 use crate::kp::{Kp, Processed};
 use crate::mapping::{FlatMapping, LinearMapping, Mapping};
@@ -132,7 +133,7 @@ use crate::pool::VecPool;
 use crate::rng::{stream_seed, Clcg4, ReversibleRng};
 use crate::scheduler::EventQueue;
 use crate::stats::{EngineStats, RunResult};
-use crate::sync::{AbortableBarrier, CachePadded};
+use crate::sync::AbortableBarrier;
 use crate::time::VirtualTime;
 
 /// Consecutive idle polls before an idle PE forces a GVT round (drives
@@ -186,10 +187,9 @@ struct Shared<P> {
     sent: AtomicU64,
     /// Global count of inter-PE messages drained.
     received: AtomicU64,
-    /// Set by any PE to request a GVT round; cleared by PE 0 inside it.
-    gvt_flag: AtomicBool,
-    /// Last computed GVT (ticks), for observability.
-    gvt: AtomicU64,
+    /// GVT protocol state: published GVT, round-request flag, and the
+    /// incremental (epoch/report) reduction — see [`crate::gvt::IncGvt`].
+    gvt: IncGvt,
     /// Per-PE published local minimum for the current round (ticks).
     local_mins: Vec<AtomicU64>,
     /// Rendezvous for the GVT protocol; aborted on failure so no PE can
@@ -209,17 +209,6 @@ struct Shared<P> {
     /// all of them to assemble and write the snapshot. Touched only inside
     /// the barriered checkpoint protocol, never on the hot path.
     ckpt_parts: Mutex<Vec<Option<CkptPart>>>,
-    /// Incremental-GVT epoch counter, bumped by PE 0 to open a reduction
-    /// round (Mattern-style two-cut). A PE observing `epoch` past its own
-    /// `inc_round` participates asynchronously — no barrier.
-    epoch: AtomicU64,
-    /// Per-PE published minimum for the open incremental epoch (ticks):
-    /// `min(pending queue, fault-held messages, sends since last report)`.
-    inc_reports: Vec<CachePadded<AtomicU64>>,
-    /// Epoch each PE's report corresponds to; PE 0 closes the round once
-    /// every slot reaches the current epoch (release/acquire pairs with the
-    /// report store).
-    inc_report_rounds: Vec<CachePadded<AtomicU64>>,
 }
 
 impl<P> Shared<P> {
@@ -406,7 +395,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         match self.queue.peek_key() {
             Some(k) if k.recv_time < self.config.end_time => match self.config.max_lookahead {
                 Some(window) => {
-                    let gvt = self.shared.gvt.load(SeqCst);
+                    let gvt = self.shared.gvt.read();
                     k.recv_time.0 <= gvt.saturating_add(window)
                 }
                 None => true,
@@ -540,11 +529,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             // Draining can roll back and buffer anti-messages; publish them
             // (and any leftovers from the previous execute batch) now.
             self.flush_out_bufs();
-            let want_gvt = self.shared.gvt_flag.load(SeqCst)
+            let want_gvt = self.shared.gvt.round_requested()
                 || self.since_gvt >= self.config.gvt_interval
                 || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER);
             if want_gvt {
-                self.shared.gvt_flag.store(true, SeqCst);
+                self.shared.gvt.request_round();
                 let done = self.gvt_round()?;
                 self.since_gvt = 0;
                 self.idle_polls = 0;
@@ -624,11 +613,11 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             if self.id == 0 {
                 self.inc_lead()?;
             }
-            let epoch = self.shared.epoch.load(Acquire);
+            let epoch = self.shared.gvt.current_epoch();
             if epoch > self.inc_round {
                 self.inc_participate(epoch)?;
             }
-            let gvt = self.shared.gvt.load(SeqCst);
+            let gvt = self.shared.gvt.read();
             if gvt >= self.config.end_time.0 {
                 return self.finish_incremental(gvt);
             }
@@ -636,7 +625,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 || (!self.has_executable() && self.idle_polls >= IDLE_GVT_TRIGGER)
             {
                 // Ask PE 0 to open the next epoch (idempotent).
-                self.shared.gvt_flag.store(true, SeqCst);
+                self.shared.gvt.request_round();
             }
             if !self.has_executable() {
                 self.idle_polls += 1;
@@ -654,26 +643,10 @@ impl<'a, M: Model> PeRuntime<'a, M> {
     /// monotone under `max`), else open a round if one was requested.
     fn inc_lead(&mut self) -> Result<(), Halt> {
         if self.inc_open {
-            let epoch = self.shared.epoch.load(Acquire);
-            let all_in = self
-                .shared
-                .inc_report_rounds
-                .iter()
-                .all(|r| r.0.load(Acquire) == epoch);
-            if all_in {
-                let m = self
-                    .shared
-                    .inc_reports
-                    .iter()
-                    .map(|r| r.0.load(Relaxed))
-                    .min()
-                    .unwrap_or(u64::MAX);
-                // `max`: a report can be conservative (stale send_min), and
-                // published GVT must never move backwards.
-                let gvt = self.shared.gvt.load(SeqCst).max(m);
-                self.shared.gvt.store(gvt, SeqCst);
+            let epoch = self.shared.gvt.current_epoch();
+            if let Some(gvt) = self.shared.gvt.try_close(epoch) {
                 self.inc_open = false;
-                self.shared.gvt_flag.store(false, SeqCst);
+                self.shared.gvt.clear_request();
                 if gvt < self.config.end_time.0 {
                     self.watchdog(gvt)?;
                 }
@@ -684,15 +657,15 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 let elapsed = self.start_time.elapsed();
                 if elapsed >= deadline {
                     self.shared.fail(FailureCause::DeadlineExpired {
-                        gvt: self.shared.gvt.load(SeqCst),
+                        gvt: self.shared.gvt.read(),
                         rounds: self.stall_rounds,
                         elapsed,
                     });
                     return Err(Halt);
                 }
             }
-        } else if self.shared.gvt_flag.load(SeqCst) {
-            self.shared.epoch.fetch_add(1, Release);
+        } else if self.shared.gvt.round_requested() {
+            self.shared.gvt.open_round();
             self.inc_open = true;
         }
         Ok(())
@@ -714,19 +687,15 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         let report = queue_min.min(held_min).min(self.send_min);
         self.send_min = u64::MAX;
         // Telemetry surface: `lvt` in RoundSnapshot reads local_mins.
+        // ORDER: SeqCst — observability snapshot; consistency with the GVT
+        // total order is worth more than the cycle on this cold path.
         self.shared.local_mins[self.id].store(report, SeqCst);
-        self.shared.inc_reports[self.id].0.store(report, Relaxed);
-        // Release-pairs with PE 0's acquire load in `inc_lead`: everything
-        // this PE sent before the report is in a ring (or counted in the
-        // report) by the time PE 0 sees the round as complete.
-        self.shared.inc_report_rounds[self.id]
-            .0
-            .store(epoch, Release);
+        self.shared.gvt.publish_report(self.id, report, epoch);
         self.profiler.end(Phase::GvtReduce, t0);
         self.stats.gvt_rounds += 1;
         self.round += 1;
 
-        let gvt = self.shared.gvt.load(SeqCst);
+        let gvt = self.shared.gvt.read();
         let t0 = self.profiler.begin(Phase::Fossil);
         self.fossil_collect(VirtualTime(gvt));
         self.profiler.end(Phase::Fossil, t0);
@@ -791,6 +760,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             Remote::Anti(c, _) => c.key.recv_time.0,
         };
         self.send_min = self.send_min.min(recv);
+        // ORDER: SeqCst — `sent`/`received` must appear in one total order:
+        // barriered-GVT quiescence reads both and concludes `sent ==
+        // received` means no message is in flight anywhere.
         self.shared.sent.fetch_add(1, SeqCst);
         let buf = &mut self.out_bufs[pe];
         buf.push(msg);
@@ -871,6 +843,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             let n = self.shared.fabric.drain_batches(self.id, &mut batches);
             self.profiler.end(Phase::CommDrain, t0);
             if n > 0 {
+                // ORDER: SeqCst — same total order as `sent` (quiescence).
                 self.shared.received.fetch_add(n, SeqCst);
             }
             if batches.is_empty() {
@@ -915,6 +888,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                 .drain_to(self.id, &mut pending, &mut self.msg_pool);
             self.profiler.end(Phase::CommDrain, t0);
             if n > 0 {
+                // ORDER: SeqCst — same total order as `sent` (quiescence).
                 self.shared.received.fetch_add(n, SeqCst);
             }
             if pending.is_empty() {
@@ -1397,6 +1371,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             loop {
                 self.flush_out_bufs();
                 self.drain_inbox(false)?;
+                // ORDER: SeqCst — quiescence check; both counters must be
+                // read from the same total order the increments joined.
                 let now = (
                     self.shared.sent.load(SeqCst),
                     self.shared.received.load(SeqCst),
@@ -1421,6 +1397,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.bwait_timed()?; // B2: all channels flushed and drained once.
                                  // Between B2 and B3 every PE only *loads* the counters, so all
                                  // PEs sample the same values and agree on `quiet`.
+                                 // ORDER: SeqCst — quiescence check (see `send_remote`).
             let quiet = self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
             if quiet {
                 // Quiescent — this PE's pending queue is final for this
@@ -1431,6 +1408,9 @@ impl<'a, M: Model> PeRuntime<'a, M> {
                     Some(k) => k.recv_time.0,
                     None => u64::MAX,
                 };
+                // ORDER: SeqCst — published between barriers B2 and B3, so
+                // any release/acquire strength would do; GVT publication is
+                // cold, SeqCst keeps the whole protocol in one order.
                 self.shared.local_mins[self.id].store(local_min, SeqCst);
             }
             self.bwait_timed()?; // B3: counters sampled; minima published if quiet.
@@ -1468,12 +1448,14 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             .shared
             .local_mins
             .iter()
+            // ORDER: SeqCst — the B3 barrier already ordered the stores;
+            // matches the publication side.
             .map(|m| m.load(SeqCst))
             .min()
             .unwrap_or(u64::MAX);
         if self.id == 0 {
-            self.shared.gvt.store(gvt, SeqCst);
-            self.shared.gvt_flag.store(false, SeqCst);
+            self.shared.gvt.publish(gvt);
+            self.shared.gvt.clear_request();
             if gvt < self.config.end_time.0 {
                 self.watchdog(gvt)?;
             }
@@ -1545,6 +1527,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             self.flush_out_bufs();
             self.drain_inbox(false)?;
             self.bwait()?; // C2a: one flush+drain pass everywhere.
+                           // ORDER: SeqCst — quiescence check (see `send_remote`).
             let quiet = self.shared.sent.load(SeqCst) == self.shared.received.load(SeqCst);
             self.bwait()?; // C2b: counters sampled consistently.
             if quiet {
@@ -1667,6 +1650,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         }
         if self.config.obs.progress_every.is_some() {
             let (c, p, r) = self.progress_published;
+            // ORDER: SeqCst (×3) — progress-line totals, read only by PE 0
+            // for a human-facing stderr line; cold path, simplicity wins.
             self.shared
                 .committed
                 .fetch_add(self.stats.events_committed - c, SeqCst);
@@ -1692,6 +1677,7 @@ impl<'a, M: Model> PeRuntime<'a, M> {
             wall_us: self.start_time.elapsed().as_micros() as u64,
             gvt,
             // The minimum this PE published for the round (u64::MAX = idle).
+            // ORDER: SeqCst — matches the publication store; telemetry only.
             lvt: self.shared.local_mins[self.id].load(SeqCst),
             queue_depth: self.queue.len() as u64,
             uncommitted: self.kps.iter().map(|kp| kp.processed.len() as u64).sum(),
@@ -1741,6 +1727,8 @@ impl<'a, M: Model> PeRuntime<'a, M> {
         if self.id != 0 || !self.round.is_multiple_of(every) {
             return;
         }
+        // ORDER: SeqCst (×3) — progress-line totals; see the publication
+        // side in `publish_progress`.
         let committed = self.shared.committed.load(SeqCst);
         let processed = self.shared.processed.load(SeqCst);
         let rolled = self.shared.rolled_back.load(SeqCst);
@@ -2121,8 +2109,7 @@ fn run_parallel_inner<M: Model>(
         fabric: CommFabric::new(n_pes),
         sent: AtomicU64::new(0),
         received: AtomicU64::new(0),
-        gvt_flag: AtomicBool::new(false),
-        gvt: AtomicU64::new(resume_gvt),
+        gvt: IncGvt::new(n_pes, resume_gvt),
         local_mins: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
         barrier: AbortableBarrier::new(n_pes),
         failure: Mutex::new(None),
@@ -2130,11 +2117,6 @@ fn run_parallel_inner<M: Model>(
         processed: AtomicU64::new(0),
         rolled_back: AtomicU64::new(0),
         ckpt_parts: Mutex::new((0..n_pes).map(|_| None).collect()),
-        epoch: AtomicU64::new(0),
-        inc_reports: (0..n_pes)
-            .map(|_| CachePadded(AtomicU64::new(u64::MAX)))
-            .collect(),
-        inc_report_rounds: (0..n_pes).map(|_| CachePadded(AtomicU64::new(0))).collect(),
     };
 
     // Build each PE's runtime ingredients.
@@ -2343,7 +2325,9 @@ fn run_parallel_inner<M: Model>(
 
     if let Some(cause) = failure {
         let mut diagnostics = RunDiagnostics {
-            gvt: shared.gvt.load(SeqCst),
+            gvt: shared.gvt.read(),
+            // ORDER: SeqCst (×2) — post-mortem diagnostics after all PE
+            // threads joined; any ordering is correct, match the writers.
             sent: shared.sent.load(SeqCst),
             received: shared.received.load(SeqCst),
             pes: Vec::with_capacity(n_pes),
@@ -2405,7 +2389,7 @@ fn run_parallel_inner<M: Model>(
                 pe: 0,
                 wall_us: wall.as_micros() as u64,
                 round: 0,
-                gvt: shared.gvt.load(SeqCst),
+                gvt: shared.gvt.read(),
                 committed: stats.events_committed,
                 phase: crate::obs::agg::RunPhase::End,
             });

@@ -1,12 +1,37 @@
-//! Abort-aware synchronization for the PE rendezvous.
+//! Abort-aware synchronization for the PE rendezvous, plus the **atomics
+//! facade** the concurrency model checker hooks into.
 //!
 //! `std::sync::Barrier` has no escape hatch: if one PE panics between two
 //! waits, every sibling blocks forever. The GVT reduction needs a barrier
 //! that any thread can *abort*, releasing all current and future waiters
 //! with an error so they can unwind, report diagnostics, and join.
+//!
+//! ## The `M*` facade
+//!
+//! [`MAtomicU64`], [`MAtomicUsize`], [`MAtomicBool`], [`MCell`], [`MMutex`]
+//! and [`MCondvar`] are zero-cost newtypes over the `std::sync` primitives.
+//! In a normal build every method is an `#[inline(always)]` passthrough — the
+//! wrapper compiles away entirely. Under `--cfg mcheck` each object carries
+//! an optional checker id: objects constructed while a
+//! [`mcheck`](crate::mcheck) model is being built or run route every
+//! load/store/RMW/lock through the cooperative schedule explorer, which
+//! enumerates interleavings, models Relaxed/Acquire/Release visibility with
+//! per-location store buffers, and race-checks [`MCell`] accesses with
+//! vector clocks. Objects constructed outside a model (the entire normal
+//! test suite, even when compiled with the cfg) fall through to the native
+//! primitive.
+//!
+//! Porting rule: code on the facade must do **all** of its cross-thread
+//! communication through `M*` types — a raw `std` atomic or mutex would be
+//! invisible to the explorer, and a real blocking wait would deadlock the
+//! cooperative scheduler.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+#[cfg(mcheck)]
+use crate::mcheck::rt;
 
 /// Pads (via alignment) a value to its own cache line so two hot atomics —
 /// like an SPSC ring's producer and consumer counters — never false-share.
@@ -15,6 +40,318 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 #[repr(align(64))]
 #[derive(Debug, Default)]
 pub(crate) struct CachePadded<T>(pub(crate) T);
+
+// ---------------------------------------------------------------------------
+// Atomic facade
+// ---------------------------------------------------------------------------
+
+macro_rules! m_atomic {
+    ($name:ident, $native:ty, $raw:ty, $to_u64:expr, $from_u64:expr) => {
+        /// Facade atomic: native passthrough normally, checker-routed when
+        /// constructed inside an `mcheck` model. See the module docs.
+        pub(crate) struct $name {
+            native: $native,
+            #[cfg(mcheck)]
+            mc: Option<rt::ObjId>,
+        }
+
+        impl $name {
+            pub(crate) fn new(v: $raw) -> Self {
+                $name {
+                    native: <$native>::new(v),
+                    #[cfg(mcheck)]
+                    mc: rt::register_atomic(($to_u64)(v)),
+                }
+            }
+
+            #[inline(always)]
+            pub(crate) fn load(&self, ord: Ordering) -> $raw {
+                #[cfg(mcheck)]
+                if let Some(id) = self.mc {
+                    if let Some(v) = rt::atomic_load(id, ord) {
+                        return ($from_u64)(v);
+                    }
+                }
+                // ORDER: facade passthrough — the ordering is chosen and
+                // justified at each call site.
+                self.native.load(ord)
+            }
+
+            #[inline(always)]
+            pub(crate) fn store(&self, v: $raw, ord: Ordering) {
+                #[cfg(mcheck)]
+                if let Some(id) = self.mc {
+                    if rt::atomic_store(id, ($to_u64)(v), ord) {
+                        return;
+                    }
+                }
+                // ORDER: facade passthrough — the ordering is chosen and
+                // justified at each call site.
+                self.native.store(v, ord)
+            }
+        }
+    };
+}
+
+m_atomic!(MAtomicU64, AtomicU64, u64, |v: u64| v, |v: u64| v);
+m_atomic!(
+    MAtomicUsize,
+    AtomicUsize,
+    usize,
+    |v: usize| v as u64,
+    |v: u64| v as usize
+);
+m_atomic!(
+    MAtomicBool,
+    AtomicBool,
+    bool,
+    |v: bool| v as u64,
+    |v: u64| v != 0
+);
+
+impl MAtomicU64 {
+    #[inline(always)]
+    pub(crate) fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc {
+            if let Some(prev) = rt::atomic_rmw(id, rt::RmwOp::Add(v), ord) {
+                return prev;
+            }
+        }
+        // ORDER: facade passthrough — the ordering is chosen and justified
+        // at each call site.
+        self.native.fetch_add(v, ord)
+    }
+
+    #[inline(always)]
+    pub(crate) fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc {
+            if let Some(prev) = rt::atomic_rmw(id, rt::RmwOp::Sub(v), ord) {
+                return prev;
+            }
+        }
+        // ORDER: facade passthrough — the ordering is chosen and justified
+        // at each call site.
+        self.native.fetch_sub(v, ord)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MCell: racy-access-checked UnsafeCell
+// ---------------------------------------------------------------------------
+
+/// Facade over `UnsafeCell`. The closure-based accessors exist so that under
+/// `mcheck` every raw read/write is announced to the explorer *before* it
+/// touches memory: the vector-clock race detector vetoes the access (by
+/// aborting the schedule) if it is not ordered happens-before/after every
+/// conflicting access, so a racy read can never observe garbage even inside
+/// the checker.
+pub(crate) struct MCell<T> {
+    inner: UnsafeCell<T>,
+    #[cfg(mcheck)]
+    mc: Option<rt::ObjId>,
+}
+
+impl<T> MCell<T> {
+    pub(crate) fn new(v: T) -> Self {
+        MCell {
+            inner: UnsafeCell::new(v),
+            #[cfg(mcheck)]
+            mc: rt::register_cell(),
+        }
+    }
+
+    /// Run `f` with a shared raw pointer to the contents.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent mutable access for the
+    /// duration of `f`, exactly as for reading through `UnsafeCell::get`.
+    #[inline(always)]
+    pub(crate) unsafe fn read_with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc {
+            rt::cell_read(id);
+        }
+        f(self.inner.get())
+    }
+
+    /// Run `f` with an exclusive raw pointer to the contents.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent access at all for the
+    /// duration of `f`, exactly as for writing through `UnsafeCell::get`.
+    #[inline(always)]
+    pub(crate) unsafe fn write_with<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc {
+            rt::cell_write(id);
+        }
+        f(self.inner.get())
+    }
+
+    /// Exclusive access through `&mut self` — statically race-free, so no
+    /// checker announcement is needed.
+    #[inline(always)]
+    pub(crate) fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MMutex / MCondvar
+// ---------------------------------------------------------------------------
+
+/// Facade mutex. Natively a `std::sync::Mutex` with poison recovery (comm
+/// and barrier state stay consistent across a contained panic — the guarded
+/// values are self-contained). Under an active `mcheck` model the *modeled*
+/// lock provides the mutual exclusion and blocking semantics; the native
+/// lock underneath is then always uncontended.
+pub(crate) struct MMutex<T> {
+    native: Mutex<T>,
+    #[cfg(mcheck)]
+    mc: Option<rt::ObjId>,
+}
+
+pub(crate) struct MMutexGuard<'a, T> {
+    inner: Option<MutexGuard<'a, T>>,
+    #[cfg(mcheck)]
+    mc: Option<rt::ObjId>,
+}
+
+impl<T> MMutex<T> {
+    pub(crate) fn new(v: T) -> Self {
+        MMutex {
+            native: Mutex::new(v),
+            #[cfg(mcheck)]
+            mc: rt::register_mutex(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MMutexGuard<'_, T> {
+        #[cfg(mcheck)]
+        let mc = match self.mc {
+            // Blocks (cooperatively) until the explorer grants the lock.
+            Some(id) if rt::mutex_lock(id) => Some(id),
+            _ => None,
+        };
+        let inner = self.native.lock().unwrap_or_else(PoisonError::into_inner);
+        MMutexGuard {
+            inner: Some(inner),
+            #[cfg(mcheck)]
+            mc,
+        }
+    }
+}
+
+impl<'a, T> MMutexGuard<'a, T> {
+    /// Extract the native guard without announcing a modeled unlock (used by
+    /// the native condvar-wait path, where `mc` is always `None`).
+    fn take_native(mut self) -> MutexGuard<'a, T> {
+        self.inner.take().expect("guard already taken")
+    }
+}
+
+impl<T> std::ops::Deref for MMutexGuard<'_, T> {
+    type Target = T;
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MMutexGuard<'_, T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard already taken")
+    }
+}
+
+impl<T> Drop for MMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc.take() {
+            // Announce the modeled unlock *before* the native guard drops;
+            // the explorer only hands the lock to another virtual thread at
+            // that thread's next announce, which is necessarily after this
+            // frame has released the native lock.
+            rt::mutex_unlock(id);
+        }
+        // `inner` (if still present) drops after this body, releasing the
+        // native lock.
+    }
+}
+
+/// Facade condvar paired with [`MMutex`]. `wait` takes the mutex explicitly
+/// because the modeled path must re-acquire it through the explorer.
+pub(crate) struct MCondvar {
+    native: Condvar,
+    #[cfg(mcheck)]
+    mc: Option<rt::ObjId>,
+}
+
+impl MCondvar {
+    pub(crate) fn new() -> Self {
+        MCondvar {
+            native: Condvar::new(),
+            #[cfg(mcheck)]
+            mc: rt::register_condvar(),
+        }
+    }
+
+    /// Atomically release `guard` and sleep until notified, then re-acquire.
+    /// `mutex` must be the mutex `guard` came from.
+    ///
+    /// The modeled wait has no spurious wakeups (see the mcheck docs for the
+    /// modeling gap list); native behavior is `Condvar::wait` verbatim, and
+    /// all in-tree callers loop on their predicate anyway.
+    pub(crate) fn wait<'a, T>(
+        &self,
+        #[cfg_attr(not(mcheck), allow(unused_mut))] mut guard: MMutexGuard<'a, T>,
+        #[cfg_attr(not(mcheck), allow(unused_variables))] mutex: &'a MMutex<T>,
+    ) -> MMutexGuard<'a, T> {
+        #[cfg(mcheck)]
+        if let Some(mc_mutex) = guard.mc.take() {
+            let mc_cv = self.mc.expect("modeled mutex paired with native condvar");
+            // Drop the native lock first: the *modeled* mutex stays held
+            // until the explorer executes the CondWait op, so no other
+            // virtual thread can reach the native lock in between.
+            drop(guard);
+            // Cooperatively blocks until notified AND re-granted the mutex.
+            rt::cond_wait(mc_cv, mc_mutex);
+            let inner = mutex.native.lock().unwrap_or_else(PoisonError::into_inner);
+            return MMutexGuard {
+                inner: Some(inner),
+                mc: Some(mc_mutex),
+            };
+        }
+        let native = guard.take_native();
+        let woken = self
+            .native
+            .wait(native)
+            .unwrap_or_else(PoisonError::into_inner);
+        MMutexGuard {
+            inner: Some(woken),
+            #[cfg(mcheck)]
+            mc: None,
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        #[cfg(mcheck)]
+        if let Some(id) = self.mc {
+            if rt::cond_notify_all(id) {
+                // Modeled waiters never sleep on the native condvar.
+                return;
+            }
+        }
+        self.native.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AbortableBarrier (on the facade)
+// ---------------------------------------------------------------------------
 
 /// Returned by [`AbortableBarrier::wait`] when the barrier was aborted; the
 /// caller must unwind instead of continuing the protocol.
@@ -30,19 +367,16 @@ struct BarrierState {
 }
 
 /// A reusable sense-reversing barrier with an abort switch.
+///
+/// Ported onto the `M*` facade so `mcheck` can exhaustively explore
+/// abort-racing-wait interleavings (model `barrier`): no schedule may
+/// deadlock, and once `abort` runs every wait returns `Err(Aborted)`.
 pub(crate) struct AbortableBarrier {
     n: usize,
-    state: Mutex<BarrierState>,
-    cv: Condvar,
+    state: MMutex<BarrierState>,
+    cv: MCondvar,
     /// Mirror of the abort flag for lock-free fast-path checks.
-    aborted: AtomicBool,
-}
-
-fn lock_state(barrier: &AbortableBarrier) -> MutexGuard<'_, BarrierState> {
-    // A waiter cannot panic while holding the lock, but a model payload's
-    // Clone/Drop could if we ever held it here; recover the guard so abort
-    // always works.
-    barrier.state.lock().unwrap_or_else(PoisonError::into_inner)
+    aborted: MAtomicBool,
 }
 
 impl AbortableBarrier {
@@ -50,12 +384,12 @@ impl AbortableBarrier {
         assert!(n >= 1, "barrier needs at least one participant");
         AbortableBarrier {
             n,
-            state: Mutex::new(BarrierState {
+            state: MMutex::new(BarrierState {
                 waiting: n,
                 sense: false,
             }),
-            cv: Condvar::new(),
-            aborted: AtomicBool::new(false),
+            cv: MCondvar::new(),
+            aborted: MAtomicBool::new(false),
         }
     }
 
@@ -63,7 +397,9 @@ impl AbortableBarrier {
     /// (immediately, or as soon as the abort happens) if any thread called
     /// [`abort`](Self::abort).
     pub(crate) fn wait(&self) -> Result<(), Aborted> {
-        let mut st = lock_state(self);
+        let mut st = self.state.lock();
+        // ORDER: Relaxed is enough — the flag is written under this same
+        // mutex, so the lock acquisition orders the store before this load.
         if self.aborted.load(Ordering::Relaxed) {
             return Err(Aborted);
         }
@@ -77,7 +413,9 @@ impl AbortableBarrier {
         }
         let my_sense = st.sense;
         loop {
-            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            st = self.cv.wait(st, &self.state);
+            // ORDER: Relaxed — read under the mutex that orders the store
+            // (see `abort`).
             if self.aborted.load(Ordering::Relaxed) {
                 return Err(Aborted);
             }
@@ -92,14 +430,27 @@ impl AbortableBarrier {
     pub(crate) fn abort(&self) {
         // Set the flag *under the lock* so a waiter can't check it, miss the
         // store, and then sleep through the notify.
-        let _st = lock_state(self);
+        let _st = self.state.lock();
+        // ORDER: Relaxed — publication to waiters is ordered by the mutex;
+        // `is_aborted` polls only need eventual visibility (the PE loop
+        // rechecks every iteration and the GVT rendezvous re-syncs).
         self.aborted.store(true, Ordering::Relaxed);
+        #[cfg(mcheck)]
+        if crate::mcheck::mutation::active(crate::mcheck::mutation::Mutation::BarrierAbortNoNotify)
+        {
+            // Seeded mutation: swallow the wake-up. A stranded waiter shows
+            // up as a deadlock in the `barrier` model.
+            return;
+        }
         self.cv.notify_all();
     }
 
     /// Lock-free check, for per-iteration polling in the PE main loop.
     #[inline]
     pub(crate) fn is_aborted(&self) -> bool {
+        // ORDER: Relaxed — advisory poll; a stale `false` is corrected on
+        // the next poll or at the next rendezvous, both of which the caller
+        // performs unconditionally.
         self.aborted.load(Ordering::Relaxed)
     }
 }
@@ -121,9 +472,12 @@ mod tests {
                 let c = Arc::clone(&counter);
                 std::thread::spawn(move || {
                     for round in 1..=100 {
+                        // ORDER: SeqCst — test-only counter, simplicity over
+                        // speed.
                         c.fetch_add(1, Ordering::SeqCst);
                         b.wait().unwrap();
                         // Everyone has incremented for this round.
+                        // ORDER: SeqCst — test-only counter.
                         assert!(c.load(Ordering::SeqCst) >= n * round);
                         b.wait().unwrap();
                     }
@@ -133,6 +487,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // ORDER: SeqCst — test-only counter.
         assert_eq!(counter.load(Ordering::SeqCst), n * 100);
     }
 
@@ -170,5 +525,35 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(barrier.wait(), Ok(()));
         }
+    }
+
+    #[test]
+    fn mcell_exclusive_access_roundtrip() {
+        let mut cell = MCell::new(7u32);
+        // SAFETY: single-threaded test; no concurrent access exists.
+        unsafe {
+            cell.write_with(|p| *p = 9);
+            assert_eq!(cell.read_with(|p| *p), 9);
+        }
+        assert_eq!(*cell.get_mut(), 9);
+    }
+
+    #[test]
+    fn facade_mutex_condvar_native_roundtrip() {
+        let m = Arc::new(MMutex::new(0u32));
+        let cv = Arc::new(MCondvar::new());
+        let m2 = Arc::clone(&m);
+        let cv2 = Arc::clone(&cv);
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while *g == 0 {
+                g = cv2.wait(g, &m2);
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *m.lock() = 42;
+        cv.notify_all();
+        assert_eq!(h.join().unwrap(), 42);
     }
 }

@@ -24,7 +24,57 @@ cargo build --release -p bench --bin lint_reversible
 ./target/release/lint_reversible --self-test
 ./target/release/lint_reversible
 
-echo "== miri: unit tests on comm/pool/scheduler (nightly-gated) =="
+echo "== lint_atomics: self-test + kernel scan =="
+# Static memory-ordering lint (crates/bench/src/bin/lint_atomics.rs): every
+# atomic op in crates/pdes/src must carry an `// ORDER:` rationale. Proves
+# the rule fires on the fixtures first (allowlist:
+# scripts/lint_atomics.allow, deliberately empty).
+cargo build --release -p bench --bin lint_atomics
+./target/release/lint_atomics --self-test
+./target/release/lint_atomics
+
+echo "== mcheck: exhaustive concurrency model checking (--cfg mcheck) =="
+# The in-tree model checker (pdes::mcheck) explores every bounded
+# interleaving + weak-memory read choice of the lock-free protocols: SPSC
+# ring transfer (incl. index wraparound), spill/drain conservation,
+# incremental GVT safety, abortable-barrier liveness. Budgets are fixed in
+# models::default_cfg, so the stage is deterministic; `complete=true` for
+# every model is asserted via the JSON below. The separate target dir keeps
+# the native cargo cache warm. Unconditional: no nightly toolchain needed.
+mkdir -p artifacts
+RUSTFLAGS="--cfg mcheck" CARGO_TARGET_DIR=target/mcheck \
+    cargo test --release -q -p pdes --lib
+RUSTFLAGS="--cfg mcheck" CARGO_TARGET_DIR=target/mcheck \
+    cargo build --release -q -p bench --bin mcheck
+./target/mcheck/release/mcheck --out=artifacts/mcheck.json
+# Mutation kill gate: each seeded concurrency bug (Relaxed publication,
+# skipped epoch bump, relaxed round slot, swallowed spill, notify-free
+# abort) must be caught by its covering model, with the failing
+# interleaving printed.
+./target/mcheck/release/mcheck --self-test --out=artifacts/mcheck_selftest.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - artifacts/mcheck.json artifacts/mcheck_selftest.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    models = json.load(f)["models"]
+assert len(models) == 4, models
+for m in models:
+    assert m["complete"], f"{m['name']}: state space not exhausted"
+    assert m["violation"] is None, f"{m['name']}: {m['violation']}"
+    assert m["schedules"] > 1, f"{m['name']}: trivial exploration"
+with open(sys.argv[2]) as f:
+    muts = json.load(f)["mutations"]
+assert len(muts) == 5, muts
+for mu in muts:
+    assert mu["killed"], f"mutation {mu['mutation']} survived {mu['model']}"
+print(f"mcheck.json: {len(models)} models complete "
+      f"({sum(m['schedules'] for m in models)} schedules, "
+      f"{sum(m['transitions'] for m in models)} transitions); "
+      f"{len(muts)}/5 mutations killed")
+EOF
+fi
+
+echo "== miri: unit tests on comm/pool/scheduler/sync/gvt (nightly-gated) =="
 # The SPSC comm fabric is the only unsafe code in the tree; run its unit
 # tests (plus the pool and scheduler modules it leans on) under Miri when a
 # nightly toolchain with the component is installed. CI boxes without
@@ -37,7 +87,7 @@ if command -v rustup >/dev/null 2>&1 \
     # std::time::Instant (watchdog plumbing).
     MIRIFLAGS="-Zmiri-disable-isolation" \
         cargo +nightly miri test -p pdes --lib -- \
-        comm:: pool:: scheduler::
+        comm:: pool:: scheduler:: sync:: gvt::
 else
     echo "SKIPPED: nightly toolchain with miri not installed"
 fi
@@ -263,6 +313,27 @@ print(f"BENCH_pr9.json: blame_on {b['overhead_pct_blame_on']}% "
       f"(noise floor {b['noise_floor_pct']}%), {b['matrix_points']} matrix "
       f"points, {b['warmup_cascades']} cascades, "
       f"{b['warmup_wasted_ns']} ns wasted on warm-up")
+EOF
+fi
+
+echo "== bench gate: sync-facade zero cost (BENCH_pr10.json) =="
+# The pdes::sync atomics facade must inline to raw std atomics in native
+# builds: the facade mode (identical config to PR 9's blame_off side,
+# regenerated above on this machine) may not regress committed-events/sec
+# by more than 1% beyond the noise floors of BOTH processes (the two
+# numbers are separate runs minutes apart; either side's floor bounds the
+# cross-process drift).
+./target/release/bench_pr10 --baseline=artifacts/BENCH_pr9.json --out=artifacts/BENCH_pr10.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - artifacts/BENCH_pr10.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    b = json.load(f)
+assert b["within_budget"], \
+    f"facade regression {b['regression_pct_vs_baseline']}% over budget"
+assert b["baseline_events_per_sec"] is not None, "PR 9 baseline missing"
+print(f"BENCH_pr10.json: facade regression {b['regression_pct_vs_baseline']}% "
+      f"vs PR9 blame_off (noise floor {b['noise_floor_pct']}%)")
 EOF
 fi
 
